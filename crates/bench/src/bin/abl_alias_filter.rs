@@ -1,0 +1,56 @@
+//! Ablation: range-based vs Bloom-filter alias summaries (paper footnote
+//! 2). A strided core access pattern inside a stream's address hull
+//! triggers false-positive flushes under ranges but not under Bloom
+//! filters.
+
+use near_stream::range_sync::AliasFilterKind;
+use near_stream::{run, ExecMode, SystemConfig};
+use nsc_compiler::compile;
+use nsc_ir::build::KernelBuilder;
+use nsc_ir::{BinOp, ElemType, Expr, Program};
+
+fn main() {
+    // A streamed store over b[] while the core reads scattered (quadratic,
+    // unstreamable) locations of a *different* region of b[]: the range
+    // hull covers them (false positives), the Bloom filter does not.
+    let n = 64 * 1024u64;
+    let mut p = Program::new("alias_abl");
+    let a = p.array("a", ElemType::I64, n);
+    let b = p.array("b", ElemType::I64, 16 * n / 2 + 16);
+    let out = p.array("out", ElemType::I64, n);
+    let mut k = KernelBuilder::new("k", n / 32);
+    let i = k.outer_var();
+    let v = k.load(a, Expr::var(i));
+    // The stream writes every other cache line (stride 16 elements): a
+    // sparse footprint with a huge range hull.
+    k.store(b, Expr::var(i) * Expr::imm(16), Expr::var(v));
+    let idx = k.let_(Expr::bin(
+        BinOp::Rem,
+        Expr::var(i) * Expr::var(i) + Expr::imm(1),
+        Expr::imm((n / 32) as i64),
+    ));
+    // Core reads the *untouched* lines in between: never written by the
+    // stream, but inside its range hull.
+    let probe = k.load(b, Expr::var(idx) * Expr::imm(16) + Expr::imm(8));
+    k.store(out, Expr::var(i), Expr::var(probe));
+    p.push_kernel(k.finish());
+    let compiled = compile(&p);
+
+    println!("# Ablation: alias-summary structure (NS, range-synchronized)");
+    println!("{:8} {:>12} {:>14} {:>12}", "filter", "cycles", "bytes x hops", "flushes");
+    for (name, kind) in [("range", AliasFilterKind::Range), ("bloom", AliasFilterKind::Bloom)] {
+        let mut cfg = SystemConfig::small();
+        cfg.se.alias_filter = kind;
+        let (r, _) = run(&p, &compiled, &[], ExecMode::Ns, &cfg, &|_| {});
+        println!(
+            "{:8} {:>12} {:>14} {:>12}",
+            name,
+            r.cycles,
+            r.traffic.total(),
+            r.alias_flushes
+        );
+    }
+    println!();
+    println!("Bloom filters avoid the hull's false positives at the cost of");
+    println!("larger synchronization state (2 kbit/stream vs one 96-bit range).");
+}

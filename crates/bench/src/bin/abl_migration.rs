@@ -1,0 +1,33 @@
+//! Ablation: compact stream migration (paper §IV-D future work) — banks
+//! remember visited streams so re-visits send only the changing fields.
+
+use near_stream::ExecMode;
+use nsc_bench::{parse_size, prepare, system_for};
+use nsc_workloads::{bin_tree, hash_join, pr_pull};
+
+fn main() {
+    let size = parse_size();
+    println!("# Ablation: compact migration (NS-decouple)");
+    println!(
+        "{:10} {:>14} {:>14} {:>9} {:>9}",
+        "workload", "full(BxH)", "compact(BxH)", "traffic-", "speedup"
+    );
+    for w in [bin_tree(size), hash_join(size), pr_pull(size)] {
+        let p = prepare(w);
+        let mut base_cfg = system_for(size);
+        base_cfg.se.compact_migration = false;
+        let (full, _) = p.run_unchecked(ExecMode::NsDecouple, &base_cfg);
+        let mut cfg = system_for(size);
+        cfg.se.compact_migration = true;
+        let (compact, _) = p.run_unchecked(ExecMode::NsDecouple, &cfg);
+        println!(
+            "{:10} {:>14} {:>14} {:>8.1}% {:>8.2}x",
+            p.workload.name,
+            full.traffic.total(),
+            compact.traffic.total(),
+            100.0 * (1.0 - compact.traffic.total() as f64 / full.traffic.total().max(1) as f64),
+            full.cycles as f64 / compact.cycles.max(1) as f64,
+        );
+    }
+    println!("(the paper estimated migration traffic was already low; this bounds the win)");
+}

@@ -1,0 +1,21 @@
+//! The paper's area paragraph (§VII-A): SE component areas and whole-chip
+//! overhead.
+
+use near_stream::CoreModel;
+use nsc_energy::area::AreaModel;
+
+fn main() {
+    let a = AreaModel::paper_22nm();
+    println!("# Area model (22nm, CACTI/McPAT-class)");
+    println!("SE_core stream buffer:        {:.3} mm^2 (paper: 0.09)", a.se_core_mm2);
+    println!("SE_L3 stream buffer (64kB):   {:.3} mm^2 (paper: 0.195)", a.se_l3_buffer_mm2);
+    println!("SE_L3 config SRAM (48kB):     {:.3} mm^2 (paper: 0.11)", a.se_l3_config_mm2);
+    for core in CoreModel::all() {
+        println!(
+            "whole-chip overhead ({:5}):   {:.2}%",
+            core.name,
+            100.0 * a.overhead_fraction(&core)
+        );
+    }
+    println!("(paper: 2.5% for IO4, 2.1% for OOO8)");
+}

@@ -1,0 +1,90 @@
+//! Figure 1: the potential of sub-thread near-data computing.
+//!
+//! (a) Breakdown of dynamic µops associated with streams, by compute type
+//!     (paper: ~21% load/reduce, ~31% store/RMW/atomic on average).
+//! (b) Pure data traffic (bytes x hops) of three idealized systems:
+//!     No-Priv$, Perf-Priv$ and Perf-Near-LLC (paper: a perfect private
+//!     cache removes only ~27% of traffic; near-LLC removes ~64%).
+
+use near_stream::ideal::{ideal_traffic, IdealModel};
+use nsc_bench::{parse_size, prepare, system_for};
+use nsc_compiler::{op_breakdown, run_with_counts, OpBreakdown};
+use nsc_ir::stream::ComputeClass;
+use nsc_workloads::all;
+
+fn main() {
+    let size = parse_size();
+    let cfg = system_for(size);
+    println!("# Figure 1(a): dynamic uops associated with streams, size {size:?}");
+    println!(
+        "{:11} {:>7} {:>7} {:>7} {:>7} {:>7} {:>8} {:>8}",
+        "workload", "load", "store", "rmw", "atomic", "reduce", "streamed", "core"
+    );
+    let mut agg = OpBreakdown::default();
+    let mut rows = Vec::new();
+    for w in all(size) {
+        let p = prepare(w);
+        let mut mem = nsc_ir::Memory::for_program(&p.workload.program);
+        (p.workload.init)(&mut mem);
+        let counts = run_with_counts(&p.workload.program, &mut mem, &p.workload.params);
+        let mut bd = OpBreakdown::default();
+        for (k, c) in p.compiled.kernels.iter().zip(&counts) {
+            bd.merge(&op_breakdown(k, c));
+        }
+        println!(
+            "{:11} {:6.1}% {:6.1}% {:6.1}% {:6.1}% {:6.1}% {:7.1}% {:7.1}%",
+            p.workload.name,
+            100.0 * bd.fraction(ComputeClass::Load),
+            100.0 * bd.fraction(ComputeClass::Store),
+            100.0 * bd.fraction(ComputeClass::Rmw),
+            100.0 * bd.fraction(ComputeClass::Atomic),
+            100.0 * bd.fraction(ComputeClass::Reduce),
+            100.0 * bd.stream_fraction(),
+            100.0 * (1.0 - bd.stream_fraction()),
+        );
+        agg.merge(&bd);
+        rows.push(p);
+    }
+    println!(
+        "{:11} {:6.1}% {:6.1}% {:6.1}% {:6.1}% {:6.1}% {:7.1}%  (paper: load+reduce ~21%, store/rmw/atomic ~31%)",
+        "average",
+        100.0 * agg.fraction(ComputeClass::Load),
+        100.0 * agg.fraction(ComputeClass::Store),
+        100.0 * agg.fraction(ComputeClass::Rmw),
+        100.0 * agg.fraction(ComputeClass::Atomic),
+        100.0 * agg.fraction(ComputeClass::Reduce),
+        100.0 * agg.stream_fraction(),
+    );
+
+    println!();
+    println!("# Figure 1(b): idealized data traffic, normalized to No-Priv$");
+    println!(
+        "{:11} {:>12} {:>12} {:>12}",
+        "workload", "No-Priv$", "Perf-Priv$", "Perf-NearLLC"
+    );
+    let (mut s_no, mut s_perf, mut s_near) = (0u64, 0u64, 0u64);
+    for p in &rows {
+        let w = &p.workload;
+        let no = ideal_traffic(&w.program, &p.compiled, &w.params, IdealModel::NoPrivateCache, &cfg, &w.init);
+        let perf = ideal_traffic(&w.program, &p.compiled, &w.params, IdealModel::PerfectPrivate, &cfg, &w.init);
+        let near = ideal_traffic(&w.program, &p.compiled, &w.params, IdealModel::PerfectNearLlc, &cfg, &w.init);
+        s_no += no;
+        s_perf += perf;
+        s_near += near;
+        let n = no.max(1) as f64;
+        println!(
+            "{:11} {:>12.2} {:>12.2} {:>12.2}",
+            w.name,
+            1.0,
+            perf as f64 / n,
+            near as f64 / n
+        );
+    }
+    println!(
+        "{:11} {:>12.2} {:>12.2} {:>12.2}  (paper: ~0.73 and ~0.36)",
+        "average",
+        1.0,
+        s_perf as f64 / s_no.max(1) as f64,
+        s_near as f64 / s_no.max(1) as f64
+    );
+}

@@ -1,0 +1,51 @@
+//! Figure 9: overall speedup over the baseline OOO8 core.
+//!
+//! Reproduces the paper's headline comparison: INST (Omni-Compute-like),
+//! SINGLE (Livia-like), NS-core (SSP-like), NS-nocomp (Stream Floating),
+//! NS (near-stream computing with range-sync), NS-nosync and NS-decouple
+//! (programmer-exposed sync-free optimizations), as speedups over Base.
+//!
+//! Paper shape targets: NS ≈ 3.19x geomean, NS-decouple ≈ 4.27x,
+//! NS ≥ INST everywhere, NS-decouple ≥ SINGLE everywhere.
+
+use near_stream::ExecMode;
+use nsc_bench::{fmt_x, geomean, parse_size, prepare, system_for};
+use nsc_workloads::all;
+
+fn main() {
+    let size = parse_size();
+    let cfg = system_for(size);
+    let modes = [
+        ExecMode::Inst,
+        ExecMode::Single,
+        ExecMode::NsCore,
+        ExecMode::NsNoComp,
+        ExecMode::Ns,
+        ExecMode::NsNoSync,
+        ExecMode::NsDecouple,
+    ];
+    println!("# Figure 9: speedup over Base (OOO8), size {size:?}");
+    print!("{:11} {:>10}", "workload", "Base(cyc)");
+    for m in modes {
+        print!(" {:>11}", m.label());
+    }
+    println!();
+    let mut per_mode: Vec<Vec<f64>> = vec![Vec::new(); modes.len()];
+    for w in all(size) {
+        let p = prepare(w);
+        let (base, _) = p.run_unchecked(ExecMode::Base, &cfg);
+        print!("{:11} {:>10}", p.workload.name, base.cycles);
+        for (i, m) in modes.iter().enumerate() {
+            let (r, _) = p.run_unchecked(*m, &cfg);
+            let s = r.speedup_over(&base);
+            per_mode[i].push(s);
+            print!(" {:>11}", fmt_x(s));
+        }
+        println!();
+    }
+    print!("{:11} {:>10}", "geomean", "");
+    for col in &per_mode {
+        print!(" {:>11}", fmt_x(geomean(col)));
+    }
+    println!();
+}

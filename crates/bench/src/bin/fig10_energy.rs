@@ -1,0 +1,61 @@
+//! Figure 10: normalized energy vs performance across core types.
+//!
+//! For IO4 / OOO4 / OOO8 cores, runs Base, NS and NS-decouple and reports
+//! the speedup and energy-efficiency gain. Paper shape targets: similar
+//! speedups on all core types with in-order cores benefiting most
+//! (NS ≈ 4.28x over IO4); NS / NS-decouple reach ≈ 2.85x / 3.52x energy
+//! efficiency on OOO8.
+
+use near_stream::{CoreModel, ExecMode};
+use nsc_bench::{fmt_x, geomean, parse_size, prepare, system_for};
+use nsc_energy::EnergyModel;
+use nsc_workloads::all;
+
+fn main() {
+    let size = parse_size();
+    let energy = EnergyModel::mcpat_22nm();
+    println!("# Figure 10: energy/performance per core type, size {size:?}");
+    println!(
+        "{:6} {:12} {:>10} {:>10} {:>12} {:>12}",
+        "core", "system", "speedup", "energy", "perf (gm)", "eff (gm)"
+    );
+    for core in CoreModel::all() {
+        let cfg = system_for(size).with_core(core);
+        let n_tiles = cfg.mesh.tiles() as u32;
+        let mut speedups_ns = Vec::new();
+        let mut speedups_dec = Vec::new();
+        let mut eff_ns = Vec::new();
+        let mut eff_dec = Vec::new();
+        for w in all(size) {
+            let p = prepare(w);
+            let (base, _) = p.run_unchecked(ExecMode::Base, &cfg);
+            let (ns, _) = p.run_unchecked(ExecMode::Ns, &cfg);
+            let (dec, _) = p.run_unchecked(ExecMode::NsDecouple, &cfg);
+            let e_base = energy.evaluate(&base, &core, n_tiles);
+            let e_ns = energy.evaluate(&ns, &core, n_tiles);
+            let e_dec = energy.evaluate(&dec, &core, n_tiles);
+            speedups_ns.push(ns.speedup_over(&base));
+            speedups_dec.push(dec.speedup_over(&base));
+            eff_ns.push(e_ns.efficiency_gain_over(&e_base));
+            eff_dec.push(e_dec.efficiency_gain_over(&e_base));
+        }
+        println!(
+            "{:6} {:12} {:>10} {:>10} {:>12} {:>12}",
+            core.name,
+            "NS",
+            "",
+            "",
+            fmt_x(geomean(&speedups_ns)),
+            fmt_x(geomean(&eff_ns)),
+        );
+        println!(
+            "{:6} {:12} {:>10} {:>10} {:>12} {:>12}",
+            core.name,
+            "NS-decouple",
+            "",
+            "",
+            fmt_x(geomean(&speedups_dec)),
+            fmt_x(geomean(&eff_dec)),
+        );
+    }
+}

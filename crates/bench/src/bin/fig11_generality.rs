@@ -1,0 +1,36 @@
+//! Figure 11: generality of stream-based offloading — the fraction of
+//! computing µops associated with streams, and the fraction actually
+//! offloaded at runtime (paper: on average 93% of the possible operations
+//! are offloaded; short reductions with private-cache reuse stay in-core).
+
+use near_stream::ExecMode;
+use nsc_bench::{parse_size, prepare, system_for};
+use nsc_workloads::all;
+
+fn main() {
+    let size = parse_size();
+    let cfg = system_for(size);
+    println!("# Figure 11: stream association vs runtime offload, size {size:?}");
+    println!(
+        "{:11} {:>12} {:>12} {:>10}",
+        "workload", "assoc uops%", "offloaded%", "of-assoc%"
+    );
+    let mut fr = Vec::new();
+    for w in all(size) {
+        let p = prepare(w);
+        let (r, _) = p.run_unchecked(ExecMode::Ns, &cfg);
+        let assoc: f64 = r.roles.assoc.iter().sum();
+        let off: f64 = r.roles.offloaded.iter().sum();
+        let of_assoc = if assoc > 0.0 { off / assoc } else { 0.0 };
+        fr.push(of_assoc);
+        println!(
+            "{:11} {:>11.1}% {:>11.1}% {:>9.1}%",
+            p.workload.name,
+            100.0 * assoc / r.total_uops.max(1.0),
+            100.0 * off / r.total_uops.max(1.0),
+            100.0 * of_assoc,
+        );
+    }
+    let avg = fr.iter().sum::<f64>() / fr.len() as f64;
+    println!("{:11} {:>36.1}%  (paper: ~93%)", "average", 100.0 * avg);
+}

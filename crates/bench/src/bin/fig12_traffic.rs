@@ -1,0 +1,68 @@
+//! Figure 12: NoC traffic breakdown (data / control / offloaded) per
+//! workload and scheme, normalized to Base.
+//!
+//! Paper shape targets: NS reduces total traffic by ~69%, NS-decouple by
+//! ~76%, INST by ~49% (with INST 3-5x higher than NS on affine
+//! workloads); range-synchronization ≈ 11% of NS's traffic.
+
+use near_stream::ExecMode;
+use nsc_bench::{parse_size, prepare, system_for};
+use nsc_workloads::all;
+
+fn main() {
+    let size = parse_size();
+    let cfg = system_for(size);
+    let modes = [
+        ExecMode::Base,
+        ExecMode::Inst,
+        ExecMode::Single,
+        ExecMode::Ns,
+        ExecMode::NsDecouple,
+    ];
+    println!("# Figure 12: traffic breakdown (bytes x hops), normalized to Base, size {size:?}");
+    println!(
+        "{:11} {:>12} | {}",
+        "workload",
+        "Base(BxH)",
+        modes
+            .iter()
+            .map(|m| format!("{:>24}", format!("{} d/c/o", m.label())))
+            .collect::<Vec<_>>()
+            .join(" | ")
+    );
+    let mut totals = vec![0u64; modes.len()];
+    let mut base_total = 0u64;
+    for w in all(size) {
+        let p = prepare(w);
+        let mut cells = Vec::new();
+        let mut base = 1.0;
+        for (i, m) in modes.iter().enumerate() {
+            let (r, _) = p.run_unchecked(*m, &cfg);
+            if i == 0 {
+                base = r.traffic.total().max(1) as f64;
+                base_total += r.traffic.total();
+            }
+            totals[i] += r.traffic.total();
+            cells.push(format!(
+                "{:>24}",
+                format!(
+                    "{:5.2} {:4.2}/{:4.2}/{:4.2}",
+                    r.traffic.total() as f64 / base,
+                    r.traffic.data as f64 / base,
+                    r.traffic.control as f64 / base,
+                    r.traffic.offloaded as f64 / base,
+                )
+            ));
+        }
+        println!("{:11} {:>12} | {}", p.workload.name, base as u64, cells.join(" | "));
+    }
+    println!();
+    println!("total traffic reduction vs Base:");
+    for (i, m) in modes.iter().enumerate().skip(1) {
+        println!(
+            "  {:12} {:5.1}%",
+            m.label(),
+            100.0 * (1.0 - totals[i] as f64 / base_total.max(1) as f64)
+        );
+    }
+}

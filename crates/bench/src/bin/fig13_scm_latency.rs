@@ -1,0 +1,41 @@
+//! Figure 13: sensitivity to the SE_L3 -> SCM issue latency (1/4/16
+//! cycles), normalized to NS at 1-cycle latency. Paper shape: irregular
+//! workloads are insensitive (scalar PE handles them); SIMD-heavy affine
+//! workloads degrade, ~11% drop for NS-decouple at 16 cycles vs 4.
+
+use near_stream::ExecMode;
+use nsc_bench::{geomean, parse_size, prepare, system_for};
+use nsc_workloads::all;
+
+fn main() {
+    let size = parse_size();
+    println!("# Figure 13: SCM issue latency sensitivity, size {size:?}");
+    let lats = [1u64, 4, 16];
+    let modes = [ExecMode::Ns, ExecMode::NsNoSync, ExecMode::NsDecouple];
+    println!("{:11} | {:>7} {:>7} {:>7} (NS) | (NS-nosync) | (NS-decouple)", "workload", "1cy", "4cy", "16cy");
+    let mut per: Vec<Vec<Vec<f64>>> = vec![vec![Vec::new(); lats.len()]; modes.len()];
+    for w in all(size) {
+        let p = prepare(w);
+        let mut row = format!("{:11}", p.workload.name);
+        // Reference: NS at 1 cycle.
+        let mut cfg0 = system_for(size);
+        cfg0.se.scm_issue_latency = 1;
+        let (refr, _) = p.run_unchecked(ExecMode::Ns, &cfg0);
+        for (mi, m) in modes.iter().enumerate() {
+            for (li, lat) in lats.iter().enumerate() {
+                let mut cfg = system_for(size);
+                cfg.se.scm_issue_latency = *lat;
+                let (r, _) = p.run_unchecked(*m, &cfg);
+                let rel = refr.cycles as f64 / r.cycles.max(1) as f64;
+                per[mi][li].push(rel);
+                row.push_str(&format!(" {:6.2}", rel));
+            }
+            row.push_str(" |");
+        }
+        println!("{row}");
+    }
+    for (mi, m) in modes.iter().enumerate() {
+        let g: Vec<String> = per[mi].iter().map(|v| format!("{:5.2}", geomean(v))).collect();
+        println!("geomean {:12} 1/4/16cy: {}", m.label(), g.join(" "));
+    }
+}

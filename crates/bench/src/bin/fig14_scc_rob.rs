@@ -1,0 +1,32 @@
+//! Figure 14: sensitivity to the stream-computing-context ROB size.
+//! Paper shape: graph/pointer workloads are insensitive (scalar ops);
+//! SIMD workloads need a larger ROB to overlap SCM computations.
+
+use near_stream::ExecMode;
+use nsc_bench::{parse_size, prepare, system_for};
+use nsc_workloads::all;
+
+fn main() {
+    let size = parse_size();
+    let robs = [8u32, 16, 32, 64];
+    println!("# Figure 14: SCC ROB sensitivity (NS-decouple, normalized to 64 entries), size {size:?}");
+    print!("{:11}", "workload");
+    for r in robs {
+        print!(" {:>7}", format!("{r}rob"));
+    }
+    println!();
+    for w in all(size) {
+        let p = prepare(w);
+        let mut cfg64 = system_for(size);
+        cfg64.se.scc_rob = 64;
+        let (r64, _) = p.run_unchecked(ExecMode::NsDecouple, &cfg64);
+        print!("{:11}", p.workload.name);
+        for rob in robs {
+            let mut cfg = system_for(size);
+            cfg.se.scc_rob = rob;
+            let (r, _) = p.run_unchecked(ExecMode::NsDecouple, &cfg);
+            print!(" {:7.2}", r64.cycles as f64 / r.cycles.max(1) as f64 * (r64.cycles as f64 / r64.cycles as f64));
+        }
+        println!();
+    }
+}

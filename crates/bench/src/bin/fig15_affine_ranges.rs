@@ -1,0 +1,40 @@
+//! Figure 15: affine range generation at SE_core vs sent by SE_L3
+//! (NS mode, affine workloads). Paper shape: generating ranges at SE_core
+//! saves ~15% traffic and ~5% performance.
+
+use near_stream::ExecMode;
+use nsc_bench::{parse_size, prepare, system_for};
+use nsc_workloads::{histogram, hotspot, hotspot3d, pathfinder, srad};
+
+fn main() {
+    let size = parse_size();
+    println!("# Figure 15: affine range generation (NS), size {size:?}");
+    println!(
+        "{:11} {:>12} {:>12} {:>9} {:>9}",
+        "workload", "SE_L3(BxH)", "SEcore(BxH)", "traffic-", "speedup"
+    );
+    let (mut t_l3, mut t_core) = (0u64, 0u64);
+    for w in [pathfinder(size), srad(size), hotspot(size), hotspot3d(size), histogram(size)] {
+        let p = prepare(w);
+        let mut cfg_l3 = system_for(size);
+        cfg_l3.se.affine_ranges_at_core = false;
+        let (r_l3, _) = p.run_unchecked(ExecMode::Ns, &cfg_l3);
+        let mut cfg_core = system_for(size);
+        cfg_core.se.affine_ranges_at_core = true;
+        let (r_core, _) = p.run_unchecked(ExecMode::Ns, &cfg_core);
+        t_l3 += r_l3.traffic.total();
+        t_core += r_core.traffic.total();
+        println!(
+            "{:11} {:>12} {:>12} {:>8.1}% {:>8.2}x",
+            p.workload.name,
+            r_l3.traffic.total(),
+            r_core.traffic.total(),
+            100.0 * (1.0 - r_core.traffic.total() as f64 / r_l3.traffic.total().max(1) as f64),
+            r_l3.cycles as f64 / r_core.cycles.max(1) as f64,
+        );
+    }
+    println!(
+        "overall traffic saved: {:.1}%  (paper: ~15%)",
+        100.0 * (1.0 - t_core as f64 / t_l3.max(1) as f64)
+    );
+}

@@ -1,0 +1,27 @@
+//! Figure 17: the SE scalar PE on/off (NS-decouple). Paper shape: affine
+//! SIMD workloads insensitive; indirect/pointer-chasing workloads benefit
+//! (~1.1x for hash_join), ~2.5% overall.
+
+use near_stream::ExecMode;
+use nsc_bench::{geomean, parse_size, prepare, system_for};
+use nsc_workloads::all;
+
+fn main() {
+    let size = parse_size();
+    println!("# Figure 17: scalar PE sensitivity (NS-decouple), size {size:?}");
+    println!("{:11} {:>12} {:>12} {:>9}", "workload", "no-PE(cyc)", "PE(cyc)", "speedup");
+    let mut sp = Vec::new();
+    for w in all(size) {
+        let p = prepare(w);
+        let mut cfg_off = system_for(size);
+        cfg_off.se.scalar_pe = false;
+        let (off, _) = p.run_unchecked(ExecMode::NsDecouple, &cfg_off);
+        let mut cfg_on = system_for(size);
+        cfg_on.se.scalar_pe = true;
+        let (on, _) = p.run_unchecked(ExecMode::NsDecouple, &cfg_on);
+        let s = off.cycles as f64 / on.cycles.max(1) as f64;
+        sp.push(s);
+        println!("{:11} {:>12} {:>12} {:>8.2}x", p.workload.name, off.cycles, on.cycles, s);
+    }
+    println!("geomean: {:.3}x  (paper: ~1.025x overall, ~1.1x hash_join)", geomean(&sp));
+}

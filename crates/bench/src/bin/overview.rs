@@ -1,0 +1,37 @@
+//! Overview harness: every workload under every system, with speedups,
+//! traffic and offload fractions — a one-screen summary of the whole
+//! evaluation (combines the axes of Figures 9, 11 and 12).
+
+use near_stream::{run, ExecMode};
+use nsc_compiler::compile;
+use nsc_workloads::{all, Size};
+use std::time::Instant;
+
+fn main() {
+    let cfg = nsc_bench::system_for(Size::Small);
+    println!("{:11} {:>9} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7}  traffic: base NS NSdec  offl",
+        "workload", "Base", "INST", "SINGLE", "NScore", "NSnoc", "NS", "NSnosy", "NSdec");
+    for w in all(nsc_bench::parse_size()) {
+        let compiled = compile(&w.program);
+        let golden = w.golden_digest();
+        let t0 = Instant::now();
+        let mut cells = Vec::new();
+        let mut traffic = Vec::new();
+        let mut offl = 0.0;
+        let mut base_cycles = 0;
+        for mode in ExecMode::ALL {
+            let (r, mem) = run(&w.program, &compiled, &w.params, mode, &cfg, &w.init);
+            let d = w.digest(&mem);
+            if d != golden { eprintln!("!! {} {:?} WRONG RESULT", w.name, mode); }
+            if mode == ExecMode::Base { base_cycles = r.cycles; }
+            cells.push(if mode == ExecMode::Base { format!("{:9}", r.cycles) }
+                       else { format!("{:7.2}", base_cycles as f64 / r.cycles as f64) });
+            if matches!(mode, ExecMode::Base | ExecMode::Ns | ExecMode::NsDecouple) {
+                traffic.push(r.traffic.total());
+            }
+            if mode == ExecMode::Ns { offl = r.offload_fraction(); }
+        }
+        println!("{:11} {}  {:>10} {:>10} {:>10}  {:.2} ({:?})",
+            w.name, cells.join(" "), traffic[0], traffic[1], traffic[2], offl, t0.elapsed());
+    }
+}

@@ -1,0 +1,147 @@
+//! Shared infrastructure for the figure/table reproduction harnesses.
+//!
+//! Every binary in this crate regenerates one of the paper's figures or
+//! tables (see DESIGN.md §5 for the index). Common conventions:
+//!
+//! * `--tiny` / `--small` (default) / `--full` pick the input scale
+//!   (`--full` is the paper's Table VI parameters);
+//! * output is plain text with one row per workload/configuration, in the
+//!   same order as the paper.
+
+use near_stream::{run, ExecMode, RunResult, SystemConfig};
+use nsc_compiler::{compile, CompiledProgram};
+use nsc_ir::Memory;
+use nsc_workloads::{Size, Workload};
+
+/// Parses the scale flag from `std::env::args`.
+pub fn parse_size() -> Size {
+    for a in std::env::args() {
+        match a.as_str() {
+            "--tiny" => return Size::Tiny,
+            "--full" | "--paper" => return Size::Paper,
+            "--small" => return Size::Small,
+            _ => {}
+        }
+    }
+    Size::Small
+}
+
+/// The default evaluation system (paper Table V, OOO8).
+///
+/// At `--tiny`/`--small` scale the caches shrink with the inputs so the
+/// offload-policy footprint heuristics see the same pressure the paper's
+/// full-size runs do.
+pub fn system_for(size: Size) -> SystemConfig {
+    match size {
+        Size::Paper => SystemConfig::paper_ooo8(),
+        Size::Small => {
+            let mut cfg = SystemConfig::paper_ooo8();
+            // Inputs are ~1/16 of Table VI, so caches shrink by the same
+            // factor to preserve relative pressure.
+            cfg.mem.l1.size_bytes /= 16;
+            cfg.mem.l2.size_bytes /= 16;
+            cfg.mem.l3_bank.size_bytes /= 16;
+            cfg
+        }
+        Size::Tiny => {
+            let mut cfg = SystemConfig::small();
+            cfg.mem.l1.size_bytes /= 2;
+            cfg.mem.l2.size_bytes /= 2;
+            cfg
+        }
+    }
+}
+
+/// A workload compiled once, runnable under many modes/configs.
+pub struct Prepared {
+    /// The workload.
+    pub workload: Workload,
+    /// Its compiled form.
+    pub compiled: CompiledProgram,
+}
+
+/// Compiles a workload.
+pub fn prepare(workload: Workload) -> Prepared {
+    let compiled = compile(&workload.program);
+    Prepared { workload, compiled }
+}
+
+impl Prepared {
+    /// Runs under one mode, validating the result against the golden
+    /// digest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulated execution computes a different result from
+    /// the golden functional run.
+    pub fn run_checked(&self, mode: ExecMode, cfg: &SystemConfig) -> RunResult {
+        let (result, mem) = run(
+            &self.workload.program,
+            &self.compiled,
+            &self.workload.params,
+            mode,
+            cfg,
+            &self.workload.init,
+        );
+        let got = self.workload.digest(&mem);
+        let want = self.workload.golden_digest();
+        assert_eq!(
+            got, want,
+            "{} under {:?} diverged from the golden result",
+            self.workload.name, mode
+        );
+        result
+    }
+
+    /// Runs under one mode without the (expensive) golden check.
+    pub fn run_unchecked(&self, mode: ExecMode, cfg: &SystemConfig) -> (RunResult, Memory) {
+        run(
+            &self.workload.program,
+            &self.compiled,
+            &self.workload.params,
+            mode,
+            cfg,
+            &self.workload.init,
+        )
+    }
+}
+
+/// Geometric mean of positive values.
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    (xs.iter().map(|x| x.max(1e-12).ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// Formats a speedup column.
+pub fn fmt_x(v: f64) -> String {
+    format!("{v:6.2}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-9);
+        assert_eq!(geomean(&[]), 0.0);
+        assert!((geomean(&[3.0]) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn size_parsing_defaults_small() {
+        // No flags in the test harness args that match.
+        let s = parse_size();
+        assert!(matches!(s, Size::Small | Size::Tiny | Size::Paper));
+    }
+
+    #[test]
+    fn run_checked_catches_nothing_on_correct_runs() {
+        let p = prepare(nsc_workloads::histogram(Size::Tiny));
+        let cfg = system_for(Size::Tiny);
+        let r = p.run_checked(ExecMode::Base, &cfg);
+        assert!(r.cycles > 0);
+    }
+}

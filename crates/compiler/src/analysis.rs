@@ -1,0 +1,535 @@
+//! Kernel analysis: definition sites, access sites, loop bodies.
+//!
+//! This is the groundwork for stream classification: a single walk over the
+//! kernel collects every memory-access site with its loop context, every
+//! pure assignment (for closure slicing), and where each variable is
+//! defined.
+
+use nsc_ir::program::{ArrayId, Field, Kernel, Stmt, StmtId, Trip, VarId};
+use nsc_ir::types::AtomicOp;
+use nsc_ir::Expr;
+use std::collections::{HashMap, HashSet};
+
+/// How a variable gets its value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DefKind {
+    /// A loop induction variable at the given depth (1 = outer).
+    LoopVar {
+        /// Loop depth.
+        depth: usize,
+        /// Whether the loop is a data-dependent while loop.
+        is_while: bool,
+    },
+    /// Loaded from memory by the given statement.
+    FromLoad {
+        /// The load statement.
+        stmt: StmtId,
+    },
+    /// Old value captured by an atomic.
+    FromAtomic {
+        /// The atomic statement.
+        stmt: StmtId,
+    },
+    /// Computed by a pure assignment.
+    Pure {
+        /// The assigned expression.
+        expr: Expr,
+    },
+}
+
+/// What kind of memory access a site performs.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SiteKind {
+    /// A load into `var`.
+    Load {
+        /// Destination variable.
+        var: VarId,
+    },
+    /// A store of `value`.
+    Store {
+        /// Stored value expression.
+        value: Expr,
+    },
+    /// An atomic RMW.
+    Atomic {
+        /// The operation.
+        op: AtomicOp,
+        /// Operand expression.
+        operand: Expr,
+        /// CAS expected value.
+        expected: Option<Expr>,
+        /// Captured old value.
+        old: Option<VarId>,
+    },
+}
+
+/// One memory-access site with its full loop context.
+#[derive(Clone, Debug)]
+pub struct AccessSite {
+    /// The statement id.
+    pub stmt: StmtId,
+    /// Access kind.
+    pub kind: SiteKind,
+    /// Accessed array.
+    pub array: ArrayId,
+    /// Index expression.
+    pub index: Expr,
+    /// Record field, if any.
+    pub field: Option<Field>,
+    /// Loop depth (1 = directly in the outer loop).
+    pub depth: usize,
+    /// Enclosing loop variables, outermost first: `(var, depth, is_while)`.
+    pub loops: Vec<(VarId, usize, bool)>,
+    /// Whether the site is under a conditional.
+    pub conditional: bool,
+    /// Index of the enclosing loop body in [`KernelAnalysis::bodies`].
+    pub body: usize,
+    /// Program order.
+    pub order: usize,
+}
+
+/// One pure assignment with its context.
+#[derive(Clone, Debug)]
+pub struct AssignSite {
+    /// Target variable.
+    pub var: VarId,
+    /// Assigned expression.
+    pub expr: Expr,
+    /// Enclosing body index.
+    pub body: usize,
+    /// Program order.
+    pub order: usize,
+}
+
+/// Aggregate information about one loop body.
+#[derive(Clone, Debug, Default)]
+pub struct BodyInfo {
+    /// Loop depth (1 = outer loop body).
+    pub depth: usize,
+    /// µops of pure compute (assignments + branch conditions) directly in
+    /// this body.
+    pub compute_uops: u32,
+    /// Memory-access sites directly in this body.
+    pub n_accesses: u32,
+    /// Whether the body belongs to a while loop.
+    pub is_while: bool,
+    /// Whether the loop's trip count is data-dependent (`Expr`/`While`).
+    pub dynamic_trip: bool,
+}
+
+/// Everything the classifier needs about one kernel.
+#[derive(Clone, Debug, Default)]
+pub struct KernelAnalysis {
+    /// All memory-access sites, in program order.
+    pub sites: Vec<AccessSite>,
+    /// All pure assignments, in program order.
+    pub assigns: Vec<AssignSite>,
+    /// Final definition for each variable.
+    pub defs: HashMap<VarId, DefKind>,
+    /// Depth at which each variable is (last) defined.
+    pub def_depth: HashMap<VarId, usize>,
+    /// Variables assigned more than once (loop-carried candidates).
+    pub reassigned: HashSet<VarId>,
+    /// Variables assigned inside each while-loop body, keyed by body index.
+    pub while_assigned: HashMap<usize, HashSet<VarId>>,
+    /// Loop bodies (index 0 = outer body).
+    pub bodies: Vec<BodyInfo>,
+}
+
+impl KernelAnalysis {
+    /// Resolves `var` through pure assignment chains to the set of root
+    /// load statements it (transitively) depends on. Loop variables and
+    /// parameters contribute nothing.
+    pub fn load_roots(&self, var: VarId) -> Vec<StmtId> {
+        let mut out = Vec::new();
+        let mut seen = HashSet::new();
+        self.load_roots_inner(var, &mut out, &mut seen);
+        out
+    }
+
+    fn load_roots_inner(&self, var: VarId, out: &mut Vec<StmtId>, seen: &mut HashSet<VarId>) {
+        if !seen.insert(var) {
+            return;
+        }
+        match self.defs.get(&var) {
+            Some(DefKind::FromLoad { stmt }) | Some(DefKind::FromAtomic { stmt }) => {
+                if !out.contains(stmt) {
+                    out.push(*stmt);
+                }
+            }
+            Some(DefKind::Pure { expr }) => {
+                let mut vars = Vec::new();
+                expr.collect_vars(&mut vars);
+                for v in vars {
+                    self.load_roots_inner(v, out, seen);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Total µops of the pure-assignment chain from load roots to `var`
+    /// (counting each intermediate assignment once).
+    pub fn chain_uops(&self, expr: &Expr) -> u32 {
+        let mut seen = HashSet::new();
+        let mut total = expr.uops();
+        let mut vars = Vec::new();
+        expr.collect_vars(&mut vars);
+        let mut stack = vars;
+        while let Some(v) = stack.pop() {
+            if !seen.insert(v) {
+                continue;
+            }
+            if let Some(DefKind::Pure { expr }) = self.defs.get(&v) {
+                total += expr.uops();
+                let mut inner = Vec::new();
+                expr.collect_vars(&mut inner);
+                stack.extend(inner);
+            }
+        }
+        total
+    }
+
+    /// Variables defined by pure assignments in the chain from `expr` back
+    /// to its roots (the intermediates a computation slice would absorb).
+    pub fn chain_pure_vars(&self, expr: &Expr) -> Vec<VarId> {
+        let mut seen = HashSet::new();
+        let mut out = Vec::new();
+        let mut vars = Vec::new();
+        expr.collect_vars(&mut vars);
+        while let Some(v) = vars.pop() {
+            if !seen.insert(v) {
+                continue;
+            }
+            if let Some(DefKind::Pure { expr }) = self.defs.get(&v) {
+                out.push(v);
+                expr.collect_vars(&mut vars);
+            }
+        }
+        out
+    }
+
+    /// Whether any expression in the chain from `expr` through pure defs
+    /// touches floating point (a float constant or float-only operator).
+    pub fn chain_has_float(&self, expr: &Expr) -> bool {
+        fn expr_float(e: &Expr) -> bool {
+            match e {
+                Expr::Const(s) => s.is_float(),
+                Expr::Var(_) | Expr::Param(_) => false,
+                Expr::Binary(_, a, b) => expr_float(a) || expr_float(b),
+                Expr::Unary(op, a) => {
+                    matches!(op, nsc_ir::UnOp::Sqrt | nsc_ir::UnOp::Exp) || expr_float(a)
+                }
+                Expr::Select(c, a, b) => expr_float(c) || expr_float(a) || expr_float(b),
+            }
+        }
+        if expr_float(expr) {
+            return true;
+        }
+        let mut vars = Vec::new();
+        expr.collect_vars(&mut vars);
+        let mut seen = HashSet::new();
+        while let Some(v) = vars.pop() {
+            if !seen.insert(v) {
+                continue;
+            }
+            if let Some(DefKind::Pure { expr }) = self.defs.get(&v) {
+                if expr_float(expr) {
+                    return true;
+                }
+                expr.collect_vars(&mut vars);
+            }
+        }
+        false
+    }
+}
+
+struct Walker<'k> {
+    kernel: &'k Kernel,
+    analysis: KernelAnalysis,
+    order: usize,
+}
+
+/// Analyzes a kernel in one walk.
+pub fn analyze(kernel: &Kernel) -> KernelAnalysis {
+    let mut w = Walker {
+        kernel,
+        analysis: KernelAnalysis::default(),
+        order: 0,
+    };
+    w.analysis.bodies.push(BodyInfo {
+        depth: 1,
+        is_while: false,
+        dynamic_trip: !matches!(kernel.outer.trip, Trip::Const(_)),
+        ..BodyInfo::default()
+    });
+    let mut defs_seen: HashSet<VarId> = HashSet::new();
+    w.analysis.defs.insert(
+        kernel.outer.var,
+        DefKind::LoopVar { depth: 1, is_while: false },
+    );
+    w.analysis.def_depth.insert(kernel.outer.var, 0);
+    defs_seen.insert(kernel.outer.var);
+    let mut loops = vec![(kernel.outer.var, 1usize, false)];
+    walk(&mut w, &kernel.outer.body, 0, 1, false, &mut loops, &mut defs_seen);
+    w.analysis
+}
+
+#[allow(clippy::too_many_arguments)]
+fn walk(
+    w: &mut Walker<'_>,
+    stmts: &[Stmt],
+    body: usize,
+    depth: usize,
+    conditional: bool,
+    loops: &mut Vec<(VarId, usize, bool)>,
+    defs_seen: &mut HashSet<VarId>,
+) {
+    for s in stmts {
+        let order = w.order;
+        w.order += 1;
+        match s {
+            Stmt::Assign { var, expr } => {
+                record_def(w, *var, DefKind::Pure { expr: expr.clone() }, depth, defs_seen);
+                w.analysis.assigns.push(AssignSite {
+                    var: *var,
+                    expr: expr.clone(),
+                    body,
+                    order,
+                });
+                w.analysis.bodies[body].compute_uops += expr.uops().max(1);
+                if w.analysis.bodies[body].is_while {
+                    w.analysis
+                        .while_assigned
+                        .entry(body)
+                        .or_default()
+                        .insert(*var);
+                }
+            }
+            Stmt::Load { id, var, array, index, field } => {
+                record_def(w, *var, DefKind::FromLoad { stmt: *id }, depth, defs_seen);
+                if w.analysis.bodies[body].is_while {
+                    w.analysis
+                        .while_assigned
+                        .entry(body)
+                        .or_default()
+                        .insert(*var);
+                }
+                push_site(
+                    w,
+                    AccessSite {
+                        stmt: *id,
+                        kind: SiteKind::Load { var: *var },
+                        array: *array,
+                        index: index.clone(),
+                        field: *field,
+                        depth,
+                        loops: loops.clone(),
+                        conditional,
+                        body,
+                        order,
+                    },
+                );
+            }
+            Stmt::Store { id, array, index, field, value } => {
+                push_site(
+                    w,
+                    AccessSite {
+                        stmt: *id,
+                        kind: SiteKind::Store { value: value.clone() },
+                        array: *array,
+                        index: index.clone(),
+                        field: *field,
+                        depth,
+                        loops: loops.clone(),
+                        conditional,
+                        body,
+                        order,
+                    },
+                );
+            }
+            Stmt::Atomic { id, array, index, field, op, operand, expected, old } => {
+                if let Some(o) = old {
+                    record_def(w, *o, DefKind::FromAtomic { stmt: *id }, depth, defs_seen);
+                }
+                push_site(
+                    w,
+                    AccessSite {
+                        stmt: *id,
+                        kind: SiteKind::Atomic {
+                            op: *op,
+                            operand: operand.clone(),
+                            expected: expected.clone(),
+                            old: *old,
+                        },
+                        array: *array,
+                        index: index.clone(),
+                        field: *field,
+                        depth,
+                        loops: loops.clone(),
+                        conditional,
+                        body,
+                        order,
+                    },
+                );
+            }
+            Stmt::If { cond, then_body, else_body } => {
+                w.analysis.bodies[body].compute_uops += cond.uops().max(1);
+                walk(w, then_body, body, depth, true, loops, defs_seen);
+                walk(w, else_body, body, depth, true, loops, defs_seen);
+            }
+            Stmt::Loop(l) => {
+                let is_while = matches!(l.trip, Trip::While(_));
+                let new_body = w.analysis.bodies.len();
+                w.analysis.bodies.push(BodyInfo {
+                    depth: depth + 1,
+                    is_while,
+                    dynamic_trip: !matches!(l.trip, Trip::Const(_)),
+                    ..BodyInfo::default()
+                });
+                record_def(
+                    w,
+                    l.var,
+                    DefKind::LoopVar { depth: depth + 1, is_while },
+                    depth,
+                    defs_seen,
+                );
+                if is_while {
+                    if let Trip::While(cond) = &l.trip {
+                        w.analysis.bodies[new_body].compute_uops += cond.uops().max(1);
+                    }
+                }
+                loops.push((l.var, depth + 1, is_while));
+                walk(w, &l.body, new_body, depth + 1, conditional, loops, defs_seen);
+                loops.pop();
+            }
+        }
+    }
+    let _ = w.kernel;
+}
+
+fn record_def(w: &mut Walker<'_>, var: VarId, kind: DefKind, depth: usize, seen: &mut HashSet<VarId>) {
+    if !seen.insert(var) {
+        w.analysis.reassigned.insert(var);
+    }
+    w.analysis.defs.insert(var, kind);
+    w.analysis.def_depth.insert(var, depth);
+}
+
+fn push_site(w: &mut Walker<'_>, site: AccessSite) {
+    w.analysis.bodies[site.body].n_accesses += 1;
+    w.analysis.sites.push(site);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nsc_ir::build::KernelBuilder;
+    use nsc_ir::program::Trip;
+    use nsc_ir::{ElemType, Program};
+
+    fn csr_kernel() -> (Program, Kernel) {
+        let mut p = Program::new("t");
+        let row = p.array("row", ElemType::I64, 17);
+        let col = p.array("col", ElemType::I64, 64);
+        let val = p.array("val", ElemType::F64, 64);
+        let out = p.array("out", ElemType::F64, 16);
+        let mut k = KernelBuilder::new("spmv", 16);
+        let i = k.outer_var();
+        let s = k.load(row, Expr::var(i));
+        let e = k.load(row, Expr::var(i) + Expr::imm(1));
+        let acc = k.let_(Expr::immf(0.0));
+        let j = k.begin_loop(Trip::Expr(Expr::var(e) - Expr::var(s)));
+        let idx = k.let_(Expr::var(s) + Expr::var(j));
+        let c = k.load(col, Expr::var(idx));
+        let v = k.load(val, Expr::var(idx));
+        let _ = c;
+        k.assign(acc, Expr::var(acc) + Expr::var(v));
+        k.end_loop();
+        k.store(out, Expr::var(i), Expr::var(acc));
+        (p, k.finish())
+    }
+
+    #[test]
+    fn collects_sites_and_bodies() {
+        let (_, k) = csr_kernel();
+        let a = analyze(&k);
+        assert_eq!(a.sites.len(), 5); // 2 row loads, col, val, store
+        assert_eq!(a.bodies.len(), 2);
+        assert_eq!(a.bodies[0].n_accesses, 3);
+        assert_eq!(a.bodies[1].n_accesses, 2);
+        assert!(a.bodies[1].dynamic_trip);
+        assert!(!a.bodies[1].is_while);
+        // The inner sites carry both loop vars in scope.
+        let inner = a.sites.iter().find(|s| s.depth == 2).unwrap();
+        assert_eq!(inner.loops.len(), 2);
+    }
+
+    #[test]
+    fn defs_and_roots() {
+        let (_, k) = csr_kernel();
+        let a = analyze(&k);
+        // `idx = s + j` resolves to the row-load root.
+        let idx_var = a
+            .assigns
+            .iter()
+            .find(|s| matches!(&s.expr, Expr::Binary(nsc_ir::BinOp::Add, _, _)) && s.body == 1)
+            .unwrap()
+            .var;
+        let roots = a.load_roots(idx_var);
+        assert_eq!(roots.len(), 1);
+    }
+
+    #[test]
+    fn while_carried_detection() {
+        let mut p = Program::new("t");
+        let nodes = p.array("n", ElemType::Record(16), 8);
+        let next = nsc_ir::program::Field { offset: 8, ty: ElemType::I64 };
+        let mut k = KernelBuilder::new("walk", 4);
+        let cur = k.let_(Expr::imm(0));
+        let _it = k.begin_while(Expr::ne(Expr::var(cur), Expr::imm(-1)));
+        let n = k.load_field(nodes, Expr::var(cur), Some(next));
+        k.assign(cur, Expr::var(n));
+        k.end_loop();
+        let kernel = k.finish();
+        let a = analyze(&kernel);
+        assert!(a.reassigned.contains(&cur));
+        let while_body = a.sites[0].body;
+        assert!(a.while_assigned[&while_body].contains(&cur));
+        assert!(a.bodies[while_body].is_while);
+    }
+
+    #[test]
+    fn chain_uops_counts_intermediates() {
+        let (_, k) = csr_kernel();
+        let a = analyze(&k);
+        // store value is `acc`, whose chain includes the reduction add.
+        let store = a
+            .sites
+            .iter()
+            .find(|s| matches!(s.kind, SiteKind::Store { .. }))
+            .unwrap();
+        if let SiteKind::Store { value } = &store.kind {
+            assert!(a.chain_uops(value) >= 1);
+            // Float-ness through reassigned accumulators is detected from
+            // element types at assignment time, not the (overwritten)
+            // initializer — so only the direct chain is inspected here.
+            assert!(a.chain_has_float(&Expr::immf(1.0)));
+            assert!(!a.chain_has_float(&Expr::imm(1)));
+        }
+    }
+
+    #[test]
+    fn conditional_flag_set() {
+        let mut p = Program::new("t");
+        let arr = p.array("a", ElemType::I64, 8);
+        let mut k = KernelBuilder::new("k", 8);
+        let i = k.outer_var();
+        k.begin_if(Expr::lt(Expr::var(i), Expr::imm(4)));
+        k.store(arr, Expr::var(i), Expr::imm(1));
+        k.end_if();
+        let kernel = k.finish();
+        let a = analyze(&kernel);
+        assert!(a.sites[0].conditional);
+    }
+}

@@ -1,0 +1,358 @@
+//! Address-pattern classification (the paper's taxonomy, §II-A).
+
+use crate::analysis::{AccessSite, KernelAnalysis};
+use nsc_ir::program::StmtId;
+use nsc_ir::stream::AddrPatternClass;
+use std::collections::HashMap;
+
+/// Raw classification of one site, before stream ids are allocated.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RawPattern {
+    /// Affine in the enclosing counted loops; `stride_elems` is the
+    /// innermost-loop coefficient (in elements).
+    Affine {
+        /// Innermost stride in elements.
+        stride_elems: i64,
+    },
+    /// Indirect through the value loaded by `base`.
+    Indirect {
+        /// The root load statement producing the index.
+        base: StmtId,
+    },
+    /// Pointer-chasing (loop-carried address in a while loop).
+    PointerChase,
+}
+
+impl RawPattern {
+    /// Converts to the public classification given a stream-id mapping and
+    /// the access width in bytes.
+    pub fn to_class(
+        &self,
+        bytes: u8,
+        stream_of: &HashMap<StmtId, nsc_ir::StreamId>,
+    ) -> Option<AddrPatternClass> {
+        Some(match self {
+            RawPattern::Affine { stride_elems } => AddrPatternClass::Affine {
+                stride_bytes: stride_elems * bytes as i64,
+            },
+            RawPattern::Indirect { base } => AddrPatternClass::Indirect {
+                base: stream_of.get(base).copied()?,
+            },
+            RawPattern::PointerChase => AddrPatternClass::PointerChase,
+        })
+    }
+}
+
+/// Classifies one access site's address pattern.
+///
+/// Returns `None` when the pattern is not recognizable as a stream (the
+/// access stays a plain core access).
+pub fn classify_site(site: &AccessSite, analysis: &KernelAnalysis) -> Option<RawPattern> {
+    // Pointer chasing: the index references a variable that is reassigned
+    // inside the enclosing while-loop body (loop-carried address).
+    if let Some(carried) = analysis.while_assigned.get(&site.body) {
+        let mut vars = Vec::new();
+        site.index.collect_vars(&mut vars);
+        if vars.iter().any(|v| carried.contains(v) && analysis.reassigned.contains(v)) {
+            return Some(RawPattern::PointerChase);
+        }
+    }
+
+    // Affine: linear in every enclosing counted loop variable, with a
+    // loop-invariant (possibly outer-stream-provided, Fig 4d) residual.
+    if let Some(stride) = try_affine(site, analysis) {
+        return Some(RawPattern::Affine { stride_elems: stride });
+    }
+
+    // Indirect: the index resolves through pure chains to exactly one
+    // earlier load.
+    let mut vars = Vec::new();
+    site.index.collect_vars(&mut vars);
+    let mut roots = Vec::new();
+    for v in vars {
+        // Loop variables contribute affine structure, not indirection.
+        if matches!(
+            analysis.defs.get(&v),
+            Some(crate::analysis::DefKind::LoopVar { .. })
+        ) {
+            continue;
+        }
+        for r in analysis.load_roots(v) {
+            if !roots.contains(&r) {
+                roots.push(r);
+            }
+        }
+    }
+    if roots.len() == 1 && roots[0] != site.stmt {
+        return Some(RawPattern::Indirect { base: roots[0] });
+    }
+    None
+}
+
+/// Attempts to view the site's index as affine over its enclosing counted
+/// loops; returns the innermost stride in elements.
+fn try_affine(site: &AccessSite, analysis: &KernelAnalysis) -> Option<i64> {
+    let mut residual = site.index.clone();
+    let mut innermost_stride = 0i64;
+    let mut innermost_depth = 0usize;
+    for &(var, depth, is_while) in &site.loops {
+        if is_while {
+            // A while loop's iteration counter is not a configurable
+            // pattern; the index must simply not use it.
+            if residual.uses_var(var) {
+                return None;
+            }
+            continue;
+        }
+        let (stride, rest) = residual.as_affine_in(var)?;
+        residual = rest;
+        if depth >= innermost_depth && stride != 0 {
+            innermost_stride = stride;
+            innermost_depth = depth;
+        }
+    }
+    // Residual must be invariant w.r.t. the innermost loop: every variable
+    // it references must be defined strictly outside (shallower than) the
+    // site's loop depth — this is exactly the nested-stream condition of
+    // Figure 4(d) ("inner loop streams' configuration ... must only depend
+    // on outer stream or loop-invariant data").
+    let mut vars = Vec::new();
+    residual.collect_vars(&mut vars);
+    for v in vars {
+        match analysis.defs.get(&v) {
+            Some(crate::analysis::DefKind::LoopVar { .. }) => return None, // leftover loop var
+            None => return None,
+            _ => {
+                let d = analysis.def_depth.get(&v).copied().unwrap_or(usize::MAX);
+                if d >= site.depth && site.depth > 1 {
+                    return None; // defined inside the same (inner) loop
+                }
+                if site.depth == 1 && d >= 1 {
+                    // Outer-body sites: residual must be parameters or
+                    // pre-loop constants only; anything defined in the
+                    // outer body itself makes the address data-dependent.
+                    return None;
+                }
+            }
+        }
+    }
+    Some(innermost_stride)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::analyze;
+    use nsc_ir::build::KernelBuilder;
+    use nsc_ir::program::Trip;
+    use nsc_ir::{ElemType, Expr, Program};
+
+    #[test]
+    fn simple_affine() {
+        let mut p = Program::new("t");
+        let a = p.array("a", ElemType::I32, 64);
+        let mut k = KernelBuilder::new("k", 64);
+        let i = k.outer_var();
+        k.load(a, Expr::var(i) * Expr::imm(2) + Expr::imm(1));
+        let kernel = k.finish();
+        let an = analyze(&kernel);
+        assert_eq!(
+            classify_site(&an.sites[0], &an),
+            Some(RawPattern::Affine { stride_elems: 2 })
+        );
+    }
+
+    #[test]
+    fn nested_affine_with_outer_loaded_base() {
+        let mut p = Program::new("t");
+        let row = p.array("row", ElemType::I64, 17);
+        let col = p.array("col", ElemType::I64, 64);
+        let mut k = KernelBuilder::new("k", 16);
+        let i = k.outer_var();
+        let s = k.load(row, Expr::var(i));
+        let e = k.load(row, Expr::var(i) + Expr::imm(1));
+        let j = k.begin_loop(Trip::Expr(Expr::var(e) - Expr::var(s)));
+        k.load(col, Expr::var(s) + Expr::var(j));
+        k.end_loop();
+        let kernel = k.finish();
+        let an = analyze(&kernel);
+        let col_site = an.sites.iter().find(|s| s.depth == 2).unwrap();
+        assert_eq!(
+            classify_site(col_site, &an),
+            Some(RawPattern::Affine { stride_elems: 1 })
+        );
+    }
+
+    #[test]
+    fn indirect_through_load() {
+        let mut p = Program::new("t");
+        let a = p.array("a", ElemType::I64, 64);
+        let b = p.array("b", ElemType::I64, 64);
+        let mut k = KernelBuilder::new("k", 64);
+        let i = k.outer_var();
+        let v = k.load(a, Expr::var(i));
+        k.load(b, Expr::var(v));
+        let kernel = k.finish();
+        let an = analyze(&kernel);
+        let base_stmt = an.sites[0].stmt;
+        assert_eq!(
+            classify_site(&an.sites[1], &an),
+            Some(RawPattern::Indirect { base: base_stmt })
+        );
+    }
+
+    #[test]
+    fn indirect_through_pure_chain() {
+        let mut p = Program::new("t");
+        let a = p.array("a", ElemType::I32, 64);
+        let h = p.array("h", ElemType::I64, 256);
+        let mut k = KernelBuilder::new("k", 64);
+        let i = k.outer_var();
+        let v = k.load(a, Expr::var(i));
+        let key = k.let_(Expr::bin(nsc_ir::BinOp::And, Expr::var(v), Expr::imm(255)));
+        k.atomic(h, Expr::var(key), nsc_ir::AtomicOp::Add, Expr::imm(1));
+        let kernel = k.finish();
+        let an = analyze(&kernel);
+        let base_stmt = an.sites[0].stmt;
+        assert_eq!(
+            classify_site(&an.sites[1], &an),
+            Some(RawPattern::Indirect { base: base_stmt })
+        );
+    }
+
+    #[test]
+    fn pointer_chase_in_while() {
+        let mut p = Program::new("t");
+        let nodes = p.array("n", ElemType::Record(16), 8);
+        let next = nsc_ir::program::Field { offset: 8, ty: ElemType::I64 };
+        let mut k = KernelBuilder::new("k", 4);
+        let cur = k.let_(Expr::imm(0));
+        k.begin_while(Expr::ne(Expr::var(cur), Expr::imm(-1)));
+        let n = k.load_field(nodes, Expr::var(cur), Some(next));
+        k.assign(cur, Expr::var(n));
+        k.end_loop();
+        let kernel = k.finish();
+        let an = analyze(&kernel);
+        assert_eq!(classify_site(&an.sites[0], &an), Some(RawPattern::PointerChase));
+    }
+
+    #[test]
+    fn two_roots_is_unclassified() {
+        let mut p = Program::new("t");
+        let a = p.array("a", ElemType::I64, 64);
+        let b = p.array("b", ElemType::I64, 64);
+        let c = p.array("c", ElemType::I64, 128);
+        let mut k = KernelBuilder::new("k", 64);
+        let i = k.outer_var();
+        let va = k.load(a, Expr::var(i));
+        let vb = k.load(b, Expr::var(i));
+        k.load(c, Expr::var(va) + Expr::var(vb));
+        let kernel = k.finish();
+        let an = analyze(&kernel);
+        assert_eq!(classify_site(&an.sites[2], &an), None);
+    }
+
+    #[test]
+    fn quadratic_index_is_unclassified() {
+        let mut p = Program::new("t");
+        let a = p.array("a", ElemType::I64, 4096);
+        let mut k = KernelBuilder::new("k", 64);
+        let i = k.outer_var();
+        k.load(a, Expr::var(i) * Expr::var(i));
+        let kernel = k.finish();
+        let an = analyze(&kernel);
+        assert_eq!(classify_site(&an.sites[0], &an), None);
+    }
+
+    #[test]
+    fn raw_to_class_scales_stride() {
+        let mut map = HashMap::new();
+        map.insert(StmtId(0), nsc_ir::StreamId(3));
+        assert_eq!(
+            RawPattern::Affine { stride_elems: 2 }.to_class(4, &map),
+            Some(AddrPatternClass::Affine { stride_bytes: 8 })
+        );
+        assert_eq!(
+            RawPattern::Indirect { base: StmtId(0) }.to_class(4, &map),
+            Some(AddrPatternClass::Indirect { base: nsc_ir::StreamId(3) })
+        );
+        assert_eq!(
+            RawPattern::Indirect { base: StmtId(9) }.to_class(4, &map),
+            None
+        );
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+    use crate::analysis::analyze;
+    use nsc_ir::build::KernelBuilder;
+    use nsc_ir::program::Trip;
+    use nsc_ir::{ElemType, Expr, Program};
+
+    #[test]
+    fn three_dimensional_affine() {
+        // A[z*NY*NX + y*NX + x] over three nested loops.
+        let mut p = Program::new("t");
+        let a = p.array("a", ElemType::F32, 8 * 16 * 32);
+        let mut k = KernelBuilder::new("k", 8);
+        let z = k.outer_var();
+        let y = k.begin_loop(Trip::Const(16));
+        let x = k.begin_loop(Trip::Const(32));
+        k.load(
+            a,
+            Expr::var(z) * Expr::imm(16 * 32) + Expr::var(y) * Expr::imm(32) + Expr::var(x),
+        );
+        k.end_loop();
+        k.end_loop();
+        let kernel = k.finish();
+        let an = analyze(&kernel);
+        let site = an.sites.iter().find(|s| s.depth == 3).unwrap();
+        assert_eq!(
+            classify_site(site, &an),
+            Some(RawPattern::Affine { stride_elems: 1 })
+        );
+    }
+
+    #[test]
+    fn conditional_inner_loop_still_classifies() {
+        // Paper Fig 4(d): "A conditional inner loop can also be nested, as
+        // long as the condition purely depends on outer streams."
+        let mut p = Program::new("t");
+        let flag = p.array("flag", ElemType::I64, 16);
+        let data = p.array("data", ElemType::I64, 256);
+        let mut k = KernelBuilder::new("k", 16);
+        let i = k.outer_var();
+        let f = k.load(flag, Expr::var(i));
+        k.begin_if(Expr::ne(Expr::var(f), Expr::imm(0)));
+        let j = k.begin_loop(Trip::Const(16));
+        k.load(data, Expr::var(i) * Expr::imm(16) + Expr::var(j));
+        k.end_loop();
+        k.end_if();
+        let kernel = k.finish();
+        let an = analyze(&kernel);
+        let site = an.sites.iter().find(|s| s.array == data).unwrap();
+        assert!(site.conditional);
+        assert!(matches!(
+            classify_site(site, &an),
+            Some(RawPattern::Affine { stride_elems: 1 })
+        ));
+    }
+
+    #[test]
+    fn while_counter_cannot_be_affine() {
+        // An index using the while loop's own counter is not configurable.
+        let mut p = Program::new("t");
+        let a = p.array("a", ElemType::I64, 64);
+        let mut k = KernelBuilder::new("k", 4);
+        let stop = k.let_(Expr::imm(5));
+        let it = k.begin_while(Expr::lt(Expr::imm(0), Expr::var(stop)));
+        k.load(a, Expr::var(it));
+        k.assign(stop, Expr::var(stop) - Expr::imm(1));
+        k.end_loop();
+        let kernel = k.finish();
+        let an = analyze(&kernel);
+        assert_eq!(classify_site(&an.sites[0], &an), None);
+    }
+}

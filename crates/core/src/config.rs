@@ -1,0 +1,289 @@
+//! System configuration: core models, stream-engine parameters and
+//! execution modes (paper Table V and §VI "Systems and Comparison").
+
+use nsc_mem::MemoryConfig;
+use nsc_noc::MeshConfig;
+
+/// A core timing model (Table V: IO4 / OOO4 / OOO8).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CoreModel {
+    /// Display name.
+    pub name: &'static str,
+    /// Fetch/issue/commit width.
+    pub width: u32,
+    /// Reorder-buffer entries (bounds cross-iteration overlap).
+    pub rob: u32,
+    /// Load-queue entries (bounds outstanding loads).
+    pub lq: u32,
+    /// Store-queue + store-buffer entries.
+    pub sq: u32,
+    /// Whether the core executes out of order.
+    pub out_of_order: bool,
+}
+
+impl CoreModel {
+    /// 4-issue in-order core (Table V IO4: 10 IQ, 4 LSQ, 10 SB).
+    pub fn io4() -> CoreModel {
+        CoreModel {
+            name: "IO4",
+            width: 4,
+            rob: 10,
+            lq: 4,
+            sq: 10,
+            out_of_order: false,
+        }
+    }
+
+    /// 4-issue out-of-order core (Table V OOO4: 96 ROB, 24 LQ, 24 SQ).
+    pub fn ooo4() -> CoreModel {
+        CoreModel {
+            name: "OOO4",
+            width: 4,
+            rob: 96,
+            lq: 24,
+            sq: 24,
+            out_of_order: true,
+        }
+    }
+
+    /// 8-issue out-of-order core (Table V OOO8: 224 ROB, 72 LQ, 56 SQ).
+    pub fn ooo8() -> CoreModel {
+        CoreModel {
+            name: "OOO8",
+            width: 8,
+            rob: 224,
+            lq: 72,
+            sq: 56,
+            out_of_order: true,
+        }
+    }
+
+    /// All three models, for Figure 10 sweeps.
+    pub fn all() -> [CoreModel; 3] {
+        [CoreModel::io4(), CoreModel::ooo4(), CoreModel::ooo8()]
+    }
+}
+
+/// Stream-engine parameters (Table V SE rows).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SeConfig {
+    /// Prefetch/run-ahead distance per in-core stream, in elements
+    /// ("16 pf. per stream").
+    pub runahead_elems: u32,
+    /// Run-ahead distance of an *offloaded* stream, in elements: the
+    /// SE_L3 stream buffer holds 1 kB per core (Table V), i.e. ~128
+    /// 8-byte elements in flight.
+    pub l3_buffer_elems: u32,
+    /// Range-synchronization granularity in iterations (paper §IV-B:
+    /// "after collecting ranges for a few iterations (currently 8)").
+    pub range_granularity: u32,
+    /// Latency for SE_L3 to issue a computation to the local SCM (Fig 13;
+    /// default 4 cycles).
+    pub scm_issue_latency: u64,
+    /// Total ROB entries across the stream computing contexts (Fig 14;
+    /// default 64 for OOO8).
+    pub scc_rob: u32,
+    /// Number of SCCs (Table V: 2).
+    pub n_scc: u32,
+    /// Whether SE_core / SE_L3 have a scalar PE for simple ops (Fig 17).
+    pub scalar_pe: bool,
+    /// Scalar PE operation latency.
+    pub scalar_pe_latency: u64,
+    /// Whether affine ranges are generated at SE_core rather than sent by
+    /// SE_L3 (Fig 15; default true).
+    pub affine_ranges_at_core: bool,
+    /// Minimum stream length (in multiples of the bank count) for
+    /// offloading an indirect reduction (paper §IV-C: 4 x #banks).
+    pub indirect_reduce_min_banks_factor: u64,
+    /// Alias-summary structure for range synchronization (paper footnote
+    /// 2 offers Bloom filters as the more precise alternative).
+    pub alias_filter: crate::range_sync::AliasFilterKind,
+    /// Compact migration: banks remember visited streams, so re-visits
+    /// send only the changing fields (paper §IV-D, left as future work
+    /// there).
+    pub compact_migration: bool,
+}
+
+impl SeConfig {
+    /// The paper's default configuration.
+    pub fn paper_default() -> SeConfig {
+        SeConfig {
+            runahead_elems: 16,
+            l3_buffer_elems: 128,
+            range_granularity: 8,
+            scm_issue_latency: 4,
+            scc_rob: 64,
+            n_scc: 2,
+            scalar_pe: true,
+            scalar_pe_latency: 1,
+            affine_ranges_at_core: true,
+            indirect_reduce_min_banks_factor: 4,
+            alias_filter: crate::range_sync::AliasFilterKind::Range,
+            compact_migration: false,
+        }
+    }
+}
+
+impl Default for SeConfig {
+    fn default() -> Self {
+        SeConfig::paper_default()
+    }
+}
+
+/// The evaluated systems (paper §VI).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ExecMode {
+    /// Baseline core with Bingo L1 prefetcher and L2 stride prefetcher.
+    Base,
+    /// Instruction/iteration-level near-data computing (Omni-Compute-like).
+    Inst,
+    /// Single-cache-line function offloading (Livia-like), sync-free.
+    Single,
+    /// In-core streams only (SSP-like stream prefetching).
+    NsCore,
+    /// Streams offloaded without computation (Stream-Floating-like).
+    NsNoComp,
+    /// Full near-stream computing with range synchronization.
+    Ns,
+    /// Near-stream computing with the sync-free pragma honored.
+    NsNoSync,
+    /// Sync-free plus fully-decoupled loop elimination.
+    NsDecouple,
+}
+
+impl ExecMode {
+    /// All modes in the paper's Figure 9 order.
+    pub const ALL: [ExecMode; 8] = [
+        ExecMode::Base,
+        ExecMode::Inst,
+        ExecMode::Single,
+        ExecMode::NsCore,
+        ExecMode::NsNoComp,
+        ExecMode::Ns,
+        ExecMode::NsNoSync,
+        ExecMode::NsDecouple,
+    ];
+
+    /// Display label used in harness output.
+    pub fn label(self) -> &'static str {
+        match self {
+            ExecMode::Base => "Base",
+            ExecMode::Inst => "INST",
+            ExecMode::Single => "SINGLE",
+            ExecMode::NsCore => "NS-core",
+            ExecMode::NsNoComp => "NS-nocomp",
+            ExecMode::Ns => "NS",
+            ExecMode::NsNoSync => "NS-nosync",
+            ExecMode::NsDecouple => "NS-decouple",
+        }
+    }
+
+    /// Whether this mode uses any stream hardware.
+    pub fn uses_streams(self) -> bool {
+        !matches!(self, ExecMode::Base)
+    }
+
+    /// Whether range synchronization runs (only plain NS; the sync-free
+    /// variants and the programmer-exposed SINGLE baseline skip it, and
+    /// INST synchronizes per iteration instead).
+    pub fn range_sync(self) -> bool {
+        matches!(self, ExecMode::Ns)
+    }
+
+    /// Whether sync-free optimizations (paper §V) are active.
+    pub fn sync_free(self) -> bool {
+        matches!(self, ExecMode::NsNoSync | ExecMode::NsDecouple | ExecMode::Single)
+    }
+}
+
+/// Full system configuration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SystemConfig {
+    /// Core model.
+    pub core: CoreModel,
+    /// Stream-engine parameters.
+    pub se: SeConfig,
+    /// Mesh parameters.
+    pub mesh: MeshConfig,
+    /// Memory hierarchy parameters.
+    pub mem: MemoryConfig,
+    /// Number of worker cores used for parallel kernels.
+    pub n_cores: u16,
+}
+
+impl SystemConfig {
+    /// The paper's 64-core OOO8 system.
+    pub fn paper_ooo8() -> SystemConfig {
+        SystemConfig {
+            core: CoreModel::ooo8(),
+            se: SeConfig::paper_default(),
+            mesh: MeshConfig::paper_8x8(),
+            mem: MemoryConfig::paper_64core(),
+            n_cores: 64,
+        }
+    }
+
+    /// A small 16-core system for fast tests.
+    pub fn small() -> SystemConfig {
+        SystemConfig {
+            core: CoreModel::ooo8(),
+            se: SeConfig::paper_default(),
+            mesh: MeshConfig::small_4x4(),
+            mem: MemoryConfig::small_16core(),
+            n_cores: 16,
+        }
+    }
+
+    /// Replaces the core model, keeping everything else.
+    pub fn with_core(mut self, core: CoreModel) -> SystemConfig {
+        self.core = core;
+        self
+    }
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig::paper_ooo8()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn models_match_table_v() {
+        let io4 = CoreModel::io4();
+        assert_eq!(io4.width, 4);
+        assert!(!io4.out_of_order);
+        let ooo8 = CoreModel::ooo8();
+        assert_eq!(ooo8.rob, 224);
+        assert_eq!(ooo8.lq, 72);
+        assert_eq!(CoreModel::all().len(), 3);
+    }
+
+    #[test]
+    fn mode_properties() {
+        assert!(!ExecMode::Base.uses_streams());
+        assert!(ExecMode::Ns.range_sync());
+        assert!(!ExecMode::NsNoSync.range_sync());
+        assert!(ExecMode::NsDecouple.sync_free());
+        assert!(ExecMode::Single.sync_free());
+        assert!(!ExecMode::Inst.sync_free());
+        assert_eq!(ExecMode::ALL.len(), 8);
+        for m in ExecMode::ALL {
+            assert!(!m.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn config_consistency() {
+        let c = SystemConfig::paper_ooo8();
+        assert_eq!(c.n_cores, 64);
+        assert_eq!(c.mesh.tiles(), 64);
+        assert_eq!(c.mem.n_banks(), 64);
+        let s = SystemConfig::small().with_core(CoreModel::io4());
+        assert_eq!(s.core.name, "IO4");
+        assert_eq!(s.mesh.tiles(), 16);
+    }
+}

@@ -1,0 +1,54 @@
+//! Near-stream computing: general and transparent near-cache acceleration.
+//!
+//! This crate is the paper's primary contribution, reproduced in Rust: a
+//! full-system model in which *streams* — coarse-grain memory access
+//! patterns extracted by the `nsc-compiler` — are offloaded, together with
+//! their attached computation, to the stream engines of shared L3 cache
+//! banks. Sequential semantics are preserved by range-based
+//! synchronization (§IV-B); sync-free pragmas unlock the fully-decoupled
+//! loop optimization (§V).
+//!
+//! The same machinery also implements the paper's comparison systems: the
+//! baseline prefetching core, INST (Omni-Compute-style iteration-level
+//! offload), SINGLE (Livia-style chained single-line functions), NS-core
+//! (SSP-style in-core streams) and NS-nocomp (Stream-Floating).
+//!
+//! # Examples
+//!
+//! ```
+//! use near_stream::{run, ExecMode, SystemConfig};
+//! use nsc_compiler::compile;
+//! use nsc_ir::build::KernelBuilder;
+//! use nsc_ir::{ElemType, Expr, Program};
+//!
+//! // c[i] = a[i] + b[i]
+//! let mut p = Program::new("vecadd");
+//! let n = 1 << 17; // big enough that the footprint heuristic offloads
+//! let a = p.array("a", ElemType::I64, n);
+//! let b = p.array("b", ElemType::I64, n);
+//! let c = p.array("c", ElemType::I64, n);
+//! let mut k = KernelBuilder::new("add", n);
+//! let i = k.outer_var();
+//! let va = k.load(a, Expr::var(i));
+//! let vb = k.load(b, Expr::var(i));
+//! k.store(c, Expr::var(i), Expr::var(va) + Expr::var(vb));
+//! p.push_kernel(k.finish());
+//!
+//! let compiled = compile(&p);
+//! let cfg = SystemConfig::small();
+//! let (base, _) = run(&p, &compiled, &[], ExecMode::Base, &cfg, &|_| {});
+//! let (ns, _) = run(&p, &compiled, &[], ExecMode::Ns, &cfg, &|_| {});
+//! assert!(ns.traffic.total() < base.traffic.total());
+//! ```
+
+pub mod config;
+pub mod engine;
+pub mod ideal;
+pub mod policy;
+pub mod range_sync;
+pub mod system;
+
+pub use config::{CoreModel, ExecMode, SeConfig, SystemConfig};
+pub use engine::{CoreState, RoleCounters};
+pub use policy::{offload_style, OffloadStyle, PolicyContext};
+pub use system::{run, RunResult, TrafficSnapshot};

@@ -1,0 +1,319 @@
+//! Offload decisions: mode capability matrix plus the footprint/reuse
+//! heuristic of paper §IV-B ("Stream Configure").
+
+use crate::config::{ExecMode, SeConfig};
+use nsc_ir::stream::{AddrPatternClass, ComputeClass, StreamInfo};
+
+/// How a stream executes under a given mode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OffloadStyle {
+    /// Plain core access (no stream hardware involved).
+    CoreAccess,
+    /// In-core stream prefetching: the SE_core generates addresses and
+    /// prefetches ahead, data still flows to the core (SSP-like).
+    CorePrefetch,
+    /// Stream floated to L3 banks without computation: data forwarded
+    /// directly bank → core (Stream-Floating-like).
+    FloatLoad,
+    /// Full near-stream offload: the access and its attached computation
+    /// execute at the L3 bank.
+    NearStream,
+    /// Iteration-granularity offload with per-element request/ack round
+    /// trips (Omni-Compute-like INST baseline).
+    PerIteration,
+    /// Chained single-cache-line function offload (Livia-like SINGLE
+    /// baseline; autonomous but one line at a time).
+    ChainedLine,
+}
+
+impl OffloadStyle {
+    /// Whether the element's data stays near the cache (no per-element
+    /// data message to the core).
+    pub fn is_near_data(self) -> bool {
+        matches!(
+            self,
+            OffloadStyle::NearStream | OffloadStyle::PerIteration | OffloadStyle::ChainedLine
+        )
+    }
+}
+
+/// Inputs to the offload decision that depend on the running system.
+#[derive(Clone, Copy, Debug)]
+pub struct PolicyContext {
+    /// Private L2 capacity in bytes.
+    pub l2_bytes: u64,
+    /// Total array bytes the stream touches (whole array for irregular
+    /// patterns, per-core partition for affine).
+    pub footprint_bytes: u64,
+    /// Expected stream length in elements (per core).
+    pub stream_len: u64,
+    /// Number of L3 banks.
+    pub n_banks: u64,
+    /// The stream aliased with core accesses in an earlier invocation.
+    pub aliased_before: bool,
+    /// Legality from the compiler (paper §II-B eligibility).
+    pub offloadable: bool,
+}
+
+/// Decides how `stream` executes under `mode`.
+///
+/// This encodes both the capability matrix of the evaluated systems
+/// (paper Tables I/II) and the dynamic footprint heuristic of §IV-B.
+pub fn offload_style(
+    mode: ExecMode,
+    stream: &StreamInfo,
+    ctx: &PolicyContext,
+    se: &SeConfig,
+) -> OffloadStyle {
+    use ComputeClass::*;
+    use ExecMode::*;
+    match mode {
+        Base => OffloadStyle::CoreAccess,
+        NsCore => match stream.role {
+            Load | Reduce => OffloadStyle::CorePrefetch,
+            // Stores/RMW/atomics use SE address generation but execute in
+            // the core.
+            _ => OffloadStyle::CoreAccess,
+        },
+        NsNoComp => match stream.role {
+            // Only memory read streams float, with no computation
+            // (paper §III-C "Relation to Stream-prefetching/floating").
+            Load | Reduce if near_beneficial(ctx) => OffloadStyle::FloatLoad,
+            Load | Reduce => OffloadStyle::CorePrefetch,
+            _ => OffloadStyle::CoreAccess,
+        },
+        Ns | NsNoSync | NsDecouple => {
+            if !ctx.offloadable || ctx.aliased_before {
+                return fallback(stream);
+            }
+            // Indirect reductions only offload when long enough to beat
+            // the multicast-collect overhead (paper §IV-C).
+            if stream.role == Reduce
+                && matches!(stream.pattern, AddrPatternClass::Indirect { .. })
+                && ctx.stream_len < se.indirect_reduce_min_banks_factor * ctx.n_banks
+            {
+                return fallback(stream);
+            }
+            if near_beneficial(ctx) {
+                OffloadStyle::NearStream
+            } else {
+                fallback(stream)
+            }
+        }
+        Inst => match stream.role {
+            // Iteration-level offload supports store/RMW/atomic chains and
+            // multi-operand "meet" computation, but not reductions
+            // (paper §VI: "Reduction cannot be supported due to
+            // fine-grained offloading").
+            Store | Rmw | Atomic if ctx.offloadable && near_beneficial(ctx) => {
+                OffloadStyle::PerIteration
+            }
+            Load if stream.compute_uops > 0 && near_beneficial(ctx) => OffloadStyle::PerIteration,
+            _ => fallback(stream),
+        },
+        Single => {
+            if !near_beneficial(ctx) {
+                return fallback(stream);
+            }
+            match (stream.role, stream.pattern) {
+                // Multi-operand functions are unsupported (Table I).
+                (Store, _) | (Rmw, _) if !stream.value_deps.is_empty() => fallback(stream),
+                (Store, _) | (Rmw, _) => OffloadStyle::ChainedLine,
+                // The "load" pattern is unsupported: Livia can only modify
+                // data or send back a final value.
+                (Load, _) => fallback(stream),
+                // Reductions chain for affine and pointer-chasing, but not
+                // for indirect patterns or multi-operand functions
+                // (Table II / Table I).
+                (Reduce, AddrPatternClass::Indirect { .. }) => fallback(stream),
+                (Reduce, _) if !stream.value_deps.is_empty() => fallback(stream),
+                (Reduce, _) => OffloadStyle::ChainedLine,
+                // Indirect atomics fall back to iteration-level offload
+                // (paper §VII-B "SINGLE cannot achieve autonomy on
+                // indirect atomics").
+                (Atomic, AddrPatternClass::Indirect { .. }) => OffloadStyle::PerIteration,
+                (Atomic, _) => OffloadStyle::ChainedLine,
+            }
+        }
+    }
+}
+
+/// The in-core fallback when near-data offload is rejected: streams still
+/// prefetch (the paper's baselines "benefit from stream-based prefetching
+/// even when the compute pattern is not supported").
+fn fallback(stream: &StreamInfo) -> OffloadStyle {
+    match stream.role {
+        ComputeClass::Load | ComputeClass::Reduce => OffloadStyle::CorePrefetch,
+        _ => OffloadStyle::CoreAccess,
+    }
+}
+
+/// The §IV-B heuristic: offload when the footprint cannot fit in the
+/// private cache (high expected miss rate, no reuse) and the stream did
+/// not alias before.
+fn near_beneficial(ctx: &PolicyContext) -> bool {
+    ctx.footprint_bytes > ctx.l2_bytes && !ctx.aliased_before
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nsc_ir::program::{ArrayId, StmtId};
+    use nsc_ir::stream::StreamId;
+
+    fn stream(role: ComputeClass, pattern: AddrPatternClass, deps: usize, uops: u32) -> StreamInfo {
+        StreamInfo {
+            id: StreamId(0),
+            stmt: StmtId(0),
+            array: ArrayId(0),
+            pattern,
+            role,
+            value_deps: (0..deps).map(|i| StreamId(i as u8 + 1)).collect(),
+            elem_bytes: 8,
+            compute_uops: uops,
+            needs_scm: false,
+            result_bytes: 0,
+            loop_depth: 1,
+            conditional: false,
+        }
+    }
+
+    fn big_ctx() -> PolicyContext {
+        PolicyContext {
+            l2_bytes: 256 * 1024,
+            footprint_bytes: 64 * 1024 * 1024,
+            stream_len: 1 << 20,
+            n_banks: 64,
+            aliased_before: false,
+            offloadable: true,
+        }
+    }
+
+    #[test]
+    fn ns_offloads_everything_big() {
+        let se = SeConfig::paper_default();
+        let ctx = big_ctx();
+        for role in [
+            ComputeClass::Load,
+            ComputeClass::Store,
+            ComputeClass::Rmw,
+            ComputeClass::Atomic,
+            ComputeClass::Reduce,
+        ] {
+            let s = stream(role, AddrPatternClass::Affine { stride_bytes: 8 }, 0, 1);
+            assert_eq!(offload_style(ExecMode::Ns, &s, &ctx, &se), OffloadStyle::NearStream);
+        }
+    }
+
+    #[test]
+    fn small_footprint_stays_in_core() {
+        let se = SeConfig::paper_default();
+        let ctx = PolicyContext {
+            footprint_bytes: 2 * 1024, // a small histogram
+            ..big_ctx()
+        };
+        let s = stream(
+            ComputeClass::Atomic,
+            AddrPatternClass::Indirect { base: StreamId(1) },
+            0,
+            1,
+        );
+        assert_eq!(offload_style(ExecMode::Ns, &s, &ctx, &se), OffloadStyle::CoreAccess);
+    }
+
+    #[test]
+    fn inst_cannot_reduce() {
+        let se = SeConfig::paper_default();
+        let ctx = big_ctx();
+        let s = stream(ComputeClass::Reduce, AddrPatternClass::Affine { stride_bytes: 8 }, 0, 2);
+        assert_eq!(
+            offload_style(ExecMode::Inst, &s, &ctx, &se),
+            OffloadStyle::CorePrefetch
+        );
+        let a = stream(ComputeClass::Atomic, AddrPatternClass::Indirect { base: StreamId(1) }, 0, 1);
+        assert_eq!(
+            offload_style(ExecMode::Inst, &a, &ctx, &se),
+            OffloadStyle::PerIteration
+        );
+    }
+
+    #[test]
+    fn single_rejects_multiop_and_load() {
+        let se = SeConfig::paper_default();
+        let ctx = big_ctx();
+        let multi = stream(ComputeClass::Store, AddrPatternClass::Affine { stride_bytes: 8 }, 2, 1);
+        assert_eq!(
+            offload_style(ExecMode::Single, &multi, &ctx, &se),
+            OffloadStyle::CoreAccess
+        );
+        let memset = stream(ComputeClass::Store, AddrPatternClass::Affine { stride_bytes: 8 }, 0, 1);
+        assert_eq!(
+            offload_style(ExecMode::Single, &memset, &ctx, &se),
+            OffloadStyle::ChainedLine
+        );
+        let load = stream(ComputeClass::Load, AddrPatternClass::Indirect { base: StreamId(1) }, 0, 4);
+        assert_eq!(
+            offload_style(ExecMode::Single, &load, &ctx, &se),
+            OffloadStyle::CorePrefetch
+        );
+        let ptr_red = stream(ComputeClass::Reduce, AddrPatternClass::PointerChase, 0, 2);
+        assert_eq!(
+            offload_style(ExecMode::Single, &ptr_red, &ctx, &se),
+            OffloadStyle::ChainedLine
+        );
+        let ind_atomic = stream(ComputeClass::Atomic, AddrPatternClass::Indirect { base: StreamId(1) }, 0, 1);
+        assert_eq!(
+            offload_style(ExecMode::Single, &ind_atomic, &ctx, &se),
+            OffloadStyle::PerIteration
+        );
+    }
+
+    #[test]
+    fn short_indirect_reduce_stays_in_core() {
+        let se = SeConfig::paper_default();
+        let ctx = PolicyContext {
+            stream_len: 100, // < 4 x 64 banks
+            ..big_ctx()
+        };
+        let s = stream(ComputeClass::Reduce, AddrPatternClass::Indirect { base: StreamId(1) }, 0, 2);
+        assert_eq!(
+            offload_style(ExecMode::Ns, &s, &ctx, &se),
+            OffloadStyle::CorePrefetch
+        );
+    }
+
+    #[test]
+    fn aliased_streams_not_offloaded() {
+        let se = SeConfig::paper_default();
+        let ctx = PolicyContext {
+            aliased_before: true,
+            ..big_ctx()
+        };
+        let s = stream(ComputeClass::Store, AddrPatternClass::Affine { stride_bytes: 8 }, 0, 1);
+        assert_eq!(offload_style(ExecMode::Ns, &s, &ctx, &se), OffloadStyle::CoreAccess);
+    }
+
+    #[test]
+    fn nocomp_floats_loads_only() {
+        let se = SeConfig::paper_default();
+        let ctx = big_ctx();
+        let l = stream(ComputeClass::Load, AddrPatternClass::Affine { stride_bytes: 8 }, 0, 0);
+        assert_eq!(
+            offload_style(ExecMode::NsNoComp, &l, &ctx, &se),
+            OffloadStyle::FloatLoad
+        );
+        let st = stream(ComputeClass::Store, AddrPatternClass::Affine { stride_bytes: 8 }, 0, 0);
+        assert_eq!(
+            offload_style(ExecMode::NsNoComp, &st, &ctx, &se),
+            OffloadStyle::CoreAccess
+        );
+    }
+
+    #[test]
+    fn base_never_streams() {
+        let se = SeConfig::paper_default();
+        let ctx = big_ctx();
+        let s = stream(ComputeClass::Load, AddrPatternClass::Affine { stride_bytes: 8 }, 0, 0);
+        assert_eq!(offload_style(ExecMode::Base, &s, &ctx, &se), OffloadStyle::CoreAccess);
+    }
+}

@@ -1,0 +1,375 @@
+//! Range-based synchronization bookkeeping (paper §IV-B).
+//!
+//! Offloaded streams report conservative `[min, max)` address ranges; the
+//! core checks its own accesses against them before committing, detecting
+//! memory-ordering violations at per-data-structure granularity instead of
+//! per access.
+
+use nsc_ir::stream::StreamId;
+use nsc_mem::addr::AddrRange;
+use nsc_mem::Addr;
+use std::collections::HashMap;
+
+/// Tracks the touched ranges of a core's offloaded streams.
+///
+/// # Examples
+///
+/// ```
+/// use near_stream::range_sync::RangeTracker;
+/// use nsc_ir::stream::StreamId;
+/// use nsc_mem::Addr;
+///
+/// let mut rt = RangeTracker::new();
+/// rt.record(StreamId(0), Addr(1000), 8);
+/// rt.record(StreamId(0), Addr(1400), 8);
+/// // A core access inside the conservative range is a (possible) alias.
+/// assert_eq!(rt.check_core_access(Addr(1200), 8), Some(StreamId(0)));
+/// assert_eq!(rt.check_core_access(Addr(2000), 8), None);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct RangeTracker {
+    ranges: HashMap<StreamId, AddrRange>,
+    false_sharing_checks: u64,
+    aliases: u64,
+}
+
+impl RangeTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> RangeTracker {
+        RangeTracker::default()
+    }
+
+    /// Extends `stream`'s touched range with `[addr, addr+bytes)`.
+    pub fn record(&mut self, stream: StreamId, addr: Addr, bytes: u64) {
+        self.ranges.entry(stream).or_default().extend(addr, bytes);
+    }
+
+    /// Checks a core access against all offloaded ranges; returns the first
+    /// aliasing stream. Conservative: range overlap counts as an alias
+    /// even if the exact addresses differ (the paper accepts false
+    /// positives).
+    pub fn check_core_access(&mut self, addr: Addr, bytes: u64) -> Option<StreamId> {
+        self.false_sharing_checks += 1;
+        for (sid, r) in &self.ranges {
+            if r.touches(addr, bytes) {
+                self.aliases += 1;
+                return Some(*sid);
+            }
+        }
+        None
+    }
+
+    /// Checks for inter-stream aliasing; returns the first overlapping
+    /// pair.
+    pub fn check_inter_stream(&self) -> Option<(StreamId, StreamId)> {
+        let items: Vec<(&StreamId, &AddrRange)> = self.ranges.iter().collect();
+        for i in 0..items.len() {
+            for j in i + 1..items.len() {
+                if items[i].1.overlaps(items[j].1) {
+                    return Some((*items[i].0, *items[j].0));
+                }
+            }
+        }
+        None
+    }
+
+    /// The touched range of a stream, if recorded.
+    pub fn range_of(&self, stream: StreamId) -> Option<&AddrRange> {
+        self.ranges.get(&stream)
+    }
+
+    /// Drops a stream (terminated or flushed).
+    pub fn remove(&mut self, stream: StreamId) {
+        self.ranges.remove(&stream);
+    }
+
+    /// Resets all ranges (kernel boundary).
+    pub fn clear(&mut self) {
+        self.ranges.clear();
+    }
+
+    /// Number of alias hits observed.
+    pub fn aliases(&self) -> u64 {
+        self.aliases
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disjoint_streams_no_alias() {
+        let mut rt = RangeTracker::new();
+        rt.record(StreamId(0), Addr(0), 64);
+        rt.record(StreamId(1), Addr(1000), 64);
+        assert_eq!(rt.check_inter_stream(), None);
+        assert_eq!(rt.check_core_access(Addr(500), 8), None);
+        assert_eq!(rt.aliases(), 0);
+    }
+
+    #[test]
+    fn overlapping_streams_detected() {
+        let mut rt = RangeTracker::new();
+        rt.record(StreamId(0), Addr(0), 64);
+        rt.record(StreamId(0), Addr(512), 64);
+        rt.record(StreamId(1), Addr(100), 64);
+        assert!(rt.check_inter_stream().is_some());
+    }
+
+    #[test]
+    fn conservative_false_positive() {
+        // Stream touched 0 and 512; a core access at 256 was never touched
+        // but falls inside the conservative range.
+        let mut rt = RangeTracker::new();
+        rt.record(StreamId(3), Addr(0), 8);
+        rt.record(StreamId(3), Addr(512), 8);
+        assert_eq!(rt.check_core_access(Addr(256), 8), Some(StreamId(3)));
+        assert_eq!(rt.aliases(), 1);
+    }
+
+    #[test]
+    fn remove_and_clear() {
+        let mut rt = RangeTracker::new();
+        rt.record(StreamId(0), Addr(0), 64);
+        rt.remove(StreamId(0));
+        assert_eq!(rt.check_core_access(Addr(0), 8), None);
+        rt.record(StreamId(1), Addr(0), 64);
+        rt.clear();
+        assert!(rt.range_of(StreamId(1)).is_none());
+    }
+}
+
+/// Which conservative alias-summary structure range-sync uses.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum AliasFilterKind {
+    /// `[min, max)` per-stream ranges (the paper's default).
+    #[default]
+    Range,
+    /// Per-stream Bloom filters (the paper's footnote-2 alternative).
+    Bloom,
+}
+
+/// A configurable alias filter: ranges or Bloom filters behind one
+/// interface.
+#[derive(Clone, Debug)]
+pub enum AliasFilter {
+    /// Range-based tracking.
+    Range(RangeTracker),
+    /// Bloom-filter tracking.
+    Bloom(BloomTracker),
+}
+
+impl AliasFilter {
+    /// Creates a filter of the given kind.
+    pub fn new(kind: AliasFilterKind) -> AliasFilter {
+        match kind {
+            AliasFilterKind::Range => AliasFilter::Range(RangeTracker::new()),
+            AliasFilterKind::Bloom => AliasFilter::Bloom(BloomTracker::new(2048)),
+        }
+    }
+
+    /// Records a touched interval for `stream`.
+    pub fn record(&mut self, stream: StreamId, addr: Addr, bytes: u64) {
+        match self {
+            AliasFilter::Range(t) => t.record(stream, addr, bytes),
+            AliasFilter::Bloom(t) => t.record(stream, addr, bytes),
+        }
+    }
+
+    /// Conservative core-access check.
+    pub fn check_core_access(&mut self, addr: Addr, bytes: u64) -> Option<StreamId> {
+        match self {
+            AliasFilter::Range(t) => t.check_core_access(addr, bytes),
+            AliasFilter::Bloom(t) => t.check_core_access(addr, bytes),
+        }
+    }
+
+    /// Drops a stream's summary.
+    pub fn remove(&mut self, stream: StreamId) {
+        match self {
+            AliasFilter::Range(t) => t.remove(stream),
+            AliasFilter::Bloom(t) => t.remove(stream),
+        }
+    }
+
+    /// Resets all summaries.
+    pub fn clear(&mut self) {
+        match self {
+            AliasFilter::Range(t) => t.clear(),
+            AliasFilter::Bloom(t) => t.clear(),
+        }
+    }
+}
+
+impl Default for AliasFilter {
+    fn default() -> Self {
+        AliasFilter::Range(RangeTracker::new())
+    }
+}
+
+/// A Bloom-filter address-set tracker: the paper's footnote-2 alternative
+/// to `[min, max)` ranges (as in BulkSC), trading more synchronization
+/// state for far fewer false positives on strided or scattered streams —
+/// and no reliance on per-data-structure physical contiguity.
+///
+/// # Examples
+///
+/// ```
+/// use near_stream::range_sync::BloomTracker;
+/// use nsc_ir::stream::StreamId;
+/// use nsc_mem::Addr;
+///
+/// let mut bt = BloomTracker::new(1024);
+/// bt.record(StreamId(0), Addr(0), 8);
+/// bt.record(StreamId(0), Addr(4096), 8);
+/// // A range tracker would flag everything in [0, 4104); the Bloom
+/// // tracker only flags the touched lines.
+/// assert!(bt.check_core_access(Addr(4), 4).is_some());
+/// assert!(bt.check_core_access(Addr(2048), 8).is_none());
+/// ```
+#[derive(Clone, Debug)]
+pub struct BloomTracker {
+    bits: usize,
+    filters: HashMap<StreamId, Vec<u64>>,
+    aliases: u64,
+}
+
+impl BloomTracker {
+    /// Creates a tracker with `bits` filter bits per stream (rounded up to
+    /// a multiple of 64).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is zero.
+    pub fn new(bits: usize) -> BloomTracker {
+        assert!(bits > 0, "need at least one filter bit");
+        BloomTracker {
+            bits: bits.next_multiple_of(64),
+            filters: HashMap::new(),
+            aliases: 0,
+        }
+    }
+
+    fn hashes(&self, line: u64) -> [usize; 2] {
+        let h1 = line.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let h2 = line.wrapping_mul(0xC2B2_AE3D_27D4_EB4F) ^ (line >> 17);
+        [
+            (h1 % self.bits as u64) as usize,
+            (h2 % self.bits as u64) as usize,
+        ]
+    }
+
+    fn lines_of(addr: Addr, bytes: u64) -> impl Iterator<Item = u64> {
+        let first = addr.raw() / 64;
+        let last = (addr.raw() + bytes.max(1) - 1) / 64;
+        first..=last
+    }
+
+    /// Records that `stream` touched `[addr, addr+bytes)`.
+    pub fn record(&mut self, stream: StreamId, addr: Addr, bytes: u64) {
+        let bits = self.bits;
+        let filter = self
+            .filters
+            .entry(stream)
+            .or_insert_with(|| vec![0u64; bits / 64]);
+        for line in Self::lines_of(addr, bytes) {
+            let h1 = line.wrapping_mul(0x9E37_79B9_7F4A_7C15) % bits as u64;
+            let h2 = (line.wrapping_mul(0xC2B2_AE3D_27D4_EB4F) ^ (line >> 17)) % bits as u64;
+            for h in [h1 as usize, h2 as usize] {
+                filter[h / 64] |= 1 << (h % 64);
+            }
+        }
+    }
+
+    /// Checks a core access against all stream filters; returns the first
+    /// (possibly false-positive) hit. Never returns a false negative.
+    pub fn check_core_access(&mut self, addr: Addr, bytes: u64) -> Option<StreamId> {
+        for (sid, filter) in &self.filters {
+            let hit = Self::lines_of(addr, bytes).any(|line| {
+                self.hashes(line)
+                    .into_iter()
+                    .all(|h| filter[h / 64] & (1 << (h % 64)) != 0)
+            });
+            if hit {
+                self.aliases += 1;
+                return Some(*sid);
+            }
+        }
+        None
+    }
+
+    /// Drops a stream's filter.
+    pub fn remove(&mut self, stream: StreamId) {
+        self.filters.remove(&stream);
+    }
+
+    /// Resets all filters.
+    pub fn clear(&mut self) {
+        self.filters.clear();
+    }
+
+    /// Number of alias hits observed.
+    pub fn aliases(&self) -> u64 {
+        self.aliases
+    }
+}
+
+#[cfg(test)]
+mod bloom_tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut bt = BloomTracker::new(256);
+        for i in 0..100u64 {
+            bt.record(StreamId(1), Addr(i * 640), 8);
+        }
+        for i in 0..100u64 {
+            assert!(
+                bt.check_core_access(Addr(i * 640), 8).is_some(),
+                "missed touched address {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn fewer_false_positives_than_ranges_on_strided_data() {
+        // Touch two far-apart regions; probe the untouched middle.
+        let mut bt = BloomTracker::new(4096);
+        let mut rt = RangeTracker::new();
+        bt.record(StreamId(0), Addr(0), 64);
+        rt.record(StreamId(0), Addr(0), 64);
+        bt.record(StreamId(0), Addr(1 << 20), 64);
+        rt.record(StreamId(0), Addr(1 << 20), 64);
+        let mut bloom_fp = 0;
+        let mut range_fp = 0;
+        for i in 1..1000u64 {
+            let probe = Addr(1024 * i); // inside the range hull, untouched
+            if bt.check_core_access(probe, 8).is_some() {
+                bloom_fp += 1;
+            }
+            if rt.check_core_access(probe, 8).is_some() {
+                range_fp += 1;
+            }
+        }
+        assert!(bloom_fp < range_fp / 10, "bloom {bloom_fp} vs range {range_fp}");
+    }
+
+    #[test]
+    fn clear_and_remove() {
+        let mut bt = BloomTracker::new(128);
+        bt.record(StreamId(2), Addr(100), 8);
+        bt.remove(StreamId(2));
+        assert!(bt.check_core_access(Addr(100), 8).is_none());
+        bt.record(StreamId(3), Addr(100), 8);
+        bt.clear();
+        assert!(bt.check_core_access(Addr(100), 8).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one filter bit")]
+    fn rejects_zero_bits() {
+        let _ = BloomTracker::new(0);
+    }
+}

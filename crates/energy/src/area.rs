@@ -1,0 +1,109 @@
+//! Area model for the stream-engine hardware (paper §VII-A "Area").
+//!
+//! The paper reports, from CACTI/McPAT at 22 nm: SE_core stream buffer
+//! 0.09 mm², SE_L3 64 kB stream buffer 0.195 mm², SE_L3 stream
+//! configuration SRAM (48 kB) 0.11 mm², for a whole-chip overhead of 2.5%
+//! with IO4 cores and 2.1% with OOO8 cores (whose SE_core carries larger
+//! FIFOs but whose cores are bigger).
+
+use near_stream::CoreModel;
+
+/// Per-component areas in mm² at 22 nm.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AreaModel {
+    /// SE_core stream buffer (per core; IO4-sized FIFO).
+    pub se_core_mm2: f64,
+    /// Extra SE_core FIFO area for the OOO8 configuration (2 kB vs 256 B).
+    pub se_core_ooo8_extra_mm2: f64,
+    /// SE_L3 64 kB stream buffer (per bank).
+    pub se_l3_buffer_mm2: f64,
+    /// SE_L3 48 kB stream configuration SRAM (per bank).
+    pub se_l3_config_mm2: f64,
+    /// Miscellaneous SE logic (range unit, issue unit, ALU) per tile.
+    pub se_misc_mm2: f64,
+    /// Baseline tile area (core slice + L1 + L2 + L3 bank + router) for an
+    /// IO4 tile.
+    pub tile_io4_mm2: f64,
+    /// Baseline tile area for an OOO4 tile.
+    pub tile_ooo4_mm2: f64,
+    /// Baseline tile area for an OOO8 tile.
+    pub tile_ooo8_mm2: f64,
+}
+
+impl AreaModel {
+    /// The paper's published component numbers, with tile areas calibrated
+    /// so the whole-chip overhead lands at the published 2.5% (IO4) and
+    /// 2.1% (OOO8).
+    pub fn paper_22nm() -> AreaModel {
+        AreaModel {
+            se_core_mm2: 0.09,
+            se_core_ooo8_extra_mm2: 0.09,
+            se_l3_buffer_mm2: 0.195,
+            se_l3_config_mm2: 0.11,
+            se_misc_mm2: 0.02,
+            tile_io4_mm2: 16.6,
+            tile_ooo4_mm2: 19.5,
+            tile_ooo8_mm2: 23.6,
+        }
+    }
+
+    /// Near-stream hardware overhead per tile for a core model.
+    pub fn overhead_per_tile(&self, core: &CoreModel) -> f64 {
+        let se_core = if core.out_of_order && core.width >= 8 {
+            self.se_core_mm2 + self.se_core_ooo8_extra_mm2
+        } else {
+            self.se_core_mm2
+        };
+        se_core + self.se_l3_buffer_mm2 + self.se_l3_config_mm2 + self.se_misc_mm2
+    }
+
+    /// Baseline tile area for a core model.
+    pub fn tile_mm2(&self, core: &CoreModel) -> f64 {
+        match (core.out_of_order, core.width) {
+            (false, _) => self.tile_io4_mm2,
+            (true, w) if w <= 4 => self.tile_ooo4_mm2,
+            _ => self.tile_ooo8_mm2,
+        }
+    }
+
+    /// Whole-chip area overhead fraction of the stream hardware.
+    pub fn overhead_fraction(&self, core: &CoreModel) -> f64 {
+        let o = self.overhead_per_tile(core);
+        o / (self.tile_mm2(core) + o)
+    }
+}
+
+impl Default for AreaModel {
+    fn default() -> Self {
+        AreaModel::paper_22nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_matches_paper_percentages() {
+        let a = AreaModel::paper_22nm();
+        let io4 = a.overhead_fraction(&CoreModel::io4());
+        let ooo8 = a.overhead_fraction(&CoreModel::ooo8());
+        assert!((io4 - 0.025).abs() < 0.003, "IO4 overhead {io4}");
+        assert!((ooo8 - 0.021).abs() < 0.003, "OOO8 overhead {ooo8}");
+        assert!(io4 > ooo8, "bigger cores dilute the overhead");
+    }
+
+    #[test]
+    fn component_areas_are_published_values() {
+        let a = AreaModel::paper_22nm();
+        assert_eq!(a.se_core_mm2, 0.09);
+        assert_eq!(a.se_l3_buffer_mm2, 0.195);
+        assert_eq!(a.se_l3_config_mm2, 0.11);
+    }
+
+    #[test]
+    fn ooo8_se_core_is_larger() {
+        let a = AreaModel::paper_22nm();
+        assert!(a.overhead_per_tile(&CoreModel::ooo8()) > a.overhead_per_tile(&CoreModel::io4()));
+    }
+}

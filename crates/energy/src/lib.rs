@@ -1,0 +1,228 @@
+//! Event-based energy and area model in the spirit of McPAT/CACTI at 22 nm
+//! (paper §VI "Energy consumption is estimated using McPAT at 22nm,
+//! extended to model the stream engines").
+//!
+//! Energy is per-event dynamic energy plus static power x time; the
+//! constants are McPAT-class 22 nm literature values, so *relative*
+//! comparisons (Figure 10's energy-performance trade-off) are meaningful
+//! even though absolute joules are approximate.
+//!
+//! # Examples
+//!
+//! ```
+//! use nsc_energy::{EnergyModel, area};
+//! use near_stream::CoreModel;
+//!
+//! let model = EnergyModel::mcpat_22nm();
+//! assert!(model.core_uop_nj(&CoreModel::ooo8()) > model.core_uop_nj(&CoreModel::io4()));
+//! let a = area::AreaModel::paper_22nm();
+//! let overhead = a.overhead_fraction(&CoreModel::io4());
+//! assert!(overhead > 0.015 && overhead < 0.035);
+//! ```
+
+pub mod area;
+
+use near_stream::{CoreModel, RunResult};
+
+/// Per-event energies (nanojoules) and static powers (watts).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EnergyModel {
+    /// Dynamic energy per µop on a 4-wide in-order core.
+    pub uop_io_nj: f64,
+    /// Dynamic energy per µop on a 4-wide OOO core.
+    pub uop_ooo4_nj: f64,
+    /// Dynamic energy per µop on an 8-wide OOO core.
+    pub uop_ooo8_nj: f64,
+    /// Dynamic energy per µop on a stream engine (address gen / scalar PE).
+    pub uop_se_nj: f64,
+    /// Dynamic energy per µop on an SCM context (shares the core pipeline
+    /// but with minimal ROB/RF resources).
+    pub uop_scm_nj: f64,
+    /// L1 access energy.
+    pub l1_nj: f64,
+    /// L2 access energy.
+    pub l2_nj: f64,
+    /// L3 bank access energy.
+    pub l3_nj: f64,
+    /// DRAM energy per 64 B line.
+    pub dram_line_nj: f64,
+    /// NoC energy per byte x hop (router + link).
+    pub noc_byte_hop_nj: f64,
+    /// Static power per IO4 core+L1+L2 tile slice.
+    pub static_io_w: f64,
+    /// Static power per OOO4 tile slice.
+    pub static_ooo4_w: f64,
+    /// Static power per OOO8 tile slice.
+    pub static_ooo8_w: f64,
+    /// Static power of uncore per tile (L3 bank + router + SEs).
+    pub static_uncore_w: f64,
+}
+
+impl EnergyModel {
+    /// McPAT-class 22 nm constants.
+    pub fn mcpat_22nm() -> EnergyModel {
+        EnergyModel {
+            uop_io_nj: 0.04,
+            uop_ooo4_nj: 0.10,
+            uop_ooo8_nj: 0.16,
+            uop_se_nj: 0.01,
+            uop_scm_nj: 0.05,
+            l1_nj: 0.015,
+            l2_nj: 0.06,
+            l3_nj: 0.18,
+            dram_line_nj: 10.0,
+            noc_byte_hop_nj: 0.003,
+            static_io_w: 0.12,
+            static_ooo4_w: 0.35,
+            static_ooo8_w: 0.85,
+            static_uncore_w: 0.25,
+        }
+    }
+
+    /// Dynamic per-µop energy for a core model.
+    pub fn core_uop_nj(&self, core: &CoreModel) -> f64 {
+        match (core.out_of_order, core.width) {
+            (false, _) => self.uop_io_nj,
+            (true, w) if w <= 4 => self.uop_ooo4_nj,
+            _ => self.uop_ooo8_nj,
+        }
+    }
+
+    /// Static power per tile (core slice + uncore) for a core model.
+    pub fn tile_static_w(&self, core: &CoreModel) -> f64 {
+        let c = match (core.out_of_order, core.width) {
+            (false, _) => self.static_io_w,
+            (true, w) if w <= 4 => self.static_ooo4_w,
+            _ => self.static_ooo8_w,
+        };
+        c + self.static_uncore_w
+    }
+
+    /// Evaluates a run's energy.
+    pub fn evaluate(&self, result: &RunResult, core: &CoreModel, n_tiles: u32) -> EnergyBreakdown {
+        let m = &result.mem;
+        let cache_nj = (m.l1_hits + m.l1_misses) as f64 * self.l1_nj
+            + (m.l2_hits + m.l2_misses + m.prefetch_fills) as f64 * self.l2_nj
+            + (m.l3_hits + m.l3_misses + m.l3_atomics) as f64 * self.l3_nj;
+        let dram_nj = (m.dram_reads + m.dram_writebacks) as f64 * self.dram_line_nj;
+        let total_bh = (result.traffic.data + result.traffic.control + result.traffic.offloaded) as f64;
+        let noc_nj = total_bh * self.noc_byte_hop_nj;
+        let core_nj = result.uops_core * self.core_uop_nj(core);
+        let se_nj = result.uops_se * self.uop_se_nj + result.uops_scm * self.uop_scm_nj;
+        let seconds = result.cycles as f64 / 2.0e9;
+        let static_nj = self.tile_static_w(core) * n_tiles as f64 * seconds * 1e9;
+        EnergyBreakdown {
+            core_dynamic_mj: core_nj * 1e-6,
+            se_dynamic_mj: se_nj * 1e-6,
+            cache_mj: cache_nj * 1e-6,
+            dram_mj: dram_nj * 1e-6,
+            noc_mj: noc_nj * 1e-6,
+            static_mj: static_nj * 1e-6,
+        }
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel::mcpat_22nm()
+    }
+}
+
+/// Energy of one run, by component, in millijoules.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct EnergyBreakdown {
+    /// Core pipeline dynamic energy.
+    pub core_dynamic_mj: f64,
+    /// Stream engine + SCM dynamic energy.
+    pub se_dynamic_mj: f64,
+    /// Cache access energy.
+    pub cache_mj: f64,
+    /// DRAM access energy.
+    pub dram_mj: f64,
+    /// NoC traversal energy.
+    pub noc_mj: f64,
+    /// Leakage + clock over the run's duration.
+    pub static_mj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy in millijoules.
+    pub fn total_mj(&self) -> f64 {
+        self.core_dynamic_mj
+            + self.se_dynamic_mj
+            + self.cache_mj
+            + self.dram_mj
+            + self.noc_mj
+            + self.static_mj
+    }
+
+    /// Energy-efficiency gain of this run relative to `other`
+    /// (other/self, >1 means this run is more efficient).
+    pub fn efficiency_gain_over(&self, other: &EnergyBreakdown) -> f64 {
+        other.total_mj() / self.total_mj().max(1e-12)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use near_stream::{ExecMode, RoleCounters, TrafficSnapshot};
+
+    fn fake_result(cycles: u64, bh: u64, uops: f64) -> RunResult {
+        RunResult {
+            mode: ExecMode::Base,
+            cycles,
+            traffic: TrafficSnapshot {
+                data: bh,
+                control: 0,
+                offloaded: 0,
+                messages: 0,
+            },
+            mem: nsc_mem::MemStats::default(),
+            uops_core: uops,
+            uops_se: 0.0,
+            uops_scm: 0.0,
+            total_uops: uops,
+            roles: RoleCounters::default(),
+            lock_acquisitions: 0,
+            lock_conflicts: 0,
+            alias_flushes: 0,
+            peb_flushes: 0,
+            offloaded_elems: 0,
+            stream_elems: 0,
+            dram_accesses: 0,
+        }
+    }
+
+    #[test]
+    fn static_energy_scales_with_time() {
+        let m = EnergyModel::mcpat_22nm();
+        let fast = m.evaluate(&fake_result(1_000_000, 0, 0.0), &CoreModel::ooo8(), 64);
+        let slow = m.evaluate(&fake_result(2_000_000, 0, 0.0), &CoreModel::ooo8(), 64);
+        assert!((slow.static_mj / fast.static_mj - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noc_energy_scales_with_traffic() {
+        let m = EnergyModel::mcpat_22nm();
+        let lo = m.evaluate(&fake_result(1000, 1_000_000, 0.0), &CoreModel::io4(), 64);
+        let hi = m.evaluate(&fake_result(1000, 4_000_000, 0.0), &CoreModel::io4(), 64);
+        assert!((hi.noc_mj / lo.noc_mj - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bigger_cores_burn_more_per_uop() {
+        let m = EnergyModel::mcpat_22nm();
+        assert!(m.core_uop_nj(&CoreModel::io4()) < m.core_uop_nj(&CoreModel::ooo4()));
+        assert!(m.core_uop_nj(&CoreModel::ooo4()) < m.core_uop_nj(&CoreModel::ooo8()));
+        assert!(m.tile_static_w(&CoreModel::io4()) < m.tile_static_w(&CoreModel::ooo8()));
+    }
+
+    #[test]
+    fn efficiency_gain_direction() {
+        let m = EnergyModel::mcpat_22nm();
+        let base = m.evaluate(&fake_result(2_000_000, 8_000_000, 1e7), &CoreModel::ooo8(), 64);
+        let ns = m.evaluate(&fake_result(700_000, 2_000_000, 4e6), &CoreModel::ooo8(), 64);
+        assert!(ns.efficiency_gain_over(&base) > 1.5);
+    }
+}

@@ -1,0 +1,344 @@
+//! Ergonomic kernel construction.
+
+use crate::expr::Expr;
+use crate::program::{ArrayId, Field, Kernel, Loop, OuterReduction, Stmt, StmtId, Trip, VarId};
+use crate::types::{AtomicOp, BinOp};
+
+enum Frame {
+    Loop { var: VarId, trip: Trip, body: Vec<Stmt> },
+    IfThen { cond: Expr, body: Vec<Stmt> },
+    IfElse { cond: Expr, then_body: Vec<Stmt>, body: Vec<Stmt> },
+}
+
+/// Builds a [`Kernel`] incrementally, managing variable slots, statement
+/// ids and loop/if nesting.
+///
+/// # Examples
+///
+/// ```
+/// use nsc_ir::build::KernelBuilder;
+/// use nsc_ir::{ElemType, Expr, Program};
+///
+/// let mut p = Program::new("t");
+/// let a = p.array("a", ElemType::I64, 64);
+/// let mut k = KernelBuilder::new("touch", 64);
+/// let i = k.outer_var();
+/// k.store(a, Expr::var(i), Expr::var(i) * Expr::imm(2));
+/// let kernel = k.finish();
+/// assert_eq!(kernel.n_stmts, 1);
+/// ```
+pub struct KernelBuilder {
+    name: String,
+    outer_var: VarId,
+    outer_trip: Trip,
+    n_locals: u16,
+    n_stmts: u32,
+    body: Vec<Stmt>,
+    frames: Vec<Frame>,
+    sync_free: bool,
+    outer_reduction: Option<OuterReduction>,
+    narrow_hints: Vec<(VarId, u8)>,
+}
+
+impl KernelBuilder {
+    /// Starts a kernel whose parallel outer loop runs `trip` iterations.
+    pub fn new(name: &str, trip: u64) -> KernelBuilder {
+        KernelBuilder::with_trip(name, Trip::Const(trip))
+    }
+
+    /// Starts a kernel with an explicit outer trip (e.g. parameter-driven).
+    pub fn with_trip(name: &str, trip: Trip) -> KernelBuilder {
+        KernelBuilder {
+            name: name.to_owned(),
+            outer_var: VarId(0),
+            outer_trip: trip,
+            n_locals: 1,
+            n_stmts: 0,
+            body: Vec::new(),
+            frames: Vec::new(),
+            sync_free: false,
+            outer_reduction: None,
+            narrow_hints: Vec::new(),
+        }
+    }
+
+    /// The outer-loop induction variable.
+    pub fn outer_var(&self) -> VarId {
+        self.outer_var
+    }
+
+    /// Allocates a fresh local variable.
+    pub fn var(&mut self) -> VarId {
+        let v = VarId(self.n_locals);
+        self.n_locals += 1;
+        v
+    }
+
+    fn next_stmt(&mut self) -> StmtId {
+        let id = StmtId(self.n_stmts);
+        self.n_stmts += 1;
+        id
+    }
+
+    fn emit(&mut self, s: Stmt) {
+        match self.frames.last_mut() {
+            Some(Frame::Loop { body, .. })
+            | Some(Frame::IfThen { body, .. })
+            | Some(Frame::IfElse { body, .. }) => body.push(s),
+            None => self.body.push(s),
+        }
+    }
+
+    /// Emits `var = expr`.
+    pub fn assign(&mut self, var: VarId, expr: Expr) {
+        self.emit(Stmt::Assign { var, expr });
+    }
+
+    /// Emits `let v = expr` into a fresh variable.
+    pub fn let_(&mut self, expr: Expr) -> VarId {
+        let v = self.var();
+        self.assign(v, expr);
+        v
+    }
+
+    /// Emits a load into a fresh variable.
+    pub fn load(&mut self, array: ArrayId, index: Expr) -> VarId {
+        self.load_field(array, index, None)
+    }
+
+    /// Emits a field load into a fresh variable.
+    pub fn load_field(&mut self, array: ArrayId, index: Expr, field: Option<Field>) -> VarId {
+        let var = self.var();
+        let id = self.next_stmt();
+        self.emit(Stmt::Load { id, var, array, index, field });
+        var
+    }
+
+    /// Emits a store.
+    pub fn store(&mut self, array: ArrayId, index: Expr, value: Expr) {
+        self.store_field(array, index, None, value);
+    }
+
+    /// Emits a field store.
+    pub fn store_field(&mut self, array: ArrayId, index: Expr, field: Option<Field>, value: Expr) {
+        let id = self.next_stmt();
+        self.emit(Stmt::Store { id, array, index, field, value });
+    }
+
+    /// Emits an atomic RMW with no used result.
+    pub fn atomic(&mut self, array: ArrayId, index: Expr, op: AtomicOp, operand: Expr) {
+        let id = self.next_stmt();
+        self.emit(Stmt::Atomic {
+            id,
+            array,
+            index,
+            field: None,
+            op,
+            operand,
+            expected: None,
+            old: None,
+        });
+    }
+
+    /// Emits an atomic compare-and-swap; returns the variable receiving the
+    /// old value.
+    pub fn atomic_cas(&mut self, array: ArrayId, index: Expr, expected: Expr, desired: Expr) -> VarId {
+        let old = self.var();
+        let id = self.next_stmt();
+        self.emit(Stmt::Atomic {
+            id,
+            array,
+            index,
+            field: None,
+            op: AtomicOp::Cas,
+            operand: desired,
+            expected: Some(expected),
+            old: Some(old),
+        });
+        old
+    }
+
+    /// Emits an atomic RMW whose old value is captured.
+    pub fn atomic_old(&mut self, array: ArrayId, index: Expr, op: AtomicOp, operand: Expr) -> VarId {
+        let old = self.var();
+        let id = self.next_stmt();
+        self.emit(Stmt::Atomic {
+            id,
+            array,
+            index,
+            field: None,
+            op,
+            operand,
+            expected: None,
+            old: Some(old),
+        });
+        old
+    }
+
+    /// Opens a counted inner loop; returns its induction variable.
+    pub fn begin_loop(&mut self, trip: Trip) -> VarId {
+        let var = self.var();
+        self.frames.push(Frame::Loop { var, trip, body: Vec::new() });
+        var
+    }
+
+    /// Opens a while loop; returns its (iteration-counting) variable.
+    pub fn begin_while(&mut self, cond: Expr) -> VarId {
+        self.begin_loop(Trip::While(cond))
+    }
+
+    /// Closes the innermost loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the innermost open frame is not a loop.
+    pub fn end_loop(&mut self) {
+        match self.frames.pop() {
+            Some(Frame::Loop { var, trip, body }) => self.emit(Stmt::Loop(Loop { var, trip, body })),
+            _ => panic!("end_loop without matching begin_loop"),
+        }
+    }
+
+    /// Opens a conditional.
+    pub fn begin_if(&mut self, cond: Expr) {
+        self.frames.push(Frame::IfThen { cond, body: Vec::new() });
+    }
+
+    /// Switches to the else branch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if not inside the then-branch of an `if`.
+    pub fn begin_else(&mut self) {
+        match self.frames.pop() {
+            Some(Frame::IfThen { cond, body }) => {
+                self.frames.push(Frame::IfElse { cond, then_body: body, body: Vec::new() });
+            }
+            _ => panic!("begin_else without matching begin_if"),
+        }
+    }
+
+    /// Closes the innermost conditional.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the innermost open frame is not an `if`.
+    pub fn end_if(&mut self) {
+        match self.frames.pop() {
+            Some(Frame::IfThen { cond, body }) => self.emit(Stmt::If {
+                cond,
+                then_body: body,
+                else_body: Vec::new(),
+            }),
+            Some(Frame::IfElse { cond, then_body, body }) => self.emit(Stmt::If {
+                cond,
+                then_body,
+                else_body: body,
+            }),
+            _ => panic!("end_if without matching begin_if"),
+        }
+    }
+
+    /// Declares an outer-loop reduction: each iteration's final value of
+    /// `var` is combined with `op`; the result lands in `target[0]`.
+    pub fn reduce_outer(&mut self, var: VarId, op: BinOp, target: ArrayId) {
+        self.outer_reduction = Some(OuterReduction { var, op, target });
+    }
+
+    /// Applies the `s_sync_free` pragma (paper §V).
+    pub fn sync_free(&mut self) {
+        self.sync_free = true;
+    }
+
+    /// Records that `var` holds a value of only `bytes` bytes (type
+    /// information for the compiler's narrowing-closure heuristic).
+    pub fn hint_width(&mut self, var: VarId, bytes: u8) {
+        self.narrow_hints.push((var, bytes));
+    }
+
+    /// Finalizes the kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if loops or conditionals are left open.
+    pub fn finish(self) -> Kernel {
+        assert!(self.frames.is_empty(), "unclosed loop or if in kernel {}", self.name);
+        Kernel {
+            name: self.name,
+            outer: Loop {
+                var: self.outer_var,
+                trip: self.outer_trip,
+                body: self.body,
+            },
+            n_locals: self.n_locals,
+            n_stmts: self.n_stmts,
+            sync_free: self.sync_free,
+            outer_reduction: self.outer_reduction,
+            narrow_hints: self.narrow_hints,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::Memory;
+    use crate::program::Program;
+    use crate::types::{ElemType, Scalar};
+
+    #[test]
+    fn builds_nested_structure() {
+        let mut p = Program::new("t");
+        let a = p.array("a", ElemType::I64, 8);
+        let mut k = KernelBuilder::new("k", 8);
+        let i = k.outer_var();
+        let j = k.begin_loop(Trip::Const(2));
+        k.begin_if(Expr::eq(Expr::var(j), Expr::imm(0)));
+        k.store(a, Expr::var(i), Expr::imm(1));
+        k.begin_else();
+        k.atomic(a, Expr::var(i), AtomicOp::Add, Expr::imm(10));
+        k.end_if();
+        k.end_loop();
+        let kernel = k.finish();
+        p.push_kernel(kernel);
+        assert!(p.validate().is_ok());
+        let mut mem = Memory::for_program(&p);
+        crate::interp::run_program(&p, &mut mem, &[]);
+        assert_eq!(mem.read_index(a, 4), Scalar::I64(11));
+    }
+
+    #[test]
+    fn cas_and_old_capture() {
+        let mut p = Program::new("t");
+        let a = p.array("a", ElemType::I64, 2);
+        let flag = p.array("flag", ElemType::I64, 2);
+        let mut k = KernelBuilder::new("k", 2);
+        let i = k.outer_var();
+        let old = k.atomic_cas(a, Expr::var(i), Expr::imm(0), Expr::imm(7));
+        k.store(flag, Expr::var(i), Expr::eq(Expr::var(old), Expr::imm(0)));
+        p.push_kernel(k.finish());
+        let mut mem = Memory::for_program(&p);
+        mem.write_index(a, 1, Scalar::I64(5)); // CAS will fail on index 1
+        crate::interp::run_program(&p, &mut mem, &[]);
+        assert_eq!(mem.read_index(a, 0), Scalar::I64(7));
+        assert_eq!(mem.read_index(a, 1), Scalar::I64(5));
+        assert_eq!(mem.read_index(flag, 0), Scalar::I64(1));
+        assert_eq!(mem.read_index(flag, 1), Scalar::I64(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "unclosed loop")]
+    fn finish_rejects_open_frames() {
+        let mut k = KernelBuilder::new("k", 1);
+        k.begin_loop(Trip::Const(2));
+        let _ = k.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "end_loop without")]
+    fn end_loop_requires_loop() {
+        let mut k = KernelBuilder::new("k", 1);
+        k.begin_if(Expr::imm(1));
+        k.end_loop();
+    }
+}

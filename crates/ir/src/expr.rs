@@ -1,0 +1,302 @@
+//! Pure expression trees.
+
+use crate::program::VarId;
+use crate::types::{BinOp, Scalar, UnOp};
+use std::ops;
+
+/// A side-effect-free expression over kernel-local variables and runtime
+/// parameters.
+///
+/// # Examples
+///
+/// ```
+/// use nsc_ir::{Expr, Scalar};
+/// use nsc_ir::program::VarId;
+///
+/// let v = VarId(0);
+/// let e = Expr::var(v) * Expr::imm(3) + Expr::imm(1);
+/// let locals = [Scalar::I64(5)];
+/// assert_eq!(e.eval(&locals, &[]), Scalar::I64(16));
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// A compile-time constant.
+    Const(Scalar),
+    /// A kernel-local variable (loop index, loaded value, accumulator).
+    Var(VarId),
+    /// A runtime kernel parameter (loop-invariant).
+    Param(u32),
+    /// A binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// A unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// `Select(cond, a, b)`: `a` if `cond` is true else `b` (branch-free).
+    Select(Box<Expr>, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// An integer immediate.
+    pub fn imm(v: i64) -> Expr {
+        Expr::Const(Scalar::I64(v))
+    }
+
+    /// A float immediate.
+    pub fn immf(v: f64) -> Expr {
+        Expr::Const(Scalar::F64(v))
+    }
+
+    /// A variable reference.
+    pub fn var(v: VarId) -> Expr {
+        Expr::Var(v)
+    }
+
+    /// A parameter reference.
+    pub fn param(i: u32) -> Expr {
+        Expr::Param(i)
+    }
+
+    /// Builds a binary op.
+    pub fn bin(op: BinOp, a: Expr, b: Expr) -> Expr {
+        Expr::Binary(op, Box::new(a), Box::new(b))
+    }
+
+    /// Builds a unary op.
+    pub fn un(op: UnOp, a: Expr) -> Expr {
+        Expr::Unary(op, Box::new(a))
+    }
+
+    /// Builds a select.
+    pub fn select(cond: Expr, a: Expr, b: Expr) -> Expr {
+        Expr::Select(Box::new(cond), Box::new(a), Box::new(b))
+    }
+
+    /// `min(a, b)`.
+    pub fn min(a: Expr, b: Expr) -> Expr {
+        Expr::bin(BinOp::Min, a, b)
+    }
+
+    /// `max(a, b)`.
+    pub fn max(a: Expr, b: Expr) -> Expr {
+        Expr::bin(BinOp::Max, a, b)
+    }
+
+    /// `a < b`.
+    pub fn lt(a: Expr, b: Expr) -> Expr {
+        Expr::bin(BinOp::Lt, a, b)
+    }
+
+    /// `a == b`.
+    pub fn eq(a: Expr, b: Expr) -> Expr {
+        Expr::bin(BinOp::Eq, a, b)
+    }
+
+    /// `a != b`.
+    pub fn ne(a: Expr, b: Expr) -> Expr {
+        Expr::bin(BinOp::Ne, a, b)
+    }
+
+    /// Evaluates the expression against local variables and parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a variable or parameter index is out of bounds (a
+    /// malformed kernel).
+    pub fn eval(&self, locals: &[Scalar], params: &[Scalar]) -> Scalar {
+        match self {
+            Expr::Const(v) => *v,
+            Expr::Var(v) => locals[v.0 as usize],
+            Expr::Param(i) => params[*i as usize],
+            Expr::Binary(op, a, b) => op.eval(a.eval(locals, params), b.eval(locals, params)),
+            Expr::Unary(op, a) => op.eval(a.eval(locals, params)),
+            Expr::Select(c, a, b) => {
+                if c.eval(locals, params).as_bool() {
+                    a.eval(locals, params)
+                } else {
+                    b.eval(locals, params)
+                }
+            }
+        }
+    }
+
+    /// Number of µops this expression costs on a core or stream-engine ALU
+    /// (one per operator node; leaves are free).
+    pub fn uops(&self) -> u32 {
+        match self {
+            Expr::Const(_) | Expr::Var(_) | Expr::Param(_) => 0,
+            Expr::Binary(_, a, b) => 1 + a.uops() + b.uops(),
+            Expr::Unary(_, a) => 1 + a.uops(),
+            Expr::Select(c, a, b) => 1 + c.uops() + a.uops() + b.uops(),
+        }
+    }
+
+    /// Collects every variable the expression reads.
+    pub fn collect_vars(&self, out: &mut Vec<VarId>) {
+        match self {
+            Expr::Const(_) | Expr::Param(_) => {}
+            Expr::Var(v) => out.push(*v),
+            Expr::Binary(_, a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+            Expr::Unary(_, a) => a.collect_vars(out),
+            Expr::Select(c, a, b) => {
+                c.collect_vars(out);
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+        }
+    }
+
+    /// Returns `true` if the expression reads `var`.
+    pub fn uses_var(&self, var: VarId) -> bool {
+        let mut vars = Vec::new();
+        self.collect_vars(&mut vars);
+        vars.contains(&var)
+    }
+
+    /// Attempts to view the expression as an affine function of `var`:
+    /// returns `(stride, offset_expr_without_var)` such that
+    /// `expr = stride * var + offset`. The offset may reference other
+    /// variables. Returns `None` for non-affine uses of `var`.
+    pub fn as_affine_in(&self, var: VarId) -> Option<(i64, Expr)> {
+        match self {
+            Expr::Var(v) if *v == var => Some((1, Expr::imm(0))),
+            Expr::Const(_) | Expr::Param(_) | Expr::Var(_) => Some((0, self.clone())),
+            Expr::Binary(BinOp::Add, a, b) => {
+                let (sa, oa) = a.as_affine_in(var)?;
+                let (sb, ob) = b.as_affine_in(var)?;
+                Some((sa + sb, Expr::bin(BinOp::Add, oa, ob)))
+            }
+            Expr::Binary(BinOp::Sub, a, b) => {
+                let (sa, oa) = a.as_affine_in(var)?;
+                let (sb, ob) = b.as_affine_in(var)?;
+                Some((sa - sb, Expr::bin(BinOp::Sub, oa, ob)))
+            }
+            Expr::Binary(BinOp::Mul, a, b) => {
+                let (sa, oa) = a.as_affine_in(var)?;
+                let (sb, ob) = b.as_affine_in(var)?;
+                // Only linear: one side must be constant in `var`.
+                if sa == 0 {
+                    if let Expr::Const(c) = &oa {
+                        return Some((c.as_i64() * sb, Expr::bin(BinOp::Mul, oa.clone(), ob)));
+                    }
+                    if sb == 0 {
+                        return Some((0, self.clone()));
+                    }
+                    None
+                } else if sb == 0 {
+                    if let Expr::Const(c) = &ob {
+                        Some((c.as_i64() * sa, Expr::bin(BinOp::Mul, oa, ob.clone())))
+                    } else {
+                        None
+                    }
+                } else {
+                    None
+                }
+            }
+            _ => {
+                if self.uses_var(var) {
+                    None
+                } else {
+                    Some((0, self.clone()))
+                }
+            }
+        }
+    }
+}
+
+impl ops::Add for Expr {
+    type Output = Expr;
+    fn add(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Add, self, rhs)
+    }
+}
+
+impl ops::Sub for Expr {
+    type Output = Expr;
+    fn sub(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Sub, self, rhs)
+    }
+}
+
+impl ops::Mul for Expr {
+    type Output = Expr;
+    fn mul(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Mul, self, rhs)
+    }
+}
+
+impl ops::Div for Expr {
+    type Output = Expr;
+    fn div(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Div, self, rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u16) -> VarId {
+        VarId(i)
+    }
+
+    #[test]
+    fn eval_nested() {
+        let e = Expr::select(
+            Expr::lt(Expr::var(v(0)), Expr::imm(10)),
+            Expr::var(v(0)) * Expr::imm(2),
+            Expr::imm(-1),
+        );
+        assert_eq!(e.eval(&[Scalar::I64(4)], &[]), Scalar::I64(8));
+        assert_eq!(e.eval(&[Scalar::I64(40)], &[]), Scalar::I64(-1));
+    }
+
+    #[test]
+    fn eval_params() {
+        let e = Expr::param(0) + Expr::imm(1);
+        assert_eq!(e.eval(&[], &[Scalar::I64(9)]), Scalar::I64(10));
+    }
+
+    #[test]
+    fn uop_counting() {
+        assert_eq!(Expr::imm(1).uops(), 0);
+        assert_eq!((Expr::imm(1) + Expr::imm(2)).uops(), 1);
+        let e = Expr::min(Expr::var(v(0)) + Expr::imm(1), Expr::var(v(1)));
+        assert_eq!(e.uops(), 2);
+    }
+
+    #[test]
+    fn var_collection() {
+        let e = Expr::var(v(0)) + Expr::var(v(2)) * Expr::var(v(0));
+        let mut vars = Vec::new();
+        e.collect_vars(&mut vars);
+        assert_eq!(vars, vec![v(0), v(2), v(0)]);
+        assert!(e.uses_var(v(0)));
+        assert!(!e.uses_var(v(1)));
+    }
+
+    #[test]
+    fn affine_recognition() {
+        // 3*i + j + 7 is affine in i with stride 3.
+        let e = Expr::imm(3) * Expr::var(v(0)) + Expr::var(v(1)) + Expr::imm(7);
+        let (stride, off) = e.as_affine_in(v(0)).unwrap();
+        assert_eq!(stride, 3);
+        assert_eq!(off.eval(&[Scalar::I64(0), Scalar::I64(5)], &[]), Scalar::I64(12));
+        // i*i is not affine.
+        let sq = Expr::var(v(0)) * Expr::var(v(0));
+        assert!(sq.as_affine_in(v(0)).is_none());
+        // An expression not using i is affine with stride 0.
+        let c = Expr::var(v(1)) * Expr::var(v(1));
+        assert_eq!(c.as_affine_in(v(0)).unwrap().0, 0);
+    }
+
+    #[test]
+    fn affine_subtraction() {
+        // (i - 1) has stride 1, offset -1.
+        let e = Expr::var(v(0)) - Expr::imm(1);
+        let (s, off) = e.as_affine_in(v(0)).unwrap();
+        assert_eq!(s, 1);
+        assert_eq!(off.eval(&[Scalar::I64(0)], &[]), Scalar::I64(-1));
+    }
+}

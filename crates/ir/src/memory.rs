@@ -1,0 +1,234 @@
+//! Flat data memory backing a program's arrays.
+
+use crate::program::{ArrayId, Field, Program};
+use crate::types::{ElemType, Scalar};
+
+/// Alignment of array base addresses: 2 MB huge pages (paper §IV-A assumes
+/// large pages so per-data-structure ranges are physically contiguous).
+pub const HUGE_PAGE: u64 = 2 * 1024 * 1024;
+
+struct ArrayStorage {
+    base: u64,
+    elem: ElemType,
+    len: u64,
+    data: Vec<u8>,
+}
+
+/// The functional data memory: one buffer per array, each based at a
+/// huge-page-aligned simulated physical address.
+///
+/// # Examples
+///
+/// ```
+/// use nsc_ir::{ElemType, Memory, Program, Scalar};
+///
+/// let mut p = Program::new("t");
+/// let a = p.array("a", ElemType::I32, 8);
+/// let mut mem = Memory::for_program(&p);
+/// mem.write_index(a, 3, Scalar::I64(-5));
+/// assert_eq!(mem.read_index(a, 3), Scalar::I64(-5));
+/// assert_eq!(mem.addr_of(a, 3) % 4, 0);
+/// ```
+pub struct Memory {
+    arrays: Vec<ArrayStorage>,
+}
+
+impl std::fmt::Debug for Memory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Memory").field("arrays", &self.arrays.len()).finish()
+    }
+}
+
+impl Memory {
+    /// Allocates zero-initialized storage for every array in `program`.
+    pub fn for_program(program: &Program) -> Memory {
+        let mut base = HUGE_PAGE; // keep address 0 unused
+        let mut arrays = Vec::with_capacity(program.arrays.len());
+        for decl in &program.arrays {
+            arrays.push(ArrayStorage {
+                base,
+                elem: decl.elem,
+                len: decl.len,
+                data: vec![0u8; decl.bytes() as usize],
+            });
+            let next = base + decl.bytes();
+            base = next.div_ceil(HUGE_PAGE) * HUGE_PAGE;
+        }
+        Memory { arrays }
+    }
+
+    fn storage(&self, array: ArrayId) -> &ArrayStorage {
+        &self.arrays[array.0 as usize]
+    }
+
+    /// Base simulated physical address of `array`.
+    pub fn base_of(&self, array: ArrayId) -> u64 {
+        self.storage(array).base
+    }
+
+    /// Element count of `array`.
+    pub fn len_of(&self, array: ArrayId) -> u64 {
+        self.storage(array).len
+    }
+
+    /// Element type of `array`.
+    pub fn elem_of(&self, array: ArrayId) -> ElemType {
+        self.storage(array).elem
+    }
+
+    /// Simulated physical byte address of element `index` (plus optional
+    /// field offset).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn addr_of(&self, array: ArrayId, index: u64) -> u64 {
+        let s = self.storage(array);
+        assert!(index < s.len, "index {index} out of bounds for array of {}", s.len);
+        s.base + index * s.elem.bytes() as u64
+    }
+
+    /// Like [`Memory::addr_of`] but including a field offset.
+    pub fn addr_of_field(&self, array: ArrayId, index: u64, field: Option<Field>) -> u64 {
+        self.addr_of(array, index) + field.map_or(0, |f| f.offset as u64)
+    }
+
+    /// Access width in bytes for an element or field access.
+    pub fn access_bytes(&self, array: ArrayId, field: Option<Field>) -> u8 {
+        field.map_or_else(|| self.elem_of(array).bytes(), |f| f.ty.bytes())
+    }
+
+    fn scalar_at(&self, array: ArrayId, byte: u64, ty: ElemType) -> Scalar {
+        let s = self.storage(array);
+        let off = (byte - s.base) as usize;
+        let d = &s.data;
+        match ty {
+            ElemType::I8 => Scalar::I64(d[off] as i8 as i64),
+            ElemType::I16 => Scalar::I64(i16::from_le_bytes([d[off], d[off + 1]]) as i64),
+            ElemType::I32 => {
+                Scalar::I64(i32::from_le_bytes(d[off..off + 4].try_into().expect("4 bytes")) as i64)
+            }
+            ElemType::I64 => Scalar::I64(i64::from_le_bytes(d[off..off + 8].try_into().expect("8 bytes"))),
+            ElemType::F32 => {
+                Scalar::F64(f32::from_le_bytes(d[off..off + 4].try_into().expect("4 bytes")) as f64)
+            }
+            ElemType::F64 => Scalar::F64(f64::from_le_bytes(d[off..off + 8].try_into().expect("8 bytes"))),
+            ElemType::Record(_) => panic!("cannot read a whole record as a scalar; use a field"),
+        }
+    }
+
+    fn write_scalar_at(&mut self, array: ArrayId, byte: u64, ty: ElemType, v: Scalar) {
+        let s = &mut self.arrays[array.0 as usize];
+        let off = (byte - s.base) as usize;
+        let d = &mut s.data;
+        match ty {
+            ElemType::I8 => d[off] = v.as_i64() as u8,
+            ElemType::I16 => d[off..off + 2].copy_from_slice(&(v.as_i64() as i16).to_le_bytes()),
+            ElemType::I32 => d[off..off + 4].copy_from_slice(&(v.as_i64() as i32).to_le_bytes()),
+            ElemType::I64 => d[off..off + 8].copy_from_slice(&v.as_i64().to_le_bytes()),
+            ElemType::F32 => d[off..off + 4].copy_from_slice(&(v.as_f64() as f32).to_le_bytes()),
+            ElemType::F64 => d[off..off + 8].copy_from_slice(&v.as_f64().to_le_bytes()),
+            ElemType::Record(_) => panic!("cannot write a whole record as a scalar; use a field"),
+        }
+    }
+
+    /// Reads element `index` (or a field of it).
+    pub fn read(&self, array: ArrayId, index: u64, field: Option<Field>) -> Scalar {
+        let ty = field.map_or_else(|| self.elem_of(array), |f| f.ty);
+        let byte = self.addr_of_field(array, index, field);
+        self.scalar_at(array, byte, ty)
+    }
+
+    /// Writes element `index` (or a field of it).
+    pub fn write(&mut self, array: ArrayId, index: u64, field: Option<Field>, v: Scalar) {
+        let ty = field.map_or_else(|| self.elem_of(array), |f| f.ty);
+        let byte = self.addr_of_field(array, index, field);
+        self.write_scalar_at(array, byte, ty, v);
+    }
+
+    /// Convenience scalar read of a non-record element.
+    pub fn read_index(&self, array: ArrayId, index: u64) -> Scalar {
+        self.read(array, index, None)
+    }
+
+    /// Convenience scalar write of a non-record element.
+    pub fn write_index(&mut self, array: ArrayId, index: u64, v: Scalar) {
+        self.write(array, index, None, v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::Field;
+
+    fn program() -> (Program, ArrayId, ArrayId) {
+        let mut p = Program::new("t");
+        let a = p.array("ints", ElemType::I32, 100);
+        let b = p.array("nodes", ElemType::Record(24), 10);
+        (p, a, b)
+    }
+
+    #[test]
+    fn bases_are_hugepage_aligned_and_disjoint() {
+        let (p, a, b) = program();
+        let m = Memory::for_program(&p);
+        assert_eq!(m.base_of(a) % HUGE_PAGE, 0);
+        assert_eq!(m.base_of(b) % HUGE_PAGE, 0);
+        assert!(m.base_of(b) >= m.base_of(a) + 400);
+    }
+
+    #[test]
+    fn narrowing_roundtrip() {
+        let (p, a, _) = program();
+        let mut m = Memory::for_program(&p);
+        m.write_index(a, 0, Scalar::I64(-7));
+        assert_eq!(m.read_index(a, 0), Scalar::I64(-7));
+        // i32 narrowing wraps.
+        m.write_index(a, 1, Scalar::I64(1 << 33));
+        assert_eq!(m.read_index(a, 1), Scalar::I64(0));
+    }
+
+    #[test]
+    fn record_fields() {
+        let (p, _, b) = program();
+        let mut m = Memory::for_program(&p);
+        let key = Field { offset: 0, ty: ElemType::I64 };
+        let left = Field { offset: 8, ty: ElemType::I64 };
+        m.write(b, 3, Some(key), Scalar::I64(42));
+        m.write(b, 3, Some(left), Scalar::I64(-1));
+        assert_eq!(m.read(b, 3, Some(key)), Scalar::I64(42));
+        assert_eq!(m.read(b, 3, Some(left)), Scalar::I64(-1));
+        assert_eq!(m.read(b, 2, Some(key)), Scalar::I64(0)); // untouched
+        assert_eq!(m.addr_of_field(b, 3, Some(left)) - m.base_of(b), 3 * 24 + 8);
+    }
+
+    #[test]
+    fn float_storage() {
+        let mut p = Program::new("t");
+        let f = p.array("f", ElemType::F32, 4);
+        let mut m = Memory::for_program(&p);
+        m.write_index(f, 2, Scalar::F64(1.5));
+        assert_eq!(m.read_index(f, 2), Scalar::F64(1.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oob_panics() {
+        let (p, a, _) = program();
+        let m = Memory::for_program(&p);
+        m.addr_of(a, 100);
+    }
+
+    #[test]
+    fn access_bytes_for_fields() {
+        let (p, a, b) = program();
+        let m = Memory::for_program(&p);
+        assert_eq!(m.access_bytes(a, None), 4);
+        assert_eq!(m.access_bytes(b, None), 24);
+        assert_eq!(
+            m.access_bytes(b, Some(Field { offset: 8, ty: ElemType::I64 })),
+            8
+        );
+    }
+}

@@ -1,0 +1,443 @@
+//! Programs, kernels, loops and statements.
+
+use crate::expr::Expr;
+use crate::types::{AtomicOp, BinOp, ElemType};
+use std::fmt;
+
+/// Index of a kernel-local variable slot.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(pub u16);
+
+/// Identifies an array in a [`Program`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ArrayId(pub u32);
+
+/// Identifies a memory-access statement within a kernel (unique per kernel).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StmtId(pub u32);
+
+impl fmt::Display for StmtId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// A scalar field within a [`ElemType::Record`] element.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Field {
+    /// Byte offset within the record.
+    pub offset: u8,
+    /// Scalar type of the field (must not itself be a record).
+    pub ty: ElemType,
+}
+
+/// An array declaration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ArrayDecl {
+    /// Human-readable name.
+    pub name: String,
+    /// Element type.
+    pub elem: ElemType,
+    /// Number of elements.
+    pub len: u64,
+}
+
+impl ArrayDecl {
+    /// Total size in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.len * self.elem.bytes() as u64
+    }
+}
+
+/// Loop trip-count specification.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Trip {
+    /// A static trip count.
+    Const(u64),
+    /// Trip count evaluated at loop entry (may read locals set by outer
+    /// statements, e.g. CSR row bounds).
+    Expr(Expr),
+    /// A data-dependent while loop: iterate while the condition holds.
+    While(Expr),
+}
+
+/// A loop: induction variable, trip specification and body.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Loop {
+    /// The induction variable, counting `0..trip` (unused for `While`).
+    pub var: VarId,
+    /// Trip count.
+    pub trip: Trip,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+}
+
+/// A statement.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Stmt {
+    /// Pure computation into a local variable.
+    Assign {
+        /// Destination variable.
+        var: VarId,
+        /// Value expression.
+        expr: Expr,
+    },
+    /// Memory load into a local variable.
+    Load {
+        /// Unique id.
+        id: StmtId,
+        /// Destination variable.
+        var: VarId,
+        /// Source array.
+        array: ArrayId,
+        /// Element index expression.
+        index: Expr,
+        /// Optional record field.
+        field: Option<Field>,
+    },
+    /// Memory store.
+    Store {
+        /// Unique id.
+        id: StmtId,
+        /// Target array.
+        array: ArrayId,
+        /// Element index expression.
+        index: Expr,
+        /// Optional record field.
+        field: Option<Field>,
+        /// Stored value.
+        value: Expr,
+    },
+    /// Relaxed-order atomic read-modify-write.
+    Atomic {
+        /// Unique id.
+        id: StmtId,
+        /// Target array.
+        array: ArrayId,
+        /// Element index expression.
+        index: Expr,
+        /// Optional record field.
+        field: Option<Field>,
+        /// The operation.
+        op: AtomicOp,
+        /// Operand value.
+        operand: Expr,
+        /// Expected value (CAS only).
+        expected: Option<Expr>,
+        /// Where to put the old value, if used.
+        old: Option<VarId>,
+    },
+    /// Conditional execution.
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Taken branch.
+        then_body: Vec<Stmt>,
+        /// Not-taken branch.
+        else_body: Vec<Stmt>,
+    },
+    /// A nested (sequential) loop.
+    Loop(Loop),
+}
+
+impl Stmt {
+    /// The statement id for memory-access statements.
+    pub fn mem_id(&self) -> Option<StmtId> {
+        match self {
+            Stmt::Load { id, .. } | Stmt::Store { id, .. } | Stmt::Atomic { id, .. } => Some(*id),
+            _ => None,
+        }
+    }
+}
+
+/// An OpenMP-style reduction over the parallel outer loop: each iteration's
+/// final value of `var` is combined with `op` and stored to `target[0]`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OuterReduction {
+    /// The per-iteration contribution variable.
+    pub var: VarId,
+    /// Combining operator (must be associative).
+    pub op: BinOp,
+    /// Result array (element 0 receives the final value).
+    pub target: ArrayId,
+}
+
+/// A parallel kernel: one outer `parallel for` plus nested sequential work.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Kernel {
+    /// Kernel name.
+    pub name: String,
+    /// The parallel outer loop (trip must be `Const` or parameter-only
+    /// `Expr`, so it can be statically partitioned across cores).
+    pub outer: Loop,
+    /// Number of local variable slots.
+    pub n_locals: u16,
+    /// Number of memory-access statement ids allocated.
+    pub n_stmts: u32,
+    /// `s_sync_free` pragma (paper §V): streams in this kernel never alias.
+    pub sync_free: bool,
+    /// Optional outer-loop reduction.
+    pub outer_reduction: Option<OuterReduction>,
+    /// Value-width hints `(var, bytes)`: the byte width of a computed
+    /// value, standing in for the LLVM type information the paper's
+    /// compiler uses when slicing narrowing computations onto load streams
+    /// (§III-B "the final instruction has a smaller data type").
+    pub narrow_hints: Vec<(VarId, u8)>,
+}
+
+impl Kernel {
+    /// Visits every statement in the kernel, depth-first.
+    pub fn for_each_stmt<'a>(&'a self, f: &mut impl FnMut(&'a Stmt, usize)) {
+        fn walk<'a>(stmts: &'a [Stmt], depth: usize, f: &mut impl FnMut(&'a Stmt, usize)) {
+            for s in stmts {
+                f(s, depth);
+                match s {
+                    Stmt::If { then_body, else_body, .. } => {
+                        walk(then_body, depth, f);
+                        walk(else_body, depth, f);
+                    }
+                    Stmt::Loop(l) => walk(&l.body, depth + 1, f),
+                    _ => {}
+                }
+            }
+        }
+        walk(&self.outer.body, 1, f);
+    }
+
+    /// Maximum loop depth (1 = flat outer loop).
+    pub fn max_depth(&self) -> usize {
+        let mut d = 1;
+        self.for_each_stmt(&mut |_, depth| d = d.max(depth));
+        d
+    }
+}
+
+/// A whole program: arrays plus kernels executed in sequence.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Program {
+    /// Program name.
+    pub name: String,
+    /// Array declarations (ids are indices).
+    pub arrays: Vec<ArrayDecl>,
+    /// Kernels, executed in order.
+    pub kernels: Vec<Kernel>,
+    /// Number of runtime parameters the program expects.
+    pub n_params: u32,
+}
+
+impl Program {
+    /// Creates an empty program.
+    pub fn new(name: &str) -> Program {
+        Program {
+            name: name.to_owned(),
+            arrays: Vec::new(),
+            kernels: Vec::new(),
+            n_params: 0,
+        }
+    }
+
+    /// Declares an array, returning its id.
+    pub fn array(&mut self, name: &str, elem: ElemType, len: u64) -> ArrayId {
+        let id = ArrayId(self.arrays.len() as u32);
+        self.arrays.push(ArrayDecl {
+            name: name.to_owned(),
+            elem,
+            len,
+        });
+        id
+    }
+
+    /// Appends a kernel.
+    pub fn push_kernel(&mut self, kernel: Kernel) {
+        self.kernels.push(kernel);
+    }
+
+    /// Declares that the program takes at least `n` parameters.
+    pub fn set_params(&mut self, n: u32) {
+        self.n_params = self.n_params.max(n);
+    }
+
+    /// The declaration for `array`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn decl(&self, array: ArrayId) -> &ArrayDecl {
+        &self.arrays[array.0 as usize]
+    }
+
+    /// Validates structural well-formedness; returns a description of the
+    /// first problem found.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` when a statement references an out-of-range variable,
+    /// array or parameter, when a record field is itself a record, when an
+    /// outer-reduction operator is not associative, or when memory-access
+    /// statement ids collide.
+    pub fn validate(&self) -> Result<(), String> {
+        for k in &self.kernels {
+            let mut seen = std::collections::HashSet::new();
+            let mut err = None;
+            k.for_each_stmt(&mut |s, _| {
+                if err.is_some() {
+                    return;
+                }
+                if let Some(id) = s.mem_id() {
+                    if id.0 >= k.n_stmts {
+                        err = Some(format!("kernel {}: stmt id {id} out of range", k.name));
+                    }
+                    if !seen.insert(id) {
+                        err = Some(format!("kernel {}: duplicate stmt id {id}", k.name));
+                    }
+                }
+                let arr = match s {
+                    Stmt::Load { array, .. } | Stmt::Store { array, .. } | Stmt::Atomic { array, .. } => {
+                        Some(*array)
+                    }
+                    _ => None,
+                };
+                if let Some(a) = arr {
+                    if a.0 as usize >= self.arrays.len() {
+                        err = Some(format!("kernel {}: bad array id {:?}", k.name, a));
+                    }
+                }
+                let field = match s {
+                    Stmt::Load { field, .. } | Stmt::Store { field, .. } | Stmt::Atomic { field, .. } => *field,
+                    _ => None,
+                };
+                if let Some(f) = field {
+                    if matches!(f.ty, ElemType::Record(_)) {
+                        err = Some(format!("kernel {}: record-typed field", k.name));
+                    }
+                }
+            });
+            if let Some(e) = err {
+                return Err(e);
+            }
+            if let Some(r) = &k.outer_reduction {
+                if !r.op.is_associative() {
+                    return Err(format!("kernel {}: non-associative outer reduction", k.name));
+                }
+                if r.var.0 >= k.n_locals {
+                    return Err(format!("kernel {}: reduction var out of range", k.name));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Total bytes across all arrays (the program's memory footprint).
+    pub fn footprint_bytes(&self) -> u64 {
+        self.arrays.iter().map(|a| a.bytes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Scalar;
+
+    fn tiny_kernel() -> Kernel {
+        Kernel {
+            name: "k".into(),
+            outer: Loop {
+                var: VarId(0),
+                trip: Trip::Const(4),
+                body: vec![
+                    Stmt::Load {
+                        id: StmtId(0),
+                        var: VarId(1),
+                        array: ArrayId(0),
+                        index: Expr::var(VarId(0)),
+                        field: None,
+                    },
+                    Stmt::Loop(Loop {
+                        var: VarId(2),
+                        trip: Trip::Const(2),
+                        body: vec![Stmt::Assign {
+                            var: VarId(1),
+                            expr: Expr::var(VarId(1)) + Expr::imm(1),
+                        }],
+                    }),
+                ],
+            },
+            n_locals: 3,
+            n_stmts: 1,
+            sync_free: false,
+            outer_reduction: None,
+            narrow_hints: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn visitor_and_depth() {
+        let k = tiny_kernel();
+        let mut count = 0;
+        k.for_each_stmt(&mut |_, _| count += 1);
+        assert_eq!(count, 3); // load, loop, assign
+        assert_eq!(k.max_depth(), 2);
+    }
+
+    #[test]
+    fn validate_accepts_wellformed() {
+        let mut p = Program::new("t");
+        p.array("a", ElemType::I64, 16);
+        p.push_kernel(tiny_kernel());
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_bad_array() {
+        let mut p = Program::new("t");
+        p.push_kernel(tiny_kernel()); // references ArrayId(0) which is absent
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_duplicate_stmt_ids() {
+        let mut p = Program::new("t");
+        let a = p.array("a", ElemType::I64, 16);
+        let mut k = tiny_kernel();
+        k.outer.body.push(Stmt::Store {
+            id: StmtId(0), // duplicate
+            array: a,
+            index: Expr::imm(0),
+            field: None,
+            value: Expr::imm(1),
+        });
+        p.push_kernel(k);
+        assert!(p.validate().unwrap_err().contains("duplicate"));
+    }
+
+    #[test]
+    fn validate_rejects_nonassociative_reduction() {
+        let mut p = Program::new("t");
+        p.array("a", ElemType::I64, 16);
+        let mut k = tiny_kernel();
+        k.outer_reduction = Some(OuterReduction {
+            var: VarId(1),
+            op: BinOp::Sub,
+            target: ArrayId(0),
+        });
+        p.push_kernel(k);
+        assert!(p.validate().unwrap_err().contains("non-associative"));
+    }
+
+    #[test]
+    fn footprint_sums_arrays() {
+        let mut p = Program::new("t");
+        p.array("a", ElemType::I64, 10);
+        p.array("b", ElemType::Record(24), 4);
+        assert_eq!(p.footprint_bytes(), 80 + 96);
+    }
+
+    #[test]
+    fn mem_id_selection() {
+        let s = Stmt::Assign {
+            var: VarId(0),
+            expr: Expr::Const(Scalar::I64(0)),
+        };
+        assert!(s.mem_id().is_none());
+    }
+}

@@ -1,0 +1,191 @@
+//! Stream-program representation: the compiler's output, the stream
+//! engines' input.
+//!
+//! A *stream* decouples one memory-access statement's address pattern from
+//! the surrounding loop (paper §II-A). Streams carry a classification of
+//! their address pattern and compute type (the two dimensions of the
+//! paper's taxonomy, Table II), the dependence edges of the stream graph
+//! (Figure 3), and the near-stream computation attached by the compiler.
+
+use crate::program::{ArrayId, StmtId};
+use std::fmt;
+
+/// Stream id within one kernel (the paper's 4-bit `sid`, Table IV).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StreamId(pub u8);
+
+impl fmt::Display for StreamId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+/// The address-pattern dimension of the taxonomy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AddrPatternClass {
+    /// Linear in the loop indices (up to 3 dimensions), e.g. `A[i]`,
+    /// `A[i*n+j]`. `stride_bytes` is the innermost stride.
+    Affine {
+        /// Byte stride per innermost iteration.
+        stride_bytes: i64,
+    },
+    /// Address formed from another stream's value, e.g. `B[A[i]]`.
+    Indirect {
+        /// The stream producing the index.
+        base: StreamId,
+    },
+    /// Loop-carried: the loaded value feeds the next address, e.g.
+    /// `p = p.next`.
+    PointerChase,
+}
+
+impl AddrPatternClass {
+    /// Short label matching the paper's tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            AddrPatternClass::Affine { .. } => "affine",
+            AddrPatternClass::Indirect { .. } => "indirect",
+            AddrPatternClass::PointerChase => "ptr-chase",
+        }
+    }
+}
+
+/// The compute-type dimension of the taxonomy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ComputeClass {
+    /// `x = f(*S)`: computation attached to a load stream, returning a
+    /// (usually smaller) value to the core.
+    Load,
+    /// `*S = f(...)`: store stream, possibly consuming operand streams.
+    Store,
+    /// `*S = f(*S)`: non-atomic read-modify-write update in place.
+    Rmw,
+    /// Atomic read-modify-write (relaxed order).
+    Atomic,
+    /// `acc = reduce(S)`: only the final value returns to the core.
+    Reduce,
+}
+
+impl ComputeClass {
+    /// Short label matching the paper's tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            ComputeClass::Load => "load",
+            ComputeClass::Store => "store",
+            ComputeClass::Rmw => "rmw",
+            ComputeClass::Atomic => "atomic",
+            ComputeClass::Reduce => "reduce",
+        }
+    }
+
+    /// Whether this compute type writes memory.
+    pub fn writes(self) -> bool {
+        matches!(self, ComputeClass::Store | ComputeClass::Rmw | ComputeClass::Atomic)
+    }
+}
+
+/// One recognized stream.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StreamInfo {
+    /// Stream id within the kernel.
+    pub id: StreamId,
+    /// The memory-access statement this stream replaces.
+    pub stmt: StmtId,
+    /// The array accessed.
+    pub array: ArrayId,
+    /// Address-pattern classification.
+    pub pattern: AddrPatternClass,
+    /// Compute-type classification.
+    pub role: ComputeClass,
+    /// Operand streams whose values are forwarded to this stream
+    /// (multi-operand patterns; paper Figure 2(b)).
+    pub value_deps: Vec<StreamId>,
+    /// Bytes accessed per element.
+    pub elem_bytes: u8,
+    /// µops of near-stream computation attached to this stream per element.
+    pub compute_uops: u32,
+    /// Whether the attached computation needs the SCM (vector/FP) rather
+    /// than the stream engine's scalar PE.
+    pub needs_scm: bool,
+    /// Bytes returned to the core per element (0 for fully-offloaded
+    /// store/reduce/atomic-without-result).
+    pub result_bytes: u8,
+    /// Loop depth of the access (1 = outer loop).
+    pub loop_depth: usize,
+    /// Whether the access sits under a condition (executed via `s_step`
+    /// predication).
+    pub conditional: bool,
+}
+
+impl StreamInfo {
+    /// Whether this stream's element accesses are data-dependent
+    /// (indirect or pointer-chasing), implying distributed banks.
+    pub fn is_irregular(&self) -> bool {
+        !matches!(self.pattern, AddrPatternClass::Affine { .. })
+    }
+}
+
+impl fmt::Display for StreamInfo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {}/{} on array{} ({}B, {} uops{})",
+            self.id,
+            self.pattern.label(),
+            self.role.label(),
+            self.array.0,
+            self.elem_bytes,
+            self.compute_uops,
+            if self.conditional { ", cond" } else { "" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn info() -> StreamInfo {
+        StreamInfo {
+            id: StreamId(2),
+            stmt: StmtId(5),
+            array: ArrayId(1),
+            pattern: AddrPatternClass::Indirect { base: StreamId(0) },
+            role: ComputeClass::Atomic,
+            value_deps: vec![StreamId(0)],
+            elem_bytes: 4,
+            compute_uops: 1,
+            needs_scm: false,
+            result_bytes: 0,
+            loop_depth: 2,
+            conditional: false,
+        }
+    }
+
+    #[test]
+    fn labels_and_flags() {
+        let s = info();
+        assert_eq!(s.pattern.label(), "indirect");
+        assert_eq!(s.role.label(), "atomic");
+        assert!(s.is_irregular());
+        assert!(s.role.writes());
+        assert!(!ComputeClass::Load.writes());
+        assert!(!ComputeClass::Reduce.writes());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let text = info().to_string();
+        assert!(text.contains("S2"));
+        assert!(text.contains("indirect"));
+        assert!(text.contains("atomic"));
+    }
+
+    #[test]
+    fn affine_is_regular() {
+        let mut s = info();
+        s.pattern = AddrPatternClass::Affine { stride_bytes: 8 };
+        assert!(!s.is_irregular());
+        assert_eq!(s.pattern.label(), "affine");
+    }
+}

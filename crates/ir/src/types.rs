@@ -1,0 +1,381 @@
+//! Scalar values, element types and operators.
+
+use std::fmt;
+
+/// A runtime scalar value.
+///
+/// The IR is dynamically typed at the scalar level: integers are `i64`,
+/// floats are `f64`. Element types narrow values on store and widen on load.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Scalar {
+    /// A (possibly narrowed-on-store) integer.
+    I64(i64),
+    /// A (possibly narrowed-on-store) float.
+    F64(f64),
+}
+
+impl Scalar {
+    /// The value as an integer, truncating floats.
+    pub fn as_i64(self) -> i64 {
+        match self {
+            Scalar::I64(v) => v,
+            Scalar::F64(v) => v as i64,
+        }
+    }
+
+    /// The value as a float.
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Scalar::I64(v) => v as f64,
+            Scalar::F64(v) => v,
+        }
+    }
+
+    /// The value as an unsigned index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is negative (an out-of-bounds address pattern).
+    pub fn as_index(self) -> u64 {
+        let v = self.as_i64();
+        assert!(v >= 0, "negative index {v}");
+        v as u64
+    }
+
+    /// Truth value: non-zero means true.
+    pub fn as_bool(self) -> bool {
+        match self {
+            Scalar::I64(v) => v != 0,
+            Scalar::F64(v) => v != 0.0,
+        }
+    }
+
+    /// Returns `true` if the value is a float.
+    pub fn is_float(self) -> bool {
+        matches!(self, Scalar::F64(_))
+    }
+}
+
+impl fmt::Display for Scalar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Scalar::I64(v) => write!(f, "{v}"),
+            Scalar::F64(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<i64> for Scalar {
+    fn from(v: i64) -> Scalar {
+        Scalar::I64(v)
+    }
+}
+
+impl From<f64> for Scalar {
+    fn from(v: f64) -> Scalar {
+        Scalar::F64(v)
+    }
+}
+
+/// Element type of an array.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ElemType {
+    /// 8-bit signed integer.
+    I8,
+    /// 16-bit signed integer.
+    I16,
+    /// 32-bit signed integer.
+    I32,
+    /// 64-bit signed integer.
+    I64,
+    /// 32-bit float.
+    F32,
+    /// 64-bit float.
+    F64,
+    /// An opaque fixed-size record accessed via field offsets (e.g. a tree
+    /// node or a multi-dimensional point). Size in bytes, at most 64.
+    Record(u8),
+}
+
+impl ElemType {
+    /// Size of one element in bytes.
+    pub fn bytes(self) -> u8 {
+        match self {
+            ElemType::I8 => 1,
+            ElemType::I16 => 2,
+            ElemType::I32 => 4,
+            ElemType::I64 => 8,
+            ElemType::F32 => 4,
+            ElemType::F64 => 8,
+            ElemType::Record(n) => n,
+        }
+    }
+
+    /// Whether values of this type are floats.
+    pub fn is_float(self) -> bool {
+        matches!(self, ElemType::F32 | ElemType::F64)
+    }
+}
+
+/// Binary operators. Comparison operators yield `I64(0)` or `I64(1)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division (float divide, or integer divide for two ints).
+    Div,
+    /// Remainder (integer).
+    Rem,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Logical shift right.
+    Shr,
+    /// Shift left.
+    Shl,
+    /// Less-than comparison.
+    Lt,
+    /// Less-or-equal comparison.
+    Le,
+    /// Equality comparison.
+    Eq,
+    /// Inequality comparison.
+    Ne,
+}
+
+impl BinOp {
+    /// Evaluates the operator. Mixed int/float operands promote to float.
+    pub fn eval(self, a: Scalar, b: Scalar) -> Scalar {
+        use BinOp::*;
+        let float = a.is_float() || b.is_float();
+        match self {
+            Add | Sub | Mul | Div | Min | Max if float => {
+                let (x, y) = (a.as_f64(), b.as_f64());
+                Scalar::F64(match self {
+                    Add => x + y,
+                    Sub => x - y,
+                    Mul => x * y,
+                    Div => x / y,
+                    Min => x.min(y),
+                    Max => x.max(y),
+                    _ => unreachable!(),
+                })
+            }
+            Add => Scalar::I64(a.as_i64().wrapping_add(b.as_i64())),
+            Sub => Scalar::I64(a.as_i64().wrapping_sub(b.as_i64())),
+            Mul => Scalar::I64(a.as_i64().wrapping_mul(b.as_i64())),
+            Div => Scalar::I64(a.as_i64().checked_div(b.as_i64()).unwrap_or(0)),
+            Rem => Scalar::I64(a.as_i64().checked_rem(b.as_i64()).unwrap_or(0)),
+            Min => Scalar::I64(a.as_i64().min(b.as_i64())),
+            Max => Scalar::I64(a.as_i64().max(b.as_i64())),
+            And => Scalar::I64(a.as_i64() & b.as_i64()),
+            Or => Scalar::I64(a.as_i64() | b.as_i64()),
+            Xor => Scalar::I64(a.as_i64() ^ b.as_i64()),
+            Shr => Scalar::I64(((a.as_i64() as u64) >> (b.as_i64() as u64 & 63)) as i64),
+            Shl => Scalar::I64(((a.as_i64() as u64) << (b.as_i64() as u64 & 63)) as i64),
+            Lt | Le | Eq | Ne => {
+                let r = if float {
+                    let (x, y) = (a.as_f64(), b.as_f64());
+                    match self {
+                        Lt => x < y,
+                        Le => x <= y,
+                        Eq => x == y,
+                        Ne => x != y,
+                        _ => unreachable!(),
+                    }
+                } else {
+                    let (x, y) = (a.as_i64(), b.as_i64());
+                    match self {
+                        Lt => x < y,
+                        Le => x <= y,
+                        Eq => x == y,
+                        Ne => x != y,
+                        _ => unreachable!(),
+                    }
+                };
+                Scalar::I64(r as i64)
+            }
+        }
+    }
+
+    /// Whether the operator is associative and commutative, making it legal
+    /// for distributed reduction (paper §IV-C limits indirect reduction to
+    /// associative ops).
+    pub fn is_associative(self) -> bool {
+        matches!(
+            self,
+            BinOp::Add | BinOp::Mul | BinOp::Min | BinOp::Max | BinOp::And | BinOp::Or | BinOp::Xor
+        )
+    }
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical not (0 -> 1, non-zero -> 0).
+    Not,
+    /// Absolute value.
+    Abs,
+    /// Square root (float).
+    Sqrt,
+    /// Exponential (float).
+    Exp,
+}
+
+impl UnOp {
+    /// Evaluates the operator.
+    pub fn eval(self, a: Scalar) -> Scalar {
+        match self {
+            UnOp::Neg => match a {
+                Scalar::I64(v) => Scalar::I64(v.wrapping_neg()),
+                Scalar::F64(v) => Scalar::F64(-v),
+            },
+            UnOp::Not => Scalar::I64(!a.as_bool() as i64),
+            UnOp::Abs => match a {
+                Scalar::I64(v) => Scalar::I64(v.abs()),
+                Scalar::F64(v) => Scalar::F64(v.abs()),
+            },
+            UnOp::Sqrt => Scalar::F64(a.as_f64().sqrt()),
+            UnOp::Exp => Scalar::F64(a.as_f64().exp()),
+        }
+    }
+}
+
+/// Atomic read-modify-write operators (relaxed memory order, paper §III-B).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AtomicOp {
+    /// `*p += v`.
+    Add,
+    /// `*p = min(*p, v)`.
+    Min,
+    /// `*p = max(*p, v)`.
+    Max,
+    /// Compare-and-swap: `if *p == expected { *p = v }`.
+    Cas,
+    /// Unconditional exchange: `*p = v`.
+    Xchg,
+}
+
+impl AtomicOp {
+    /// Applies the atomic op; returns `(new_value, modified)`.
+    ///
+    /// `expected` is only meaningful for [`AtomicOp::Cas`]. The `modified`
+    /// flag is what the MRSW lock (paper §IV-C) uses to pick the lock mode.
+    pub fn apply(self, old: Scalar, operand: Scalar, expected: Option<Scalar>) -> (Scalar, bool) {
+        match self {
+            AtomicOp::Add => {
+                let new = BinOp::Add.eval(old, operand);
+                (new, operand.as_f64() != 0.0)
+            }
+            AtomicOp::Min => {
+                let new = BinOp::Min.eval(old, operand);
+                (new, new != old)
+            }
+            AtomicOp::Max => {
+                let new = BinOp::Max.eval(old, operand);
+                (new, new != old)
+            }
+            AtomicOp::Cas => {
+                let exp = expected.expect("CAS needs an expected value");
+                if old == exp {
+                    (operand, operand != old)
+                } else {
+                    (old, false)
+                }
+            }
+            AtomicOp::Xchg => (operand, operand != old),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_conversions() {
+        assert_eq!(Scalar::I64(3).as_f64(), 3.0);
+        assert_eq!(Scalar::F64(2.9).as_i64(), 2);
+        assert_eq!(Scalar::I64(7).as_index(), 7);
+        assert!(Scalar::I64(1).as_bool());
+        assert!(!Scalar::F64(0.0).as_bool());
+    }
+
+    #[test]
+    #[should_panic(expected = "negative index")]
+    fn negative_index_panics() {
+        Scalar::I64(-1).as_index();
+    }
+
+    #[test]
+    fn binop_int_and_float() {
+        assert_eq!(BinOp::Add.eval(Scalar::I64(2), Scalar::I64(3)), Scalar::I64(5));
+        assert_eq!(BinOp::Add.eval(Scalar::I64(2), Scalar::F64(0.5)), Scalar::F64(2.5));
+        assert_eq!(BinOp::Min.eval(Scalar::I64(2), Scalar::I64(-3)), Scalar::I64(-3));
+        assert_eq!(BinOp::Lt.eval(Scalar::F64(1.0), Scalar::F64(2.0)), Scalar::I64(1));
+        assert_eq!(BinOp::Div.eval(Scalar::I64(7), Scalar::I64(0)), Scalar::I64(0));
+        assert_eq!(BinOp::Shl.eval(Scalar::I64(1), Scalar::I64(4)), Scalar::I64(16));
+        assert_eq!(BinOp::Shr.eval(Scalar::I64(16), Scalar::I64(4)), Scalar::I64(1));
+    }
+
+    #[test]
+    fn associativity_classification() {
+        assert!(BinOp::Add.is_associative());
+        assert!(BinOp::Min.is_associative());
+        assert!(!BinOp::Sub.is_associative());
+        assert!(!BinOp::Div.is_associative());
+    }
+
+    #[test]
+    fn unops() {
+        assert_eq!(UnOp::Neg.eval(Scalar::I64(4)), Scalar::I64(-4));
+        assert_eq!(UnOp::Not.eval(Scalar::I64(0)), Scalar::I64(1));
+        assert_eq!(UnOp::Abs.eval(Scalar::F64(-2.0)), Scalar::F64(2.0));
+        assert_eq!(UnOp::Sqrt.eval(Scalar::F64(9.0)), Scalar::F64(3.0));
+    }
+
+    #[test]
+    fn atomic_semantics() {
+        // Add modifies unless the operand is zero.
+        assert_eq!(
+            AtomicOp::Add.apply(Scalar::I64(1), Scalar::I64(2), None),
+            (Scalar::I64(3), true)
+        );
+        assert!(!AtomicOp::Add.apply(Scalar::I64(1), Scalar::I64(0), None).1);
+        // Min modifies only when lowering (the sssp MRSW case).
+        assert_eq!(
+            AtomicOp::Min.apply(Scalar::I64(5), Scalar::I64(3), None),
+            (Scalar::I64(3), true)
+        );
+        assert!(!AtomicOp::Min.apply(Scalar::I64(3), Scalar::I64(5), None).1);
+        // Failed CAS does not modify (the bfs MRSW case).
+        let (v, m) = AtomicOp::Cas.apply(Scalar::I64(7), Scalar::I64(9), Some(Scalar::I64(0)));
+        assert_eq!(v, Scalar::I64(7));
+        assert!(!m);
+        let (v, m) = AtomicOp::Cas.apply(Scalar::I64(0), Scalar::I64(9), Some(Scalar::I64(0)));
+        assert_eq!(v, Scalar::I64(9));
+        assert!(m);
+    }
+
+    #[test]
+    fn elem_type_sizes() {
+        assert_eq!(ElemType::I8.bytes(), 1);
+        assert_eq!(ElemType::F32.bytes(), 4);
+        assert_eq!(ElemType::Record(24).bytes(), 24);
+        assert!(ElemType::F64.is_float());
+        assert!(!ElemType::I32.is_float());
+    }
+}

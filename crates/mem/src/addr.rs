@@ -1,0 +1,277 @@
+//! Physical addresses and cache-line arithmetic.
+
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// Cache line size in bytes (Table V: 64 B interleave).
+pub const LINE_BYTES: u64 = 64;
+
+/// A byte address in the simulated flat physical address space.
+///
+/// The suite assumes large pages backing each data structure (paper §IV-A),
+/// so virtual and physical contiguity coincide and a single address type
+/// suffices.
+///
+/// # Examples
+///
+/// ```
+/// use nsc_mem::{Addr, LINE_BYTES};
+/// let a = Addr(130);
+/// assert_eq!(a.line().raw(), 2);
+/// assert_eq!(a.line_offset(), 2);
+/// assert_eq!(a.line().base(), Addr(2 * LINE_BYTES));
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Addr(pub u64);
+
+impl Addr {
+    /// The containing cache line.
+    #[inline]
+    pub fn line(self) -> LineAddr {
+        LineAddr(self.0 / LINE_BYTES)
+    }
+
+    /// Byte offset within the containing line.
+    #[inline]
+    pub fn line_offset(self) -> u64 {
+        self.0 % LINE_BYTES
+    }
+
+    /// The raw byte address.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl Add<u64> for Addr {
+    type Output = Addr;
+    #[inline]
+    fn add(self, rhs: u64) -> Addr {
+        Addr(self.0 + rhs)
+    }
+}
+
+impl Sub<Addr> for Addr {
+    type Output = u64;
+    #[inline]
+    fn sub(self, rhs: Addr) -> u64 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+/// A cache-line address (byte address divided by [`LINE_BYTES`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LineAddr(pub u64);
+
+impl LineAddr {
+    /// The raw line index.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// First byte address of the line.
+    #[inline]
+    pub fn base(self) -> Addr {
+        Addr(self.0 * LINE_BYTES)
+    }
+
+    /// The L3 bank holding this line under static-NUCA 64 B interleave.
+    #[inline]
+    pub fn bank(self, n_banks: u64) -> u64 {
+        self.0 % n_banks
+    }
+}
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L0x{:x}", self.0)
+    }
+}
+
+/// A half-open byte-address range `[min, max)`, the unit of the paper's
+/// range-based synchronization (§IV-B).
+///
+/// # Examples
+///
+/// ```
+/// use nsc_mem::{addr::AddrRange, Addr};
+/// let mut r = AddrRange::empty();
+/// r.extend(Addr(100), 4);
+/// r.extend(Addr(64), 8);
+/// assert_eq!(r.min(), Some(Addr(64)));
+/// assert!(r.overlaps(&AddrRange::span(Addr(100), Addr(105))));
+/// assert!(!r.overlaps(&AddrRange::span(Addr(104), Addr(200))));
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AddrRange {
+    min: u64,
+    max: u64, // exclusive; min == max means empty
+}
+
+impl AddrRange {
+    /// An empty range.
+    pub fn empty() -> AddrRange {
+        AddrRange { min: 0, max: 0 }
+    }
+
+    /// The range `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hi < lo`.
+    pub fn span(lo: Addr, hi: Addr) -> AddrRange {
+        assert!(hi >= lo, "range hi {hi} below lo {lo}");
+        AddrRange { min: lo.0, max: hi.0 }
+    }
+
+    /// Returns `true` when no address has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.min == self.max
+    }
+
+    /// Grows the range to include `[addr, addr + bytes)`.
+    pub fn extend(&mut self, addr: Addr, bytes: u64) {
+        let lo = addr.0;
+        let hi = addr.0 + bytes;
+        if self.is_empty() {
+            self.min = lo;
+            self.max = hi;
+        } else {
+            self.min = self.min.min(lo);
+            self.max = self.max.max(hi);
+        }
+    }
+
+    /// Merges another range into this one.
+    pub fn merge(&mut self, other: &AddrRange) {
+        if other.is_empty() {
+            return;
+        }
+        if self.is_empty() {
+            *self = *other;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+
+    /// Lowest contained address, `None` when empty.
+    pub fn min(&self) -> Option<Addr> {
+        (!self.is_empty()).then_some(Addr(self.min))
+    }
+
+    /// One past the highest contained address, `None` when empty.
+    pub fn max(&self) -> Option<Addr> {
+        (!self.is_empty()).then_some(Addr(self.max))
+    }
+
+    /// Conservative overlap test: `true` if the two ranges intersect.
+    pub fn overlaps(&self, other: &AddrRange) -> bool {
+        !self.is_empty() && !other.is_empty() && self.min < other.max && other.min < self.max
+    }
+
+    /// Returns `true` if the range contains `[addr, addr+bytes)` even
+    /// partially.
+    pub fn touches(&self, addr: Addr, bytes: u64) -> bool {
+        self.overlaps(&AddrRange::span(addr, addr + bytes))
+    }
+
+    /// Width in bytes.
+    pub fn len(&self) -> u64 {
+        self.max - self.min
+    }
+}
+
+impl fmt::Display for AddrRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            write!(f, "[empty)")
+        } else {
+            write!(f, "[0x{:x}, 0x{:x})", self.min, self.max)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_arithmetic() {
+        assert_eq!(Addr(0).line(), LineAddr(0));
+        assert_eq!(Addr(63).line(), LineAddr(0));
+        assert_eq!(Addr(64).line(), LineAddr(1));
+        assert_eq!(Addr(64).line_offset(), 0);
+        assert_eq!(LineAddr(3).base(), Addr(192));
+    }
+
+    #[test]
+    fn bank_interleave() {
+        assert_eq!(LineAddr(0).bank(64), 0);
+        assert_eq!(LineAddr(63).bank(64), 63);
+        assert_eq!(LineAddr(64).bank(64), 0);
+        assert_eq!(LineAddr(65).bank(64), 1);
+    }
+
+    #[test]
+    fn range_extend_and_overlap() {
+        let mut r = AddrRange::empty();
+        assert!(r.is_empty());
+        assert!(!r.overlaps(&AddrRange::span(Addr(0), Addr(100))));
+        r.extend(Addr(10), 4);
+        assert_eq!(r.min(), Some(Addr(10)));
+        assert_eq!(r.max(), Some(Addr(14)));
+        r.extend(Addr(2), 2);
+        assert_eq!(r.len(), 12);
+        assert!(r.touches(Addr(13), 1));
+        assert!(!r.touches(Addr(14), 4));
+    }
+
+    #[test]
+    fn range_merge() {
+        let mut a = AddrRange::span(Addr(0), Addr(10));
+        a.merge(&AddrRange::empty());
+        assert_eq!(a.len(), 10);
+        a.merge(&AddrRange::span(Addr(100), Addr(110)));
+        assert_eq!(a.len(), 110);
+        let mut e = AddrRange::empty();
+        e.merge(&AddrRange::span(Addr(5), Addr(6)));
+        assert_eq!(e.min(), Some(Addr(5)));
+    }
+
+    #[test]
+    fn adjacent_ranges_do_not_overlap() {
+        let a = AddrRange::span(Addr(0), Addr(64));
+        let b = AddrRange::span(Addr(64), Addr(128));
+        assert!(!a.overlaps(&b));
+        assert!(!b.overlaps(&a));
+    }
+
+    #[test]
+    #[should_panic(expected = "below lo")]
+    fn span_validates() {
+        let _ = AddrRange::span(Addr(10), Addr(5));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Addr(255).to_string(), "0xff");
+        assert_eq!(LineAddr(16).to_string(), "L0x10");
+        assert_eq!(AddrRange::empty().to_string(), "[empty)");
+        assert_eq!(AddrRange::span(Addr(1), Addr(2)).to_string(), "[0x1, 0x2)");
+    }
+}

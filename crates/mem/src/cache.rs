@@ -1,0 +1,399 @@
+//! Set-associative cache tag arrays with LRU and Bimodal-RRIP replacement.
+
+use crate::addr::{LineAddr, LINE_BYTES};
+use nsc_sim::Cycle;
+
+/// Replacement policy for a cache (Table V uses Bimodal RRIP, p = 0.03).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReplacePolicy {
+    /// Least-recently-used.
+    Lru,
+    /// Bimodal RRIP: insert at distant RRPV, with probability
+    /// `p_promote_permille/1000` insert at long (max-1) RRPV instead.
+    BimodalRrip {
+        /// Probability, in permille, of a "long" insertion.
+        p_promote_permille: u32,
+    },
+}
+
+/// Static shape of one cache.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity.
+    pub ways: u32,
+    /// Access latency.
+    pub latency: Cycle,
+    /// Replacement policy.
+    pub policy: ReplacePolicy,
+    /// Low line-address bits to skip when forming the set index. NUCA L3
+    /// banks set this to `log2(n_banks)`: the bank-interleave bits are
+    /// constant within one bank and must not alias every line into a
+    /// fraction of the sets.
+    pub set_skip_bits: u32,
+}
+
+impl CacheConfig {
+    /// Number of sets implied by size, line size and associativity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration does not divide into a whole power-of-two
+    /// set count.
+    pub fn sets(&self) -> u64 {
+        let sets = self.size_bytes / LINE_BYTES / self.ways as u64;
+        assert!(sets > 0, "cache too small: {self:?}");
+        assert!(sets.is_power_of_two(), "set count must be a power of two: {self:?}");
+        sets
+    }
+}
+
+const RRPV_MAX: u8 = 3;
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Way {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    /// When the fill completes; demand hits before this must wait (used for
+    /// in-flight prefetches).
+    fill_ready: Cycle,
+    rrpv: u8,
+    lru: u64,
+}
+
+/// A line evicted to make room for a fill.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Evicted {
+    /// The evicted line address.
+    pub line: LineAddr,
+    /// Whether the line was dirty (requires writeback).
+    pub dirty: bool,
+}
+
+/// Result of a successful lookup.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HitInfo {
+    /// When the line's data is actually available (later than the lookup for
+    /// lines still being filled by a prefetch).
+    pub ready: Cycle,
+    /// Whether the line is dirty.
+    pub dirty: bool,
+}
+
+/// A set-associative tag array.
+///
+/// The cache stores tags and per-line metadata only; data values live in the
+/// functional interpreter. Timing callers combine [`CacheConfig::latency`]
+/// with hit/miss outcomes.
+///
+/// # Examples
+///
+/// ```
+/// use nsc_mem::{Cache, CacheConfig, ReplacePolicy, LineAddr};
+/// use nsc_sim::Cycle;
+///
+/// let mut c = Cache::new(CacheConfig {
+///     size_bytes: 4096,
+///     ways: 4,
+///     latency: Cycle(2),
+///     policy: ReplacePolicy::Lru,
+///     set_skip_bits: 0,
+/// });
+/// assert!(c.lookup(LineAddr(1), Cycle(0)).is_none());
+/// c.insert(LineAddr(1), false, Cycle(0));
+/// assert!(c.lookup(LineAddr(1), Cycle(5)).is_some());
+/// ```
+#[derive(Clone, Debug)]
+pub struct Cache {
+    config: CacheConfig,
+    sets: Vec<Vec<Way>>,
+    set_mask: u64,
+    use_clock: u64,
+    /// Simple xorshift state for bimodal insertion decisions (deterministic).
+    rng_state: u64,
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    pub fn new(config: CacheConfig) -> Cache {
+        let n_sets = config.sets();
+        Cache {
+            sets: vec![vec![Way::default(); config.ways as usize]; n_sets as usize],
+            set_mask: n_sets - 1,
+            use_clock: 0,
+            rng_state: 0x9E37_79B9_7F4A_7C15,
+            config,
+        }
+    }
+
+    /// The cache configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    #[inline]
+    fn set_index(&self, line: LineAddr) -> usize {
+        ((line.raw() >> self.config.set_skip_bits) & self.set_mask) as usize
+    }
+
+    fn next_rand(&mut self) -> u64 {
+        let mut x = self.rng_state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng_state = x;
+        x
+    }
+
+    /// Looks up `line`, updating recency state on a hit.
+    pub fn lookup(&mut self, line: LineAddr, _now: Cycle) -> Option<HitInfo> {
+        self.use_clock += 1;
+        let clock = self.use_clock;
+        let set = self.set_index(line);
+        for way in &mut self.sets[set] {
+            if way.valid && way.tag == line.raw() {
+                way.lru = clock;
+                way.rrpv = 0;
+                return Some(HitInfo {
+                    ready: way.fill_ready,
+                    dirty: way.dirty,
+                });
+            }
+        }
+        None
+    }
+
+    /// Tag check without recency update (e.g. snoop or locality probe).
+    pub fn contains(&self, line: LineAddr) -> bool {
+        let set = self.set_index(line);
+        self.sets[set].iter().any(|w| w.valid && w.tag == line.raw())
+    }
+
+    /// Inserts `line`, choosing and returning a victim if the set is full.
+    ///
+    /// If the line is already present this refreshes its metadata instead.
+    pub fn insert(&mut self, line: LineAddr, dirty: bool, fill_ready: Cycle) -> Option<Evicted> {
+        self.use_clock += 1;
+        let clock = self.use_clock;
+        let policy = self.config.policy;
+        let insert_rrpv = match policy {
+            ReplacePolicy::Lru => 0,
+            ReplacePolicy::BimodalRrip { p_promote_permille } => {
+                if self.next_rand() % 1000 < p_promote_permille as u64 {
+                    RRPV_MAX - 1
+                } else {
+                    RRPV_MAX
+                }
+            }
+        };
+        let set_idx = self.set_index(line);
+        let set = &mut self.sets[set_idx];
+
+        // Already present: refresh.
+        if let Some(way) = set.iter_mut().find(|w| w.valid && w.tag == line.raw()) {
+            way.dirty |= dirty;
+            way.fill_ready = way.fill_ready.max(fill_ready);
+            way.lru = clock;
+            return None;
+        }
+
+        // Free way?
+        if let Some(way) = set.iter_mut().find(|w| !w.valid) {
+            *way = Way {
+                tag: line.raw(),
+                valid: true,
+                dirty,
+                fill_ready,
+                rrpv: insert_rrpv,
+                lru: clock,
+            };
+            return None;
+        }
+
+        // Choose victim.
+        let victim_idx = match policy {
+            ReplacePolicy::Lru => {
+                set.iter()
+                    .enumerate()
+                    .min_by_key(|(_, w)| w.lru)
+                    .map(|(i, _)| i)
+                    .expect("non-empty set")
+            }
+            ReplacePolicy::BimodalRrip { .. } => loop {
+                if let Some((i, _)) = set.iter().enumerate().find(|(_, w)| w.rrpv >= RRPV_MAX) {
+                    break i;
+                }
+                for w in set.iter_mut() {
+                    w.rrpv += 1;
+                }
+            },
+        };
+        let victim = set[victim_idx];
+        set[victim_idx] = Way {
+            tag: line.raw(),
+            valid: true,
+            dirty,
+            fill_ready,
+            rrpv: insert_rrpv,
+            lru: clock,
+        };
+        Some(Evicted {
+            line: LineAddr(victim.tag),
+            dirty: victim.dirty,
+        })
+    }
+
+    /// Invalidates `line`, returning whether it was present and dirty.
+    pub fn invalidate(&mut self, line: LineAddr) -> Option<bool> {
+        let set = self.set_index(line);
+        for way in &mut self.sets[set] {
+            if way.valid && way.tag == line.raw() {
+                way.valid = false;
+                return Some(way.dirty);
+            }
+        }
+        None
+    }
+
+    /// Marks `line` dirty (after a write hit).
+    ///
+    /// Returns `true` if the line was present.
+    pub fn set_dirty(&mut self, line: LineAddr) -> bool {
+        let set = self.set_index(line);
+        for way in &mut self.sets[set] {
+            if way.valid && way.tag == line.raw() {
+                way.dirty = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Number of valid lines currently resident.
+    pub fn resident_lines(&self) -> usize {
+        self.sets.iter().flatten().filter(|w| w.valid).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lru_cache(size: u64, ways: u32) -> Cache {
+        Cache::new(CacheConfig {
+            size_bytes: size,
+            ways,
+            latency: Cycle(2),
+            policy: ReplacePolicy::Lru,
+            set_skip_bits: 0,
+        })
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = lru_cache(4096, 4);
+        assert!(c.lookup(LineAddr(7), Cycle(0)).is_none());
+        assert!(c.insert(LineAddr(7), false, Cycle(3)).is_none());
+        let hit = c.lookup(LineAddr(7), Cycle(10)).unwrap();
+        assert_eq!(hit.ready, Cycle(3));
+        assert!(!hit.dirty);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        // 1 set x 2 ways: sets = 128/64/2 = 1.
+        let mut c = lru_cache(128, 2);
+        c.insert(LineAddr(1), false, Cycle(0));
+        c.insert(LineAddr(2), false, Cycle(0));
+        c.lookup(LineAddr(1), Cycle(1)); // 2 is now LRU
+        let ev = c.insert(LineAddr(3), false, Cycle(2)).unwrap();
+        assert_eq!(ev.line, LineAddr(2));
+        assert!(!ev.dirty);
+    }
+
+    #[test]
+    fn dirty_eviction_reported() {
+        let mut c = lru_cache(128, 1);
+        c.insert(LineAddr(0), true, Cycle(0));
+        let ev = c.insert(LineAddr(2), false, Cycle(0)).unwrap();
+        assert!(ev.dirty);
+        assert_eq!(ev.line, LineAddr(0));
+    }
+
+    #[test]
+    fn reinsert_refreshes_not_evicts() {
+        let mut c = lru_cache(128, 1);
+        c.insert(LineAddr(4), false, Cycle(0));
+        assert!(c.insert(LineAddr(4), true, Cycle(9)).is_none());
+        let hit = c.lookup(LineAddr(4), Cycle(10)).unwrap();
+        assert!(hit.dirty);
+        assert_eq!(hit.ready, Cycle(9));
+    }
+
+    #[test]
+    fn invalidate_and_set_dirty() {
+        let mut c = lru_cache(4096, 4);
+        c.insert(LineAddr(9), false, Cycle(0));
+        assert!(c.set_dirty(LineAddr(9)));
+        assert_eq!(c.invalidate(LineAddr(9)), Some(true));
+        assert_eq!(c.invalidate(LineAddr(9)), None);
+        assert!(!c.set_dirty(LineAddr(9)));
+    }
+
+    #[test]
+    fn rrip_eventually_evicts() {
+        let mut c = Cache::new(CacheConfig {
+            size_bytes: 128,
+            ways: 2,
+            latency: Cycle(2),
+            policy: ReplacePolicy::BimodalRrip { p_promote_permille: 30 },
+            set_skip_bits: 0,
+        });
+        c.insert(LineAddr(1), false, Cycle(0));
+        c.insert(LineAddr(2), false, Cycle(0));
+        let ev = c.insert(LineAddr(3), false, Cycle(0));
+        assert!(ev.is_some());
+        assert_eq!(c.resident_lines(), 2);
+    }
+
+    #[test]
+    fn rrip_hit_promotion_protects_line() {
+        let mut c = Cache::new(CacheConfig {
+            size_bytes: 128,
+            ways: 2,
+            latency: Cycle(2),
+            policy: ReplacePolicy::BimodalRrip { p_promote_permille: 0 },
+            set_skip_bits: 0,
+        });
+        c.insert(LineAddr(1), false, Cycle(0));
+        c.insert(LineAddr(2), false, Cycle(0));
+        c.lookup(LineAddr(1), Cycle(1)); // rrpv(1) -> 0
+        let ev = c.insert(LineAddr(3), false, Cycle(2)).unwrap();
+        assert_eq!(ev.line, LineAddr(2)); // the unpromoted line goes
+    }
+
+    #[test]
+    fn contains_does_not_touch_recency() {
+        let mut c = lru_cache(128, 2);
+        c.insert(LineAddr(1), false, Cycle(0));
+        c.insert(LineAddr(2), false, Cycle(0));
+        assert!(c.contains(LineAddr(1)));
+        // line 1 is still LRU, so it is the victim.
+        let ev = c.insert(LineAddr(3), false, Cycle(0)).unwrap();
+        assert_eq!(ev.line, LineAddr(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn config_validates_sets() {
+        let _ = Cache::new(CacheConfig {
+            size_bytes: 192,
+            ways: 1,
+            latency: Cycle(1),
+            policy: ReplacePolicy::Lru,
+            set_skip_bits: 0,
+        });
+    }
+}

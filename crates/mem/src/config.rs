@@ -1,0 +1,153 @@
+//! Memory-system configuration (paper Table V).
+
+use crate::cache::{CacheConfig, ReplacePolicy};
+use crate::dram::DramConfig;
+use nsc_sim::Cycle;
+
+/// Full configuration of the coherent memory hierarchy.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MemoryConfig {
+    /// Number of cores (one private hierarchy each; also the number of L3
+    /// banks, one per tile).
+    pub n_cores: u16,
+    /// Mesh width for tile/bank placement.
+    pub mesh_width: u16,
+    /// Mesh height.
+    pub mesh_height: u16,
+    /// Per-core L1 data cache.
+    pub l1: CacheConfig,
+    /// Per-core private L2.
+    pub l2: CacheConfig,
+    /// One shared L3 bank (per tile).
+    pub l3_bank: CacheConfig,
+    /// DRAM timing.
+    pub dram: DramConfig,
+    /// Enable the Bingo-like L1 spatial prefetcher.
+    pub l1_spatial_prefetch: bool,
+    /// Enable the L2 stride prefetcher.
+    pub l2_stride_prefetch: bool,
+    /// Use the MRSW lock for L3 atomics (otherwise exclusive locks).
+    pub mrsw_lock: bool,
+    /// Cycles an L3 ALU op occupies a locked line.
+    pub atomic_op_cycles: u64,
+    /// Per-core L2 TLB entries (Table V: 2k-entry).
+    pub l2_tlb_entries: u64,
+    /// SE_L3 TLB entries per tile (Table V: 1k-entry, 8-cycle latency).
+    pub se_tlb_entries: u64,
+    /// TLB lookup latency.
+    pub tlb_latency: Cycle,
+    /// Page-walk latency on a TLB miss.
+    pub page_walk_latency: Cycle,
+}
+
+impl MemoryConfig {
+    /// The paper's 64-core Table V configuration.
+    pub fn paper_64core() -> MemoryConfig {
+        MemoryConfig {
+            n_cores: 64,
+            mesh_width: 8,
+            mesh_height: 8,
+            l1: CacheConfig {
+                size_bytes: 32 * 1024,
+                ways: 8,
+                latency: Cycle(2),
+                policy: ReplacePolicy::BimodalRrip { p_promote_permille: 30 },
+            set_skip_bits: 0,
+            },
+            l2: CacheConfig {
+                size_bytes: 256 * 1024,
+                ways: 16,
+                latency: Cycle(16),
+                policy: ReplacePolicy::BimodalRrip { p_promote_permille: 30 },
+            set_skip_bits: 0,
+            },
+            l3_bank: CacheConfig {
+                size_bytes: 1024 * 1024,
+                ways: 16,
+                latency: Cycle(20),
+                policy: ReplacePolicy::BimodalRrip { p_promote_permille: 30 },
+            set_skip_bits: 0,
+            },
+            dram: DramConfig::paper_ddr4(),
+            l1_spatial_prefetch: true,
+            l2_stride_prefetch: true,
+            mrsw_lock: true,
+            atomic_op_cycles: 4,
+            l2_tlb_entries: 2048,
+            se_tlb_entries: 1024,
+            tlb_latency: Cycle(8),
+            page_walk_latency: Cycle(60),
+        }
+    }
+
+    /// A 16-core 4x4 configuration with small caches, for fast tests.
+    pub fn small_16core() -> MemoryConfig {
+        MemoryConfig {
+            n_cores: 16,
+            mesh_width: 4,
+            mesh_height: 4,
+            l1: CacheConfig {
+                size_bytes: 4 * 1024,
+                ways: 4,
+                latency: Cycle(2),
+                policy: ReplacePolicy::Lru,
+            set_skip_bits: 0,
+            },
+            l2: CacheConfig {
+                size_bytes: 16 * 1024,
+                ways: 8,
+                latency: Cycle(16),
+                policy: ReplacePolicy::Lru,
+            set_skip_bits: 0,
+            },
+            l3_bank: CacheConfig {
+                size_bytes: 64 * 1024,
+                ways: 16,
+                latency: Cycle(20),
+                policy: ReplacePolicy::Lru,
+            set_skip_bits: 0,
+            },
+            dram: DramConfig::paper_ddr4(),
+            l1_spatial_prefetch: false,
+            l2_stride_prefetch: false,
+            mrsw_lock: true,
+            atomic_op_cycles: 4,
+            l2_tlb_entries: 256,
+            se_tlb_entries: 128,
+            tlb_latency: Cycle(8),
+            page_walk_latency: Cycle(60),
+        }
+    }
+
+    /// Number of L3 banks (one per tile).
+    pub fn n_banks(&self) -> u16 {
+        self.mesh_width * self.mesh_height
+    }
+}
+
+impl Default for MemoryConfig {
+    fn default() -> Self {
+        MemoryConfig::paper_64core()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_shapes() {
+        let c = MemoryConfig::paper_64core();
+        assert_eq!(c.n_banks(), 64);
+        assert_eq!(c.l1.sets(), 64);
+        assert_eq!(c.l2.sets(), 256);
+        assert_eq!(c.l3_bank.sets(), 1024);
+    }
+
+    #[test]
+    fn small_config_valid() {
+        let c = MemoryConfig::small_16core();
+        assert_eq!(c.n_banks(), 16);
+        assert!(c.l1.sets() >= 1);
+    }
+}

@@ -1,0 +1,130 @@
+//! Corner DRAM controllers: fixed access latency plus per-controller
+//! bandwidth occupancy (Table V: DDR4-3200, 25.6 GB/s aggregate, four
+//! controllers at the mesh corners).
+
+use crate::addr::LineAddr;
+use nsc_noc::TileId;
+use nsc_sim::{resource::BandwidthLedger, Cycle};
+
+/// DRAM timing configuration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DramConfig {
+    /// Device access latency (row activation + column access + transfer).
+    pub latency: Cycle,
+    /// Cycles one 64 B line occupies a controller's channel.
+    pub line_occupancy: u64,
+}
+
+impl DramConfig {
+    /// The paper's DDR4-3200 setup at a 2 GHz core clock: ~50 ns access
+    /// latency and 6.4 GB/s per controller (3.2 B/cycle => 20 cycles per
+    /// line).
+    pub fn paper_ddr4() -> DramConfig {
+        DramConfig {
+            latency: Cycle(100),
+            line_occupancy: 20,
+        }
+    }
+}
+
+impl Default for DramConfig {
+    fn default() -> Self {
+        DramConfig::paper_ddr4()
+    }
+}
+
+/// The set of DRAM controllers.
+///
+/// # Examples
+///
+/// ```
+/// use nsc_mem::dram::{Dram, DramConfig};
+/// use nsc_mem::addr::LineAddr;
+/// use nsc_sim::Cycle;
+///
+/// let mut dram = Dram::new(DramConfig::paper_ddr4(), 8, 8);
+/// let (done, ctrl) = dram.access(Cycle(0), LineAddr(0));
+/// assert_eq!(done, Cycle(100 + 20));
+/// assert_eq!(ctrl.raw(), 0); // line 0 maps to the first corner
+/// ```
+#[derive(Clone, Debug)]
+pub struct Dram {
+    config: DramConfig,
+    controllers: Vec<(TileId, BandwidthLedger)>,
+    accesses: u64,
+}
+
+impl Dram {
+    /// Creates four corner controllers for a `width` x `height` mesh.
+    pub fn new(config: DramConfig, width: u16, height: u16) -> Dram {
+        let corners = [
+            TileId::from_xy(0, 0, width),
+            TileId::from_xy(width - 1, 0, width),
+            TileId::from_xy(0, height - 1, width),
+            TileId::from_xy(width - 1, height - 1, width),
+        ];
+        Dram {
+            config,
+            controllers: corners
+                .into_iter()
+                .map(|t| (t, BandwidthLedger::new(64, 64)))
+                .collect(),
+            accesses: 0,
+        }
+    }
+
+    /// The controller tile serving `line` (line-interleaved).
+    pub fn controller_tile(&self, line: LineAddr) -> TileId {
+        self.controllers[(line.raw() % self.controllers.len() as u64) as usize].0
+    }
+
+    /// Performs one line access starting at `now` (as seen at the
+    /// controller); returns `(completion_time, controller_tile)`.
+    pub fn access(&mut self, now: Cycle, line: LineAddr) -> (Cycle, TileId) {
+        self.accesses += 1;
+        let idx = (line.raw() % self.controllers.len() as u64) as usize;
+        let (tile, res) = &mut self.controllers[idx];
+        let transferred = res.book(now, self.config.line_occupancy);
+        (transferred + self.config.latency.raw(), *tile)
+    }
+
+    /// Number of line accesses performed.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &DramConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corner_tiles() {
+        let d = Dram::new(DramConfig::paper_ddr4(), 8, 8);
+        let tiles: Vec<u16> = d.controllers.iter().map(|(t, _)| t.raw()).collect();
+        assert_eq!(tiles, vec![0, 7, 56, 63]);
+    }
+
+    #[test]
+    fn interleaves_lines_across_controllers() {
+        let d = Dram::new(DramConfig::paper_ddr4(), 8, 8);
+        assert_ne!(d.controller_tile(LineAddr(0)), d.controller_tile(LineAddr(1)));
+        assert_eq!(d.controller_tile(LineAddr(0)), d.controller_tile(LineAddr(4)));
+    }
+
+    #[test]
+    fn bandwidth_queues_same_controller() {
+        let mut d = Dram::new(DramConfig::paper_ddr4(), 8, 8);
+        let (t1, _) = d.access(Cycle(0), LineAddr(0));
+        let (t2, _) = d.access(Cycle(0), LineAddr(4)); // same controller
+        assert_eq!(t2 - t1, Cycle(20));
+        let (t3, _) = d.access(Cycle(0), LineAddr(1)); // different controller
+        assert_eq!(t3, t1);
+        assert_eq!(d.accesses(), 3);
+    }
+}

@@ -1,0 +1,47 @@
+//! Coherent memory-hierarchy model for the near-stream computing suite.
+//!
+//! Implements the paper's Table V memory system: per-core L1D and private L2
+//! caches with Bimodal-RRIP replacement, a shared static-NUCA L3 (1 MB/bank,
+//! 64 B line interleave across tiles) with a MESI directory, four corner DRAM
+//! controllers, a multi-reader/single-writer (MRSW) line lock table for
+//! near-data atomics (paper §IV-C), a Bingo-like spatial prefetcher at L1 and
+//! a stride prefetcher at L2.
+//!
+//! The hierarchy is a *passive timing model*: each access resolves its full
+//! path synchronously, charging NoC messages to an [`nsc_noc::Mesh`] and
+//! returning the completion time. This composes hit/miss behaviour,
+//! coherence transactions, bank interleaving and DRAM bandwidth without
+//! simulating transient coherence states.
+//!
+//! # Examples
+//!
+//! ```
+//! use nsc_mem::{Addr, AccessKind, MemoryConfig, MemorySystem};
+//! use nsc_noc::{Mesh, MeshConfig};
+//! use nsc_sim::Cycle;
+//!
+//! let mut mesh = Mesh::new(MeshConfig::paper_8x8());
+//! let mut mem = MemorySystem::new(MemoryConfig::paper_64core());
+//! let done = mem.access(Cycle(0), 0, Addr(0x1000), AccessKind::Load, &mut mesh);
+//! assert!(done > Cycle(0)); // cold miss goes to DRAM
+//! let again = mem.access(done, 0, Addr(0x1000), AccessKind::Load, &mut mesh);
+//! assert_eq!(again, done + mem.config().l1.latency); // now an L1 hit
+//! ```
+
+pub mod addr;
+pub mod cache;
+pub mod config;
+pub mod dram;
+pub mod mrsw;
+pub mod prefetch;
+pub mod stats;
+pub mod system;
+pub mod tlb;
+
+pub use addr::{Addr, LineAddr, LINE_BYTES};
+pub use cache::{Cache, CacheConfig, ReplacePolicy};
+pub use config::MemoryConfig;
+pub use mrsw::{LockKind, MrswLockTable};
+pub use stats::MemStats;
+pub use tlb::Tlb;
+pub use system::{AccessKind, MemorySystem, ServedBy};

@@ -1,0 +1,201 @@
+//! Line-granularity locks for near-data atomics, including the paper's
+//! multi-reader/single-writer (MRSW) lock (§IV-C).
+//!
+//! To guarantee atomicity of offloaded read-modify-writes, the target cache
+//! line is locked in the L3 and conflicting accesses are blocked. The paper
+//! observes that many atomics do not change the value (failed
+//! compare-exchange in `bfs`, non-lowering `min` in `sssp`) and can be
+//! served concurrently by a hardware multi-reader/single-writer lock,
+//! eliminating on average 97% of the contention.
+//!
+//! Lock occupancy is tracked with time-indexed ledgers (one per line) so
+//! that acquisitions carrying out-of-order timestamps — cores at different
+//! local times hammering one hot line — compete only with genuinely
+//! overlapping holders, not with the call order.
+
+use crate::addr::LineAddr;
+use nsc_sim::resource::BandwidthLedger;
+use nsc_sim::Cycle;
+use std::collections::HashMap;
+
+/// How an atomic operation acquires a line lock.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LockKind {
+    /// The operation modifies the value: exclusive access required.
+    Exclusive,
+    /// The operation leaves the value unchanged (e.g. failed CAS): may share
+    /// the line with other readers under an MRSW lock.
+    Shared,
+}
+
+/// Per-line lock occupancy table.
+///
+/// With `mrsw` disabled every acquisition is exclusive, reproducing the
+/// paper's "exclusive lock" baseline of Figure 16. Exclusive holders
+/// serialize on the line's occupancy ledger; shared holders (under MRSW)
+/// are recorded but do not occupy it — the multi-reader case the hardware
+/// serves concurrently from the coherence state.
+///
+/// # Examples
+///
+/// ```
+/// use nsc_mem::{LockKind, MrswLockTable};
+/// use nsc_mem::addr::LineAddr;
+/// use nsc_sim::Cycle;
+///
+/// let mut locks = MrswLockTable::new(true);
+/// let line = LineAddr(5);
+/// // Two readers overlap freely...
+/// assert_eq!(locks.acquire(Cycle(0), line, LockKind::Shared, 4), Cycle(0));
+/// assert_eq!(locks.acquire(Cycle(0), line, LockKind::Shared, 4), Cycle(0));
+/// // ...while writers serialize with each other.
+/// let w1 = locks.acquire(Cycle(0), line, LockKind::Exclusive, 4);
+/// let w2 = locks.acquire(Cycle(0), line, LockKind::Exclusive, 4);
+/// assert!(w2 >= w1 + Cycle(4).raw());
+/// ```
+#[derive(Clone, Debug)]
+pub struct MrswLockTable {
+    mrsw: bool,
+    lines: HashMap<LineAddr, BandwidthLedger>,
+    acquisitions: u64,
+    conflicts: u64,
+    conflict_wait: u64,
+}
+
+impl MrswLockTable {
+    /// Creates a lock table; `mrsw` selects the multi-reader optimization.
+    pub fn new(mrsw: bool) -> MrswLockTable {
+        MrswLockTable {
+            mrsw,
+            lines: HashMap::new(),
+            acquisitions: 0,
+            conflicts: 0,
+            conflict_wait: 0,
+        }
+    }
+
+    /// Whether the MRSW optimization is enabled.
+    pub fn is_mrsw(&self) -> bool {
+        self.mrsw
+    }
+
+    /// Acquires the lock on `line` for `dur` cycles starting no earlier than
+    /// `now`; returns the actual start time.
+    pub fn acquire(&mut self, now: Cycle, line: LineAddr, kind: LockKind, dur: u64) -> Cycle {
+        self.acquisitions += 1;
+        let effective = if self.mrsw { kind } else { LockKind::Exclusive };
+        if effective == LockKind::Shared {
+            // Multi-reader: served concurrently from the coherence state.
+            return now;
+        }
+        let ledger = self
+            .lines
+            .entry(line)
+            // One exclusive holder at a time: capacity = epoch length in
+            // lock-cycles. Short window: locks are held for a few cycles.
+            .or_insert_with(|| BandwidthLedger::with_window(16, 16, 512));
+        let done = ledger.book(now, dur);
+        let start = done - Cycle(dur);
+        if start > now {
+            self.conflicts += 1;
+            self.conflict_wait += (start - now).raw();
+        }
+        start
+    }
+
+    /// Total acquisitions.
+    pub fn acquisitions(&self) -> u64 {
+        self.acquisitions
+    }
+
+    /// Acquisitions that had to wait.
+    pub fn conflicts(&self) -> u64 {
+        self.conflicts
+    }
+
+    /// Total cycles spent waiting across all conflicts.
+    pub fn conflict_wait_cycles(&self) -> u64 {
+        self.conflict_wait
+    }
+
+    /// Fraction of acquisitions that conflicted, in `[0, 1]`.
+    pub fn conflict_rate(&self) -> f64 {
+        if self.acquisitions == 0 {
+            0.0
+        } else {
+            self.conflicts as f64 / self.acquisitions as f64
+        }
+    }
+
+    /// Drops bookkeeping for lines not used recently. The ledgers window
+    /// themselves, so this is only a memory release.
+    pub fn retire_before(&mut self, _horizon: Cycle) {
+        if self.lines.len() > 1 << 16 {
+            self.lines.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exclusive_serializes() {
+        let mut l = MrswLockTable::new(true);
+        let line = LineAddr(1);
+        let a = l.acquire(Cycle(0), line, LockKind::Exclusive, 10);
+        let b = l.acquire(Cycle(0), line, LockKind::Exclusive, 10);
+        assert_eq!(a, Cycle(0));
+        assert!(b >= Cycle(10));
+        assert_eq!(l.conflicts(), 1);
+        assert!(l.conflict_wait_cycles() >= 10);
+    }
+
+    #[test]
+    fn readers_share_under_mrsw() {
+        let mut l = MrswLockTable::new(true);
+        let line = LineAddr(1);
+        for _ in 0..10 {
+            assert_eq!(l.acquire(Cycle(0), line, LockKind::Shared, 5), Cycle(0));
+        }
+        assert_eq!(l.conflicts(), 0);
+    }
+
+    #[test]
+    fn exclusive_mode_ignores_shared_hint() {
+        let mut l = MrswLockTable::new(false);
+        let line = LineAddr(3);
+        let a = l.acquire(Cycle(0), line, LockKind::Shared, 5);
+        let b = l.acquire(Cycle(0), line, LockKind::Shared, 5);
+        assert_eq!(a, Cycle(0));
+        assert!(b >= Cycle(5));
+        assert_eq!(l.conflicts(), 1);
+    }
+
+    #[test]
+    fn different_lines_independent() {
+        let mut l = MrswLockTable::new(false);
+        assert_eq!(l.acquire(Cycle(0), LineAddr(1), LockKind::Exclusive, 100), Cycle(0));
+        assert_eq!(l.acquire(Cycle(0), LineAddr(2), LockKind::Exclusive, 100), Cycle(0));
+        assert_eq!(l.conflict_rate(), 0.0);
+    }
+
+    #[test]
+    fn out_of_order_acquisitions_do_not_cascade() {
+        // A far-future holder must not delay an earlier one (the hot-line
+        // case with cores at divergent local times).
+        let mut l = MrswLockTable::new(true);
+        let line = LineAddr(9);
+        let far = l.acquire(Cycle(5_000), line, LockKind::Exclusive, 4);
+        assert!(far >= Cycle(5_000));
+        let near = l.acquire(Cycle(0), line, LockKind::Exclusive, 4);
+        assert!(near < Cycle(100), "near acquisition delayed to {near}");
+    }
+
+    #[test]
+    fn conflict_rate_empty_is_zero() {
+        let l = MrswLockTable::new(true);
+        assert_eq!(l.conflict_rate(), 0.0);
+    }
+}

@@ -1,0 +1,309 @@
+//! Hardware prefetchers for the baseline system.
+//!
+//! The paper's baseline core uses the Bingo spatial prefetcher at L1 (8 kB
+//! PHT, 2 kB regions) plus an L2 stride prefetcher (Table V / §VI). Both are
+//! modelled here as suggestion generators: they observe the demand access
+//! stream and emit candidate lines, which [`crate::MemorySystem`] fetches in
+//! the background.
+//!
+//! The Bingo model keys footprints by trigger-offset within a region rather
+//! than PC+offset (our IR has no program counters); for the suite's
+//! workloads this preserves Bingo's qualitative behaviour — near-perfect
+//! coverage on dense affine regions, low useless volume on sparse irregular
+//! regions.
+
+use crate::addr::LineAddr;
+use std::collections::HashMap;
+
+/// Lines per 2 kB spatial region.
+const REGION_LINES: u64 = 32;
+
+#[derive(Clone, Copy, Debug, Default)]
+struct ActiveRegion {
+    footprint: u32,
+    trigger_offset: u8,
+    lru: u64,
+}
+
+/// A Bingo-like spatial footprint prefetcher.
+///
+/// # Examples
+///
+/// ```
+/// use nsc_mem::prefetch::SpatialPrefetcher;
+/// use nsc_mem::addr::LineAddr;
+///
+/// let mut pf = SpatialPrefetcher::new(256, 2);
+/// // Train: touch a dense region, then leave it.
+/// for l in 0..32 {
+///     pf.on_access(LineAddr(l), true);
+/// }
+/// for r in 1..4u64 {
+///     pf.on_access(LineAddr(r * 1024), true); // evict region 0 from the active table
+/// }
+/// // A new region triggered at the same offset predicts the dense footprint.
+/// let predicted = pf.on_access(LineAddr(100 * 32), true);
+/// assert!(predicted.len() > 16);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SpatialPrefetcher {
+    /// Learned footprints keyed by trigger offset.
+    pht: HashMap<u8, u32>,
+    pht_capacity: usize,
+    active: HashMap<u64, ActiveRegion>,
+    active_capacity: usize,
+    clock: u64,
+    issued: u64,
+}
+
+impl SpatialPrefetcher {
+    /// Creates a prefetcher with the given pattern-history and active-region
+    /// table capacities.
+    pub fn new(pht_capacity: usize, active_capacity: usize) -> SpatialPrefetcher {
+        SpatialPrefetcher {
+            pht: HashMap::new(),
+            pht_capacity,
+            active: HashMap::new(),
+            active_capacity,
+            clock: 0,
+            issued: 0,
+        }
+    }
+
+    /// Observes a demand access; returns lines to prefetch (possibly empty).
+    pub fn on_access(&mut self, line: LineAddr, is_miss: bool) -> Vec<LineAddr> {
+        self.clock += 1;
+        let region = line.raw() / REGION_LINES;
+        let offset = (line.raw() % REGION_LINES) as u8;
+        let clock = self.clock;
+
+        if let Some(entry) = self.active.get_mut(&region) {
+            entry.footprint |= 1 << offset;
+            entry.lru = clock;
+            return Vec::new();
+        }
+
+        // New region: retire the oldest active region into the PHT if full.
+        if self.active.len() >= self.active_capacity {
+            if let Some((&old, _)) = self.active.iter().min_by_key(|(_, e)| e.lru) {
+                let e = self.active.remove(&old).expect("present");
+                self.learn(e);
+            }
+        }
+        self.active.insert(
+            region,
+            ActiveRegion {
+                footprint: 1 << offset,
+                trigger_offset: offset,
+                lru: clock,
+            },
+        );
+
+        if !is_miss {
+            return Vec::new();
+        }
+
+        // Predict the rest of the region from the learned footprint.
+        let Some(&footprint) = self.pht.get(&offset) else {
+            return Vec::new();
+        };
+        let base = region * REGION_LINES;
+        let mut out = Vec::new();
+        for bit in 0..REGION_LINES {
+            if bit as u8 != offset && footprint & (1 << bit) != 0 {
+                out.push(LineAddr(base + bit));
+            }
+        }
+        self.issued += out.len() as u64;
+        out
+    }
+
+    fn learn(&mut self, region: ActiveRegion) {
+        if self.pht.len() >= self.pht_capacity && !self.pht.contains_key(&region.trigger_offset) {
+            return; // PHT full; drop (capacity pressure model)
+        }
+        // Blend with prior knowledge: union keeps dense patterns stable.
+        let slot = self.pht.entry(region.trigger_offset).or_insert(0);
+        *slot |= region.footprint;
+    }
+
+    /// Total prefetch lines suggested so far.
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+}
+
+/// Per-core stride prefetcher (the paper adds one at L2).
+///
+/// Tracks a small table of access streams; once a stride repeats, it
+/// prefetches `degree` lines ahead.
+///
+/// # Examples
+///
+/// ```
+/// use nsc_mem::prefetch::StridePrefetcher;
+/// use nsc_mem::addr::LineAddr;
+///
+/// let mut pf = StridePrefetcher::new(8, 4);
+/// assert!(pf.on_miss(LineAddr(10)).is_empty());
+/// assert!(pf.on_miss(LineAddr(11)).is_empty()); // stride 1 observed once
+/// let ahead = pf.on_miss(LineAddr(12)); // stride confirmed
+/// assert_eq!(ahead, vec![LineAddr(13), LineAddr(14), LineAddr(15), LineAddr(16)]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct StridePrefetcher {
+    entries: Vec<StrideEntry>,
+    capacity: usize,
+    degree: u64,
+    clock: u64,
+    issued: u64,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct StrideEntry {
+    last: i64,
+    stride: i64,
+    confidence: u8,
+    lru: u64,
+}
+
+impl StridePrefetcher {
+    /// Creates a stride prefetcher with `capacity` streams fetching
+    /// `degree` lines ahead.
+    pub fn new(capacity: usize, degree: u64) -> StridePrefetcher {
+        StridePrefetcher {
+            entries: Vec::new(),
+            capacity,
+            degree,
+            clock: 0,
+            issued: 0,
+        }
+    }
+
+    /// Observes an L2 miss; returns lines to prefetch.
+    pub fn on_miss(&mut self, line: LineAddr) -> Vec<LineAddr> {
+        self.clock += 1;
+        let l = line.raw() as i64;
+        // Find the stream whose prediction this access matches or is nearest.
+        let mut best: Option<usize> = None;
+        for (i, e) in self.entries.iter().enumerate() {
+            let delta = l - e.last;
+            if delta != 0 && delta.abs() <= 64 {
+                best = Some(i);
+                break;
+            }
+        }
+        match best {
+            Some(i) => {
+                let delta = l - self.entries[i].last;
+                let e = &mut self.entries[i];
+                if delta == e.stride {
+                    e.confidence = e.confidence.saturating_add(1);
+                } else {
+                    e.stride = delta;
+                    e.confidence = 1;
+                }
+                e.last = l;
+                e.lru = self.clock;
+                if e.confidence >= 2 {
+                    let stride = e.stride;
+                    let out: Vec<LineAddr> = (1..=self.degree)
+                        .map(|k| l + stride * k as i64)
+                        .filter(|&a| a >= 0)
+                        .map(|a| LineAddr(a as u64))
+                        .collect();
+                    self.issued += out.len() as u64;
+                    return out;
+                }
+                Vec::new()
+            }
+            None => {
+                if self.entries.len() >= self.capacity {
+                    let oldest = self
+                        .entries
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, e)| e.lru)
+                        .map(|(i, _)| i)
+                        .expect("non-empty");
+                    self.entries.swap_remove(oldest);
+                }
+                self.entries.push(StrideEntry {
+                    last: l,
+                    stride: 0,
+                    confidence: 0,
+                    lru: self.clock,
+                });
+                Vec::new()
+            }
+        }
+    }
+
+    /// Total prefetch lines suggested so far.
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spatial_learns_dense_footprint() {
+        let mut pf = SpatialPrefetcher::new(64, 2);
+        for l in 0..REGION_LINES {
+            pf.on_access(LineAddr(l), true);
+        }
+        // Force region 0 out of the 2-entry active table.
+        pf.on_access(LineAddr(10 * REGION_LINES), true);
+        pf.on_access(LineAddr(11 * REGION_LINES), true);
+        pf.on_access(LineAddr(12 * REGION_LINES), true);
+        let out = pf.on_access(LineAddr(1000 * REGION_LINES), true);
+        assert_eq!(out.len() as u64, REGION_LINES - 1);
+        assert!(pf.issued() >= 31);
+    }
+
+    #[test]
+    fn spatial_sparse_region_predicts_little() {
+        let mut pf = SpatialPrefetcher::new(64, 1);
+        // A region where only the trigger line is touched.
+        pf.on_access(LineAddr(5 * REGION_LINES + 3), true);
+        pf.on_access(LineAddr(9 * REGION_LINES + 3), true); // evicts + learns
+        let out = pf.on_access(LineAddr(20 * REGION_LINES + 3), true);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn spatial_hits_do_not_trigger() {
+        let mut pf = SpatialPrefetcher::new(64, 4);
+        let out = pf.on_access(LineAddr(77), false);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn stride_detects_negative_stride() {
+        let mut pf = StridePrefetcher::new(4, 2);
+        pf.on_miss(LineAddr(100));
+        pf.on_miss(LineAddr(98));
+        let out = pf.on_miss(LineAddr(96));
+        assert_eq!(out, vec![LineAddr(94), LineAddr(92)]);
+    }
+
+    #[test]
+    fn stride_random_pattern_stays_quiet() {
+        let mut pf = StridePrefetcher::new(4, 4);
+        for l in [5u64, 900, 13, 777, 42, 1234] {
+            assert!(pf.on_miss(LineAddr(l)).is_empty());
+        }
+    }
+
+    #[test]
+    fn stride_table_capacity_is_bounded() {
+        let mut pf = StridePrefetcher::new(2, 1);
+        for base in 0..10u64 {
+            pf.on_miss(LineAddr(base * 100_000));
+        }
+        assert!(pf.entries.len() <= 2);
+    }
+}

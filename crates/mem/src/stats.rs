@@ -1,0 +1,103 @@
+//! Aggregate memory-system statistics.
+
+use nsc_sim::StatsTable;
+
+/// Counters accumulated by [`crate::MemorySystem`] across all cores, banks
+/// and controllers.
+///
+/// All fields are plain counts; the struct is a passive data record
+/// (C-STRUCT-PRIVATE does not apply to passive compound data).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// L1D demand hits.
+    pub l1_hits: u64,
+    /// L1D demand misses.
+    pub l1_misses: u64,
+    /// Private L2 demand hits.
+    pub l2_hits: u64,
+    /// Private L2 demand misses.
+    pub l2_misses: u64,
+    /// Shared L3 hits (demand or stream).
+    pub l3_hits: u64,
+    /// Shared L3 misses.
+    pub l3_misses: u64,
+    /// Lines read from DRAM.
+    pub dram_reads: u64,
+    /// Dirty lines written back to DRAM.
+    pub dram_writebacks: u64,
+    /// Private-cache copies invalidated by the directory.
+    pub invalidations: u64,
+    /// Dirty lines written back from private caches to L3.
+    pub private_writebacks: u64,
+    /// Prefetch lines fetched (L1 spatial + L2 stride).
+    pub prefetch_fills: u64,
+    /// Demand accesses that hit on a previously prefetched line.
+    pub prefetch_hits: u64,
+    /// Atomic operations executed at L3 banks.
+    pub l3_atomics: u64,
+}
+
+impl MemStats {
+    /// Demand L1 hit rate in `[0, 1]`.
+    pub fn l1_hit_rate(&self) -> f64 {
+        ratio(self.l1_hits, self.l1_hits + self.l1_misses)
+    }
+
+    /// Demand L3 hit rate in `[0, 1]`.
+    pub fn l3_hit_rate(&self) -> f64 {
+        ratio(self.l3_hits, self.l3_hits + self.l3_misses)
+    }
+
+    /// Renders all counters into a [`StatsTable`] under a `mem.` prefix.
+    pub fn to_table(&self) -> StatsTable {
+        let mut t = StatsTable::new();
+        t.set("mem.l1_hits", self.l1_hits as f64);
+        t.set("mem.l1_misses", self.l1_misses as f64);
+        t.set("mem.l2_hits", self.l2_hits as f64);
+        t.set("mem.l2_misses", self.l2_misses as f64);
+        t.set("mem.l3_hits", self.l3_hits as f64);
+        t.set("mem.l3_misses", self.l3_misses as f64);
+        t.set("mem.dram_reads", self.dram_reads as f64);
+        t.set("mem.dram_writebacks", self.dram_writebacks as f64);
+        t.set("mem.invalidations", self.invalidations as f64);
+        t.set("mem.private_writebacks", self.private_writebacks as f64);
+        t.set("mem.prefetch_fills", self.prefetch_fills as f64);
+        t.set("mem.prefetch_hits", self.prefetch_hits as f64);
+        t.set("mem.l3_atomics", self.l3_atomics as f64);
+        t
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rates() {
+        let s = MemStats {
+            l1_hits: 3,
+            l1_misses: 1,
+            l3_hits: 1,
+            l3_misses: 3,
+            ..MemStats::default()
+        };
+        assert!((s.l1_hit_rate() - 0.75).abs() < 1e-12);
+        assert!((s.l3_hit_rate() - 0.25).abs() < 1e-12);
+        assert_eq!(MemStats::default().l1_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn table_contains_all_counters() {
+        let t = MemStats::default().to_table();
+        assert_eq!(t.len(), 13);
+        assert_eq!(t.get("mem.l1_hits"), Some(0.0));
+    }
+}

@@ -1,0 +1,798 @@
+//! The coherent memory system: private hierarchies, MESI directory at NUCA
+//! L3 banks, DRAM, prefetchers and near-data access paths.
+
+use crate::addr::{Addr, LineAddr, LINE_BYTES};
+use crate::cache::Cache;
+use crate::config::MemoryConfig;
+use crate::dram::Dram;
+use crate::mrsw::{LockKind, MrswLockTable};
+use crate::prefetch::{SpatialPrefetcher, StridePrefetcher};
+use crate::stats::MemStats;
+use nsc_noc::{Mesh, MsgClass, TileId};
+use nsc_sim::{resource::BandwidthLedger, Cycle};
+use std::collections::{HashMap, HashSet};
+
+/// Kind of a demand memory access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Read.
+    Load,
+    /// Write (write-allocate, fetch-exclusive).
+    Store,
+    /// Read-modify-write executed at the core (needs exclusive ownership).
+    Atomic,
+}
+
+impl AccessKind {
+    /// Whether this access requires exclusive ownership.
+    pub fn is_write(self) -> bool {
+        !matches!(self, AccessKind::Load)
+    }
+}
+
+/// Which level ultimately served a demand access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ServedBy {
+    /// Private L1 hit.
+    L1,
+    /// Private L2 hit.
+    L2,
+    /// Shared L3 hit (remote bank).
+    L3,
+    /// DRAM access.
+    Dram,
+}
+
+/// Sharer-bitmask bit for a core; the SE_L3 sentinel (`u16::MAX`) has no bit.
+#[inline]
+fn core_bit(core: u16) -> u64 {
+    if core < 64 {
+        1 << core
+    } else {
+        0
+    }
+}
+
+/// Directory entry for one line: MESI condensed to owner/sharers.
+#[derive(Clone, Copy, Debug, Default)]
+struct DirEntry {
+    /// Core holding the line in M state, if any.
+    owner: Option<u16>,
+    /// Bitmask of cores that may hold the line in S state.
+    sharers: u64,
+}
+
+struct PrivateHierarchy {
+    l1: Cache,
+    l2: Cache,
+    tlb: crate::tlb::Tlb,
+    spatial: SpatialPrefetcher,
+    stride: StridePrefetcher,
+    /// Lines brought in by prefetch and not yet demanded.
+    prefetched: HashSet<LineAddr>,
+}
+
+/// The full memory system. See the crate-level documentation for the model
+/// contract and an example.
+pub struct MemorySystem {
+    config: MemoryConfig,
+    privates: Vec<PrivateHierarchy>,
+    banks: Vec<Cache>,
+    /// Per-bank tag/data port throughput (1 access per cycle).
+    bank_ports: Vec<BandwidthLedger>,
+    directory: HashMap<LineAddr, DirEntry>,
+    dram: Dram,
+    locks: MrswLockTable,
+    /// SE_L3 TLBs, one per bank (paper §IV-B: the range unit listens to
+    /// addresses translated by the colocated TLB; the SE caches the
+    /// current translation, one access per page).
+    se_tlbs: Vec<crate::tlb::Tlb>,
+    stats: MemStats,
+}
+
+impl std::fmt::Debug for MemorySystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemorySystem")
+            .field("config", &self.config)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl MemorySystem {
+    /// Creates a cold memory system.
+    pub fn new(config: MemoryConfig) -> MemorySystem {
+        assert!(config.n_cores as usize <= 64, "sharer bitmask supports up to 64 cores");
+        assert!(
+            config.n_cores <= config.n_banks(),
+            "each core needs a tile: {} cores > {} tiles",
+            config.n_cores,
+            config.n_banks()
+        );
+        let privates = (0..config.n_cores)
+            .map(|_| PrivateHierarchy {
+                l1: Cache::new(config.l1),
+                l2: Cache::new(config.l2),
+                tlb: crate::tlb::Tlb::new(
+                    config.l2_tlb_entries,
+                    16,
+                    config.tlb_latency,
+                    config.page_walk_latency,
+                ),
+                spatial: SpatialPrefetcher::new(256, 64),
+                stride: StridePrefetcher::new(16, 4),
+                prefetched: HashSet::new(),
+            })
+            .collect();
+        // NUCA banks skip the bank-interleave bits when indexing sets.
+        let bank_cfg = crate::cache::CacheConfig {
+            set_skip_bits: config.n_banks().trailing_zeros(),
+            ..config.l3_bank
+        };
+        let banks = (0..config.n_banks()).map(|_| Cache::new(bank_cfg)).collect();
+        let bank_ports = (0..config.n_banks())
+            .map(|_| BandwidthLedger::new(16, 16))
+            .collect();
+        let se_tlbs = (0..config.n_banks())
+            .map(|_| {
+                crate::tlb::Tlb::new(
+                    config.se_tlb_entries,
+                    16,
+                    config.tlb_latency,
+                    config.page_walk_latency,
+                )
+            })
+            .collect();
+        MemorySystem {
+            bank_ports,
+            se_tlbs,
+            dram: Dram::new(config.dram, config.mesh_width, config.mesh_height),
+            locks: MrswLockTable::new(config.mrsw_lock),
+            privates,
+            banks,
+            directory: HashMap::new(),
+            stats: MemStats::default(),
+            config,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &MemoryConfig {
+        &self.config
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &MemStats {
+        &self.stats
+    }
+
+    /// The lock table (exposed for contention reporting, Figure 16).
+    pub fn locks(&self) -> &MrswLockTable {
+        &self.locks
+    }
+
+    /// The DRAM model (exposed for access counting).
+    pub fn dram(&self) -> &Dram {
+        &self.dram
+    }
+
+    /// The tile of a core's private hierarchy.
+    pub fn core_tile(&self, core: u16) -> TileId {
+        TileId(core)
+    }
+
+    /// The L3 bank index holding `line`.
+    pub fn bank_of(&self, line: LineAddr) -> u16 {
+        line.bank(self.config.n_banks() as u64) as u16
+    }
+
+    /// The tile of the L3 bank holding `line`.
+    pub fn bank_tile(&self, line: LineAddr) -> TileId {
+        TileId(self.bank_of(line))
+    }
+
+    /// Returns `true` if `core`'s private caches currently hold `line`.
+    pub fn private_holds(&self, core: u16, line: LineAddr) -> bool {
+        let p = &self.privates[core as usize];
+        p.l1.contains(line) || p.l2.contains(line)
+    }
+
+    // ------------------------------------------------------------------
+    // Demand path
+    // ------------------------------------------------------------------
+
+    /// Performs a demand access from `core` to `addr`, returning the
+    /// completion time. All coherence and data messages are charged to
+    /// `mesh`.
+    pub fn access(
+        &mut self,
+        now: Cycle,
+        core: u16,
+        addr: Addr,
+        kind: AccessKind,
+        mesh: &mut Mesh,
+    ) -> Cycle {
+        self.access_classified(now, core, addr, kind, mesh).0
+    }
+
+    /// Like [`MemorySystem::access`] but also reports which level served it.
+    pub fn access_classified(
+        &mut self,
+        now: Cycle,
+        core: u16,
+        addr: Addr,
+        kind: AccessKind,
+        mesh: &mut Mesh,
+    ) -> (Cycle, ServedBy) {
+        let line = addr.line();
+        let needs_own = kind.is_write();
+        // Writes require directory ownership even on a private hit
+        // (upgrade); loads can be served locally.
+        let owned = self
+            .directory
+            .get(&line)
+            .map(|d| d.owner == Some(core))
+            .unwrap_or(false);
+
+        let l1_latency = self.config.l1.latency;
+        let p = &mut self.privates[core as usize];
+
+        // L1 lookup.
+        if let Some(hit) = p.l1.lookup(line, now) {
+            if p.prefetched.remove(&line) {
+                self.stats.prefetch_hits += 1;
+            }
+            self.stats.l1_hits += 1;
+            if !needs_own || owned {
+                if needs_own {
+                    p.l1.set_dirty(line);
+                }
+                return (now.max(hit.ready) + l1_latency, ServedBy::L1);
+            }
+            // Upgrade: invalidate other copies via the directory, keep data.
+            let t = now.max(hit.ready) + l1_latency;
+            let done = self.ownership_transaction(t, core, line, mesh, false);
+            self.privates[core as usize].l1.set_dirty(line);
+            return (done, ServedBy::L1);
+        }
+        self.stats.l1_misses += 1;
+
+        // Bingo-like spatial prefetch triggers on L1 demand misses.
+        let pf_lines = if self.config.l1_spatial_prefetch {
+            p.spatial.on_access(line, true)
+        } else {
+            Vec::new()
+        };
+
+        // L2 lookup.
+        let t_l2 = now + l1_latency;
+        let l2_latency = self.config.l2.latency;
+        let p = &mut self.privates[core as usize];
+        let l2_hit = p.l2.lookup(line, t_l2);
+        let (data_at_core, served) = if let Some(hit) = l2_hit {
+            self.stats.l2_hits += 1;
+            let t = t_l2.max(hit.ready) + l2_latency;
+            if needs_own && !owned {
+                (self.ownership_transaction(t, core, line, mesh, false), ServedBy::L2)
+            } else {
+                (t, ServedBy::L2)
+            }
+        } else {
+            self.stats.l2_misses += 1;
+            // L2 stride prefetch triggers on L2 demand misses.
+            let stride_lines = if self.config.l2_stride_prefetch {
+                p.stride.on_miss(line)
+            } else {
+                Vec::new()
+            };
+            for pl in stride_lines {
+                self.prefetch_into_l2(t_l2 + l2_latency, core, pl, mesh);
+            }
+            // Translation: the L2 TLB is consulted in parallel with the
+            // lookup; only a page walk adds latency (huge pages make this
+            // rare).
+            let p = &mut self.privates[core as usize];
+            let before = p.tlb.misses();
+            let t_xlat = p.tlb.translate(addr.raw(), t_l2);
+            let t_req = if p.tlb.misses() > before {
+                t_xlat.max(t_l2 + l2_latency)
+            } else {
+                t_l2 + l2_latency
+            };
+            let (t, served) = self.remote_fetch(t_req, core, line, needs_own, mesh);
+            (t, served)
+        };
+
+        // Fill the private caches on a miss path.
+        if served > ServedBy::L2 {
+            self.fill_private(data_at_core, core, line, needs_own, mesh);
+        } else if needs_own {
+            // Write hit in L2: mark dirty, propagate into L1 on fill below.
+            self.privates[core as usize].l2.set_dirty(line);
+        }
+        if served == ServedBy::L2 {
+            // Move the line up into L1.
+            self.fill_l1_only(data_at_core, core, line, needs_own);
+        }
+
+        // Launch spatial prefetches after the demand is underway.
+        for pl in pf_lines {
+            self.prefetch_into_l1(t_l2, core, pl, mesh);
+        }
+        (data_at_core, served)
+    }
+
+    /// Fetches a line from the L3/DRAM into a core, handling the directory.
+    /// Returns (time data is at core, who served it).
+    fn remote_fetch(
+        &mut self,
+        now: Cycle,
+        core: u16,
+        line: LineAddr,
+        exclusive: bool,
+        mesh: &mut Mesh,
+    ) -> (Cycle, ServedBy) {
+        let core_tile = self.core_tile(core);
+        let bank_tile = self.bank_tile(line);
+        // Request message.
+        let t_bank = mesh.send(now, core_tile, bank_tile, 8, MsgClass::Control);
+        let (t_data_at_bank, served) = self.bank_obtain_line(t_bank, line, core, exclusive, mesh);
+        // Update directory for the requester.
+        let entry = self.directory.entry(line).or_default();
+        if exclusive {
+            entry.owner = Some(core);
+            entry.sharers = 0;
+        } else {
+            entry.owner = None;
+            entry.sharers |= core_bit(core);
+        }
+        // Data response to the core.
+        let t_core = mesh.send(t_data_at_bank, bank_tile, core_tile, LINE_BYTES, MsgClass::Data);
+        (t_core, served)
+    }
+
+    /// Ensures the bank holds the current copy of `line`, invalidating or
+    /// downgrading private copies as required. Returns (ready time, level).
+    ///
+    /// `for_core` is exempted from invalidation (it is the requester).
+    fn bank_obtain_line(
+        &mut self,
+        now: Cycle,
+        line: LineAddr,
+        for_core: u16,
+        exclusive: bool,
+        mesh: &mut Mesh,
+    ) -> (Cycle, ServedBy) {
+        let bank_tile = self.bank_tile(line);
+        // Bank port occupancy: one access-slot per request.
+        let bank_idx = self.bank_of(line) as usize;
+        let mut t = self.bank_ports[bank_idx].book(now, 1);
+        let entry = self.directory.get(&line).copied().unwrap_or_default();
+
+        // Fetch from a remote owner if someone else holds M.
+        if let Some(owner) = entry.owner {
+            if owner != for_core {
+                let owner_tile = self.core_tile(owner);
+                let t_inv = mesh.send(t, bank_tile, owner_tile, 8, MsgClass::Control);
+                let o = &mut self.privates[owner as usize];
+                let had = o.l1.invalidate(line).is_some() | o.l2.invalidate(line).is_some();
+                self.stats.invalidations += 1;
+                let t_back = mesh.send(t_inv, owner_tile, bank_tile, LINE_BYTES, MsgClass::Data);
+                if had {
+                    self.stats.private_writebacks += 1;
+                }
+                // The returned data becomes a dirty L3 copy.
+                self.l3_fill(t_back, line, true, mesh);
+                let e = self.directory.entry(line).or_default();
+                e.owner = None;
+                t = t_back;
+            }
+        }
+
+        // Invalidate other sharers when exclusivity is requested.
+        if exclusive {
+            let entry = self.directory.get(&line).copied().unwrap_or_default();
+            let mut t_acks = t;
+            for s in 0..self.config.n_cores {
+                if s != for_core && entry.sharers & (1 << s) != 0 {
+                    let s_tile = self.core_tile(s);
+                    let t_inv = mesh.send(t, bank_tile, s_tile, 8, MsgClass::Control);
+                    let p = &mut self.privates[s as usize];
+                    p.l1.invalidate(line);
+                    p.l2.invalidate(line);
+                    self.stats.invalidations += 1;
+                    let t_ack = mesh.send(t_inv, s_tile, bank_tile, 8, MsgClass::Control);
+                    t_acks = t_acks.max(t_ack);
+                }
+            }
+            if let Some(e) = self.directory.get_mut(&line) {
+                e.sharers &= core_bit(for_core);
+            }
+            t = t_acks;
+        }
+
+        // L3 lookup.
+        let bank = self.bank_of(line) as usize;
+        let l3_latency = self.config.l3_bank.latency;
+        if let Some(hit) = self.banks[bank].lookup(line, t) {
+            self.stats.l3_hits += 1;
+            return (t.max(hit.ready) + l3_latency, ServedBy::L3);
+        }
+        self.stats.l3_misses += 1;
+        // DRAM fetch.
+        let ctrl_tile = self.dram.controller_tile(line);
+        let t_req = mesh.send(t + l3_latency, bank_tile, ctrl_tile, 8, MsgClass::Control);
+        let (t_dram, _) = self.dram.access(t_req, line);
+        self.stats.dram_reads += 1;
+        let t_back = mesh.send(t_dram, ctrl_tile, bank_tile, LINE_BYTES, MsgClass::Data);
+        self.l3_fill(t_back, line, false, mesh);
+        (t_back, ServedBy::Dram)
+    }
+
+    /// Inserts a line into its L3 bank, writing back any dirty victim.
+    fn l3_fill(&mut self, now: Cycle, line: LineAddr, dirty: bool, mesh: &mut Mesh) {
+        let bank = self.bank_of(line) as usize;
+        if let Some(ev) = self.banks[bank].insert(line, dirty, now) {
+            if ev.dirty {
+                let ctrl_tile = self.dram.controller_tile(ev.line);
+                mesh.send(now, self.bank_tile(line), ctrl_tile, LINE_BYTES, MsgClass::Data);
+                self.dram.access(now, ev.line);
+                self.stats.dram_writebacks += 1;
+            }
+            self.directory.remove(&ev.line);
+        }
+    }
+
+    /// Upgrade transaction: gain ownership of a line already held shared.
+    fn ownership_transaction(
+        &mut self,
+        now: Cycle,
+        core: u16,
+        line: LineAddr,
+        mesh: &mut Mesh,
+        _data_needed: bool,
+    ) -> Cycle {
+        let core_tile = self.core_tile(core);
+        let bank_tile = self.bank_tile(line);
+        let t_bank = mesh.send(now, core_tile, bank_tile, 8, MsgClass::Control);
+        // Invalidate other private copies.
+        let entry = self.directory.get(&line).copied().unwrap_or_default();
+        let mut t = t_bank;
+        if let Some(owner) = entry.owner {
+            if owner != core {
+                let (t2, _) = self.bank_obtain_line(t_bank, line, core, true, mesh);
+                t = t2;
+            }
+        } else {
+            for s in 0..self.config.n_cores {
+                if s != core && entry.sharers & (1 << s) != 0 {
+                    let s_tile = self.core_tile(s);
+                    let t_inv = mesh.send(t_bank, bank_tile, s_tile, 8, MsgClass::Control);
+                    let p = &mut self.privates[s as usize];
+                    p.l1.invalidate(line);
+                    p.l2.invalidate(line);
+                    self.stats.invalidations += 1;
+                    t = t.max(mesh.send(t_inv, s_tile, bank_tile, 8, MsgClass::Control));
+                }
+            }
+        }
+        let e = self.directory.entry(line).or_default();
+        e.owner = Some(core);
+        e.sharers = 1 << core;
+        // Grant (control only; requester already has the data).
+        mesh.send(t, bank_tile, core_tile, 8, MsgClass::Control)
+    }
+
+    /// Fills L2 and L1 after a remote fetch, handling victim writebacks.
+    fn fill_private(&mut self, now: Cycle, core: u16, line: LineAddr, dirty: bool, mesh: &mut Mesh) {
+        let p = &mut self.privates[core as usize];
+        let ev2 = p.l2.insert(line, dirty, now);
+        let ev1 = p.l1.insert(line, dirty, now);
+        // L1 victim folds into L2 locally (no traffic).
+        if let Some(ev) = ev1 {
+            if ev.dirty {
+                p.l2.set_dirty(ev.line);
+            }
+        }
+        if let Some(ev) = ev2 {
+            self.evict_private_line(now, core, ev.line, ev.dirty, mesh);
+        }
+    }
+
+    fn fill_l1_only(&mut self, now: Cycle, core: u16, line: LineAddr, dirty: bool) {
+        let p = &mut self.privates[core as usize];
+        if let Some(ev) = p.l1.insert(line, dirty, now) {
+            if ev.dirty && !p.l2.set_dirty(ev.line) {
+                // Victim no longer in L2 (rare): treat as lost locally;
+                // correctness is functional-side, timing impact negligible.
+            }
+        }
+    }
+
+    /// Handles an L2 eviction: dirty lines write back to their L3 bank,
+    /// clean lines notify the directory (non-silent eviction).
+    fn evict_private_line(&mut self, now: Cycle, core: u16, line: LineAddr, dirty: bool, mesh: &mut Mesh) {
+        // The line also leaves L1 (inclusive private hierarchy).
+        let p = &mut self.privates[core as usize];
+        let l1_dirty = p.l1.invalidate(line).unwrap_or(false);
+        let dirty = dirty || l1_dirty;
+        let bank_tile = self.bank_tile(line);
+        let core_tile = self.core_tile(core);
+        if dirty {
+            let t = mesh.send(now, core_tile, bank_tile, LINE_BYTES, MsgClass::Data);
+            self.stats.private_writebacks += 1;
+            self.l3_fill(t, line, true, mesh);
+        }
+        if let Some(e) = self.directory.get_mut(&line) {
+            e.sharers &= !(1 << core);
+            if e.owner == Some(core) {
+                e.owner = None;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Prefetch paths
+    // ------------------------------------------------------------------
+
+    fn prefetch_into_l1(&mut self, now: Cycle, core: u16, line: LineAddr, mesh: &mut Mesh) {
+        if self.private_holds(core, line) {
+            return;
+        }
+        let (t, _) = self.remote_fetch(now, core, line, false, mesh);
+        self.fill_private(t, core, line, false, mesh);
+        self.stats.prefetch_fills += 1;
+        let p = &mut self.privates[core as usize];
+        p.prefetched.insert(line);
+        if p.prefetched.len() > 4096 {
+            p.prefetched.clear(); // bound bookkeeping
+        }
+    }
+
+    fn prefetch_into_l2(&mut self, now: Cycle, core: u16, line: LineAddr, mesh: &mut Mesh) {
+        if self.privates[core as usize].l2.contains(line) {
+            return;
+        }
+        let (t, _) = self.remote_fetch(now, core, line, false, mesh);
+        let ev = self.privates[core as usize].l2.insert(line, false, t);
+        if let Some(ev) = ev {
+            self.evict_private_line(t, core, ev.line, ev.dirty, mesh);
+        }
+        self.stats.prefetch_fills += 1;
+    }
+
+    // ------------------------------------------------------------------
+    // Near-data (SE_L3) paths
+    // ------------------------------------------------------------------
+
+    /// A stream access executed at the L3 bank of `addr` by an SE_L3
+    /// (paper §IV-B "Coherence & Consistency"): private copies are cleared
+    /// or fetched via normal invalidation transactions, then the bank
+    /// serves the line locally. Returns the completion time at the bank.
+    pub fn l3_stream_access(
+        &mut self,
+        now: Cycle,
+        addr: Addr,
+        kind: AccessKind,
+        mesh: &mut Mesh,
+    ) -> Cycle {
+        self.l3_stream_access_opts(now, addr, kind, false, mesh)
+    }
+
+    /// Like [`MemorySystem::l3_stream_access`], with a full-line-write hint:
+    /// a store stream known to overwrite whole lines (unit-stride affine)
+    /// installs lines at the bank without fetching them from DRAM.
+    pub fn l3_stream_access_opts(
+        &mut self,
+        now: Cycle,
+        addr: Addr,
+        kind: AccessKind,
+        full_line_write: bool,
+        mesh: &mut Mesh,
+    ) -> Cycle {
+        let line = addr.line();
+        if full_line_write && kind.is_write() && !self.banks[self.bank_of(line) as usize].contains(line) {
+            // Install without a DRAM fetch; private copies still need
+            // clearing for coherence.
+            let entry = self.directory.get(&line).copied().unwrap_or_default();
+            let t = if entry.owner.is_some() || entry.sharers != 0 {
+                let (t, _) = self.bank_obtain_line(now, line, u16::MAX, true, mesh);
+                t
+            } else {
+                let bank_idx = self.bank_of(line) as usize;
+                let slot = self.bank_ports[bank_idx].book(now, 1);
+                slot + self.config.l3_bank.latency.raw()
+            };
+            self.l3_fill(t, line, true, mesh);
+            return t;
+        }
+        // u16::MAX is never a real core id, so every private copy is
+        // invalidated/fetched.
+        let (t, _) = self.bank_obtain_line(now, line, u16::MAX, kind.is_write(), mesh);
+        if kind.is_write() {
+            // Mark dirty without disturbing fill-ready timing: concurrent
+            // stream writes to the same line must not serialize through the
+            // tag array (the lock table models any real serialization).
+            let bank = self.bank_of(line) as usize;
+            self.banks[bank].insert(line, true, Cycle::ZERO);
+            if let Some(e) = self.directory.get_mut(&line) {
+                e.owner = None;
+                e.sharers = 0;
+            }
+        }
+        t
+    }
+
+    /// Translates a stream address at the bank's SE_L3 TLB; call once per
+    /// page transition (the SE caches the current translation). Returns
+    /// when the translation is ready.
+    pub fn se_translate(&mut self, now: Cycle, addr: Addr) -> Cycle {
+        let bank = self.bank_of(addr.line()) as usize;
+        self.se_tlbs[bank].translate(addr.raw(), now)
+    }
+
+    /// An atomic read-modify-write executed at the L3 bank (paper §IV-C).
+    ///
+    /// `modifies` selects the MRSW lock mode: value-changing ops take the
+    /// exclusive lock, value-preserving ops (failed CAS, non-lowering min)
+    /// take the shared lock. Returns the completion time at the bank.
+    pub fn l3_atomic(&mut self, now: Cycle, addr: Addr, modifies: bool, mesh: &mut Mesh) -> Cycle {
+        let line = addr.line();
+        let t_data = self.l3_stream_access(now, addr, AccessKind::Atomic, mesh);
+        let kind = if modifies { LockKind::Exclusive } else { LockKind::Shared };
+        let dur = self.config.atomic_op_cycles;
+        let start = self.locks.acquire(t_data, line, kind, dur);
+        self.stats.l3_atomics += 1;
+        start + dur
+    }
+
+    /// Extends the lock hold time of an already-performed atomic, modelling
+    /// range-sync commit delay (the line stays locked until the commit
+    /// message arrives; paper §IV-C).
+    pub fn extend_lock(&mut self, from: Cycle, addr: Addr, until: Cycle, modifies: bool) {
+        if until <= from {
+            return;
+        }
+        let kind = if modifies { LockKind::Exclusive } else { LockKind::Shared };
+        self.locks
+            .acquire(from, addr.line(), kind, (until - from).raw());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nsc_noc::MeshConfig;
+
+    fn setup() -> (MemorySystem, Mesh) {
+        (
+            MemorySystem::new(MemoryConfig::small_16core()),
+            Mesh::new(MeshConfig::small_4x4()),
+        )
+    }
+
+    #[test]
+    fn cold_miss_goes_to_dram_then_hits() {
+        let (mut mem, mut mesh) = setup();
+        let (t, served) = mem.access_classified(Cycle(0), 0, Addr(0x4000), AccessKind::Load, &mut mesh);
+        assert_eq!(served, ServedBy::Dram);
+        assert!(t > Cycle(100));
+        let (t2, served2) = mem.access_classified(t, 0, Addr(0x4000), AccessKind::Load, &mut mesh);
+        assert_eq!(served2, ServedBy::L1);
+        assert_eq!(t2, t + Cycle(2));
+        assert_eq!(mem.stats().dram_reads, 1);
+    }
+
+    #[test]
+    fn second_core_load_hits_l3() {
+        let (mut mem, mut mesh) = setup();
+        let t = mem.access(Cycle(0), 0, Addr(0x8000), AccessKind::Load, &mut mesh);
+        let (_, served) = mem.access_classified(t, 1, Addr(0x8000), AccessKind::Load, &mut mesh);
+        assert_eq!(served, ServedBy::L3);
+        assert_eq!(mem.stats().l3_hits, 1);
+    }
+
+    #[test]
+    fn store_fetches_exclusive_and_invalidates_sharers() {
+        let (mut mem, mut mesh) = setup();
+        let a = Addr(0x100);
+        let t0 = mem.access(Cycle(0), 0, a, AccessKind::Load, &mut mesh);
+        let t1 = mem.access(t0, 1, a, AccessKind::Load, &mut mesh);
+        // Core 2 stores: both sharers are invalidated.
+        let t2 = mem.access(t1, 2, a, AccessKind::Store, &mut mesh);
+        assert_eq!(mem.stats().invalidations, 2);
+        assert!(!mem.private_holds(0, a.line()));
+        assert!(!mem.private_holds(1, a.line()));
+        assert!(mem.private_holds(2, a.line()));
+        // Core 0 reloads: fetched from owner 2 (dirty writeback).
+        mem.access(t2, 0, a, AccessKind::Load, &mut mesh);
+        assert_eq!(mem.stats().private_writebacks, 1);
+    }
+
+    #[test]
+    fn store_hit_without_ownership_upgrades() {
+        let (mut mem, mut mesh) = setup();
+        let a = Addr(0x200);
+        let t0 = mem.access(Cycle(0), 0, a, AccessKind::Load, &mut mesh);
+        let msgs_before = mesh.traffic().total_messages();
+        let (t1, served) = mem.access_classified(t0, 0, a, AccessKind::Store, &mut mesh);
+        assert_eq!(served, ServedBy::L1);
+        assert!(mesh.traffic().total_messages() > msgs_before, "upgrade needs messages");
+        // Second store is silent (already owner).
+        let msgs_mid = mesh.traffic().total_messages();
+        mem.access(t1, 0, a, AccessKind::Store, &mut mesh);
+        assert_eq!(mesh.traffic().total_messages(), msgs_mid);
+    }
+
+    #[test]
+    fn l3_stream_store_clears_private_copies() {
+        let (mut mem, mut mesh) = setup();
+        let a = Addr(0x300);
+        let t0 = mem.access(Cycle(0), 3, a, AccessKind::Load, &mut mesh);
+        assert!(mem.private_holds(3, a.line()));
+        mem.l3_stream_access(t0, a, AccessKind::Store, &mut mesh);
+        assert!(!mem.private_holds(3, a.line()));
+        // Subsequent core load sees the bank copy.
+        let (_, served) = mem.access_classified(t0 + Cycle(10_000), 3, a, AccessKind::Load, &mut mesh);
+        assert_eq!(served, ServedBy::L3);
+    }
+
+    #[test]
+    fn l3_atomic_serializes_on_same_line() {
+        let (mut mem, mut mesh) = setup();
+        let a = Addr(0x400);
+        // Warm the bank.
+        mem.l3_stream_access(Cycle(0), a, AccessKind::Load, &mut mesh);
+        // The line lock bounds throughput: a burst of modifying atomics to
+        // one line takes at least op-cycles each in aggregate.
+        let first = mem.l3_atomic(Cycle(1000), a, true, &mut mesh);
+        let mut last = first;
+        for _ in 0..7 {
+            last = last.max(mem.l3_atomic(Cycle(1000), a, true, &mut mesh));
+        }
+        assert!(last >= first + 7 * mem.config().atomic_op_cycles / 2, "last {last} first {first}");
+        assert!(mem.locks().conflicts() > 0);
+        assert_eq!(mem.stats().l3_atomics, 8);
+    }
+
+    #[test]
+    fn l3_atomic_shared_does_not_conflict() {
+        let (mut mem, mut mesh) = setup();
+        let a = Addr(0x500);
+        mem.l3_stream_access(Cycle(0), a, AccessKind::Load, &mut mesh);
+        mem.l3_atomic(Cycle(1000), a, false, &mut mesh);
+        mem.l3_atomic(Cycle(1000), a, false, &mut mesh);
+        assert_eq!(mem.locks().conflicts(), 0);
+    }
+
+    #[test]
+    fn dirty_owner_fetched_by_stream_access() {
+        let (mut mem, mut mesh) = setup();
+        let a = Addr(0x600);
+        let t0 = mem.access(Cycle(0), 5, a, AccessKind::Store, &mut mesh);
+        let wb_before = mem.stats().private_writebacks;
+        mem.l3_stream_access(t0, a, AccessKind::Load, &mut mesh);
+        assert_eq!(mem.stats().private_writebacks, wb_before + 1);
+        assert!(!mem.private_holds(5, a.line()));
+    }
+
+    #[test]
+    fn capacity_evictions_write_back_dirty_lines() {
+        let (mut mem, mut mesh) = setup();
+        // Store to far more lines than L1+L2 capacity for core 0.
+        let mut t = Cycle(0);
+        let lines = (mem.config().l2.size_bytes / LINE_BYTES) * 4;
+        for i in 0..lines {
+            t = mem.access(t, 0, Addr(i * LINE_BYTES), AccessKind::Store, &mut mesh);
+        }
+        assert!(mem.stats().private_writebacks > 0);
+    }
+
+    #[test]
+    fn bank_mapping_is_line_interleaved() {
+        let (mem, _) = setup();
+        assert_eq!(mem.bank_of(LineAddr(0)), 0);
+        assert_eq!(mem.bank_of(LineAddr(15)), 15);
+        assert_eq!(mem.bank_of(LineAddr(16)), 0);
+    }
+}

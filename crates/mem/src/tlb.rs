@@ -1,0 +1,138 @@
+//! TLB models (Table V: 64-entry L1 TLBs, 2k-entry L2 TLB, 1k-entry
+//! SE_L3 TLB at 8-cycle latency).
+//!
+//! The suite assumes huge pages back every large data structure (paper
+//! §IV-A), so the page size defaults to 2 MB and misses are rare; the
+//! model still charges lookup latency on page transitions and full walks
+//! on misses, and the SE_L3 caches the current translation so streams pay
+//! one TLB access per page (paper §IV-B "Hardware Units").
+
+use crate::cache::{Cache, CacheConfig, ReplacePolicy};
+use crate::LineAddr;
+use nsc_sim::Cycle;
+
+/// Page-number bits below which addresses share a translation (2 MB huge
+/// pages).
+pub const HUGE_PAGE_BITS: u32 = 21;
+
+/// A set-associative TLB.
+///
+/// # Examples
+///
+/// ```
+/// use nsc_mem::tlb::Tlb;
+/// use nsc_sim::Cycle;
+///
+/// let mut tlb = Tlb::new(64, 4, Cycle(8), Cycle(60));
+/// // Cold miss pays the walk; the refill makes the next access a hit.
+/// assert_eq!(tlb.translate(0x20_0000, Cycle(0)), Cycle(68));
+/// assert_eq!(tlb.translate(0x20_0040, Cycle(100)), Cycle(108));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Tlb {
+    entries: Cache,
+    lookup_latency: Cycle,
+    walk_latency: Cycle,
+    hits: u64,
+    misses: u64,
+}
+
+impl Tlb {
+    /// Creates a TLB with `n_entries` and `ways` associativity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape does not divide into power-of-two sets.
+    pub fn new(n_entries: u64, ways: u32, lookup_latency: Cycle, walk_latency: Cycle) -> Tlb {
+        Tlb {
+            entries: Cache::new(CacheConfig {
+                // Reuse the tag-array machinery: one "line" per page entry.
+                size_bytes: n_entries * 64,
+                ways,
+                latency: lookup_latency,
+                policy: ReplacePolicy::Lru,
+                set_skip_bits: 0,
+            }),
+            lookup_latency,
+            walk_latency,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Translates a byte address at `now`, returning when the translation
+    /// is available. Hits cost the lookup latency; misses add a page walk
+    /// and install the entry.
+    pub fn translate(&mut self, addr: u64, now: Cycle) -> Cycle {
+        let page = LineAddr(addr >> HUGE_PAGE_BITS);
+        if self.entries.lookup(page, now).is_some() {
+            self.hits += 1;
+            now + self.lookup_latency.raw()
+        } else {
+            self.misses += 1;
+            self.entries.insert(page, false, now);
+            now + self.lookup_latency.raw() + self.walk_latency.raw()
+        }
+    }
+
+    /// TLB hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// TLB misses (page walks) so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Invalidates one page (TLB shoot-down participation, paper §IV-B).
+    pub fn shoot_down(&mut self, addr: u64) {
+        self.entries.invalidate(LineAddr(addr >> HUGE_PAGE_BITS));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tlb() -> Tlb {
+        Tlb::new(64, 4, Cycle(8), Cycle(60))
+    }
+
+    #[test]
+    fn same_page_hits() {
+        let mut t = tlb();
+        t.translate(0, Cycle(0));
+        // Anywhere within the same 2 MB page hits.
+        assert_eq!(t.translate((1 << 21) - 8, Cycle(10)), Cycle(18));
+        assert_eq!(t.hits(), 1);
+        assert_eq!(t.misses(), 1);
+    }
+
+    #[test]
+    fn new_page_walks() {
+        let mut t = tlb();
+        t.translate(0, Cycle(0));
+        assert_eq!(t.translate(1 << 21, Cycle(10)), Cycle(78));
+        assert_eq!(t.misses(), 2);
+    }
+
+    #[test]
+    fn shoot_down_forces_rewalk() {
+        let mut t = tlb();
+        t.translate(0, Cycle(0));
+        t.shoot_down(0);
+        assert_eq!(t.translate(8, Cycle(100)), Cycle(168));
+    }
+
+    #[test]
+    fn capacity_evicts_old_translations() {
+        let mut t = Tlb::new(4, 4, Cycle(1), Cycle(10));
+        for p in 0..8u64 {
+            t.translate(p << HUGE_PAGE_BITS, Cycle(0));
+        }
+        assert_eq!(t.misses(), 8);
+        // The earliest page was evicted.
+        assert_eq!(t.translate(0, Cycle(50)), Cycle(61));
+    }
+}

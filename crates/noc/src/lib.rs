@@ -1,0 +1,26 @@
+//! Mesh network-on-chip model for the near-stream computing suite.
+//!
+//! Models the paper's 8x8 mesh (Table V: 256-bit 1-cycle links, 5-stage
+//! routers, X-Y dimension-order routing, multicast support) with
+//! next-free-time link contention and per-message-class traffic accounting
+//! in bytes × hops — the metric reported in the paper's Figures 1(b) and 12.
+//!
+//! # Examples
+//!
+//! ```
+//! use nsc_noc::{Mesh, MeshConfig, MsgClass, TileId};
+//! use nsc_sim::Cycle;
+//!
+//! let mut mesh = Mesh::new(MeshConfig::paper_8x8());
+//! let src = TileId::from_xy(0, 0, 8);
+//! let dst = TileId::from_xy(3, 4, 8);
+//! let arrival = mesh.send(Cycle(0), src, dst, 64, MsgClass::Data);
+//! assert!(arrival > Cycle(0));
+//! assert_eq!(mesh.traffic().bytes_hops(MsgClass::Data), (64 + 8) * 7);
+//! ```
+
+pub mod mesh;
+pub mod topology;
+
+pub use mesh::{Mesh, MeshConfig, MsgClass, TrafficStats};
+pub use topology::TileId;

@@ -1,0 +1,412 @@
+//! The mesh timing and traffic-accounting model.
+
+use crate::topology::{xy_route, Link, TileId};
+use nsc_sim::{resource::BandwidthLedger, Cycle, Summary};
+use std::collections::BTreeSet;
+
+/// Classification of NoC messages, matching the paper's Figure 12 breakdown.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MsgClass {
+    /// Non-offloaded data accesses and writebacks.
+    Data,
+    /// Coherence and prefetch control messages.
+    Control,
+    /// Data and coordination for near-data computing (credits, ranges,
+    /// commits, forwarded stream data, offload requests).
+    Offloaded,
+}
+
+impl MsgClass {
+    /// All classes, in display order.
+    pub const ALL: [MsgClass; 3] = [MsgClass::Data, MsgClass::Control, MsgClass::Offloaded];
+
+    fn index(self) -> usize {
+        match self {
+            MsgClass::Data => 0,
+            MsgClass::Control => 1,
+            MsgClass::Offloaded => 2,
+        }
+    }
+
+    /// Short lowercase label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            MsgClass::Data => "data",
+            MsgClass::Control => "control",
+            MsgClass::Offloaded => "offloaded",
+        }
+    }
+}
+
+/// Static configuration of the mesh.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MeshConfig {
+    /// Tiles per row.
+    pub width: u16,
+    /// Tiles per column.
+    pub height: u16,
+    /// Link width in bytes per cycle (256-bit links = 32 B).
+    pub link_bytes_per_cycle: u64,
+    /// Router pipeline depth in cycles (5-stage in the paper).
+    pub router_latency: u64,
+    /// Link traversal latency in cycles.
+    pub link_latency: u64,
+    /// Per-message header/flit overhead in bytes, charged to accounting.
+    pub header_bytes: u64,
+    /// Whether links model bandwidth contention.
+    pub contention: bool,
+}
+
+impl MeshConfig {
+    /// The paper's Table V configuration: 8x8 mesh, 256-bit 1-cycle links,
+    /// 5-stage routers.
+    pub fn paper_8x8() -> MeshConfig {
+        MeshConfig {
+            width: 8,
+            height: 8,
+            link_bytes_per_cycle: 32,
+            router_latency: 5,
+            link_latency: 1,
+            header_bytes: 8,
+            contention: true,
+        }
+    }
+
+    /// A small 4x4 mesh useful for fast tests.
+    pub fn small_4x4() -> MeshConfig {
+        MeshConfig {
+            width: 4,
+            height: 4,
+            ..MeshConfig::paper_8x8()
+        }
+    }
+
+    /// Number of tiles in the mesh.
+    pub fn tiles(&self) -> u16 {
+        self.width * self.height
+    }
+}
+
+impl Default for MeshConfig {
+    fn default() -> Self {
+        MeshConfig::paper_8x8()
+    }
+}
+
+/// Accumulated traffic statistics, per message class.
+#[derive(Clone, Debug, Default)]
+pub struct TrafficStats {
+    bytes_hops: [u64; 3],
+    bytes: [u64; 3],
+    messages: [u64; 3],
+    hops: [u64; 3],
+    latency: Summary,
+}
+
+impl TrafficStats {
+    /// Bytes × hops for one class — the paper's traffic metric.
+    pub fn bytes_hops(&self, class: MsgClass) -> u64 {
+        self.bytes_hops[class.index()]
+    }
+
+    /// Total bytes × hops across all classes.
+    pub fn total_bytes_hops(&self) -> u64 {
+        self.bytes_hops.iter().sum()
+    }
+
+    /// Total payload+header bytes injected for one class.
+    pub fn bytes(&self, class: MsgClass) -> u64 {
+        self.bytes[class.index()]
+    }
+
+    /// Messages sent for one class.
+    pub fn messages(&self, class: MsgClass) -> u64 {
+        self.messages[class.index()]
+    }
+
+    /// Total messages across classes.
+    pub fn total_messages(&self) -> u64 {
+        self.messages.iter().sum()
+    }
+
+    /// Hops traversed for one class.
+    pub fn hops(&self, class: MsgClass) -> u64 {
+        self.hops[class.index()]
+    }
+
+    /// End-to-end latency summary over all non-local messages.
+    pub fn latency(&self) -> &Summary {
+        &self.latency
+    }
+
+    fn record(&mut self, class: MsgClass, bytes: u64, hops: u64, latency: Cycle) {
+        let i = class.index();
+        self.bytes_hops[i] += bytes * hops;
+        self.bytes[i] += bytes;
+        self.messages[i] += 1;
+        self.hops[i] += hops;
+        self.latency.record(latency.raw() as f64);
+    }
+}
+
+/// The mesh network: timing via per-link next-free-time resources, plus
+/// traffic accounting.
+///
+/// The mesh is a *passive* model: callers ask when a message would arrive and
+/// schedule their own delivery events. See the crate-level example.
+#[derive(Debug)]
+pub struct Mesh {
+    config: MeshConfig,
+    /// Directed link bandwidth ledgers indexed by `tile * 4 + direction`.
+    links: Vec<BandwidthLedger>,
+    traffic: TrafficStats,
+}
+
+/// Direction of a mesh link from a tile.
+fn dir_index(from: TileId, to: TileId, width: u16) -> usize {
+    let (fx, fy) = from.xy(width);
+    let (tx, ty) = to.xy(width);
+    if tx == fx + 1 {
+        0 // east
+    } else if fx == tx + 1 {
+        1 // west
+    } else if ty == fy + 1 {
+        2 // south
+    } else if fy == ty + 1 {
+        3 // north
+    } else {
+        panic!("{from} -> {to} is not a mesh-adjacent link");
+    }
+}
+
+impl Mesh {
+    /// Creates a mesh with the given configuration.
+    pub fn new(config: MeshConfig) -> Mesh {
+        let n = config.tiles() as usize * 4;
+        Mesh {
+            config,
+            links: vec![BandwidthLedger::new(16, 16); n],
+            traffic: TrafficStats::default(),
+        }
+    }
+
+    /// The mesh configuration.
+    pub fn config(&self) -> &MeshConfig {
+        &self.config
+    }
+
+    /// Accumulated traffic statistics.
+    pub fn traffic(&self) -> &TrafficStats {
+        &self.traffic
+    }
+
+    /// Resets traffic statistics (e.g. after warmup).
+    pub fn reset_traffic(&mut self) {
+        self.traffic = TrafficStats::default();
+    }
+
+    /// Manhattan hop count between two tiles.
+    pub fn hops(&self, src: TileId, dst: TileId) -> u64 {
+        src.hops_to(dst, self.config.width)
+    }
+
+    /// Serialization occupancy of a message on one link, in cycles.
+    fn flit_cycles(&self, bytes: u64) -> u64 {
+        let total = bytes + self.config.header_bytes;
+        total.div_ceil(self.config.link_bytes_per_cycle).max(1)
+    }
+
+    /// Sends `bytes` of payload from `src` to `dst`, returning the arrival
+    /// time. Local messages (src == dst) cost one cycle and no traffic.
+    ///
+    /// Traffic accounting charges `(payload + header) × hops` to `class`.
+    pub fn send(&mut self, now: Cycle, src: TileId, dst: TileId, bytes: u64, class: MsgClass) -> Cycle {
+        if src == dst {
+            return now + 1;
+        }
+        let route = xy_route(src, dst, self.config.width);
+        let hops = route.len() as u64;
+        let flits = self.flit_cycles(bytes);
+        let mut t = now;
+        for link in &route {
+            let idx = link.from.raw() as usize * 4 + dir_index(link.from, link.to, self.config.width);
+            let tail = if self.config.contention {
+                self.links[idx].book(t, flits)
+            } else {
+                t + (flits - 1)
+            };
+            t = tail + self.config.router_latency + self.config.link_latency;
+        }
+        let arrival = t;
+        self.traffic
+            .record(class, bytes + self.config.header_bytes, hops, arrival - now);
+        arrival
+    }
+
+    /// Multicasts `bytes` from `src` to each destination, returning the
+    /// latest arrival. The router supports tree multicast (paper Table V),
+    /// so each link in the union of X-Y routes is charged exactly once.
+    pub fn multicast(
+        &mut self,
+        now: Cycle,
+        src: TileId,
+        dsts: &[TileId],
+        bytes: u64,
+        class: MsgClass,
+    ) -> Cycle {
+        let mut union: BTreeSet<Link> = BTreeSet::new();
+        let mut max_arrival = now + 1;
+        let flits = self.flit_cycles(bytes);
+        for &dst in dsts {
+            if dst == src {
+                continue;
+            }
+            let route = xy_route(src, dst, self.config.width);
+            let mut t = now;
+            for link in &route {
+                union.insert(*link);
+                t += self.config.router_latency + self.config.link_latency;
+            }
+            max_arrival = max_arrival.max(t + (flits - 1));
+        }
+        for link in &union {
+            let idx = link.from.raw() as usize * 4 + dir_index(link.from, link.to, self.config.width);
+            if self.config.contention {
+                self.links[idx].book(now, flits);
+            }
+        }
+        if !union.is_empty() {
+            let hops = union.len() as u64;
+            self.traffic
+                .record(class, bytes + self.config.header_bytes, hops, max_arrival - now);
+        }
+        max_arrival
+    }
+
+    /// Accounts traffic for a message without computing timing. Used by the
+    /// ideal (zero-latency) system studies of Figure 1(b).
+    pub fn account_only(&mut self, src: TileId, dst: TileId, bytes: u64, class: MsgClass) {
+        if src == dst {
+            return;
+        }
+        let hops = self.hops(src, dst);
+        self.traffic.record(class, bytes, hops, Cycle::ZERO);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mesh() -> Mesh {
+        Mesh::new(MeshConfig {
+            contention: false,
+            ..MeshConfig::paper_8x8()
+        })
+    }
+
+    #[test]
+    fn local_send_is_one_cycle_no_traffic() {
+        let mut m = mesh();
+        let t = TileId(5);
+        assert_eq!(m.send(Cycle(10), t, t, 64, MsgClass::Data), Cycle(11));
+        assert_eq!(m.traffic().total_bytes_hops(), 0);
+        assert_eq!(m.traffic().total_messages(), 0);
+    }
+
+    #[test]
+    fn latency_scales_with_hops() {
+        let mut m = mesh();
+        let a = TileId::from_xy(0, 0, 8);
+        let b = TileId::from_xy(1, 0, 8); // 1 hop
+        let c = TileId::from_xy(4, 0, 8); // 4 hops
+        let t1 = m.send(Cycle(0), a, b, 8, MsgClass::Control);
+        let t4 = m.send(Cycle(0), a, c, 8, MsgClass::Control);
+        // per hop: 5 router + 1 link = 6 cycles; 16-byte msg on 32B link = 1 flit
+        assert_eq!(t1, Cycle(6));
+        assert_eq!(t4, Cycle(24));
+    }
+
+    #[test]
+    fn accounting_includes_header() {
+        let mut m = mesh();
+        let a = TileId::from_xy(0, 0, 8);
+        let b = TileId::from_xy(2, 1, 8); // 3 hops
+        m.send(Cycle(0), a, b, 64, MsgClass::Data);
+        assert_eq!(m.traffic().bytes_hops(MsgClass::Data), (64 + 8) * 3);
+        assert_eq!(m.traffic().bytes(MsgClass::Data), 72);
+        assert_eq!(m.traffic().messages(MsgClass::Data), 1);
+        assert_eq!(m.traffic().hops(MsgClass::Data), 3);
+    }
+
+    #[test]
+    fn serialization_tail_adds_latency() {
+        let mut m = mesh();
+        let a = TileId::from_xy(0, 0, 8);
+        let b = TileId::from_xy(1, 0, 8);
+        // 64+8 = 72 bytes over 32 B/cycle = 3 flits => 2 extra tail cycles.
+        let t = m.send(Cycle(0), a, b, 64, MsgClass::Data);
+        assert_eq!(t, Cycle(6 + 2));
+    }
+
+    #[test]
+    fn contention_delays_second_message() {
+        let mut m = Mesh::new(MeshConfig::paper_8x8());
+        let a = TileId::from_xy(0, 0, 8);
+        let b = TileId::from_xy(1, 0, 8);
+        let t1 = m.send(Cycle(0), a, b, 64, MsgClass::Data); // 3 flits
+        let t2 = m.send(Cycle(0), a, b, 64, MsgClass::Data); // queues behind
+        assert_eq!(t1, Cycle(9));
+        assert_eq!(t2, Cycle(12));
+    }
+
+    #[test]
+    fn multicast_charges_union_once() {
+        let mut m = mesh();
+        let src = TileId::from_xy(0, 0, 8);
+        // Both routes share the first east link.
+        let d1 = TileId::from_xy(2, 0, 8);
+        let d2 = TileId::from_xy(2, 1, 8);
+        m.multicast(Cycle(0), src, &[d1, d2], 8, MsgClass::Offloaded);
+        // Union: (0,0)->(1,0)->(2,0)->(2,1): 3 links, charged once each.
+        assert_eq!(m.traffic().bytes_hops(MsgClass::Offloaded), 16 * 3);
+        assert_eq!(m.traffic().messages(MsgClass::Offloaded), 1);
+    }
+
+    #[test]
+    fn multicast_to_self_only_is_free() {
+        let mut m = mesh();
+        let src = TileId(0);
+        let t = m.multicast(Cycle(5), src, &[src], 8, MsgClass::Control);
+        assert_eq!(t, Cycle(6));
+        assert_eq!(m.traffic().total_messages(), 0);
+    }
+
+    #[test]
+    fn account_only_skips_timing() {
+        let mut m = mesh();
+        m.account_only(TileId(0), TileId(7), 64, MsgClass::Data);
+        assert_eq!(m.traffic().bytes_hops(MsgClass::Data), 64 * 7);
+        assert_eq!(m.traffic().latency().max(), Some(0.0));
+    }
+
+    #[test]
+    fn reset_traffic_clears() {
+        let mut m = mesh();
+        m.send(Cycle(0), TileId(0), TileId(1), 64, MsgClass::Data);
+        m.reset_traffic();
+        assert_eq!(m.traffic().total_bytes_hops(), 0);
+    }
+}
+
+impl Mesh {
+    /// Peak per-link occupancy in flit-cycles (diagnostic).
+    pub fn max_link_busy(&self) -> u64 {
+        self.links.iter().map(|l| l.total_booked()).max().unwrap_or(0)
+    }
+
+    /// Total link occupancy in flit-cycles (diagnostic).
+    pub fn total_link_busy(&self) -> u64 {
+        self.links.iter().map(|l| l.total_booked()).sum()
+    }
+}

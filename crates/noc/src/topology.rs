@@ -1,0 +1,160 @@
+//! Mesh coordinates and dimension-order routing.
+
+use std::fmt;
+
+/// Identifies one tile (core + L3 bank + router) in the mesh.
+///
+/// Tiles are numbered row-major: `id = y * width + x`.
+///
+/// # Examples
+///
+/// ```
+/// use nsc_noc::TileId;
+/// let t = TileId::from_xy(3, 2, 8);
+/// assert_eq!(t.raw(), 19);
+/// assert_eq!(t.xy(8), (3, 2));
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TileId(pub u16);
+
+impl TileId {
+    /// Builds a tile id from mesh coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x >= width`.
+    pub fn from_xy(x: u16, y: u16, width: u16) -> TileId {
+        assert!(x < width, "x={x} out of bounds for width {width}");
+        TileId(y * width + x)
+    }
+
+    /// Returns the raw index.
+    pub fn raw(self) -> u16 {
+        self.0
+    }
+
+    /// Returns `(x, y)` coordinates in a mesh of the given width.
+    pub fn xy(self, width: u16) -> (u16, u16) {
+        (self.0 % width, self.0 / width)
+    }
+
+    /// Manhattan hop distance to `other` in a mesh of the given width.
+    pub fn hops_to(self, other: TileId, width: u16) -> u64 {
+        let (x0, y0) = self.xy(width);
+        let (x1, y1) = other.xy(width);
+        (x0.abs_diff(x1) + y0.abs_diff(y1)) as u64
+    }
+}
+
+impl fmt::Display for TileId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+impl From<u16> for TileId {
+    fn from(v: u16) -> TileId {
+        TileId(v)
+    }
+}
+
+/// One directed link between adjacent routers, identified by its endpoints.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Link {
+    /// Source tile of the directed link.
+    pub from: TileId,
+    /// Destination tile of the directed link (always mesh-adjacent to `from`).
+    pub to: TileId,
+}
+
+/// Computes the X-Y (dimension-order) route from `src` to `dst`, returning
+/// the sequence of directed links traversed.
+///
+/// X-Y routing first moves along the x dimension, then along y; it is
+/// deadlock-free on a mesh and is what the paper's Garnet configuration uses.
+///
+/// # Examples
+///
+/// ```
+/// use nsc_noc::topology::{xy_route, TileId};
+/// let route = xy_route(TileId::from_xy(0, 0, 4), TileId::from_xy(2, 1, 4), 4);
+/// assert_eq!(route.len(), 3);
+/// assert_eq!(route[0].from, TileId::from_xy(0, 0, 4));
+/// assert_eq!(route.last().unwrap().to, TileId::from_xy(2, 1, 4));
+/// ```
+pub fn xy_route(src: TileId, dst: TileId, width: u16) -> Vec<Link> {
+    let (mut x, mut y) = src.xy(width);
+    let (dx, dy) = dst.xy(width);
+    let mut links = Vec::with_capacity(src.hops_to(dst, width) as usize);
+    let mut cur = src;
+    while x != dx {
+        x = if x < dx { x + 1 } else { x - 1 };
+        let next = TileId::from_xy(x, y, width);
+        links.push(Link { from: cur, to: next });
+        cur = next;
+    }
+    while y != dy {
+        y = if y < dy { y + 1 } else { y - 1 };
+        let next = TileId::from_xy(x, y, width);
+        links.push(Link { from: cur, to: next });
+        cur = next;
+    }
+    links
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_major_numbering() {
+        assert_eq!(TileId::from_xy(0, 0, 8).raw(), 0);
+        assert_eq!(TileId::from_xy(7, 0, 8).raw(), 7);
+        assert_eq!(TileId::from_xy(0, 1, 8).raw(), 8);
+        assert_eq!(TileId::from_xy(7, 7, 8).raw(), 63);
+    }
+
+    #[test]
+    fn hops_are_manhattan() {
+        let a = TileId::from_xy(1, 1, 8);
+        let b = TileId::from_xy(6, 3, 8);
+        assert_eq!(a.hops_to(b, 8), 7);
+        assert_eq!(b.hops_to(a, 8), 7);
+        assert_eq!(a.hops_to(a, 8), 0);
+    }
+
+    #[test]
+    fn route_length_matches_hops() {
+        let a = TileId::from_xy(5, 2, 8);
+        let b = TileId::from_xy(1, 7, 8);
+        let r = xy_route(a, b, 8);
+        assert_eq!(r.len() as u64, a.hops_to(b, 8));
+        // links must chain
+        for pair in r.windows(2) {
+            assert_eq!(pair[0].to, pair[1].from);
+        }
+    }
+
+    #[test]
+    fn route_is_x_then_y() {
+        let r = xy_route(TileId::from_xy(0, 0, 8), TileId::from_xy(2, 2, 8), 8);
+        let (x1, y1) = r[0].to.xy(8);
+        assert_eq!((x1, y1), (1, 0)); // x moves first
+        let (x2, y2) = r[1].to.xy(8);
+        assert_eq!((x2, y2), (2, 0));
+        let (x3, y3) = r[2].to.xy(8);
+        assert_eq!((x3, y3), (2, 1));
+    }
+
+    #[test]
+    fn empty_route_for_self() {
+        let t = TileId::from_xy(4, 4, 8);
+        assert!(xy_route(t, t, 8).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn from_xy_validates() {
+        let _ = TileId::from_xy(8, 0, 8);
+    }
+}

@@ -1,0 +1,186 @@
+//! Deterministic event queue.
+
+use crate::time::Cycle;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An entry in the queue: ordered by time, then insertion sequence.
+struct Entry<T> {
+    time: Cycle,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<T> {
+    // Reversed so that the std max-heap pops the *smallest* (time, seq).
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A time-ordered event queue with deterministic tie-breaking.
+///
+/// Events scheduled for the same cycle are delivered in insertion order, so a
+/// simulation driven by this queue is fully reproducible regardless of
+/// payload type or hash seeds.
+///
+/// # Examples
+///
+/// ```
+/// use nsc_sim::{Cycle, EventQueue};
+///
+/// let mut q = EventQueue::new();
+/// q.push(Cycle(3), 'b');
+/// q.push(Cycle(3), 'c'); // same time: FIFO order
+/// q.push(Cycle(1), 'a');
+/// let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+/// assert_eq!(order, vec!['a', 'b', 'c']);
+/// ```
+#[derive(Default)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Entry<T>>,
+    next_seq: u64,
+    last_popped: Cycle,
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            last_popped: Cycle::ZERO,
+        }
+    }
+
+    /// Schedules `payload` for delivery at `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is earlier than the last popped event: scheduling
+    /// into the past indicates a model bug that would silently corrupt
+    /// causality.
+    pub fn push(&mut self, time: Cycle, payload: T) {
+        assert!(
+            time >= self.last_popped,
+            "event scheduled at {time} but simulation already at {}",
+            self.last_popped
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, payload });
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(Cycle, T)> {
+        let e = self.heap.pop()?;
+        self.last_popped = e.time;
+        Some((e.time, e.payload))
+    }
+
+    /// Returns the timestamp of the earliest pending event.
+    pub fn peek_time(&self) -> Option<Cycle> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Returns the number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// The timestamp of the most recently popped event (the current time).
+    pub fn now(&self) -> Cycle {
+        self.last_popped
+    }
+}
+
+impl<T> std::fmt::Debug for EventQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("len", &self.heap.len())
+            .field("now", &self.last_popped)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time() {
+        let mut q = EventQueue::new();
+        q.push(Cycle(5), 5u32);
+        q.push(Cycle(1), 1);
+        q.push(Cycle(3), 3);
+        assert_eq!(q.pop(), Some((Cycle(1), 1)));
+        assert_eq!(q.pop(), Some((Cycle(3), 3)));
+        assert_eq!(q.pop(), Some((Cycle(5), 5)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn same_time_is_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100u32 {
+            q.push(Cycle(7), i);
+        }
+        for i in 0..100u32 {
+            assert_eq!(q.pop(), Some((Cycle(7), i)));
+        }
+    }
+
+    #[test]
+    fn tracks_now_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(Cycle(2), ());
+        q.push(Cycle(9), ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(Cycle(2)));
+        q.pop();
+        assert_eq!(q.now(), Cycle(2));
+        q.pop();
+        assert_eq!(q.now(), Cycle(9));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled at")]
+    fn rejects_past_events() {
+        let mut q = EventQueue::new();
+        q.push(Cycle(10), ());
+        q.pop();
+        q.push(Cycle(5), ());
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_causal() {
+        let mut q = EventQueue::new();
+        q.push(Cycle(1), 'a');
+        let (t, _) = q.pop().unwrap();
+        q.push(t + Cycle(4), 'b');
+        q.push(t + Cycle(2), 'c');
+        assert_eq!(q.pop().unwrap().1, 'c');
+        assert_eq!(q.pop().unwrap().1, 'b');
+    }
+}

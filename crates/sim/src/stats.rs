@@ -1,0 +1,332 @@
+//! Statistics primitives used by all timing models.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A monotonically increasing event counter.
+///
+/// # Examples
+///
+/// ```
+/// use nsc_sim::Counter;
+/// let mut hits = Counter::new();
+/// hits.inc();
+/// hits.add(4);
+/// assert_eq!(hits.get(), 5);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Increments by one.
+    #[inline]
+    pub fn inc(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Increments by `n`.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Returns the current count.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Running summary of a scalar sample stream (count/sum/min/max/mean).
+///
+/// # Examples
+///
+/// ```
+/// use nsc_sim::Summary;
+/// let mut lat = Summary::new();
+/// lat.record(10.0);
+/// lat.record(30.0);
+/// assert_eq!(lat.mean(), 20.0);
+/// assert_eq!(lat.min(), Some(10.0));
+/// assert_eq!(lat.max(), Some(30.0));
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Summary {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Summary {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Arithmetic mean, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest sample, `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample, `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Merges another summary into this one.
+    pub fn merge(&mut self, other: &Summary) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// A histogram with fixed-width buckets over `[0, width * buckets)`;
+/// out-of-range samples are clamped into the last bucket.
+///
+/// # Examples
+///
+/// ```
+/// use nsc_sim::Histogram;
+/// let mut h = Histogram::new(10.0, 4);
+/// h.record(5.0);
+/// h.record(35.0);
+/// h.record(1000.0); // clamped
+/// assert_eq!(h.bucket_counts(), &[1, 0, 0, 2]);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Histogram {
+    width: f64,
+    counts: Vec<u64>,
+    summary: Summary,
+}
+
+impl Histogram {
+    /// Creates a histogram with `buckets` buckets of width `width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is not positive or `buckets` is zero.
+    pub fn new(width: f64, buckets: usize) -> Self {
+        assert!(width > 0.0, "bucket width must be positive");
+        assert!(buckets > 0, "need at least one bucket");
+        Histogram {
+            width,
+            counts: vec![0; buckets],
+            summary: Summary::new(),
+        }
+    }
+
+    /// Records a sample.
+    pub fn record(&mut self, v: f64) {
+        let idx = ((v / self.width) as usize).min(self.counts.len() - 1);
+        self.counts[idx] += 1;
+        self.summary.record(v);
+    }
+
+    /// Per-bucket counts.
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// The scalar summary of all recorded samples.
+    pub fn summary(&self) -> &Summary {
+        &self.summary
+    }
+}
+
+/// An ordered name → value table for end-of-run reporting.
+///
+/// Values are stored as `f64`; integer stats convert losslessly up to 2^53,
+/// far beyond any counter in these simulations.
+///
+/// # Examples
+///
+/// ```
+/// use nsc_sim::StatsTable;
+/// let mut t = StatsTable::new();
+/// t.set("cycles", 1234.0);
+/// t.add("noc.bytes_hops", 100.0);
+/// t.add("noc.bytes_hops", 28.0);
+/// assert_eq!(t.get("noc.bytes_hops"), Some(128.0));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct StatsTable {
+    values: BTreeMap<String, f64>,
+}
+
+impl StatsTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        StatsTable::default()
+    }
+
+    /// Sets `name` to `value`, replacing any prior value.
+    pub fn set(&mut self, name: &str, value: f64) {
+        self.values.insert(name.to_owned(), value);
+    }
+
+    /// Adds `value` to `name` (starting from zero if absent).
+    pub fn add(&mut self, name: &str, value: f64) {
+        *self.values.entry(name.to_owned()).or_insert(0.0) += value;
+    }
+
+    /// Returns the value for `name`, if set.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.values.get(name).copied()
+    }
+
+    /// Iterates over `(name, value)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.values.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Merges `other` into `self` by summing shared names.
+    pub fn merge(&mut self, other: &StatsTable) {
+        for (k, v) in other.iter() {
+            self.add(k, v);
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` when the table has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+impl fmt::Display for StatsTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (k, v) in &self.values {
+            writeln!(f, "{k:<40} {v:.3}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let mut c = Counter::new();
+        c.inc();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+        assert_eq!(c.to_string(), "10");
+    }
+
+    #[test]
+    fn summary_empty_and_filled() {
+        let s = Summary::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+        let mut s = Summary::new();
+        for v in [2.0, 4.0, 9.0] {
+            s.record(v);
+        }
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.sum(), 15.0);
+        assert_eq!(s.mean(), 5.0);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+    }
+
+    #[test]
+    fn summary_merge() {
+        let mut a = Summary::new();
+        a.record(1.0);
+        let mut b = Summary::new();
+        b.record(3.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.mean(), 2.0);
+        assert_eq!(a.min(), Some(1.0));
+        assert_eq!(a.max(), Some(3.0));
+    }
+
+    #[test]
+    fn histogram_clamps() {
+        let mut h = Histogram::new(1.0, 2);
+        h.record(0.0);
+        h.record(0.5);
+        h.record(1.5);
+        h.record(99.0);
+        assert_eq!(h.bucket_counts(), &[2, 2]);
+        assert_eq!(h.summary().count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket width")]
+    fn histogram_rejects_bad_width() {
+        let _ = Histogram::new(0.0, 4);
+    }
+
+    #[test]
+    fn stats_table_roundtrip() {
+        let mut t = StatsTable::new();
+        assert!(t.is_empty());
+        t.set("a", 1.0);
+        t.add("a", 2.0);
+        t.add("b", 5.0);
+        assert_eq!(t.get("a"), Some(3.0));
+        assert_eq!(t.len(), 2);
+        let mut u = StatsTable::new();
+        u.add("b", 1.0);
+        t.merge(&u);
+        assert_eq!(t.get("b"), Some(6.0));
+        let rendered = t.to_string();
+        assert!(rendered.contains('a') && rendered.contains('b'));
+    }
+}

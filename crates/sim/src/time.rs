@@ -1,0 +1,170 @@
+//! Virtual time base.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// A point in (or duration of) virtual time, measured in clock cycles.
+///
+/// The simulated system runs at a single 2 GHz clock (paper Table V), so one
+/// `Cycle` is 0.5 ns of simulated time. `Cycle` is used both as an absolute
+/// timestamp and as a duration; arithmetic saturates on subtraction so that
+/// latency computations never wrap.
+///
+/// # Examples
+///
+/// ```
+/// use nsc_sim::Cycle;
+///
+/// let start = Cycle(100);
+/// let end = start + Cycle(20);
+/// assert_eq!(end - start, Cycle(20));
+/// assert_eq!(Cycle(5) - Cycle(9), Cycle(0)); // saturating
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Cycle(pub u64);
+
+impl Cycle {
+    /// The zero timestamp.
+    pub const ZERO: Cycle = Cycle(0);
+    /// The largest representable timestamp, used as an "infinite" horizon.
+    pub const MAX: Cycle = Cycle(u64::MAX);
+
+    /// Returns the raw cycle count.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Converts a cycle count at 2 GHz into seconds of simulated time.
+    ///
+    /// ```
+    /// use nsc_sim::Cycle;
+    /// assert!((Cycle(2_000_000_000).as_seconds_at_2ghz() - 1.0).abs() < 1e-12);
+    /// ```
+    pub fn as_seconds_at_2ghz(self) -> f64 {
+        self.0 as f64 / 2.0e9
+    }
+
+    /// Returns the later of two timestamps.
+    #[inline]
+    pub fn max(self, other: Cycle) -> Cycle {
+        Cycle(self.0.max(other.0))
+    }
+
+    /// Returns the earlier of two timestamps.
+    #[inline]
+    pub fn min(self, other: Cycle) -> Cycle {
+        Cycle(self.0.min(other.0))
+    }
+
+    /// Saturating subtraction, returning a duration.
+    #[inline]
+    pub fn saturating_sub(self, other: Cycle) -> Cycle {
+        Cycle(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add for Cycle {
+    type Output = Cycle;
+    #[inline]
+    fn add(self, rhs: Cycle) -> Cycle {
+        Cycle(self.0 + rhs.0)
+    }
+}
+
+impl Add<u64> for Cycle {
+    type Output = Cycle;
+    #[inline]
+    fn add(self, rhs: u64) -> Cycle {
+        Cycle(self.0 + rhs)
+    }
+}
+
+impl AddAssign for Cycle {
+    #[inline]
+    fn add_assign(&mut self, rhs: Cycle) {
+        self.0 += rhs.0;
+    }
+}
+
+impl AddAssign<u64> for Cycle {
+    #[inline]
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub for Cycle {
+    type Output = Cycle;
+    /// Saturating: `a - b` is zero when `b > a`.
+    #[inline]
+    fn sub(self, rhs: Cycle) -> Cycle {
+        Cycle(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for Cycle {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Cycle) {
+        self.0 = self.0.saturating_sub(rhs.0);
+    }
+}
+
+impl Sum for Cycle {
+    fn sum<I: Iterator<Item = Cycle>>(iter: I) -> Cycle {
+        iter.fold(Cycle::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}cy", self.0)
+    }
+}
+
+impl From<u64> for Cycle {
+    fn from(v: u64) -> Cycle {
+        Cycle(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(Cycle(3) + Cycle(4), Cycle(7));
+        assert_eq!(Cycle(3) + 4, Cycle(7));
+        assert_eq!(Cycle(10) - Cycle(4), Cycle(6));
+        assert_eq!(Cycle(4) - Cycle(10), Cycle(0));
+        let mut c = Cycle(1);
+        c += Cycle(2);
+        c += 3;
+        assert_eq!(c, Cycle(6));
+        c -= Cycle(10);
+        assert_eq!(c, Cycle(0));
+    }
+
+    #[test]
+    fn ordering_and_minmax() {
+        assert!(Cycle(1) < Cycle(2));
+        assert_eq!(Cycle(1).max(Cycle(2)), Cycle(2));
+        assert_eq!(Cycle(1).min(Cycle(2)), Cycle(1));
+        assert_eq!(Cycle::ZERO, Cycle(0));
+    }
+
+    #[test]
+    fn sum_and_display() {
+        let total: Cycle = [Cycle(1), Cycle(2), Cycle(3)].into_iter().sum();
+        assert_eq!(total, Cycle(6));
+        assert_eq!(format!("{total}"), "6cy");
+    }
+
+    #[test]
+    fn seconds_conversion() {
+        assert_eq!(Cycle(0).as_seconds_at_2ghz(), 0.0);
+        assert!((Cycle(1).as_seconds_at_2ghz() - 0.5e-9).abs() < 1e-21);
+    }
+}

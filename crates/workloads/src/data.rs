@@ -1,0 +1,286 @@
+//! Deterministic input generators: Kronecker graphs, uniform arrays,
+//! binary trees and chained hash tables.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Fixed seed so every run sees identical inputs.
+pub const SEED: u64 = 0x5eed_cafe_f00d_beef;
+
+/// A graph in compressed-sparse-row form.
+#[derive(Clone, Debug)]
+pub struct Csr {
+    /// Number of vertices.
+    pub n: u64,
+    /// Row offsets, length `n + 1`.
+    pub row: Vec<u64>,
+    /// Column indices (destinations), length = edge count.
+    pub col: Vec<u64>,
+}
+
+impl Csr {
+    /// Number of directed edges.
+    pub fn edges(&self) -> u64 {
+        self.col.len() as u64
+    }
+
+    /// The transpose graph (in-edges), for pull-style kernels.
+    pub fn transpose(&self) -> Csr {
+        let mut deg = vec![0u64; self.n as usize];
+        for &d in &self.col {
+            deg[d as usize] += 1;
+        }
+        let mut row = vec![0u64; self.n as usize + 1];
+        for v in 0..self.n as usize {
+            row[v + 1] = row[v] + deg[v];
+        }
+        let mut cursor = row.clone();
+        let mut col = vec![0u64; self.col.len()];
+        for u in 0..self.n as usize {
+            for e in self.row[u]..self.row[u + 1] {
+                let v = self.col[e as usize] as usize;
+                col[cursor[v] as usize] = u as u64;
+                cursor[v] += 1;
+            }
+        }
+        Csr { n: self.n, row, col }
+    }
+}
+
+/// Generates a Kronecker (R-MAT) graph with the GAP parameters used in
+/// Table VI: A/B/C = 0.57/0.19/0.19.
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two.
+pub fn kronecker(n: u64, edges: u64, seed: u64) -> Csr {
+    assert!(n.is_power_of_two(), "Kronecker needs a power-of-two vertex count");
+    let levels = n.trailing_zeros();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    // GAP permutes vertex labels so the R-MAT hub bias does not collapse
+    // onto the low vertex ids (which would break static load balance).
+    let relabel = permutation(n, seed ^ 0x9e37);
+    let mut pairs: Vec<(u64, u64)> = Vec::with_capacity(edges as usize);
+    for _ in 0..edges {
+        let (mut u, mut v) = (0u64, 0u64);
+        for _ in 0..levels {
+            u <<= 1;
+            v <<= 1;
+            let r: f64 = rng.gen();
+            if r < 0.57 {
+                // quadrant A: (0,0)
+            } else if r < 0.76 {
+                v |= 1; // B: (0,1)
+            } else if r < 0.95 {
+                u |= 1; // C: (1,0)
+            } else {
+                u |= 1;
+                v |= 1; // D
+            }
+        }
+        pairs.push((relabel[u as usize], relabel[v as usize]));
+    }
+    pairs.sort_unstable();
+    let mut row = vec![0u64; n as usize + 1];
+    for &(u, _) in &pairs {
+        row[u as usize + 1] += 1;
+    }
+    for i in 0..n as usize {
+        row[i + 1] += row[i];
+    }
+    let col = pairs.into_iter().map(|(_, v)| v).collect();
+    Csr { n, row, col }
+}
+
+/// Uniform random `u64` values in `[0, bound)`.
+pub fn uniform_u64(n: u64, bound: u64, seed: u64) -> Vec<u64> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(0..bound)).collect()
+}
+
+/// Uniform random floats in `[0, 1)`.
+pub fn uniform_f64(n: u64, seed: u64) -> Vec<f64> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen::<f64>()).collect()
+}
+
+/// A random permutation of `0..n`.
+pub fn permutation(n: u64, seed: u64) -> Vec<u64> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut v: Vec<u64> = (0..n).collect();
+    for i in (1..n as usize).rev() {
+        let j = rng.gen_range(0..=i);
+        v.swap(i, j);
+    }
+    v
+}
+
+/// A balanced binary search tree over `n` random keys, laid out in random
+/// node order (so pointer chasing hops banks). Returns
+/// `(keys_in_node_order, left, right, root_index)`; absent children are
+/// `-1`.
+pub fn binary_tree(n: u64, seed: u64) -> (Vec<i64>, Vec<i64>, Vec<i64>, i64) {
+    let mut keys = uniform_u64(n, u64::MAX / 2, seed)
+        .into_iter()
+        .map(|k| k as i64)
+        .collect::<Vec<_>>();
+    keys.sort_unstable();
+    keys.dedup();
+    let n = keys.len();
+    // Node ids are a random permutation so tree order != memory order.
+    let ids = permutation(n as u64, seed ^ 0xABCD);
+    let mut key_of = vec![0i64; n];
+    let mut left = vec![-1i64; n];
+    let mut right = vec![-1i64; n];
+    // Build balanced recursively over the sorted keys.
+    fn build(
+        keys: &[i64],
+        lo: usize,
+        hi: usize,
+        ids: &[u64],
+        next: &mut usize,
+        key_of: &mut [i64],
+        left: &mut [i64],
+        right: &mut [i64],
+    ) -> i64 {
+        if lo >= hi {
+            return -1;
+        }
+        let mid = (lo + hi) / 2;
+        let id = ids[*next] as usize;
+        *next += 1;
+        key_of[id] = keys[mid];
+        let l = build(keys, lo, mid, ids, next, key_of, left, right);
+        let r = build(keys, mid + 1, hi, ids, next, key_of, left, right);
+        left[id] = l;
+        right[id] = r;
+        id as i64
+    }
+    let mut next = 0;
+    let root = build(&keys, 0, n, &ids, &mut next, &mut key_of, &mut left, &mut right);
+    (key_of, left, right, root)
+}
+
+/// A chained hash table: `buckets` heads plus entry arrays
+/// `(key, value, next)`. Returns `(heads, keys, values, nexts)`.
+pub fn hash_table(n_entries: u64, n_buckets: u64, seed: u64) -> (Vec<i64>, Vec<i64>, Vec<i64>, Vec<i64>) {
+    let keys = uniform_u64(n_entries, u64::MAX / 2, seed);
+    let mut heads = vec![-1i64; n_buckets as usize];
+    let mut nexts = vec![-1i64; n_entries as usize];
+    let mut values = vec![0i64; n_entries as usize];
+    let mut out_keys = vec![0i64; n_entries as usize];
+    for (i, &k) in keys.iter().enumerate() {
+        out_keys[i] = k as i64;
+        values[i] = (k % 1000) as i64 + 1;
+        let b = (k % n_buckets) as usize;
+        nexts[i] = heads[b];
+        heads[b] = i as i64;
+    }
+    (heads, out_keys, values, nexts)
+}
+
+/// Hash function used by histogram/hash_join kernels, expressed the same
+/// way the IR kernels compute it (so hosts and kernels agree).
+pub fn bucket_hash(key: i64, n_buckets: u64) -> u64 {
+    (key as u64) % n_buckets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kronecker_shape() {
+        let g = kronecker(1024, 8192, SEED);
+        assert_eq!(g.n, 1024);
+        assert_eq!(g.edges(), 8192);
+        assert_eq!(g.row.len(), 1025);
+        assert_eq!(*g.row.last().unwrap(), 8192);
+        assert!(g.col.iter().all(|&c| c < 1024));
+        // R-MAT graphs are skewed: max degree far above average.
+        let max_deg = (0..1024).map(|u| g.row[u + 1] - g.row[u]).max().unwrap();
+        assert!(max_deg > 32, "max degree {max_deg} not skewed");
+    }
+
+    #[test]
+    fn kronecker_deterministic() {
+        let a = kronecker(256, 1024, 7);
+        let b = kronecker(256, 1024, 7);
+        assert_eq!(a.col, b.col);
+        let c = kronecker(256, 1024, 8);
+        assert_ne!(a.col, c.col);
+    }
+
+    #[test]
+    fn transpose_preserves_edges() {
+        let g = kronecker(256, 2048, SEED);
+        let t = g.transpose();
+        assert_eq!(t.edges(), g.edges());
+        // Edge (u,v) in g implies (v,u) in t.
+        let u = 5usize;
+        for e in g.row[u]..g.row[u + 1] {
+            let v = g.col[e as usize] as usize;
+            let found = (t.row[v]..t.row[v + 1]).any(|f| t.col[f as usize] == u as u64);
+            assert!(found);
+        }
+    }
+
+    #[test]
+    fn permutation_is_bijective() {
+        let p = permutation(1000, 3);
+        let mut seen = vec![false; 1000];
+        for &x in &p {
+            assert!(!seen[x as usize]);
+            seen[x as usize] = true;
+        }
+    }
+
+    #[test]
+    fn tree_is_searchable() {
+        let (keys, left, right, root) = binary_tree(1000, SEED);
+        // Search for every key; all must be found.
+        for &k in keys.iter().step_by(37) {
+            let mut cur = root;
+            let mut found = false;
+            while cur != -1 {
+                let nk = keys[cur as usize];
+                if k == nk {
+                    found = true;
+                    break;
+                }
+                cur = if k < nk { left[cur as usize] } else { right[cur as usize] };
+            }
+            assert!(found, "key {k} not found");
+        }
+    }
+
+    #[test]
+    fn tree_depth_is_logarithmic() {
+        let (keys, left, right, root) = binary_tree(4096, SEED);
+        fn depth(i: i64, left: &[i64], right: &[i64]) -> usize {
+            if i < 0 {
+                0
+            } else {
+                1 + depth(left[i as usize], left, right).max(depth(right[i as usize], left, right))
+            }
+        }
+        let d = depth(root, &left, &right);
+        assert!(d <= 16, "depth {d} too deep for {} nodes", keys.len());
+    }
+
+    #[test]
+    fn hash_table_chains_consistent() {
+        let (heads, keys, values, nexts) = hash_table(1000, 128, SEED);
+        let mut count = 0;
+        for (b, &h) in heads.iter().enumerate() {
+            let mut cur = h;
+            while cur != -1 {
+                assert_eq!(bucket_hash(keys[cur as usize], 128), b as u64);
+                assert!(values[cur as usize] > 0);
+                cur = nexts[cur as usize];
+                count += 1;
+            }
+        }
+        assert_eq!(count, 1000);
+    }
+}

@@ -1,0 +1,232 @@
+//! Pointer-chasing reduction workloads: bin_tree (binary-search-tree
+//! lookups) and hash_join (chained hash-table probes). Table VI: 128k-node
+//! tree with 8 B keys; 512k uniform lookups against a 256k x 512k join
+//! with 1/8 hit rate.
+
+use crate::data::{binary_tree, hash_table, uniform_u64, SEED};
+use crate::{Category, Size, Workload};
+use nsc_ir::build::KernelBuilder;
+use nsc_ir::program::Field;
+use nsc_ir::{BinOp, ElemType, Expr, Program, Scalar};
+
+fn node_key() -> Field {
+    Field { offset: 0, ty: ElemType::I64 }
+}
+fn node_left() -> Field {
+    Field { offset: 8, ty: ElemType::I64 }
+}
+fn node_right() -> Field {
+    Field { offset: 16, ty: ElemType::I64 }
+}
+
+/// `bin_tree`: search a 128k-node binary search tree for a batch of keys,
+/// counting hits. The chase hops LLC banks following child pointers; only
+/// the final count returns to the core (pointer-chase reduce).
+pub fn bin_tree(size: Size) -> Workload {
+    let n_nodes = size.scale(128 * 1024);
+    let n_queries = size.scale(256 * 1024);
+    let (keys, left, right, root) = binary_tree(n_nodes, SEED ^ 0x10);
+    let n_nodes = keys.len() as u64;
+    let mut p = Program::new("bin_tree");
+    let nodes = p.array("nodes", ElemType::Record(24), n_nodes);
+    let queries = p.array("queries", ElemType::I64, n_queries);
+    let found_out = p.array("found", ElemType::I64, 1);
+    p.set_params(1);
+    let mut k = KernelBuilder::new("search", n_queries);
+    let i = k.outer_var();
+    let q = k.load(queries, Expr::var(i));
+    let cur = k.let_(Expr::param(0)); // root node id
+    let found = k.let_(Expr::imm(0));
+    k.begin_while(Expr::bin(
+        BinOp::And,
+        Expr::ne(Expr::var(cur), Expr::imm(-1)),
+        Expr::eq(Expr::var(found), Expr::imm(0)),
+    ));
+    let nk = k.load_field(nodes, Expr::var(cur), Some(node_key()));
+    let l = k.load_field(nodes, Expr::var(cur), Some(node_left()));
+    let r = k.load_field(nodes, Expr::var(cur), Some(node_right()));
+    k.assign(found, Expr::eq(Expr::var(q), Expr::var(nk)));
+    k.assign(
+        cur,
+        Expr::select(Expr::lt(Expr::var(q), Expr::var(nk)), Expr::var(l), Expr::var(r)),
+    );
+    k.end_loop();
+    let total = k.var();
+    k.assign(total, Expr::var(total) + Expr::var(found));
+    k.reduce_outer(total, BinOp::Add, found_out);
+    k.sync_free();
+    p.push_kernel(k.finish());
+
+    // Half of the queries hit existing keys, half miss.
+    let mut qs: Vec<i64> = Vec::with_capacity(n_queries as usize);
+    let rnd = uniform_u64(n_queries, u64::MAX / 2, SEED ^ 0x11);
+    for (idx, &r) in rnd.iter().enumerate() {
+        if idx % 2 == 0 {
+            qs.push(keys[(r % n_nodes) as usize]);
+        } else {
+            qs.push(r as i64 | 1); // odd values unlikely present
+        }
+    }
+    Workload {
+        name: "bin_tree",
+        category: Category::PointerReduce,
+        program: p,
+        params: vec![Scalar::I64(root)],
+        init: Box::new(move |mem| {
+            for i in 0..n_nodes as usize {
+                mem.write(nodes, i as u64, Some(node_key()), Scalar::I64(keys[i]));
+                mem.write(nodes, i as u64, Some(node_left()), Scalar::I64(left[i]));
+                mem.write(nodes, i as u64, Some(node_right()), Scalar::I64(right[i]));
+            }
+            for (i, &q) in qs.iter().enumerate() {
+                mem.write_index(queries, i as u64, Scalar::I64(q));
+            }
+        }),
+        output_arrays: vec![found_out],
+    }
+}
+
+fn entry_key() -> Field {
+    Field { offset: 0, ty: ElemType::I64 }
+}
+fn entry_val() -> Field {
+    Field { offset: 8, ty: ElemType::I64 }
+}
+fn entry_next() -> Field {
+    Field { offset: 16, ty: ElemType::I64 }
+}
+
+/// `hash_join`: probe a chained hash table (256k build x 512k probe,
+/// 1/8 hit rate), accumulating matched values — bucket chains walk across
+/// LLC banks (pointer-chase reduce).
+pub fn hash_join(size: Size) -> Workload {
+    let n_build = size.scale(256 * 1024);
+    let n_probe = size.scale(512 * 1024);
+    let n_buckets = (n_build / 4).next_power_of_two();
+    let (heads_v, keys_v, vals_v, nexts_v) = hash_table(n_build, n_buckets, SEED ^ 0x20);
+    let mut p = Program::new("hash_join");
+    let heads = p.array("heads", ElemType::I64, n_buckets);
+    let entries = p.array("entries", ElemType::Record(24), n_build);
+    let probes = p.array("probes", ElemType::I64, n_probe);
+    let out = p.array("matched", ElemType::I64, 1);
+    let mut k = KernelBuilder::new("probe", n_probe);
+    let i = k.outer_var();
+    let key = k.load(probes, Expr::var(i));
+    let b = k.let_(Expr::bin(
+        BinOp::Rem,
+        Expr::var(key),
+        Expr::imm(n_buckets as i64),
+    ));
+    let cur = k.load(heads, Expr::var(b));
+    let acc = k.let_(Expr::imm(0));
+    let cur_m = k.var();
+    k.assign(cur_m, Expr::var(cur));
+    k.begin_while(Expr::ne(Expr::var(cur_m), Expr::imm(-1)));
+    let hk = k.load_field(entries, Expr::var(cur_m), Some(entry_key()));
+    let hv = k.load_field(entries, Expr::var(cur_m), Some(entry_val()));
+    let nx = k.load_field(entries, Expr::var(cur_m), Some(entry_next()));
+    k.assign(
+        acc,
+        Expr::var(acc)
+            + Expr::select(Expr::eq(Expr::var(hk), Expr::var(key)), Expr::var(hv), Expr::imm(0)),
+    );
+    k.assign(cur_m, Expr::var(nx));
+    k.end_loop();
+    let total = k.var();
+    k.assign(total, Expr::var(total) + Expr::var(acc));
+    k.reduce_outer(total, BinOp::Add, out);
+    k.sync_free();
+    p.push_kernel(k.finish());
+
+    // Probe keys: 1/8 hit the build side.
+    let rnd = uniform_u64(n_probe, u64::MAX / 2, SEED ^ 0x21);
+    let mut probe_keys = Vec::with_capacity(n_probe as usize);
+    for (i, &r) in rnd.iter().enumerate() {
+        if i % 8 == 0 {
+            probe_keys.push(keys_v[(r % n_build) as usize]);
+        } else {
+            probe_keys.push(r as i64 | 1);
+        }
+    }
+    Workload {
+        name: "hash_join",
+        category: Category::PointerReduce,
+        program: p,
+        params: vec![],
+        init: Box::new(move |mem| {
+            for (i, &h) in heads_v.iter().enumerate() {
+                mem.write_index(heads, i as u64, Scalar::I64(h));
+            }
+            for i in 0..keys_v.len() {
+                mem.write(entries, i as u64, Some(entry_key()), Scalar::I64(keys_v[i]));
+                mem.write(entries, i as u64, Some(entry_val()), Scalar::I64(vals_v[i]));
+                mem.write(entries, i as u64, Some(entry_next()), Scalar::I64(nexts_v[i]));
+            }
+            for (i, &q) in probe_keys.iter().enumerate() {
+                mem.write_index(probes, i as u64, Scalar::I64(q));
+            }
+        }),
+        output_arrays: vec![out],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nsc_compiler::compile;
+    use nsc_ir::stream::{AddrPatternClass, ComputeClass};
+
+    #[test]
+    fn bin_tree_is_pointer_chase_reduce() {
+        let w = bin_tree(Size::Tiny);
+        let c = compile(&w.program);
+        let k = &c.kernels[0];
+        let chase: Vec<_> = k
+            .streams
+            .iter()
+            .filter(|s| s.pattern == AddrPatternClass::PointerChase)
+            .collect();
+        assert_eq!(chase.len(), 3, "key/left/right loads chase pointers");
+        assert!(
+            chase.iter().any(|s| s.role == ComputeClass::Reduce),
+            "found-count reduction attaches to the chase: {:?}",
+            chase
+        );
+        assert!(k.fully_decoupled);
+    }
+
+    #[test]
+    fn hash_join_chain_is_pointer_chase() {
+        let w = hash_join(Size::Tiny);
+        let c = compile(&w.program);
+        let k = &c.kernels[0];
+        assert!(k
+            .streams
+            .iter()
+            .any(|s| s.pattern == AddrPatternClass::PointerChase));
+        // The bucket-head load is indirect through the probe key.
+        assert!(k
+            .streams
+            .iter()
+            .any(|s| matches!(s.pattern, AddrPatternClass::Indirect { .. })));
+    }
+
+    #[test]
+    fn bin_tree_finds_about_half() {
+        let w = bin_tree(Size::Tiny);
+        let mut mem = w.fresh_memory();
+        nsc_ir::interp::run_program(&w.program, &mut mem, &w.params);
+        let found = mem.read_index(w.output_arrays[0], 0).as_i64();
+        let n = Size::Tiny.scale(256 * 1024) as i64;
+        assert!(found >= n * 2 / 5 && found <= n * 3 / 5, "found {found} of {n}");
+    }
+
+    #[test]
+    fn hash_join_hit_rate_about_an_eighth() {
+        let w = hash_join(Size::Tiny);
+        let mut mem = w.fresh_memory();
+        nsc_ir::interp::run_program(&w.program, &mut mem, &w.params);
+        let matched = mem.read_index(w.output_arrays[0], 0).as_i64();
+        assert!(matched > 0, "no matches at all");
+    }
+}

@@ -1,0 +1,283 @@
+//! Rodinia-style affine multi-operand stencil workloads: pathfinder, srad,
+//! hotspot and hotspot3D (paper Table VI rows 1-4).
+
+use crate::{Category, Size, Workload};
+use nsc_ir::build::KernelBuilder;
+use nsc_ir::program::{ArrayId, Trip};
+use nsc_ir::{ElemType, Expr, Program, Scalar};
+
+/// Grid sides for the 2D stencils at each size, `(rows, cols)` scaled from
+/// the paper's dimensions.
+fn grid2d(size: Size, paper_rows: u64, paper_cols: u64) -> (u64, u64) {
+    match size {
+        Size::Tiny => (paper_rows / 32, paper_cols / 32),
+        Size::Small => (paper_rows / 4, paper_cols / 4),
+        Size::Paper => (paper_rows, paper_cols),
+    }
+}
+
+/// `pathfinder`: dynamic programming over a grid — each step computes
+/// `dst[i] = wall[t][i] + min(src[i-1], src[i], src[i+1])`
+/// (multi-operand affine store; Table VI: 1.5M entries, 8 iterations).
+pub fn pathfinder(size: Size) -> Workload {
+    let n = size.scale(1_500_000);
+    let iters = size.iters(8);
+    let mut p = Program::new("pathfinder");
+    let wall = p.array("wall", ElemType::I32, n * iters);
+    let buf0 = p.array("buf0", ElemType::I32, n);
+    let buf1 = p.array("buf1", ElemType::I32, n);
+    for t in 0..iters {
+        let (src, dst) = if t % 2 == 0 { (buf0, buf1) } else { (buf1, buf0) };
+        let mut k = KernelBuilder::new(&format!("step{t}"), n - 2);
+        let i = k.outer_var();
+        let idx = Expr::var(i) + Expr::imm(1);
+        let l = k.load(src, idx.clone() - Expr::imm(1));
+        let m = k.load(src, idx.clone());
+        let r = k.load(src, idx.clone() + Expr::imm(1));
+        let w = k.load(wall, Expr::imm((t * n) as i64) + idx.clone());
+        k.store(
+            dst,
+            idx,
+            Expr::var(w) + Expr::min(Expr::var(l), Expr::min(Expr::var(m), Expr::var(r))),
+        );
+        k.sync_free();
+        p.push_kernel(k.finish());
+    }
+    let out = if iters % 2 == 0 { buf0 } else { buf1 };
+    Workload {
+        name: "pathfinder",
+        category: Category::MultiOpStore,
+        program: p,
+        params: vec![],
+        init: Box::new(move |mem| {
+            for (i, v) in crate::data::uniform_u64(n * iters, 10, crate::data::SEED)
+                .into_iter()
+                .enumerate()
+            {
+                mem.write_index(wall, i as u64, Scalar::I64(v as i64));
+            }
+        }),
+        output_arrays: vec![out],
+    }
+}
+
+/// Shared shape of the 2D five-point stencils (srad / hotspot): a parallel
+/// row loop with an inner column loop, alternating buffers per step.
+#[allow(clippy::too_many_arguments)]
+fn five_point_stencil(
+    _p: &mut Program,
+    name: &str,
+    src: ArrayId,
+    dst: ArrayId,
+    aux: ArrayId,
+    rows: u64,
+    cols: u64,
+    aux_coeff: f64,
+) -> nsc_ir::program::Kernel {
+    let mut k = KernelBuilder::new(name, rows - 2);
+    let r = k.outer_var();
+    let c = k.begin_loop(Trip::Const(cols - 2));
+    let row = Expr::var(r) + Expr::imm(1);
+    let col = Expr::var(c) + Expr::imm(1);
+    let idx = row * Expr::imm(cols as i64) + col;
+    let center = k.load(src, idx.clone());
+    let north = k.load(src, idx.clone() - Expr::imm(cols as i64));
+    let south = k.load(src, idx.clone() + Expr::imm(cols as i64));
+    let west = k.load(src, idx.clone() - Expr::imm(1));
+    let east = k.load(src, idx.clone() + Expr::imm(1));
+    let pw = k.load(aux, idx.clone());
+    let lap = Expr::var(north) + Expr::var(south) + Expr::var(west) + Expr::var(east)
+        - Expr::var(center) * Expr::immf(4.0);
+    k.store(
+        dst,
+        idx,
+        Expr::var(center) + Expr::immf(aux_coeff) * (Expr::var(pw) + lap * Expr::immf(0.2)),
+    );
+    k.end_loop();
+    k.sync_free();
+    k.finish()
+}
+
+/// `srad`: speckle-reducing anisotropic diffusion over a 1k x 2k image
+/// (Table VI). Modelled as its diffusion-update five-point stencil with a
+/// coefficient image.
+pub fn srad(size: Size) -> Workload {
+    let (rows, cols) = grid2d(size, 1024, 2048);
+    let iters = size.iters(8);
+    let mut p = Program::new("srad");
+    let img0 = p.array("img0", ElemType::F32, rows * cols);
+    let img1 = p.array("img1", ElemType::F32, rows * cols);
+    let coeff = p.array("coeff", ElemType::F32, rows * cols);
+    for t in 0..iters {
+        let (src, dst) = if t % 2 == 0 { (img0, img1) } else { (img1, img0) };
+        let k = five_point_stencil(&mut p, &format!("diffuse{t}"), src, dst, coeff, rows, cols, 0.125);
+        p.push_kernel(k);
+    }
+    let out = if iters % 2 == 0 { img0 } else { img1 };
+    Workload {
+        name: "srad",
+        category: Category::MultiOpStore,
+        program: p,
+        params: vec![],
+        init: Box::new(move |mem| {
+            let vals = crate::data::uniform_f64(rows * cols, crate::data::SEED ^ 1);
+            for (i, v) in vals.iter().enumerate() {
+                mem.write_index(img0, i as u64, Scalar::F64(*v * 255.0));
+                mem.write_index(coeff, i as u64, Scalar::F64(vals[(i * 7 + 3) % vals.len()]));
+            }
+        }),
+        output_arrays: vec![out],
+    }
+}
+
+/// `hotspot`: thermal simulation over a 2k x 1k grid (Table VI) — a
+/// five-point stencil with a power map.
+pub fn hotspot(size: Size) -> Workload {
+    let (rows, cols) = grid2d(size, 2048, 1024);
+    let iters = size.iters(8);
+    let mut p = Program::new("hotspot");
+    let t0 = p.array("temp0", ElemType::F32, rows * cols);
+    let t1 = p.array("temp1", ElemType::F32, rows * cols);
+    let power = p.array("power", ElemType::F32, rows * cols);
+    for t in 0..iters {
+        let (src, dst) = if t % 2 == 0 { (t0, t1) } else { (t1, t0) };
+        let k = five_point_stencil(&mut p, &format!("step{t}"), src, dst, power, rows, cols, 0.5);
+        p.push_kernel(k);
+    }
+    let out = if iters % 2 == 0 { t0 } else { t1 };
+    Workload {
+        name: "hotspot",
+        category: Category::MultiOpStore,
+        program: p,
+        params: vec![],
+        init: Box::new(move |mem| {
+            let vals = crate::data::uniform_f64(rows * cols, crate::data::SEED ^ 2);
+            for (i, v) in vals.iter().enumerate() {
+                mem.write_index(t0, i as u64, Scalar::F64(320.0 + *v * 10.0));
+                mem.write_index(power, i as u64, Scalar::F64(*v * 0.1));
+            }
+        }),
+        output_arrays: vec![out],
+    }
+}
+
+/// `hotspot3D`: the seven-point 3D thermal stencil over a
+/// 256 x 1k x 8-layer grid (Table VI; this is the pattern that needs the
+/// full 8 stream inputs of Table IV).
+pub fn hotspot3d(size: Size) -> Workload {
+    let (ny, nx) = grid2d(size, 256, 1024);
+    let nz = 8u64;
+    let iters = size.iters(8);
+    let mut p = Program::new("hotspot3D");
+    let n = nx * ny * nz;
+    let t0 = p.array("temp0", ElemType::F32, n);
+    let t1 = p.array("temp1", ElemType::F32, n);
+    let power = p.array("power", ElemType::F32, n);
+    for t in 0..iters {
+        let (src, dst) = if t % 2 == 0 { (t0, t1) } else { (t1, t0) };
+        let mut k = KernelBuilder::new(&format!("step{t}"), ny - 2);
+        let y = k.outer_var();
+        let x = k.begin_loop(Trip::Const(nx - 2));
+        let z = k.begin_loop(Trip::Const(nz - 2));
+        let idx = (Expr::var(z) + Expr::imm(1)) * Expr::imm((nx * ny) as i64)
+            + (Expr::var(y) + Expr::imm(1)) * Expr::imm(nx as i64)
+            + (Expr::var(x) + Expr::imm(1));
+        let c = k.load(src, idx.clone());
+        let n_ = k.load(src, idx.clone() - Expr::imm(nx as i64));
+        let s = k.load(src, idx.clone() + Expr::imm(nx as i64));
+        let w = k.load(src, idx.clone() - Expr::imm(1));
+        let e = k.load(src, idx.clone() + Expr::imm(1));
+        let b = k.load(src, idx.clone() - Expr::imm((nx * ny) as i64));
+        let a = k.load(src, idx.clone() + Expr::imm((nx * ny) as i64));
+        let pw = k.load(power, idx.clone());
+        let sum = Expr::var(n_) + Expr::var(s) + Expr::var(w) + Expr::var(e) + Expr::var(b)
+            + Expr::var(a)
+            - Expr::var(c) * Expr::immf(6.0);
+        k.store(
+            dst,
+            idx,
+            Expr::var(c) + Expr::immf(0.1) * (Expr::var(pw) + sum * Expr::immf(0.16)),
+        );
+        k.end_loop();
+        k.end_loop();
+        k.sync_free();
+        p.push_kernel(k.finish());
+    }
+    let out = if iters % 2 == 0 { t0 } else { t1 };
+    Workload {
+        name: "hotspot3D",
+        category: Category::MultiOpStore,
+        program: p,
+        params: vec![],
+        init: Box::new(move |mem| {
+            let vals = crate::data::uniform_f64(n, crate::data::SEED ^ 3);
+            for (i, v) in vals.iter().enumerate() {
+                mem.write_index(t0, i as u64, Scalar::F64(320.0 + *v * 5.0));
+                mem.write_index(power, i as u64, Scalar::F64(*v * 0.05));
+            }
+        }),
+        output_arrays: vec![out],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nsc_compiler::compile;
+    use nsc_ir::stream::{AddrPatternClass, ComputeClass};
+
+    #[test]
+    fn pathfinder_compiles_to_multiop_store() {
+        let w = pathfinder(Size::Tiny);
+        let c = compile(&w.program);
+        let k0 = &c.kernels[0];
+        assert_eq!(k0.streams.len(), 5);
+        let store = k0.streams.iter().find(|s| s.role == ComputeClass::Store).unwrap();
+        assert_eq!(store.value_deps.len(), 4);
+        assert!(matches!(store.pattern, AddrPatternClass::Affine { .. }));
+        assert!(k0.fully_decoupled);
+    }
+
+    #[test]
+    fn stencils_are_affine_and_vectorized() {
+        for w in [srad(Size::Tiny), hotspot(Size::Tiny), hotspot3d(Size::Tiny)] {
+            let c = compile(&w.program);
+            for k in &c.kernels {
+                assert!(
+                    k.streams.iter().all(|s| matches!(s.pattern, AddrPatternClass::Affine { .. })),
+                    "{}: non-affine stream",
+                    w.name
+                );
+                assert!(k.vector_width > 1, "{} not vectorized", w.name);
+                let store = k.streams.iter().find(|s| s.role == ComputeClass::Store).unwrap();
+                assert!(store.needs_scm, "{} stencil math should go to the SCM", w.name);
+            }
+        }
+    }
+
+    #[test]
+    fn hotspot3d_uses_eight_inputs() {
+        let w = hotspot3d(Size::Tiny);
+        let c = compile(&w.program);
+        let store = c.kernels[0]
+            .streams
+            .iter()
+            .find(|s| s.role == ComputeClass::Store)
+            .unwrap();
+        assert_eq!(store.value_deps.len(), 8);
+    }
+
+    #[test]
+    fn pathfinder_functional_sanity() {
+        let w = pathfinder(Size::Tiny);
+        let mut mem = w.fresh_memory();
+        nsc_ir::interp::run_program(&w.program, &mut mem, &w.params);
+        // Path costs are nonneg and bounded by iters * max wall.
+        let out = w.output_arrays[0];
+        let iters = Size::Tiny.iters(8) as i64;
+        for i in (1..mem.len_of(out) - 1).step_by(199) {
+            let v = mem.read_index(out, i).as_i64();
+            assert!((0..=iters * 9).contains(&v), "cost {v} out of range");
+        }
+    }
+}

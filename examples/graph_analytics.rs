@@ -1,0 +1,36 @@
+//! Graph analytics on a Kronecker graph: run the paper's push-style
+//! PageRank under every evaluated system and compare.
+//!
+//! Run with: `cargo run --release --example graph_analytics`
+
+use near_stream::{run, ExecMode, SystemConfig};
+use nsc_compiler::compile;
+use nsc_workloads::{pr_push, Size};
+
+fn main() {
+    let w = pr_push(Size::Tiny);
+    let compiled = compile(&w.program);
+    let cfg = SystemConfig::small();
+    let golden = w.golden_digest();
+
+    println!("pr_push on a Kronecker graph (push-style PageRank, indirect atomics)");
+    println!(
+        "{:12} {:>12} {:>9} {:>14} {:>10}",
+        "system", "cycles", "speedup", "bytes x hops", "offloaded"
+    );
+    let (base, _) = run(&w.program, &compiled, &w.params, ExecMode::Base, &cfg, &w.init);
+    for mode in ExecMode::ALL {
+        let (r, mem) = run(&w.program, &compiled, &w.params, mode, &cfg, &w.init);
+        assert_eq!(w.digest(&mem), golden, "{mode:?} computed a different PageRank");
+        println!(
+            "{:12} {:>12} {:>8.2}x {:>14} {:>9.0}%",
+            mode.label(),
+            r.cycles,
+            r.speedup_over(&base),
+            r.traffic.total(),
+            100.0 * r.offload_fraction(),
+        );
+    }
+    println!();
+    println!("all systems computed bit-identical PageRank scores");
+}

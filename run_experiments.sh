@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Regenerates every figure/table of the paper's evaluation at --small scale
+# (~1/16 of Table VI inputs with proportionally scaled caches) and captures
+# the outputs under results/. Pass --tiny or --full to change scale.
+set -u
+SCALE="${1:---small}"
+cd "$(dirname "$0")"
+cargo build --release -p nsc-bench 2>/dev/null
+BIN=target/release
+for h in tab01_capabilities tab02_patterns tab03_stream_isas tab04_encoding \
+         area_model fig01_potential fig09_speedup fig10_energy fig11_generality \
+         fig12_traffic fig13_scm_latency fig14_scc_rob fig15_affine_ranges \
+         fig16_lock_type fig17_scalar_pe overview; do
+  echo "=== $h $SCALE ==="
+  start=$SECONDS
+  if $BIN/$h "$SCALE" > results/$h.txt 2>&1; then
+    echo "($h: $((SECONDS - start))s)" > results/$h.time
+  else
+    echo "$h FAILED"
+  fi
+done
+echo done

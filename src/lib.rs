@@ -1,0 +1,1 @@
+pub use near_stream; pub use nsc_compiler; pub use nsc_energy; pub use nsc_ir; pub use nsc_mem; pub use nsc_noc; pub use nsc_sim; pub use nsc_workloads;

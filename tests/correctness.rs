@@ -1,0 +1,92 @@
+//! Cross-crate correctness: every workload computes the same result under
+//! every execution mode as the golden sequential interpreter — near-data
+//! offloading must be functionally invisible (the paper's programmer
+//! transparency claim).
+
+use near_stream::{run, ExecMode, SystemConfig};
+use nsc_compiler::compile;
+use nsc_workloads::{Size, Workload};
+
+fn check_all_modes(w: Workload) {
+    let compiled = compile(&w.program);
+    let cfg = SystemConfig::small();
+    let golden = w.golden_digest();
+    for mode in ExecMode::ALL {
+        let (result, mem) = run(&w.program, &compiled, &w.params, mode, &cfg, &w.init);
+        assert_eq!(
+            w.digest(&mem),
+            golden,
+            "{} under {mode:?} diverged from golden",
+            w.name
+        );
+        assert!(result.cycles > 0, "{} under {mode:?} took zero time", w.name);
+        assert!(
+            result.total_uops > 0.0,
+            "{} under {mode:?} executed nothing",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn rodinia_stencils_match_golden_in_all_modes() {
+    check_all_modes(nsc_workloads::pathfinder(Size::Tiny));
+    check_all_modes(nsc_workloads::srad(Size::Tiny));
+    check_all_modes(nsc_workloads::hotspot(Size::Tiny));
+    check_all_modes(nsc_workloads::hotspot3d(Size::Tiny));
+}
+
+#[test]
+fn mining_kernels_match_golden_in_all_modes() {
+    check_all_modes(nsc_workloads::histogram(Size::Tiny));
+    check_all_modes(nsc_workloads::scluster(Size::Tiny));
+    check_all_modes(nsc_workloads::svm(Size::Tiny));
+}
+
+#[test]
+fn graph_push_kernels_match_golden_in_all_modes() {
+    check_all_modes(nsc_workloads::bfs_push(Size::Tiny));
+    check_all_modes(nsc_workloads::pr_push(Size::Tiny));
+    check_all_modes(nsc_workloads::sssp(Size::Tiny));
+}
+
+#[test]
+fn graph_pull_kernels_match_golden_in_all_modes() {
+    check_all_modes(nsc_workloads::bfs_pull(Size::Tiny));
+    check_all_modes(nsc_workloads::pr_pull(Size::Tiny));
+}
+
+#[test]
+fn pointer_chase_kernels_match_golden_in_all_modes() {
+    check_all_modes(nsc_workloads::bin_tree(Size::Tiny));
+    check_all_modes(nsc_workloads::hash_join(Size::Tiny));
+}
+
+#[test]
+fn results_are_independent_of_core_count() {
+    // The same workload on 16 vs 64 cores (different interleavings and
+    // chunkings) must still match golden.
+    let w = nsc_workloads::pr_push(Size::Tiny);
+    let compiled = compile(&w.program);
+    let golden = w.golden_digest();
+    for cfg in [SystemConfig::small(), SystemConfig::paper_ooo8()] {
+        let (_, mem) = run(&w.program, &compiled, &w.params, ExecMode::Ns, &cfg, &w.init);
+        assert_eq!(w.digest(&mem), golden);
+    }
+}
+
+#[test]
+fn results_are_independent_of_se_parameters() {
+    let w = nsc_workloads::sssp(Size::Tiny);
+    let compiled = compile(&w.program);
+    let golden = w.golden_digest();
+    for (lat, rob, pe, mrsw) in [(1u64, 8u32, false, false), (16, 64, true, true)] {
+        let mut cfg = SystemConfig::small();
+        cfg.se.scm_issue_latency = lat;
+        cfg.se.scc_rob = rob;
+        cfg.se.scalar_pe = pe;
+        cfg.mem.mrsw_lock = mrsw;
+        let (_, mem) = run(&w.program, &compiled, &w.params, ExecMode::NsDecouple, &cfg, &w.init);
+        assert_eq!(w.digest(&mem), golden, "SE params changed the result");
+    }
+}
