@@ -1,33 +1,37 @@
 //! End-to-end simulation throughput: one tiny workload per taxonomy
 //! category, Base vs NS, measuring simulator wall time.
+//!
+//! Uses a hand-rolled timing harness (no criterion) so the workspace
+//! builds offline. Run with `cargo bench --features criterion-bench`.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
 use near_stream::{run, ExecMode, SystemConfig};
 use nsc_compiler::compile;
 use nsc_workloads::{hash_join, histogram, hotspot, pr_push, Size};
 
-fn bench_mode(c: &mut Criterion, name: &str, w: nsc_workloads::Workload) {
+fn bench_mode(name: &str, w: nsc_workloads::Workload) {
     let compiled = compile(&w.program);
     let cfg = SystemConfig::small();
-    let mut g = c.benchmark_group(name);
-    g.sample_size(10);
     for mode in [ExecMode::Base, ExecMode::Ns, ExecMode::NsDecouple] {
-        g.bench_function(mode.label(), |b| {
-            b.iter(|| {
-                let (r, _) = run(&w.program, &compiled, &w.params, mode, &cfg, &w.init);
-                black_box(r.cycles)
-            });
-        });
+        let iters = 10;
+        // Warm-up run, then timed samples.
+        let (r, _) = run(&w.program, &compiled, &w.params, mode, &cfg, &w.init);
+        black_box(r.cycles);
+        let start = Instant::now();
+        for _ in 0..iters {
+            let (r, _) = run(&w.program, &compiled, &w.params, mode, &cfg, &w.init);
+            black_box(r.cycles);
+        }
+        let per = start.elapsed().as_secs_f64() * 1e3 / iters as f64;
+        println!("{name:<16} {:<12} {per:>9.3} ms/run", mode.label());
     }
-    g.finish();
 }
 
-fn end_to_end(c: &mut Criterion) {
-    bench_mode(c, "hotspot_tiny", hotspot(Size::Tiny));
-    bench_mode(c, "histogram_tiny", histogram(Size::Tiny));
-    bench_mode(c, "pr_push_tiny", pr_push(Size::Tiny));
-    bench_mode(c, "hash_join_tiny", hash_join(Size::Tiny));
+fn main() {
+    bench_mode("hotspot_tiny", hotspot(Size::Tiny));
+    bench_mode("histogram_tiny", histogram(Size::Tiny));
+    bench_mode("pr_push_tiny", pr_push(Size::Tiny));
+    bench_mode("hash_join_tiny", hash_join(Size::Tiny));
 }
-
-criterion_group!(benches, end_to_end);
-criterion_main!(benches);

@@ -1,7 +1,12 @@
 //! Microbenchmarks of the simulation substrates: cache tag array, mesh
 //! routing/accounting, bandwidth ledger and IR interpretation throughput.
+//!
+//! Uses a hand-rolled timing harness (no criterion) so the workspace
+//! builds offline. Run with `cargo bench --features criterion-bench`.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
 use nsc_ir::build::KernelBuilder;
 use nsc_ir::{ElemType, Expr, Program};
 use nsc_mem::{Cache, CacheConfig, LineAddr, ReplacePolicy};
@@ -9,72 +14,84 @@ use nsc_noc::{Mesh, MeshConfig, MsgClass, TileId};
 use nsc_sim::resource::BandwidthLedger;
 use nsc_sim::Cycle;
 
-fn bench_cache(c: &mut Criterion) {
-    c.bench_function("cache_insert_lookup", |b| {
-        let mut cache = Cache::new(CacheConfig {
-            size_bytes: 32 * 1024,
-            ways: 8,
-            latency: Cycle(2),
-            policy: ReplacePolicy::BimodalRrip { p_promote_permille: 30 },
-            set_skip_bits: 0,
-        });
-        let mut i = 0u64;
-        b.iter(|| {
-            i = i.wrapping_add(97);
-            cache.insert(LineAddr(i % 4096), false, Cycle::ZERO);
-            black_box(cache.lookup(LineAddr((i / 2) % 4096), Cycle::ZERO));
-        });
+/// Times `iters` calls of `f` after a short warm-up and prints ns/iter.
+fn bench(name: &str, iters: u64, mut f: impl FnMut()) {
+    for _ in 0..iters / 10 {
+        f();
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let elapsed = start.elapsed();
+    let per = elapsed.as_nanos() as f64 / iters as f64;
+    println!("{name:<24} {per:>12.1} ns/iter   ({iters} iters, {elapsed:.2?} total)");
+}
+
+fn bench_cache() {
+    let mut cache = Cache::new(CacheConfig {
+        size_bytes: 32 * 1024,
+        ways: 8,
+        latency: Cycle(2),
+        policy: ReplacePolicy::BimodalRrip {
+            p_promote_permille: 30,
+        },
+        set_skip_bits: 0,
+    });
+    let mut i = 0u64;
+    bench("cache_insert_lookup", 1_000_000, || {
+        i = i.wrapping_add(97);
+        cache.insert(LineAddr(i % 4096), false, Cycle::ZERO);
+        black_box(cache.lookup(LineAddr((i / 2) % 4096), Cycle::ZERO));
     });
 }
 
-fn bench_mesh(c: &mut Criterion) {
-    c.bench_function("mesh_send_8x8", |b| {
-        let mut mesh = Mesh::new(MeshConfig::paper_8x8());
-        let mut t = 0u64;
-        b.iter(|| {
-            t += 1;
-            black_box(mesh.send(
-                Cycle(t),
-                TileId((t % 64) as u16),
-                TileId(((t * 7) % 64) as u16),
-                64,
-                MsgClass::Data,
-            ));
-        });
+fn bench_mesh() {
+    let mut mesh = Mesh::new(MeshConfig::paper_8x8());
+    let mut t = 0u64;
+    bench("mesh_send_8x8", 1_000_000, || {
+        t += 1;
+        black_box(mesh.send(
+            Cycle(t),
+            TileId((t % 64) as u16),
+            TileId(((t * 7) % 64) as u16),
+            64,
+            MsgClass::Data,
+        ));
     });
 }
 
-fn bench_ledger(c: &mut Criterion) {
-    c.bench_function("ledger_book", |b| {
-        let mut l = BandwidthLedger::new(16, 16);
-        let mut t = 0u64;
-        b.iter(|| {
-            t += 3;
-            black_box(l.book(Cycle(t), 2));
-        });
+fn bench_ledger() {
+    let mut l = BandwidthLedger::new(16, 16);
+    let mut t = 0u64;
+    bench("ledger_book", 1_000_000, || {
+        t += 3;
+        black_box(l.book(Cycle(t), 2));
     });
 }
 
-fn bench_interp(c: &mut Criterion) {
-    c.bench_function("interp_vecadd_4k", |b| {
-        let n = 4096;
-        let mut p = Program::new("vecadd");
-        let a = p.array("a", ElemType::I64, n);
-        let bb = p.array("b", ElemType::I64, n);
-        let cc = p.array("c", ElemType::I64, n);
-        let mut k = KernelBuilder::new("add", n);
-        let i = k.outer_var();
-        let va = k.load(a, Expr::var(i));
-        let vb = k.load(bb, Expr::var(i));
-        k.store(cc, Expr::var(i), Expr::var(va) + Expr::var(vb));
-        p.push_kernel(k.finish());
-        b.iter(|| {
-            let mut mem = nsc_ir::Memory::for_program(&p);
-            nsc_ir::interp::run_program(&p, &mut mem, &[]);
-            black_box(mem.read_index(cc, 7));
-        });
+fn bench_interp() {
+    let n = 4096;
+    let mut p = Program::new("vecadd");
+    let a = p.array("a", ElemType::I64, n);
+    let bb = p.array("b", ElemType::I64, n);
+    let cc = p.array("c", ElemType::I64, n);
+    let mut k = KernelBuilder::new("add", n);
+    let i = k.outer_var();
+    let va = k.load(a, Expr::var(i));
+    let vb = k.load(bb, Expr::var(i));
+    k.store(cc, Expr::var(i), Expr::var(va) + Expr::var(vb));
+    p.push_kernel(k.finish());
+    bench("interp_vecadd_4k", 200, || {
+        let mut mem = nsc_ir::Memory::for_program(&p);
+        nsc_ir::interp::run_program(&p, &mut mem, &[]);
+        black_box(mem.read_index(cc, 7));
     });
 }
 
-criterion_group!(benches, bench_cache, bench_mesh, bench_ledger, bench_interp);
-criterion_main!(benches);
+fn main() {
+    bench_cache();
+    bench_mesh();
+    bench_ledger();
+    bench_interp();
+}

@@ -5,6 +5,8 @@
 
 use near_stream::range_sync::AliasFilterKind;
 use near_stream::{run, ExecMode, SystemConfig};
+use nsc_bench::Report;
+use nsc_workloads::Size;
 use nsc_compiler::compile;
 use nsc_ir::build::KernelBuilder;
 use nsc_ir::{BinOp, ElemType, Expr, Program};
@@ -36,12 +38,16 @@ fn main() {
     p.push_kernel(k.finish());
     let compiled = compile(&p);
 
+    let mut rep = Report::new("abl_alias_filter", Size::Small);
+    rep.meta("ablation", "alias-summary structure");
     println!("# Ablation: alias-summary structure (NS, range-synchronized)");
     println!("{:8} {:>12} {:>14} {:>12}", "filter", "cycles", "bytes x hops", "flushes");
     for (name, kind) in [("range", AliasFilterKind::Range), ("bloom", AliasFilterKind::Bloom)] {
         let mut cfg = SystemConfig::small();
         cfg.se.alias_filter = kind;
         let (r, _) = run(&p, &compiled, &[], ExecMode::Ns, &cfg, &|_| {});
+        rep.run("alias_abl", name, &r);
+        rep.stat(&format!("flushes.{name}"), r.alias_flushes as f64);
         println!(
             "{:8} {:>12} {:>14} {:>12}",
             name,
@@ -53,4 +59,5 @@ fn main() {
     println!();
     println!("Bloom filters avoid the hull's false positives at the cost of");
     println!("larger synchronization state (2 kbit/stream vs one 96-bit range).");
+    rep.finish().expect("write results json");
 }

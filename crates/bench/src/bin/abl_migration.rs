@@ -2,11 +2,13 @@
 //! remember visited streams so re-visits send only the changing fields.
 
 use near_stream::ExecMode;
-use nsc_bench::{parse_size, prepare, system_for};
+use nsc_bench::{parse_size, prepare, system_for, Report};
 use nsc_workloads::{bin_tree, hash_join, pr_pull};
 
 fn main() {
     let size = parse_size();
+    let mut rep = Report::new("abl_migration", size);
+    rep.meta("ablation", "compact stream migration");
     println!("# Ablation: compact migration (NS-decouple)");
     println!(
         "{:10} {:>14} {:>14} {:>9} {:>9}",
@@ -20,6 +22,8 @@ fn main() {
         let mut cfg = system_for(size);
         cfg.se.compact_migration = true;
         let (compact, _) = p.run_unchecked(ExecMode::NsDecouple, &cfg);
+        rep.run(p.workload.name, "NS-decouple-full", &full);
+        rep.run(p.workload.name, "NS-decouple-compact", &compact);
         println!(
             "{:10} {:>14} {:>14} {:>8.1}% {:>8.2}x",
             p.workload.name,
@@ -30,4 +34,5 @@ fn main() {
         );
     }
     println!("(the paper estimated migration traffic was already low; this bounds the win)");
+    rep.finish().expect("write results json");
 }

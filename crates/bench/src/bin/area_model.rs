@@ -2,15 +2,23 @@
 //! overhead.
 
 use near_stream::CoreModel;
+use nsc_bench::Report;
 use nsc_energy::area::AreaModel;
+use nsc_workloads::Size;
 
 fn main() {
     let a = AreaModel::paper_22nm();
+    let mut rep = Report::new("area_model", Size::Paper);
+    rep.meta("model", "CACTI/McPAT-class, 22nm");
+    rep.stat("se_core_mm2", a.se_core_mm2);
+    rep.stat("se_l3_buffer_mm2", a.se_l3_buffer_mm2);
+    rep.stat("se_l3_config_mm2", a.se_l3_config_mm2);
     println!("# Area model (22nm, CACTI/McPAT-class)");
     println!("SE_core stream buffer:        {:.3} mm^2 (paper: 0.09)", a.se_core_mm2);
     println!("SE_L3 stream buffer (64kB):   {:.3} mm^2 (paper: 0.195)", a.se_l3_buffer_mm2);
     println!("SE_L3 config SRAM (48kB):     {:.3} mm^2 (paper: 0.11)", a.se_l3_config_mm2);
     for core in CoreModel::all() {
+        rep.stat(&format!("overhead_fraction.{}", core.name), a.overhead_fraction(&core));
         println!(
             "whole-chip overhead ({:5}):   {:.2}%",
             core.name,
@@ -18,4 +26,5 @@ fn main() {
         );
     }
     println!("(paper: 2.5% for IO4, 2.1% for OOO8)");
+    rep.finish().expect("write results json");
 }

@@ -7,7 +7,7 @@
 //!     cache removes only ~27% of traffic; near-LLC removes ~64%).
 
 use near_stream::ideal::{ideal_traffic, IdealModel};
-use nsc_bench::{parse_size, prepare, system_for};
+use nsc_bench::{parse_size, prepare, system_for, Report};
 use nsc_compiler::{op_breakdown, run_with_counts, OpBreakdown};
 use nsc_ir::stream::ComputeClass;
 use nsc_workloads::all;
@@ -15,6 +15,8 @@ use nsc_workloads::all;
 fn main() {
     let size = parse_size();
     let cfg = system_for(size);
+    let mut rep = Report::new("fig01_potential", size);
+    rep.meta("figure", "1");
     println!("# Figure 1(a): dynamic uops associated with streams, size {size:?}");
     println!(
         "{:11} {:>7} {:>7} {:>7} {:>7} {:>7} {:>8} {:>8}",
@@ -42,6 +44,7 @@ fn main() {
             100.0 * bd.stream_fraction(),
             100.0 * (1.0 - bd.stream_fraction()),
         );
+        rep.stat(&format!("stream_fraction.{}", p.workload.name), bd.stream_fraction());
         agg.merge(&bd);
         rows.push(p);
     }
@@ -72,6 +75,9 @@ fn main() {
         s_perf += perf;
         s_near += near;
         let n = no.max(1) as f64;
+        rep.stat(&format!("ideal_traffic.{}.perf_priv", w.name), perf as f64 / n);
+        rep.stat(&format!("ideal_traffic.{}.perf_near_llc", w.name), near as f64 / n);
+        let n = no.max(1) as f64;
         println!(
             "{:11} {:>12.2} {:>12.2} {:>12.2}",
             w.name,
@@ -80,6 +86,9 @@ fn main() {
             near as f64 / n
         );
     }
+    rep.stat("ideal_traffic.average.perf_priv", s_perf as f64 / s_no.max(1) as f64);
+    rep.stat("ideal_traffic.average.perf_near_llc", s_near as f64 / s_no.max(1) as f64);
+    rep.stat("stream_fraction.average", agg.stream_fraction());
     println!(
         "{:11} {:>12.2} {:>12.2} {:>12.2}  (paper: ~0.73 and ~0.36)",
         "average",
@@ -87,4 +96,5 @@ fn main() {
         s_perf as f64 / s_no.max(1) as f64,
         s_near as f64 / s_no.max(1) as f64
     );
+    rep.finish().expect("write results json");
 }

@@ -9,12 +9,14 @@
 //! NS ≥ INST everywhere, NS-decouple ≥ SINGLE everywhere.
 
 use near_stream::ExecMode;
-use nsc_bench::{fmt_x, geomean, parse_size, prepare, system_for};
+use nsc_bench::{fmt_x, geomean, parse_size, prepare, system_for, Report};
 use nsc_workloads::all;
 
 fn main() {
     let size = parse_size();
     let cfg = system_for(size);
+    let mut rep = Report::new("fig09_speedup", size);
+    rep.meta("figure", "9");
     let modes = [
         ExecMode::Inst,
         ExecMode::Single,
@@ -34,18 +36,23 @@ fn main() {
     for w in all(size) {
         let p = prepare(w);
         let (base, _) = p.run_unchecked(ExecMode::Base, &cfg);
+        rep.run(p.workload.name, ExecMode::Base.label(), &base);
         print!("{:11} {:>10}", p.workload.name, base.cycles);
         for (i, m) in modes.iter().enumerate() {
             let (r, _) = p.run_unchecked(*m, &cfg);
             let s = r.speedup_over(&base);
+            rep.run(p.workload.name, m.label(), &r);
+            rep.stat(&format!("speedup.{}.{}", p.workload.name, m.label()), s);
             per_mode[i].push(s);
             print!(" {:>11}", fmt_x(s));
         }
         println!();
     }
     print!("{:11} {:>10}", "geomean", "");
-    for col in &per_mode {
+    for (m, col) in modes.iter().zip(&per_mode) {
+        rep.stat(&format!("geomean.{}", m.label()), geomean(col));
         print!(" {:>11}", fmt_x(geomean(col)));
     }
     println!();
+    rep.finish().expect("write results json");
 }

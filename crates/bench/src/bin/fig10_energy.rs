@@ -7,13 +7,15 @@
 //! efficiency on OOO8.
 
 use near_stream::{CoreModel, ExecMode};
-use nsc_bench::{fmt_x, geomean, parse_size, prepare, system_for};
+use nsc_bench::{fmt_x, geomean, parse_size, prepare, system_for, Report};
 use nsc_energy::EnergyModel;
 use nsc_workloads::all;
 
 fn main() {
     let size = parse_size();
     let energy = EnergyModel::mcpat_22nm();
+    let mut rep = Report::new("fig10_energy", size);
+    rep.meta("figure", "10");
     println!("# Figure 10: energy/performance per core type, size {size:?}");
     println!(
         "{:6} {:12} {:>10} {:>10} {:>12} {:>12}",
@@ -38,7 +40,25 @@ fn main() {
             speedups_dec.push(dec.speedup_over(&base));
             eff_ns.push(e_ns.efficiency_gain_over(&e_base));
             eff_dec.push(e_dec.efficiency_gain_over(&e_base));
+            let wname = p.workload.name;
+            rep.stat(&format!("speedup.{}.{wname}.NS", core.name), ns.speedup_over(&base));
+            rep.stat(
+                &format!("speedup.{}.{wname}.NS-decouple", core.name),
+                dec.speedup_over(&base),
+            );
+            rep.stat(
+                &format!("efficiency.{}.{wname}.NS", core.name),
+                e_ns.efficiency_gain_over(&e_base),
+            );
+            rep.stat(
+                &format!("efficiency.{}.{wname}.NS-decouple", core.name),
+                e_dec.efficiency_gain_over(&e_base),
+            );
         }
+        rep.stat(&format!("geomean.speedup.{}.NS", core.name), geomean(&speedups_ns));
+        rep.stat(&format!("geomean.speedup.{}.NS-decouple", core.name), geomean(&speedups_dec));
+        rep.stat(&format!("geomean.efficiency.{}.NS", core.name), geomean(&eff_ns));
+        rep.stat(&format!("geomean.efficiency.{}.NS-decouple", core.name), geomean(&eff_dec));
         println!(
             "{:6} {:12} {:>10} {:>10} {:>12} {:>12}",
             core.name,
@@ -58,4 +78,5 @@ fn main() {
             fmt_x(geomean(&eff_dec)),
         );
     }
+    rep.finish().expect("write results json");
 }

@@ -4,12 +4,14 @@
 //! are offloaded; short reductions with private-cache reuse stay in-core).
 
 use near_stream::ExecMode;
-use nsc_bench::{parse_size, prepare, system_for};
+use nsc_bench::{parse_size, prepare, system_for, Report};
 use nsc_workloads::all;
 
 fn main() {
     let size = parse_size();
     let cfg = system_for(size);
+    let mut rep = Report::new("fig11_generality", size);
+    rep.meta("figure", "11");
     println!("# Figure 11: stream association vs runtime offload, size {size:?}");
     println!(
         "{:11} {:>12} {:>12} {:>10}",
@@ -23,6 +25,8 @@ fn main() {
         let off: f64 = r.roles.offloaded.iter().sum();
         let of_assoc = if assoc > 0.0 { off / assoc } else { 0.0 };
         fr.push(of_assoc);
+        rep.run(p.workload.name, ExecMode::Ns.label(), &r);
+        rep.stat(&format!("offload_fraction.{}", p.workload.name), of_assoc);
         println!(
             "{:11} {:>11.1}% {:>11.1}% {:>9.1}%",
             p.workload.name,
@@ -32,5 +36,7 @@ fn main() {
         );
     }
     let avg = fr.iter().sum::<f64>() / fr.len() as f64;
+    rep.stat("offload_fraction.average", avg);
     println!("{:11} {:>36.1}%  (paper: ~93%)", "average", 100.0 * avg);
+    rep.finish().expect("write results json");
 }

@@ -6,12 +6,14 @@
 //! workloads); range-synchronization ≈ 11% of NS's traffic.
 
 use near_stream::ExecMode;
-use nsc_bench::{parse_size, prepare, system_for};
+use nsc_bench::{parse_size, prepare, system_for, Report};
 use nsc_workloads::all;
 
 fn main() {
     let size = parse_size();
     let cfg = system_for(size);
+    let mut rep = Report::new("fig12_traffic", size);
+    rep.meta("figure", "12");
     let modes = [
         ExecMode::Base,
         ExecMode::Inst,
@@ -43,6 +45,7 @@ fn main() {
                 base_total += r.traffic.total();
             }
             totals[i] += r.traffic.total();
+            rep.run(p.workload.name, m.label(), &r);
             cells.push(format!(
                 "{:>24}",
                 format!(
@@ -59,10 +62,9 @@ fn main() {
     println!();
     println!("total traffic reduction vs Base:");
     for (i, m) in modes.iter().enumerate().skip(1) {
-        println!(
-            "  {:12} {:5.1}%",
-            m.label(),
-            100.0 * (1.0 - totals[i] as f64 / base_total.max(1) as f64)
-        );
+        let red = 1.0 - totals[i] as f64 / base_total.max(1) as f64;
+        rep.stat(&format!("traffic_reduction.{}", m.label()), red);
+        println!("  {:12} {:5.1}%", m.label(), 100.0 * red);
     }
+    rep.finish().expect("write results json");
 }

@@ -4,11 +4,13 @@
 //! workloads degrade, ~11% drop for NS-decouple at 16 cycles vs 4.
 
 use near_stream::ExecMode;
-use nsc_bench::{geomean, parse_size, prepare, system_for};
+use nsc_bench::{geomean, parse_size, prepare, system_for, Report};
 use nsc_workloads::all;
 
 fn main() {
     let size = parse_size();
+    let mut rep = Report::new("fig13_scm_latency", size);
+    rep.meta("figure", "13");
     println!("# Figure 13: SCM issue latency sensitivity, size {size:?}");
     let lats = [1u64, 4, 16];
     let modes = [ExecMode::Ns, ExecMode::NsNoSync, ExecMode::NsDecouple];
@@ -28,6 +30,10 @@ fn main() {
                 let (r, _) = p.run_unchecked(*m, &cfg);
                 let rel = refr.cycles as f64 / r.cycles.max(1) as f64;
                 per[mi][li].push(rel);
+                rep.stat(
+                    &format!("relative.{}.{}.{lat}cy", p.workload.name, m.label()),
+                    rel,
+                );
                 row.push_str(&format!(" {:6.2}", rel));
             }
             row.push_str(" |");
@@ -35,7 +41,11 @@ fn main() {
         println!("{row}");
     }
     for (mi, m) in modes.iter().enumerate() {
+        for (li, lat) in lats.iter().enumerate() {
+            rep.stat(&format!("geomean.{}.{lat}cy", m.label()), geomean(&per[mi][li]));
+        }
         let g: Vec<String> = per[mi].iter().map(|v| format!("{:5.2}", geomean(v))).collect();
         println!("geomean {:12} 1/4/16cy: {}", m.label(), g.join(" "));
     }
+    rep.finish().expect("write results json");
 }

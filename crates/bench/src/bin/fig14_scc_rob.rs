@@ -3,12 +3,14 @@
 //! SIMD workloads need a larger ROB to overlap SCM computations.
 
 use near_stream::ExecMode;
-use nsc_bench::{parse_size, prepare, system_for};
+use nsc_bench::{parse_size, prepare, system_for, Report};
 use nsc_workloads::all;
 
 fn main() {
     let size = parse_size();
     let robs = [8u32, 16, 32, 64];
+    let mut rep = Report::new("fig14_scc_rob", size);
+    rep.meta("figure", "14");
     println!("# Figure 14: SCC ROB sensitivity (NS-decouple, normalized to 64 entries), size {size:?}");
     print!("{:11}", "workload");
     for r in robs {
@@ -25,8 +27,11 @@ fn main() {
             let mut cfg = system_for(size);
             cfg.se.scc_rob = rob;
             let (r, _) = p.run_unchecked(ExecMode::NsDecouple, &cfg);
-            print!(" {:7.2}", r64.cycles as f64 / r.cycles.max(1) as f64 * (r64.cycles as f64 / r64.cycles as f64));
+            let rel = r64.cycles as f64 / r.cycles.max(1) as f64;
+            rep.stat(&format!("relative.{}.{rob}rob", p.workload.name), rel);
+            print!(" {rel:7.2}");
         }
         println!();
     }
+    rep.finish().expect("write results json");
 }

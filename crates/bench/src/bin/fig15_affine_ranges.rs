@@ -3,11 +3,13 @@
 //! saves ~15% traffic and ~5% performance.
 
 use near_stream::ExecMode;
-use nsc_bench::{parse_size, prepare, system_for};
+use nsc_bench::{parse_size, prepare, system_for, Report};
 use nsc_workloads::{histogram, hotspot, hotspot3d, pathfinder, srad};
 
 fn main() {
     let size = parse_size();
+    let mut rep = Report::new("fig15_affine_ranges", size);
+    rep.meta("figure", "15");
     println!("# Figure 15: affine range generation (NS), size {size:?}");
     println!(
         "{:11} {:>12} {:>12} {:>9} {:>9}",
@@ -24,6 +26,8 @@ fn main() {
         let (r_core, _) = p.run_unchecked(ExecMode::Ns, &cfg_core);
         t_l3 += r_l3.traffic.total();
         t_core += r_core.traffic.total();
+        rep.run(p.workload.name, "NS-ranges-at-l3", &r_l3);
+        rep.run(p.workload.name, "NS-ranges-at-core", &r_core);
         println!(
             "{:11} {:>12} {:>12} {:>8.1}% {:>8.2}x",
             p.workload.name,
@@ -33,8 +37,8 @@ fn main() {
             r_l3.cycles as f64 / r_core.cycles.max(1) as f64,
         );
     }
-    println!(
-        "overall traffic saved: {:.1}%  (paper: ~15%)",
-        100.0 * (1.0 - t_core as f64 / t_l3.max(1) as f64)
-    );
+    let saved = 1.0 - t_core as f64 / t_l3.max(1) as f64;
+    rep.stat("traffic_saved", saved);
+    println!("overall traffic saved: {:.1}%  (paper: ~15%)", 100.0 * saved);
+    rep.finish().expect("write results json");
 }

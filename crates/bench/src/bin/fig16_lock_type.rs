@@ -4,11 +4,13 @@
 //! benefit; sync-free modes see little difference.
 
 use near_stream::ExecMode;
-use nsc_bench::{parse_size, prepare, system_for};
+use nsc_bench::{parse_size, prepare, system_for, Report};
 use nsc_workloads::{bfs_push, pr_push, sssp};
 
 fn main() {
     let size = parse_size();
+    let mut rep = Report::new("fig16_lock_type", size);
+    rep.meta("figure", "16");
     println!("# Figure 16: lock type (exclusive vs MRSW), size {size:?}");
     println!(
         "{:9} {:12} {:>10} {:>10} {:>9} {:>12} {:>12}",
@@ -23,6 +25,13 @@ fn main() {
             let mut cfg_m = system_for(size);
             cfg_m.mem.mrsw_lock = true;
             let (rm, _) = p.run_unchecked(mode, &cfg_m);
+            let wname = p.workload.name;
+            rep.stat(
+                &format!("speedup.{wname}.{}", mode.label()),
+                rx.cycles as f64 / rm.cycles.max(1) as f64,
+            );
+            rep.stat(&format!("conflicts.excl.{wname}.{}", mode.label()), rx.lock_conflicts as f64);
+            rep.stat(&format!("conflicts.mrsw.{wname}.{}", mode.label()), rm.lock_conflicts as f64);
             println!(
                 "{:9} {:12} {:>10} {:>10} {:>8.2}x {:>12} {:>12}",
                 p.workload.name,
@@ -35,4 +44,5 @@ fn main() {
             );
         }
     }
+    rep.finish().expect("write results json");
 }

@@ -3,11 +3,13 @@
 //! (~1.1x for hash_join), ~2.5% overall.
 
 use near_stream::ExecMode;
-use nsc_bench::{geomean, parse_size, prepare, system_for};
+use nsc_bench::{geomean, parse_size, prepare, system_for, Report};
 use nsc_workloads::all;
 
 fn main() {
     let size = parse_size();
+    let mut rep = Report::new("fig17_scalar_pe", size);
+    rep.meta("figure", "17");
     println!("# Figure 17: scalar PE sensitivity (NS-decouple), size {size:?}");
     println!("{:11} {:>12} {:>12} {:>9}", "workload", "no-PE(cyc)", "PE(cyc)", "speedup");
     let mut sp = Vec::new();
@@ -21,7 +23,10 @@ fn main() {
         let (on, _) = p.run_unchecked(ExecMode::NsDecouple, &cfg_on);
         let s = off.cycles as f64 / on.cycles.max(1) as f64;
         sp.push(s);
+        rep.stat(&format!("speedup.{}", p.workload.name), s);
         println!("{:11} {:>12} {:>12} {:>8.2}x", p.workload.name, off.cycles, on.cycles, s);
     }
+    rep.stat("geomean.speedup", geomean(&sp));
     println!("geomean: {:.3}x  (paper: ~1.025x overall, ~1.1x hash_join)", geomean(&sp));
+    rep.finish().expect("write results json");
 }

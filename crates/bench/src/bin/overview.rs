@@ -9,6 +9,8 @@ use std::time::Instant;
 
 fn main() {
     let cfg = nsc_bench::system_for(Size::Small);
+    let mut rep = nsc_bench::Report::new("overview", nsc_bench::parse_size());
+    rep.meta("summary", "all workloads under all systems");
     println!("{:11} {:>9} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7}  traffic: base NS NSdec  offl",
         "workload", "Base", "INST", "SINGLE", "NScore", "NSnoc", "NS", "NSnosy", "NSdec");
     for w in all(nsc_bench::parse_size()) {
@@ -22,6 +24,7 @@ fn main() {
         for mode in ExecMode::ALL {
             let (r, mem) = run(&w.program, &compiled, &w.params, mode, &cfg, &w.init);
             let d = w.digest(&mem);
+            rep.run(w.name, mode.label(), &r);
             if d != golden { eprintln!("!! {} {:?} WRONG RESULT", w.name, mode); }
             if mode == ExecMode::Base { base_cycles = r.cycles; }
             cells.push(if mode == ExecMode::Base { format!("{:9}", r.cycles) }
@@ -34,4 +37,5 @@ fn main() {
         println!("{:11} {}  {:>10} {:>10} {:>10}  {:.2} ({:?})",
             w.name, cells.join(" "), traffic[0], traffic[1], traffic[2], offl, t0.elapsed());
     }
+    rep.finish().expect("write results json");
 }

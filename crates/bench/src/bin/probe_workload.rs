@@ -4,8 +4,7 @@
 //! Usage: `probe_workload <name> [--tiny|--small|--full]`
 
 use near_stream::ExecMode;
-use nsc_bench::{prepare, system_for};
-use nsc_workloads::Size;
+use nsc_bench::{prepare, system_for, Report};
 
 fn main() {
     let name = std::env::args().nth(1).unwrap_or("pathfinder".into());
@@ -17,15 +16,19 @@ fn main() {
     }
     let w = nsc_workloads::all(size).into_iter().find(|w| w.name == name).unwrap();
     let p = prepare(w);
+    let mut rep = Report::new("probe_workload", size);
+    rep.meta("workload", &name);
     for k in &p.compiled.kernels[..1] {
         for s in &k.streams { println!("  {s}"); }
         println!("  vw={} decoupled={}", k.vector_width, k.fully_decoupled);
     }
     for mode in [ExecMode::Base, ExecMode::Ns, ExecMode::NsDecouple] {
         let (r, _) = p.run_unchecked(mode, &cfg);
+        rep.run(&name, mode.label(), &r);
         println!("{:12} cyc={:9} d/c/o={:>10}/{:>10}/{:>10} msgs={:8} dram={:7} l3h={:8} l3m={:7} l1h={} l1m={} inval={} wb={}",
             mode.label(), r.cycles, r.traffic.data, r.traffic.control, r.traffic.offloaded,
             r.traffic.messages, r.dram_accesses, r.mem.l3_hits, r.mem.l3_misses,
             r.mem.l1_hits, r.mem.l1_misses, r.mem.invalidations, r.mem.private_writebacks);
     }
+    rep.finish().expect("write results json");
 }

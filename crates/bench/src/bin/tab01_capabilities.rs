@@ -3,12 +3,14 @@
 //! by running the implemented offload policies over the 14 workloads.
 
 use near_stream::ExecMode;
-use nsc_bench::{parse_size, prepare, system_for};
+use nsc_bench::{parse_size, prepare, system_for, Report};
 use nsc_workloads::all;
 
 fn main() {
     let size = parse_size();
     let cfg = system_for(size);
+    let mut rep = Report::new("tab01_capabilities", size);
+    rep.meta("table", "I");
     println!("# Table I: capabilities of sub-thread near-data approaches");
     println!("                      INST(Omni)  SINGLE(Livia)  Near-Stream");
     println!("Data level                  LLC         LLC/MC          LLC");
@@ -30,9 +32,14 @@ fn main() {
             }
         }
     }
+    for (i, m) in modes.iter().enumerate() {
+        rep.stat(&format!("covered.{}", m.label()), cover[i] as f64);
+    }
+    rep.stat("workloads", n as f64);
     println!(
         "# workloads accel.     {:>8}/{n} {:>9}/{n} {:>9}/{n}   (paper: 10/14, 5/14*, 14/14)",
         cover[0], cover[1], cover[2]
     );
     println!("(*paper counts Livia's applicable set differently; see Table II)");
+    rep.finish().expect("write results json");
 }

@@ -6,6 +6,8 @@
 //! high overhead), - = unsupported (falls back to prefetch/core).
 
 use near_stream::{offload_style, ExecMode, OffloadStyle, PolicyContext, SeConfig};
+use nsc_bench::Report;
+use nsc_workloads::Size;
 use nsc_ir::program::{ArrayId, StmtId};
 use nsc_ir::stream::{AddrPatternClass, ComputeClass, StreamId, StreamInfo};
 
@@ -53,6 +55,8 @@ fn main() {
         ComputeClass::Reduce,
     ];
     let systems = [ExecMode::Inst, ExecMode::Single, ExecMode::Ns];
+    let mut rep = Report::new("tab02_patterns", Size::Paper);
+    rep.meta("table", "II");
     println!("# Table II: pattern support (derived from the implemented policies)");
     println!("{:8} | {:>10} {:>10} {:>10}", "", "INST", "SINGLE", "NS");
     let mut ns_full = 0;
@@ -65,10 +69,15 @@ fn main() {
             if probe(ExecMode::Ns, pat, role, deps) == 'F' {
                 ns_full += 1;
             }
+            for (m, c) in systems.iter().zip(&cells) {
+                rep.meta(&format!("cell.{pname}.{}.{}", role.label(), m.label()), c.trim());
+            }
             println!("{:8} {:7} | {}", pname, role.label(), cells.join(" "));
         }
     }
     println!();
     println!("NS supports {ns_full}/16 pattern cells fully (paper Table I: 16/16)");
     assert_eq!(ns_full, 16, "near-stream must cover the full taxonomy");
+    rep.stat("ns_full_cells", ns_full as f64);
+    rep.finish().expect("write results json");
 }

@@ -2,15 +2,17 @@
 //! runtime assertion that this implementation generates all three address
 //! patterns *and* offloads computation (the new dimension).
 
-use nsc_bench::parse_size;
+use nsc_bench::{parse_size, Report};
 use nsc_compiler::compile;
 use nsc_ir::stream::AddrPatternClass;
 use nsc_workloads::{all, Size};
 
 fn main() {
-    let _ = parse_size();
+    let size = parse_size();
+    let mut rep = Report::new("tab03_stream_isas", size);
+    rep.meta("table", "III");
     println!("# Table III: stream-ISA capabilities");
-    println!("{:38} {:26} {}", "work", "addr patterns", "near-data compute?");
+    println!("{:38} {:26} near-data compute?", "work", "addr patterns");
     for (name, pat, ndc) in [
         ("Stream-Specialized Processor [67]", "affine, indirect, ptr", "no"),
         ("Stream-Semantic Registers [62]", "affine", "no"),
@@ -37,6 +39,11 @@ fn main() {
         }
     }
     assert!(aff && ind && ptr && compute, "taxonomy coverage regression");
+    rep.stat("patterns.affine", aff as u8 as f64);
+    rep.stat("patterns.indirect", ind as u8 as f64);
+    rep.stat("patterns.ptr_chase", ptr as u8 as f64);
+    rep.stat("patterns.compute", compute as u8 as f64);
     println!();
     println!("verified: this implementation generates affine+indirect+ptr streams with computation");
+    rep.finish().expect("write results json");
 }

@@ -1,9 +1,17 @@
 //! Table IV: the stream-configuration encoding — field widths, total
 //! record sizes and a round-trip exercise.
 
+use nsc_bench::Report;
 use nsc_ir::encoding::{AffineConfig, ComputeConfig, IndirectConfig};
+use nsc_workloads::Size;
 
 fn main() {
+    let mut rep = Report::new("tab04_encoding", Size::Paper);
+    rep.meta("table", "IV");
+    rep.stat("bits.affine", AffineConfig::BITS as f64);
+    rep.stat("bits.indirect", IndirectConfig::BITS as f64);
+    rep.stat("bits.compute", ComputeConfig::BITS as f64);
+    rep.stat("config_message_bytes", ComputeConfig::config_message_bytes() as f64);
     println!("# Table IV: near-stream configuration encoding");
     println!("affine record:   {:>4} bits ({} bytes packed)", AffineConfig::BITS, (AffineConfig::BITS as usize).div_ceil(8));
     println!("indirect record: {:>4} bits ({} bytes packed)", IndirectConfig::BITS, (IndirectConfig::BITS as usize).div_ceil(8));
@@ -33,4 +41,5 @@ fn main() {
         assert_eq!(ComputeConfig::decode(&c.encode()), c);
     }
     println!("round-trip: ok");
+    rep.finish().expect("write results json");
 }

@@ -11,7 +11,11 @@
 use near_stream::{run, ExecMode, RunResult, SystemConfig};
 use nsc_compiler::{compile, CompiledProgram};
 use nsc_ir::Memory;
+use nsc_sim::json::{escape, fmt_f64};
+use nsc_sim::trace::{self, chrome, RingRecorder};
+use nsc_sim::{Histogram, StatsTable};
 use nsc_workloads::{Size, Workload};
+use std::path::PathBuf;
 
 /// Parses the scale flag from `std::env::args`.
 pub fn parse_size() -> Size {
@@ -106,6 +110,178 @@ impl Prepared {
     }
 }
 
+/// Short stable label for a workload scale.
+pub fn size_label(size: Size) -> &'static str {
+    match size {
+        Size::Tiny => "tiny",
+        Size::Small => "small",
+        Size::Paper => "paper",
+    }
+}
+
+/// Percentile summary of one histogram, as stored in a report.
+#[derive(Clone, Copy, Debug)]
+struct HistSummary {
+    count: u64,
+    mean: f64,
+    p50: f64,
+    p90: f64,
+    p99: f64,
+}
+
+impl HistSummary {
+    fn of(h: &Histogram) -> HistSummary {
+        HistSummary {
+            count: h.summary().count(),
+            mean: h.summary().mean(),
+            p50: h.percentile(50.0),
+            p90: h.percentile(90.0),
+            p99: h.percentile(99.0),
+        }
+    }
+}
+
+/// Machine-readable companion to a harness's text output.
+///
+/// Each fig/tab binary builds one `Report` and calls [`Report::finish`],
+/// which writes `results/<name>.json` (schema `nsc-bench-v1`, documented
+/// in DESIGN.md §Observability) next to the harness's `.txt` output.
+///
+/// The report doubles as the tracing entry point: when the environment
+/// variable `NSC_TRACE` is set, [`Report::new`] installs a trace recorder
+/// and `finish` exports the captured events as Chrome trace-event JSON
+/// (openable in Perfetto). `NSC_TRACE=1` writes
+/// `results/<name>.trace.json`; any other value is used as the output
+/// path. `NSC_TRACE_CAP` bounds the number of retained events (default
+/// one million) and `NSC_TRACE_SAMPLE` sets the minimum cycle spacing of
+/// occupancy counter samples (default 64). `NSC_RESULTS_DIR` relocates
+/// the `results/` directory.
+pub struct Report {
+    name: String,
+    size: Size,
+    meta: Vec<(String, String)>,
+    stats: StatsTable,
+    histograms: Vec<(String, HistSummary)>,
+    trace_path: Option<PathBuf>,
+}
+
+fn results_dir() -> PathBuf {
+    std::env::var_os("NSC_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+impl Report {
+    /// Starts a report for harness `name` at scale `size`, installing a
+    /// tracer when `NSC_TRACE` requests one.
+    pub fn new(name: &str, size: Size) -> Report {
+        let trace_path = match std::env::var("NSC_TRACE") {
+            Ok(v) if !v.is_empty() && v != "0" => {
+                let path = if v == "1" {
+                    results_dir().join(format!("{name}.trace.json"))
+                } else {
+                    PathBuf::from(v)
+                };
+                let cap = env_u64("NSC_TRACE_CAP", 1 << 20) as usize;
+                let sample_every = env_u64("NSC_TRACE_SAMPLE", 64);
+                trace::install(RingRecorder::new(cap), sample_every);
+                Some(path)
+            }
+            _ => None,
+        };
+        Report {
+            name: name.to_owned(),
+            size,
+            meta: Vec::new(),
+            stats: StatsTable::new(),
+            histograms: Vec::new(),
+            trace_path,
+        }
+    }
+
+    /// Attaches a free-form metadata string (e.g. a config description).
+    pub fn meta(&mut self, key: &str, value: &str) {
+        self.meta.push((key.to_owned(), value.to_owned()));
+    }
+
+    /// Sets one scalar stat.
+    pub fn stat(&mut self, key: &str, value: f64) {
+        self.stats.set(key, value);
+    }
+
+    /// Records a full simulation result under `runs.<workload>.<mode>.*`,
+    /// including its NoC latency percentiles.
+    pub fn run(&mut self, workload: &str, mode: &str, r: &RunResult) {
+        let prefix = format!("runs.{workload}.{mode}");
+        for (k, v) in r.to_table().iter() {
+            self.stats.set(&format!("{prefix}.{k}"), v);
+        }
+        self.hist(&format!("{prefix}.noc_latency"), &r.noc_latency);
+    }
+
+    /// Records a histogram's percentile summary under `key`.
+    pub fn hist(&mut self, key: &str, h: &Histogram) {
+        self.histograms.push((key.to_owned(), HistSummary::of(h)));
+    }
+
+    fn render(&self) -> String {
+        let mut out = String::from("{\"schema\":\"nsc-bench-v1\"");
+        out.push_str(&format!(",\"name\":\"{}\"", escape(&self.name)));
+        out.push_str(&format!(",\"size\":\"{}\"", size_label(self.size)));
+        out.push_str(",\"meta\":{");
+        for (i, (k, v)) in self.meta.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":\"{}\"", escape(k), escape(v)));
+        }
+        out.push_str("},\"stats\":");
+        out.push_str(&self.stats.to_json());
+        out.push_str(",\"histograms\":{");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\"{}\":{{\"count\":{},\"mean\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
+                escape(k),
+                h.count,
+                fmt_f64(h.mean),
+                fmt_f64(h.p50),
+                fmt_f64(h.p90),
+                fmt_f64(h.p99),
+            ));
+        }
+        out.push_str("}}\n");
+        out
+    }
+
+    /// Writes `results/<name>.json` (and the trace file, when tracing) and
+    /// returns the stats path.
+    pub fn finish(mut self) -> std::io::Result<PathBuf> {
+        if let Some(path) = self.trace_path.take() {
+            if let Some(rec) = trace::uninstall() {
+                self.stats.set("trace.events", rec.len() as f64);
+                self.stats.set("trace.dropped", rec.dropped() as f64);
+                chrome::write_file(&path, rec.events())?;
+                eprintln!("trace: {}", path.display());
+            }
+        }
+        let dir = results_dir();
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{}.json", self.name));
+        std::fs::write(&path, self.render())?;
+        Ok(path)
+    }
+}
+
 /// Geometric mean of positive values.
 pub fn geomean(xs: &[f64]) -> f64 {
     if xs.is_empty() {
@@ -143,5 +319,38 @@ mod tests {
         let cfg = system_for(Size::Tiny);
         let r = p.run_checked(ExecMode::Base, &cfg);
         assert!(r.cycles > 0);
+    }
+
+    #[test]
+    fn report_renders_schema_v1_json() {
+        use nsc_sim::json::{parse, Json};
+        let p = prepare(nsc_workloads::histogram(Size::Tiny));
+        let cfg = system_for(Size::Tiny);
+        let r = p.run_checked(ExecMode::Base, &cfg);
+
+        let mut rep = Report::new("unit_report", Size::Tiny);
+        rep.meta("modes", "base");
+        rep.stat("geomean.speedup", 1.5);
+        rep.run("histogram", "base", &r);
+        let mut h = Histogram::new(8.0, 4);
+        h.record(3.0);
+        h.record(19.0);
+        rep.hist("extra", &h);
+
+        let doc = parse(&rep.render()).expect("report is valid JSON");
+        assert_eq!(doc.get("schema").and_then(Json::as_str), Some("nsc-bench-v1"));
+        assert_eq!(doc.get("name").and_then(Json::as_str), Some("unit_report"));
+        assert_eq!(doc.get("size").and_then(Json::as_str), Some("tiny"));
+        let stats = doc.get("stats").and_then(Json::as_obj).unwrap();
+        assert!(stats.contains_key("runs.histogram.base.cycles"));
+        assert_eq!(stats.get("geomean.speedup").and_then(Json::as_f64), Some(1.5));
+        let hists = doc.get("histograms").and_then(Json::as_obj).unwrap();
+        let extra = hists.get("extra").unwrap();
+        assert_eq!(extra.get("count").and_then(Json::as_f64), Some(2.0));
+        assert!(extra.get("p99").and_then(Json::as_f64).unwrap() >= extra
+            .get("p50")
+            .and_then(Json::as_f64)
+            .unwrap());
+        assert!(hists.contains_key("runs.histogram.base.noc_latency"));
     }
 }

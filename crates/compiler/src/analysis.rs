@@ -152,11 +152,10 @@ impl KernelAnalysis {
             return;
         }
         match self.defs.get(&var) {
-            Some(DefKind::FromLoad { stmt }) | Some(DefKind::FromAtomic { stmt }) => {
-                if !out.contains(stmt) {
+            Some(DefKind::FromLoad { stmt }) | Some(DefKind::FromAtomic { stmt })
+                if !out.contains(stmt) => {
                     out.push(*stmt);
                 }
-            }
             Some(DefKind::Pure { expr }) => {
                 let mut vars = Vec::new();
                 expr.collect_vars(&mut vars);

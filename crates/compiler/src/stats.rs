@@ -188,12 +188,16 @@ mod tests {
 
     #[test]
     fn breakdown_merge_accumulates() {
-        let mut a = OpBreakdown::default();
-        a.total = 10.0;
-        a.core_only = 5.0;
+        let mut a = OpBreakdown {
+            total: 10.0,
+            core_only: 5.0,
+            ..Default::default()
+        };
         a.by_role.insert(ComputeClass::Load, 5.0);
-        let mut b = OpBreakdown::default();
-        b.total = 10.0;
+        let mut b = OpBreakdown {
+            total: 10.0,
+            ..Default::default()
+        };
         b.by_role.insert(ComputeClass::Load, 10.0);
         a.merge(&b);
         assert_eq!(a.total, 20.0);

@@ -18,6 +18,7 @@ use nsc_ir::{MemClient, Memory};
 use nsc_mem::addr::LineAddr;
 use nsc_mem::{AccessKind, Addr, MemorySystem};
 use nsc_noc::{Mesh, MsgClass, TileId};
+use nsc_sim::trace::{self, SyncPhase, TraceEvent};
 use nsc_sim::{resource::BandwidthLedger, Cycle};
 use std::collections::{BTreeSet, VecDeque};
 
@@ -405,7 +406,10 @@ impl Engine<'_, '_> {
             rt.config_time
         };
         rt.recent.push_back(now);
-        t.max(rt.config_time).max(rt.resume_after)
+        let issue = t.max(rt.config_time).max(rt.resume_after);
+        let depth = rt.recent.len();
+        trace::sample("se.queue", self.state.core, now, || depth as f64);
+        issue
     }
 
     /// Whether a stream's stores fully overwrite their lines (unit-stride
@@ -466,6 +470,14 @@ impl Engine<'_, '_> {
                         .mesh
                         .send(issue, TileId(prev), TileId(bank), bytes, MsgClass::Offloaded);
                     issue = issue.max(t);
+                    let core = self.state.core;
+                    trace::emit(|| TraceEvent::StreamMigrate {
+                        at: issue,
+                        core,
+                        stream: sid.0 as u16,
+                        from_bank: prev,
+                        to_bank: bank,
+                    });
                 }
                 self.state.streams[sid.0 as usize].current_bank = bank;
             }
@@ -503,6 +515,9 @@ impl Engine<'_, '_> {
         let occ = rt.scm_frac.floor() as u64;
         rt.scm_frac -= occ as f64;
         let done = self.refs.scm[tile as usize].book(ready + se.scm_issue_latency, occ.max(1));
+        trace::sample("se.scm_busy", tile, done, || {
+            self.refs.scm[tile as usize].total_booked() as f64
+        });
         done + 1
     }
 
@@ -532,6 +547,13 @@ impl Engine<'_, '_> {
         }
         let bank_tile = TileId(bank);
         let now = self.state.now;
+        let core = self.state.core;
+        trace::emit(|| TraceEvent::RangeSync {
+            at: now,
+            core,
+            stream: sid.0 as u16,
+            phase: SyncPhase::Acquire,
+        });
         match self.mode {
             ExecMode::Ns => {
                 // Credits core -> SE_L3.
@@ -556,6 +578,12 @@ impl Engine<'_, '_> {
                         self.refs
                             .mesh
                             .send(t_commit, bank_tile, core_tile, 8, MsgClass::Offloaded);
+                    trace::emit(|| TraceEvent::RangeSync {
+                        at: t_done,
+                        core,
+                        stream: sid.0 as u16,
+                        phase: SyncPhase::Release,
+                    });
                     let rt = &mut self.state.streams[sid.0 as usize];
                     // Double-buffered credits: this batch's commit only
                     // gates the batch after next.
@@ -618,7 +646,8 @@ impl Engine<'_, '_> {
             self.state.streams[s.0 as usize].consumed += 1;
         }
 
-        match style {
+        let t0 = self.state.now;
+        let done = match style {
             OffloadStyle::CoreAccess => self.do_core_access(addr, bytes, kind, cost, sid),
             OffloadStyle::CorePrefetch => self.do_core_prefetch(addr, kind, cost, sid.expect("streamed")),
             OffloadStyle::FloatLoad => self.do_float_load(addr, cost, sid.expect("streamed")),
@@ -631,7 +660,20 @@ impl Engine<'_, '_> {
             OffloadStyle::ChainedLine => {
                 self.do_chained_line(addr, kind, cost, sid.expect("streamed"), modifies)
             }
+        };
+        if let Some(s) = sid {
+            let core = self.state.core;
+            let bank = self.state.streams[s.0 as usize].current_bank;
+            let end = self.state.streams[s.0 as usize].last_completion.max(t0);
+            trace::emit(|| TraceEvent::StreamStep {
+                start: t0,
+                end,
+                core,
+                stream: s.0 as u16,
+                bank,
+            });
         }
+        done
     }
 
     fn do_core_access(
@@ -650,6 +692,13 @@ impl Engine<'_, '_> {
                 self.state.ranges.remove(victim);
                 self.state.alias_flushes += 1;
                 self.state.now += ALIAS_FLUSH_PENALTY;
+                let (at, core) = (self.state.now, self.state.core);
+                trace::emit(|| TraceEvent::RangeSync {
+                    at,
+                    core,
+                    stream: victim.0 as u16,
+                    phase: SyncPhase::Conflict,
+                });
             }
         }
         // PEB disambiguation: a core store that aliases in-core prefetched
@@ -716,6 +765,14 @@ impl Engine<'_, '_> {
                     if streaming || contended {
                         rt.style = target;
                         let bank = rt.current_bank;
+                        let (at, core) = (self.state.now, self.state.core);
+                        trace::emit(|| TraceEvent::OffloadDecision {
+                            at,
+                            core,
+                            stream: s.0 as u16,
+                            style: target.label(),
+                            reason: if streaming { "probe-streaming" } else { "probe-contended" },
+                        });
                         let t = self.refs.mesh.send(
                             self.state.now,
                             self.core_tile(),
@@ -978,8 +1035,8 @@ impl Engine<'_, '_> {
         // The element's memory work at its bank.
         let bank_done = match role {
             ComputeClass::Atomic => {
-                let t_data = self.l3_elem_atomic(sid, addr, issue, modifies);
-                t_data
+                
+                self.l3_elem_atomic(sid, addr, issue, modifies)
             }
             _ => self.l3_elem(sid, addr, kind, issue),
         };

@@ -35,6 +35,18 @@ impl OffloadStyle {
             OffloadStyle::NearStream | OffloadStyle::PerIteration | OffloadStyle::ChainedLine
         )
     }
+
+    /// Short stable label used in traces and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            OffloadStyle::CoreAccess => "core-access",
+            OffloadStyle::CorePrefetch => "core-prefetch",
+            OffloadStyle::FloatLoad => "float-load",
+            OffloadStyle::NearStream => "near-stream",
+            OffloadStyle::PerIteration => "per-iteration",
+            OffloadStyle::ChainedLine => "chained-line",
+        }
+    }
 }
 
 /// Inputs to the offload decision that depend on the running system.

@@ -13,7 +13,8 @@ use nsc_ir::{Memory, Program};
 use nsc_mem::addr::LineAddr;
 use nsc_mem::{MemStats, MemorySystem};
 use nsc_noc::{Mesh, MsgClass, TileId};
-use nsc_sim::{resource::BandwidthLedger, Cycle, StatsTable};
+use nsc_sim::trace::{self, SyncPhase, TraceEvent};
+use nsc_sim::{resource::BandwidthLedger, Cycle, Histogram, StatsTable};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet};
 
@@ -82,6 +83,8 @@ pub struct RunResult {
     pub stream_elems: u64,
     /// DRAM line accesses.
     pub dram_accesses: u64,
+    /// Distribution of per-message NoC latencies (cycles).
+    pub noc_latency: Histogram,
 }
 
 impl RunResult {
@@ -343,6 +346,7 @@ pub fn run(
         offloaded_elems,
         stream_elems,
         dram_accesses: mem.dram().accesses(),
+        noc_latency: mesh.traffic().latency_hist().clone(),
     };
     (result, data)
 }
@@ -455,6 +459,15 @@ fn configure_streams(
             OffloadStyle::CorePrefetch | OffloadStyle::PerIteration => time + 4,
             OffloadStyle::CoreAccess => time,
         };
+        let (at, bank) = (state.streams[s].config_time, state.streams[s].current_bank);
+        let (core, style_label) = (state.core, state.streams[s].style.label());
+        trace::emit(|| TraceEvent::StreamConfig {
+            at,
+            core,
+            stream: s as u16,
+            bank,
+            style: style_label,
+        });
     }
     // Forward-only analysis: a load stream whose value feeds offloaded
     // consumers (operand forwarding or indirect address generation) sends
@@ -485,6 +498,15 @@ fn finish_kernel(state: &mut CoreState, ck: &CompiledKernel, mesh: &mut Mesh, mo
     for (s, info) in ck.streams.iter().enumerate() {
         let rt = &state.streams[s];
         end = end.max(rt.last_completion);
+        if rt.consumed > 0 {
+            let (at, core, consumed) = (rt.last_completion.max(state.now), state.core, rt.consumed);
+            trace::emit(|| TraceEvent::StreamEnd {
+                at,
+                core,
+                stream: s as u16,
+                consumed,
+            });
+        }
         if !matches!(
             rt.effective_style(),
             OffloadStyle::NearStream | OffloadStyle::FloatLoad | OffloadStyle::ChainedLine
@@ -553,6 +575,13 @@ fn finish_kernel(state: &mut CoreState, ck: &CompiledKernel, mesh: &mut Mesh, mo
                 MsgClass::Offloaded,
             );
             end = end.max(t2);
+            let core = state.core;
+            trace::emit(|| TraceEvent::RangeSync {
+                at: t2,
+                core,
+                stream: s as u16,
+                phase: SyncPhase::Release,
+            });
         }
     }
     end

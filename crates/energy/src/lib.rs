@@ -191,6 +191,7 @@ mod tests {
             offloaded_elems: 0,
             stream_elems: 0,
             dram_accesses: 0,
+            noc_latency: nsc_sim::Histogram::new(8.0, 64),
         }
     }
 

@@ -24,6 +24,7 @@ pub trait MemClient {
     fn store(&mut self, stmt: StmtId, array: ArrayId, index: u64, field: Option<Field>, value: Scalar);
 
     /// Performs an atomic read-modify-write, returning the old value.
+    #[allow(clippy::too_many_arguments)]
     fn atomic(
         &mut self,
         stmt: StmtId,

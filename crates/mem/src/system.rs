@@ -9,6 +9,7 @@ use crate::mrsw::{LockKind, MrswLockTable};
 use crate::prefetch::{SpatialPrefetcher, StridePrefetcher};
 use crate::stats::MemStats;
 use nsc_noc::{Mesh, MsgClass, TileId};
+use nsc_sim::trace::{self, TraceEvent, TraceLevel, SE_L3_CORE};
 use nsc_sim::{resource::BandwidthLedger, Cycle};
 use std::collections::{HashMap, HashSet};
 
@@ -27,6 +28,18 @@ impl AccessKind {
     /// Whether this access requires exclusive ownership.
     pub fn is_write(self) -> bool {
         !matches!(self, AccessKind::Load)
+    }
+}
+
+impl ServedBy {
+    /// The matching trace level for cache-access events.
+    fn trace_level(self) -> TraceLevel {
+        match self {
+            ServedBy::L1 => TraceLevel::L1,
+            ServedBy::L2 => TraceLevel::L2,
+            ServedBy::L3 => TraceLevel::L3,
+            ServedBy::Dram => TraceLevel::Dram,
+        }
     }
 }
 
@@ -224,6 +237,25 @@ impl MemorySystem {
         kind: AccessKind,
         mesh: &mut Mesh,
     ) -> (Cycle, ServedBy) {
+        let (done, served) = self.access_inner(now, core, addr, kind, mesh);
+        trace::emit(|| TraceEvent::CacheAccess {
+            start: now,
+            end: done,
+            core,
+            level: served.trace_level(),
+            write: kind.is_write(),
+        });
+        (done, served)
+    }
+
+    fn access_inner(
+        &mut self,
+        now: Cycle,
+        core: u16,
+        addr: Addr,
+        kind: AccessKind,
+        mesh: &mut Mesh,
+    ) -> (Cycle, ServedBy) {
         let line = addr.line();
         let needs_own = kind.is_write();
         // Writes require directory ownership even on a private hit
@@ -367,6 +399,9 @@ impl MemorySystem {
         // Bank port occupancy: one access-slot per request.
         let bank_idx = self.bank_of(line) as usize;
         let mut t = self.bank_ports[bank_idx].book(now, 1);
+        trace::sample("l3.bank_busy", bank_idx as u16, t, || {
+            self.bank_ports[bank_idx].total_booked() as f64
+        });
         let entry = self.directory.get(&line).copied().unwrap_or_default();
 
         // Fetch from a remote owner if someone else holds M.
@@ -377,6 +412,12 @@ impl MemorySystem {
                 let o = &mut self.privates[owner as usize];
                 let had = o.l1.invalidate(line).is_some() | o.l2.invalidate(line).is_some();
                 self.stats.invalidations += 1;
+                trace::emit(|| TraceEvent::Coherence {
+                    at: t_inv,
+                    core: owner,
+                    line: line.0,
+                    kind: "fetch-owner",
+                });
                 let t_back = mesh.send(t_inv, owner_tile, bank_tile, LINE_BYTES, MsgClass::Data);
                 if had {
                     self.stats.private_writebacks += 1;
@@ -401,6 +442,12 @@ impl MemorySystem {
                     p.l1.invalidate(line);
                     p.l2.invalidate(line);
                     self.stats.invalidations += 1;
+                    trace::emit(|| TraceEvent::Coherence {
+                        at: t_inv,
+                        core: s,
+                        line: line.0,
+                        kind: "invalidate",
+                    });
                     let t_ack = mesh.send(t_inv, s_tile, bank_tile, 8, MsgClass::Control);
                     t_acks = t_acks.max(t_ack);
                 }
@@ -438,6 +485,12 @@ impl MemorySystem {
                 mesh.send(now, self.bank_tile(line), ctrl_tile, LINE_BYTES, MsgClass::Data);
                 self.dram.access(now, ev.line);
                 self.stats.dram_writebacks += 1;
+                trace::emit(|| TraceEvent::Coherence {
+                    at: now,
+                    core: SE_L3_CORE,
+                    line: ev.line.0,
+                    kind: "dram-writeback",
+                });
             }
             self.directory.remove(&ev.line);
         }
@@ -472,6 +525,12 @@ impl MemorySystem {
                     p.l1.invalidate(line);
                     p.l2.invalidate(line);
                     self.stats.invalidations += 1;
+                    trace::emit(|| TraceEvent::Coherence {
+                        at: t_inv,
+                        core: s,
+                        line: line.0,
+                        kind: "invalidate",
+                    });
                     t = t.max(mesh.send(t_inv, s_tile, bank_tile, 8, MsgClass::Control));
                 }
             }
@@ -521,6 +580,12 @@ impl MemorySystem {
         if dirty {
             let t = mesh.send(now, core_tile, bank_tile, LINE_BYTES, MsgClass::Data);
             self.stats.private_writebacks += 1;
+            trace::emit(|| TraceEvent::Coherence {
+                at: t,
+                core,
+                line: line.0,
+                kind: "writeback",
+            });
             self.l3_fill(t, line, true, mesh);
         }
         if let Some(e) = self.directory.get_mut(&line) {
@@ -590,6 +655,25 @@ impl MemorySystem {
         full_line_write: bool,
         mesh: &mut Mesh,
     ) -> Cycle {
+        let done = self.l3_stream_access_inner(now, addr, kind, full_line_write, mesh);
+        trace::emit(|| TraceEvent::CacheAccess {
+            start: now,
+            end: done,
+            core: SE_L3_CORE,
+            level: TraceLevel::L3,
+            write: kind.is_write(),
+        });
+        done
+    }
+
+    fn l3_stream_access_inner(
+        &mut self,
+        now: Cycle,
+        addr: Addr,
+        kind: AccessKind,
+        full_line_write: bool,
+        mesh: &mut Mesh,
+    ) -> Cycle {
         let line = addr.line();
         if full_line_write && kind.is_write() && !self.banks[self.bank_of(line) as usize].contains(line) {
             // Install without a DRAM fetch; private copies still need
@@ -643,6 +727,13 @@ impl MemorySystem {
         let dur = self.config.atomic_op_cycles;
         let start = self.locks.acquire(t_data, line, kind, dur);
         self.stats.l3_atomics += 1;
+        trace::emit(|| TraceEvent::Lock {
+            start,
+            end: start + dur,
+            line: line.0,
+            exclusive: modifies,
+            waited: (start - t_data).raw(),
+        });
         start + dur
     }
 

@@ -1,7 +1,8 @@
 //! The mesh timing and traffic-accounting model.
 
 use crate::topology::{xy_route, Link, TileId};
-use nsc_sim::{resource::BandwidthLedger, Cycle, Summary};
+use nsc_sim::trace::{self, TraceEvent};
+use nsc_sim::{resource::BandwidthLedger, Cycle, Histogram, Summary};
 use std::collections::BTreeSet;
 
 /// Classification of NoC messages, matching the paper's Figure 12 breakdown.
@@ -93,14 +94,33 @@ impl Default for MeshConfig {
     }
 }
 
+/// Bucket width (cycles) of the end-to-end latency histogram.
+const LATENCY_BUCKET_CYCLES: f64 = 8.0;
+/// Bucket count of the end-to-end latency histogram (covers [0, 512)).
+const LATENCY_BUCKETS: usize = 64;
+
 /// Accumulated traffic statistics, per message class.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct TrafficStats {
     bytes_hops: [u64; 3],
     bytes: [u64; 3],
     messages: [u64; 3],
     hops: [u64; 3],
     latency: Summary,
+    latency_hist: Histogram,
+}
+
+impl Default for TrafficStats {
+    fn default() -> Self {
+        TrafficStats {
+            bytes_hops: [0; 3],
+            bytes: [0; 3],
+            messages: [0; 3],
+            hops: [0; 3],
+            latency: Summary::new(),
+            latency_hist: Histogram::new(LATENCY_BUCKET_CYCLES, LATENCY_BUCKETS),
+        }
+    }
 }
 
 impl TrafficStats {
@@ -139,6 +159,12 @@ impl TrafficStats {
         &self.latency
     }
 
+    /// End-to-end latency distribution (8-cycle buckets) for percentile
+    /// reporting.
+    pub fn latency_hist(&self) -> &Histogram {
+        &self.latency_hist
+    }
+
     fn record(&mut self, class: MsgClass, bytes: u64, hops: u64, latency: Cycle) {
         let i = class.index();
         self.bytes_hops[i] += bytes * hops;
@@ -146,6 +172,7 @@ impl TrafficStats {
         self.messages[i] += 1;
         self.hops[i] += hops;
         self.latency.record(latency.raw() as f64);
+        self.latency_hist.record(latency.raw() as f64);
     }
 }
 
@@ -240,6 +267,16 @@ impl Mesh {
         let arrival = t;
         self.traffic
             .record(class, bytes + self.config.header_bytes, hops, arrival - now);
+        trace::emit(|| TraceEvent::NocMsg {
+            start: now,
+            end: arrival,
+            src: src.raw(),
+            dst: dst.raw(),
+            bytes: (bytes + self.config.header_bytes) as u32,
+            hops: hops as u16,
+            class: class.label(),
+        });
+        trace::sample("noc.links_busy", 0, arrival, || self.total_link_busy() as f64);
         arrival
     }
 
@@ -279,6 +316,17 @@ impl Mesh {
             let hops = union.len() as u64;
             self.traffic
                 .record(class, bytes + self.config.header_bytes, hops, max_arrival - now);
+            trace::emit(|| TraceEvent::NocMsg {
+                start: now,
+                end: max_arrival,
+                src: src.raw(),
+                // A multicast has no single destination; report the last
+                // non-local target and the union link count as hops.
+                dst: dsts.iter().rev().find(|d| **d != src).map_or(0, |d| d.raw()),
+                bytes: (bytes + self.config.header_bytes) as u32,
+                hops: hops as u16,
+                class: class.label(),
+            });
         }
         max_arrival
     }
@@ -291,6 +339,18 @@ impl Mesh {
         }
         let hops = self.hops(src, dst);
         self.traffic.record(class, bytes, hops, Cycle::ZERO);
+    }
+}
+
+impl Mesh {
+    /// Peak per-link occupancy in flit-cycles (diagnostic).
+    pub fn max_link_busy(&self) -> u64 {
+        self.links.iter().map(|l| l.total_booked()).max().unwrap_or(0)
+    }
+
+    /// Total link occupancy in flit-cycles (diagnostic).
+    pub fn total_link_busy(&self) -> u64 {
+        self.links.iter().map(|l| l.total_booked()).sum()
     }
 }
 
@@ -396,17 +456,5 @@ mod tests {
         m.send(Cycle(0), TileId(0), TileId(1), 64, MsgClass::Data);
         m.reset_traffic();
         assert_eq!(m.traffic().total_bytes_hops(), 0);
-    }
-}
-
-impl Mesh {
-    /// Peak per-link occupancy in flit-cycles (diagnostic).
-    pub fn max_link_busy(&self) -> u64 {
-        self.links.iter().map(|l| l.total_booked()).max().unwrap_or(0)
-    }
-
-    /// Total link occupancy in flit-cycles (diagnostic).
-    pub fn total_link_busy(&self) -> u64 {
-        self.links.iter().map(|l| l.total_booked()).sum()
     }
 }

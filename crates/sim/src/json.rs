@@ -1,0 +1,414 @@
+//! Minimal JSON support: string escaping, number formatting, and a small
+//! recursive-descent parser.
+//!
+//! The suite builds offline with no external crates, so the observability
+//! layer hand-rolls its JSON. Emitters in this workspace write JSON by
+//! formatting strings directly (see [`escape`] and [`fmt_f64`]); the
+//! [`Json`] value type and [`parse`] exist so tests can validate emitted
+//! documents structurally rather than by string comparison.
+//!
+//! # Examples
+//!
+//! ```
+//! use nsc_sim::json::{parse, Json};
+//! let doc = parse("{\"a\": [1, 2.5], \"b\": null}").unwrap();
+//! assert_eq!(doc.get("a").and_then(|a| a.index(1)).and_then(Json::as_f64), Some(2.5));
+//! assert!(doc.get("b").is_some());
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Escapes `s` for inclusion inside a JSON string literal (no quotes added).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` as a JSON number.
+///
+/// JSON has no representation for NaN or infinities, so non-finite values
+/// render as `null`. Finite values use Rust's shortest round-trip `{}`
+/// formatting, with a trailing `.0` added to integral values so consumers
+/// that distinguish ints from floats see a consistent type.
+pub fn fmt_f64(v: f64) -> String {
+    if !v.is_finite() {
+        return "null".to_owned();
+    }
+    let s = format!("{v}");
+    if s.contains('.') || s.contains('e') || s.contains('E') {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null` (also produced by non-finite float emission).
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string (unescaped).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; key order is not preserved.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Object field lookup; `None` for non-objects or missing keys.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// Array element lookup; `None` for non-arrays or out of range.
+    pub fn index(&self, i: usize) -> Option<&Json> {
+        match self {
+            Json::Arr(v) => v.get(i),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The fields, if this is an object.
+    pub fn as_obj(&self) -> Option<&BTreeMap<String, Json>> {
+        match self {
+            Json::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a complete JSON document; trailing non-whitespace is an error.
+pub fn parse(text: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing data at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            ))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        let end = self.pos + word.len();
+        if self.bytes.get(self.pos..end) == Some(word.as_bytes()) {
+            self.pos = end;
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            other => Err(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|c| c as char),
+                self.pos
+            )),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(map));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_owned()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
+                            let code =
+                                u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
+                            // Surrogate pairs are not needed by our emitters;
+                            // map lone surrogates to the replacement char.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        other => {
+                            return Err(format!("bad escape {:?}", other.map(|c| c as char)))
+                        }
+                    }
+                    self.pos += 1;
+                }
+                Some(b) if b != b'"' && b != b'\\' && (0x20..0x80).contains(&b) => {
+                    // Plain ASCII: consume the whole run in one step. (A
+                    // per-character `from_utf8` of the full remaining input
+                    // here made parsing quadratic on megabyte documents.)
+                    let start = self.pos;
+                    while let Some(&b) = self.bytes.get(self.pos) {
+                        if b == b'"' || b == b'\\' || !(0x20..0x80).contains(&b) {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).unwrap());
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8 (or a raw control byte): validate at
+                    // most one character's worth of bytes.
+                    let end = (self.pos + 4).min(self.bytes.len());
+                    let rest = &self.bytes[self.pos..end];
+                    let c = match std::str::from_utf8(rest) {
+                        Ok(s) => s.chars().next().unwrap(),
+                        Err(e) if e.valid_up_to() > 0 => {
+                            std::str::from_utf8(&rest[..e.valid_up_to()])
+                                .unwrap()
+                                .chars()
+                                .next()
+                                .unwrap()
+                        }
+                        Err(e) => return Err(e.to_string()),
+                    };
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|e| format!("bad number {text:?}: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+        assert_eq!(escape("plain"), "plain");
+    }
+
+    #[test]
+    fn fmt_f64_cases() {
+        assert_eq!(fmt_f64(1.5), "1.5");
+        assert_eq!(fmt_f64(3.0), "3.0");
+        assert_eq!(fmt_f64(-0.25), "-0.25");
+        assert_eq!(fmt_f64(f64::NAN), "null");
+        assert_eq!(fmt_f64(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn parse_scalars() {
+        assert_eq!(parse("null").unwrap(), Json::Null);
+        assert_eq!(parse("true").unwrap(), Json::Bool(true));
+        assert_eq!(parse(" false ").unwrap(), Json::Bool(false));
+        assert_eq!(parse("-2.5e2").unwrap(), Json::Num(-250.0));
+        assert_eq!(parse("\"hi\\n\"").unwrap(), Json::Str("hi\n".to_owned()));
+    }
+
+    #[test]
+    fn parse_nested() {
+        let doc = parse("{\"a\": [1, {\"b\": \"x\"}], \"c\": 2}").unwrap();
+        assert_eq!(doc.get("c").and_then(Json::as_f64), Some(2.0));
+        let b = doc.get("a").and_then(|a| a.index(1)).and_then(|o| o.get("b"));
+        assert_eq!(b.and_then(Json::as_str), Some("x"));
+    }
+
+    #[test]
+    fn roundtrip_escaped_string() {
+        let original = "quote \" slash \\ tab \t";
+        let doc = parse(&format!("\"{}\"", escape(original))).unwrap();
+        assert_eq!(doc.as_str(), Some(original));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("12 34").is_err());
+        assert!(parse("nul").is_err());
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(parse("{}").unwrap(), Json::Obj(BTreeMap::new()));
+        assert_eq!(parse("[]").unwrap(), Json::Arr(Vec::new()));
+    }
+
+    #[test]
+    fn parse_multibyte_and_long_strings() {
+        // Multi-byte characters survive, including at end-of-input.
+        let doc = parse("\"héllo → 🌍\"").unwrap();
+        assert_eq!(doc.as_str(), Some("héllo → 🌍"));
+        // Long plain strings parse in linear time (the per-character
+        // whole-tail UTF-8 validation made this quadratic; megabyte traces
+        // took minutes to parse).
+        let big = "x".repeat(4 << 20);
+        let doc = parse(&format!("[\"{big}\", \"{big}\"]")).unwrap();
+        assert_eq!(doc.index(1).and_then(Json::as_str).map(str::len), Some(big.len()));
+    }
+}

@@ -16,10 +16,13 @@
 //! assert_eq!(q.pop(), Some((Cycle(10), "late")));
 //! ```
 
+pub mod json;
 pub mod queue;
 pub mod resource;
+pub mod rng;
 pub mod stats;
 pub mod time;
+pub mod trace;
 
 pub use queue::EventQueue;
 pub use resource::Resource;

@@ -163,8 +163,17 @@ impl Histogram {
     }
 
     /// Records a sample.
+    ///
+    /// The histogram covers `[0, width * buckets)`: samples below zero
+    /// (and NaN) are clamped into bucket 0, samples past the top edge
+    /// into the last bucket. The [`Summary`] keeps the exact value either
+    /// way, so clamping only affects bucket placement.
     pub fn record(&mut self, v: f64) {
-        let idx = ((v / self.width) as usize).min(self.counts.len() - 1);
+        let idx = if v <= 0.0 || v.is_nan() {
+            0
+        } else {
+            ((v / self.width) as usize).min(self.counts.len() - 1)
+        };
         self.counts[idx] += 1;
         self.summary.record(v);
     }
@@ -177,6 +186,37 @@ impl Histogram {
     /// The scalar summary of all recorded samples.
     pub fn summary(&self) -> &Summary {
         &self.summary
+    }
+
+    /// Estimates the `p`-th percentile (`p` in `[0, 100]`) by linear
+    /// interpolation within the containing bucket, clamped to the exact
+    /// observed min/max so tail percentiles never over-shoot the data.
+    /// Returns 0.0 when the histogram is empty.
+    pub fn percentile(&self, p: f64) -> f64 {
+        let total = self.summary.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let p = p.clamp(0.0, 100.0);
+        // Rank of the target sample, 1-based, in [1, total].
+        let rank = ((p / 100.0) * total as f64).max(1.0);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let next = seen + c;
+            if (next as f64) >= rank {
+                let within = (rank - seen as f64) / c as f64;
+                let lo = i as f64 * self.width;
+                let est = lo + within * self.width;
+                let min = self.summary.min().unwrap_or(est);
+                let max = self.summary.max().unwrap_or(est);
+                return est.clamp(min.min(max), max);
+            }
+            seen = next;
+        }
+        self.summary.max().unwrap_or(0.0)
     }
 }
 
@@ -241,6 +281,26 @@ impl StatsTable {
     /// Returns `true` when the table has no entries.
     pub fn is_empty(&self) -> bool {
         self.values.is_empty()
+    }
+
+    /// Renders the table as a flat JSON object, keys in name order.
+    ///
+    /// Non-finite values render as `null` (JSON has no NaN/inf). The
+    /// output parses back with [`crate::json::parse`]; see the
+    /// observability docs in DESIGN.md for the schema this feeds.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (k, v)) in self.values.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            out.push_str(&crate::json::escape(k));
+            out.push_str("\":");
+            out.push_str(&crate::json::fmt_f64(*v));
+        }
+        out.push('}');
+        out
     }
 }
 
@@ -311,6 +371,66 @@ mod tests {
     #[should_panic(expected = "bucket width")]
     fn histogram_rejects_bad_width() {
         let _ = Histogram::new(0.0, 4);
+    }
+
+    #[test]
+    fn histogram_clamps_negative_samples_into_bucket_zero() {
+        // Regression: negative samples used to rely on `as usize` cast
+        // saturation; the clamp is now explicit and documented.
+        let mut h = Histogram::new(1.0, 4);
+        h.record(-5.0);
+        h.record(-0.0);
+        h.record(f64::NEG_INFINITY);
+        assert_eq!(h.bucket_counts(), &[3, 0, 0, 0]);
+        assert_eq!(h.summary().count(), 3);
+        assert_eq!(h.summary().min(), Some(f64::NEG_INFINITY));
+    }
+
+    #[test]
+    fn histogram_nan_goes_to_bucket_zero() {
+        let mut h = Histogram::new(1.0, 4);
+        h.record(f64::NAN);
+        assert_eq!(h.bucket_counts(), &[1, 0, 0, 0]);
+    }
+
+    #[test]
+    fn percentile_empty_and_single() {
+        let h = Histogram::new(1.0, 4);
+        assert_eq!(h.percentile(50.0), 0.0);
+        let mut h = Histogram::new(1.0, 4);
+        h.record(2.5);
+        assert_eq!(h.percentile(0.0), 2.5);
+        assert_eq!(h.percentile(50.0), 2.5);
+        assert_eq!(h.percentile(100.0), 2.5);
+    }
+
+    #[test]
+    fn percentile_orders_and_bounds() {
+        let mut h = Histogram::new(10.0, 16);
+        for v in [1.0, 2.0, 3.0, 50.0, 51.0, 52.0, 120.0, 121.0, 150.0, 151.0] {
+            h.record(v);
+        }
+        let p50 = h.percentile(50.0);
+        let p90 = h.percentile(90.0);
+        let p99 = h.percentile(99.0);
+        assert!(p50 <= p90 && p90 <= p99, "{p50} {p90} {p99}");
+        assert!(p50 >= 1.0 && p99 <= 151.0);
+        // p50 of 10 samples lands in the bucket holding samples 50..53.
+        assert!((50.0..60.0).contains(&p50), "p50 {p50}");
+    }
+
+    #[test]
+    fn stats_table_json() {
+        let mut t = StatsTable::new();
+        t.set("mem.l1_hits", 12.0);
+        t.set("cycles", 3.5);
+        t.set("weird\"key", f64::NAN);
+        let json = t.to_json();
+        assert_eq!(
+            json,
+            "{\"cycles\":3.5,\"mem.l1_hits\":12.0,\"weird\\\"key\":null}"
+        );
+        assert_eq!(StatsTable::new().to_json(), "{}");
     }
 
     #[test]

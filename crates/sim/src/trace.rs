@@ -1,0 +1,823 @@
+//! Structured trace events with zero-cost-when-disabled emission and a
+//! Chrome trace-event exporter.
+//!
+//! The simulator's timing models call [`emit`] (for discrete events) and
+//! [`sample`] (for periodic occupancy counters) at interesting points:
+//! stream configuration/steps, cache hits/misses and coherence actions,
+//! NoC messages, range-sync decisions, and SE_L3 offload/migration
+//! choices. When no tracer is installed the only cost is one relaxed
+//! atomic load and the event-constructing closure is never run, so
+//! instrumented hot paths stay at full speed in normal benchmarking.
+//!
+//! Enable tracing by installing a sink:
+//!
+//! ```
+//! use nsc_sim::trace::{self, RingRecorder, TraceEvent};
+//! use nsc_sim::Cycle;
+//!
+//! trace::install(RingRecorder::new(1024), 64);
+//! trace::emit(|| TraceEvent::StreamEnd { at: Cycle(10), core: 0, stream: 0, consumed: 4 });
+//! let rec = trace::uninstall().unwrap();
+//! assert_eq!(rec.len(), 1);
+//! ```
+//!
+//! Recorded events can be exported with [`chrome::write_file`] and opened
+//! in [Perfetto](https://ui.perfetto.dev) or `chrome://tracing`.
+
+use crate::time::Cycle;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Cache level touched by a [`TraceEvent::CacheAccess`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceLevel {
+    /// Private L1 data cache.
+    L1,
+    /// Private L2.
+    L2,
+    /// Shared NUCA L3 bank.
+    L3,
+    /// Main memory.
+    Dram,
+}
+
+impl TraceLevel {
+    /// Short stable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            TraceLevel::L1 => "L1",
+            TraceLevel::L2 => "L2",
+            TraceLevel::L3 => "L3",
+            TraceLevel::Dram => "DRAM",
+        }
+    }
+}
+
+/// Phase of a range-based synchronization interaction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SyncPhase {
+    /// A stream registered (or re-reported) its address range.
+    Acquire,
+    /// A core access or peer stream overlapped a registered range.
+    Conflict,
+    /// A range registration was retired at kernel end or commit.
+    Release,
+}
+
+impl SyncPhase {
+    /// Short stable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            SyncPhase::Acquire => "acquire",
+            SyncPhase::Conflict => "conflict",
+            SyncPhase::Release => "release",
+        }
+    }
+}
+
+/// Core id used for events originating at an L3 stream engine rather than
+/// a core-side agent.
+pub const SE_L3_CORE: u16 = u16::MAX;
+
+/// One structured observation from a timing model.
+///
+/// Durations carry `start`/`end` cycles; instantaneous observations carry
+/// a single `at` cycle. All ids are small integers matching the simulated
+/// topology (core/tile index, per-core stream slot, L3 bank).
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceEvent {
+    /// A stream was configured on a core (and possibly offloaded).
+    StreamConfig {
+        /// Configuration completion time.
+        at: Cycle,
+        /// Configuring core.
+        core: u16,
+        /// Per-core stream slot.
+        stream: u16,
+        /// Home L3 bank chosen for the stream's first element.
+        bank: u16,
+        /// Offload style label (see `OffloadStyle`).
+        style: &'static str,
+    },
+    /// One element (or iteration slice) of stream work.
+    StreamStep {
+        /// Dispatch time.
+        start: Cycle,
+        /// Completion time.
+        end: Cycle,
+        /// Owning core.
+        core: u16,
+        /// Per-core stream slot.
+        stream: u16,
+        /// L3 bank the element was served from.
+        bank: u16,
+    },
+    /// A stream finished its kernel.
+    StreamEnd {
+        /// Retirement time.
+        at: Cycle,
+        /// Owning core.
+        core: u16,
+        /// Per-core stream slot.
+        stream: u16,
+        /// Elements consumed over the kernel.
+        consumed: u64,
+    },
+    /// An offloaded stream migrated between L3 banks.
+    StreamMigrate {
+        /// Migration time.
+        at: Cycle,
+        /// Owning core.
+        core: u16,
+        /// Per-core stream slot.
+        stream: u16,
+        /// Bank left behind.
+        from_bank: u16,
+        /// New home bank.
+        to_bank: u16,
+    },
+    /// The deferred-probe policy (or configuration) picked an offload style.
+    OffloadDecision {
+        /// Decision time.
+        at: Cycle,
+        /// Owning core.
+        core: u16,
+        /// Per-core stream slot.
+        stream: u16,
+        /// Chosen style label.
+        style: &'static str,
+        /// Why it was chosen (e.g. `probe-streaming`).
+        reason: &'static str,
+    },
+    /// A demand access resolved at some level of the hierarchy.
+    CacheAccess {
+        /// Issue time.
+        start: Cycle,
+        /// Data-return time.
+        end: Cycle,
+        /// Requesting core ([`SE_L3_CORE`] for stream-engine accesses).
+        core: u16,
+        /// Level that served the access.
+        level: TraceLevel,
+        /// Whether the access was a store/atomic.
+        write: bool,
+    },
+    /// A directory-driven coherence action.
+    Coherence {
+        /// Action time.
+        at: Cycle,
+        /// Core whose private copy was affected.
+        core: u16,
+        /// Cache-line address.
+        line: u64,
+        /// Action label (`invalidate`, `writeback`, ...).
+        kind: &'static str,
+    },
+    /// An MRSW line-lock hold at an L3 bank.
+    Lock {
+        /// Acquisition time (after any wait).
+        start: Cycle,
+        /// Release time.
+        end: Cycle,
+        /// Locked line address.
+        line: u64,
+        /// Exclusive (writer) vs shared (reader).
+        exclusive: bool,
+        /// Cycles spent waiting before acquisition.
+        waited: u64,
+    },
+    /// A NoC message traversing the mesh.
+    NocMsg {
+        /// Injection time.
+        start: Cycle,
+        /// Arrival time at destination.
+        end: Cycle,
+        /// Source tile.
+        src: u16,
+        /// Destination tile.
+        dst: u16,
+        /// Payload size.
+        bytes: u32,
+        /// Manhattan hop count.
+        hops: u16,
+        /// Message class label (`data`/`control`/`offloaded`).
+        class: &'static str,
+    },
+    /// A range-based synchronization phase transition.
+    RangeSync {
+        /// Event time.
+        at: Cycle,
+        /// Core owning the stream.
+        core: u16,
+        /// Per-core stream slot.
+        stream: u16,
+        /// Acquire / conflict / release.
+        phase: SyncPhase,
+    },
+    /// A sampled occupancy value for a counter track.
+    CounterSample {
+        /// Sample time.
+        at: Cycle,
+        /// Track name (e.g. `se.queue`, `noc.links_busy`).
+        track: &'static str,
+        /// Sub-track id (core, bank or link index).
+        id: u16,
+        /// Sampled value.
+        value: f64,
+    },
+}
+
+impl TraceEvent {
+    /// The timestamp used for ordering: start time for duration events.
+    pub fn time(&self) -> Cycle {
+        match *self {
+            TraceEvent::StreamConfig { at, .. }
+            | TraceEvent::StreamEnd { at, .. }
+            | TraceEvent::StreamMigrate { at, .. }
+            | TraceEvent::OffloadDecision { at, .. }
+            | TraceEvent::Coherence { at, .. }
+            | TraceEvent::RangeSync { at, .. }
+            | TraceEvent::CounterSample { at, .. } => at,
+            TraceEvent::StreamStep { start, .. }
+            | TraceEvent::CacheAccess { start, .. }
+            | TraceEvent::Lock { start, .. }
+            | TraceEvent::NocMsg { start, .. } => start,
+        }
+    }
+}
+
+/// Receives trace events; implementations decide retention policy.
+pub trait TraceSink: Send {
+    /// Records one event.
+    fn record(&mut self, ev: TraceEvent);
+}
+
+/// A bounded in-memory recorder: keeps the first `capacity` events and
+/// counts the rest as dropped, so a runaway trace cannot exhaust memory
+/// while the interesting warm-up phase is preserved.
+#[derive(Debug)]
+pub struct RingRecorder {
+    events: VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl RingRecorder {
+    /// Creates a recorder holding at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        RingRecorder {
+            events: VecDeque::new(),
+            capacity: capacity.max(1),
+            dropped: 0,
+        }
+    }
+
+    /// Recorded events in arrival order.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events rejected after the buffer filled.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+impl TraceSink for RingRecorder {
+    fn record(&mut self, ev: TraceEvent) {
+        if self.events.len() < self.capacity {
+            self.events.push_back(ev);
+        } else {
+            self.dropped += 1;
+        }
+    }
+}
+
+/// Generation counter: odd while a tracer is installed somewhere. A single
+/// relaxed load of this is the entire disabled-path cost of [`emit`].
+static ACTIVE: AtomicUsize = AtomicUsize::new(0);
+
+struct Tracer {
+    sink: RingRecorder,
+    sample_every: u64,
+    last_sample: HashMap<(&'static str, u16), u64>,
+}
+
+thread_local! {
+    static TRACER: RefCell<Option<Tracer>> = const { RefCell::new(None) };
+}
+
+/// Installs `sink` as the active tracer for this thread.
+///
+/// `sample_every` sets the minimum cycle spacing between retained
+/// [`sample`] observations per counter track (1 keeps every sample).
+/// Replaces any previously installed tracer, discarding its events.
+pub fn install(sink: RingRecorder, sample_every: u64) {
+    TRACER.with(|t| {
+        *t.borrow_mut() = Some(Tracer {
+            sink,
+            sample_every: sample_every.max(1),
+            last_sample: HashMap::new(),
+        });
+    });
+    ACTIVE.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Removes the active tracer and returns its recorder, or `None` if
+/// tracing was not enabled on this thread.
+pub fn uninstall() -> Option<RingRecorder> {
+    let prev = TRACER.with(|t| t.borrow_mut().take());
+    if prev.is_some() {
+        ACTIVE.fetch_sub(1, Ordering::Relaxed);
+    }
+    prev.map(|tr| tr.sink)
+}
+
+/// Whether any tracer is installed (fast, approximate across threads).
+#[inline]
+pub fn active() -> bool {
+    ACTIVE.load(Ordering::Relaxed) != 0
+}
+
+/// Emits an event if tracing is enabled; `f` never runs when disabled.
+#[inline]
+pub fn emit(f: impl FnOnce() -> TraceEvent) {
+    if !active() {
+        return;
+    }
+    emit_slow(f);
+}
+
+#[cold]
+fn emit_slow(f: impl FnOnce() -> TraceEvent) {
+    TRACER.with(|t| {
+        if let Some(tr) = t.borrow_mut().as_mut() {
+            tr.sink.record(f());
+        }
+    });
+}
+
+/// Records an occupancy sample for counter track `track`, sub-track `id`,
+/// if tracing is enabled and at least `sample_every` cycles have passed
+/// since the last retained sample of that (track, id) pair. The value
+/// closure `f` only runs for retained samples.
+#[inline]
+pub fn sample(track: &'static str, id: u16, at: Cycle, f: impl FnOnce() -> f64) {
+    if !active() {
+        return;
+    }
+    sample_slow(track, id, at, f);
+}
+
+#[cold]
+fn sample_slow(track: &'static str, id: u16, at: Cycle, f: impl FnOnce() -> f64) {
+    TRACER.with(|t| {
+        if let Some(tr) = t.borrow_mut().as_mut() {
+            let due = match tr.last_sample.get(&(track, id)) {
+                Some(&last) => at.0 >= last.saturating_add(tr.sample_every),
+                None => true,
+            };
+            if due {
+                tr.last_sample.insert((track, id), at.0);
+                let value = f();
+                tr.sink.record(TraceEvent::CounterSample {
+                    at,
+                    track,
+                    id,
+                    value,
+                });
+            }
+        }
+    });
+}
+
+/// Chrome trace-event (Trace Event Format) export, loadable by Perfetto
+/// and `chrome://tracing`.
+///
+/// Layout: one "process" per subsystem (streams, cache, NoC, sync,
+/// counters), with per-core / per-tile threads, duration (`"X"`) events
+/// for spans and counter (`"C"`) events for sampled occupancy. One
+/// simulated cycle is rendered as one microsecond.
+pub mod chrome {
+    use super::{SyncPhase, TraceEvent, SE_L3_CORE};
+    use crate::json::escape;
+    use std::collections::BTreeMap;
+
+    const PID_STREAMS: u32 = 1;
+    const PID_CACHE: u32 = 2;
+    const PID_NOC: u32 = 3;
+    const PID_SYNC: u32 = 4;
+    const PID_COUNTERS: u32 = 5;
+
+    fn core_tid(core: u16) -> u32 {
+        if core == SE_L3_CORE {
+            // Group SE_L3-originated work on a dedicated high thread id.
+            1_000_000
+        } else {
+            core as u32
+        }
+    }
+
+    fn stream_tid(core: u16, stream: u16) -> u32 {
+        core_tid(core) * 64 + stream as u32
+    }
+
+    struct Writer {
+        out: String,
+        first: bool,
+        threads: BTreeMap<(u32, u32), String>,
+    }
+
+    impl Writer {
+        fn event(&mut self, body: &str) {
+            if !self.first {
+                self.out.push_str(",\n");
+            }
+            self.first = false;
+            self.out.push_str(body);
+        }
+
+        fn duration(&mut self, name: &str, pid: u32, tid: u32, ts: u64, dur: u64, args: &str) {
+            let dur = dur.max(1); // zero-width spans are invisible in Perfetto
+            let body = format!(
+                "{{\"name\":\"{}\",\"ph\":\"X\",\"pid\":{pid},\"tid\":{tid},\"ts\":{ts},\"dur\":{dur}{args}}}",
+                escape(name)
+            );
+            self.event(&body);
+        }
+
+        fn instant(&mut self, name: &str, pid: u32, tid: u32, ts: u64, args: &str) {
+            let body = format!(
+                "{{\"name\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"pid\":{pid},\"tid\":{tid},\"ts\":{ts}{args}}}",
+                escape(name)
+            );
+            self.event(&body);
+        }
+
+        fn counter(&mut self, name: &str, pid: u32, tid: u32, ts: u64, value: f64) {
+            let body = format!(
+                "{{\"name\":\"{}\",\"ph\":\"C\",\"pid\":{pid},\"tid\":{tid},\"ts\":{ts},\"args\":{{\"value\":{}}}}}",
+                escape(name),
+                crate::json::fmt_f64(value)
+            );
+            self.event(&body);
+        }
+
+        fn name_thread(&mut self, pid: u32, tid: u32, name: String) {
+            self.threads.entry((pid, tid)).or_insert(name);
+        }
+    }
+
+    /// Renders `events` as a complete Chrome trace-event JSON document.
+    pub fn render<'a>(events: impl IntoIterator<Item = &'a TraceEvent>) -> String {
+        let mut w = Writer {
+            out: String::from("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n"),
+            first: true,
+            threads: BTreeMap::new(),
+        };
+        // Process-name metadata first so Perfetto labels the groups.
+        for (pid, name) in [
+            (PID_STREAMS, "streams"),
+            (PID_CACHE, "cache"),
+            (PID_NOC, "noc"),
+            (PID_SYNC, "range-sync"),
+            (PID_COUNTERS, "occupancy"),
+        ] {
+            let body = format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"args\":{{\"name\":\"{name}\"}}}}"
+            );
+            w.event(&body);
+        }
+        for ev in events {
+            write_event(&mut w, ev);
+        }
+        let threads = std::mem::take(&mut w.threads);
+        for ((pid, tid), name) in threads {
+            let body = format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"args\":{{\"name\":\"{}\"}}}}",
+                escape(&name)
+            );
+            w.event(&body);
+        }
+        w.out.push_str("\n]}\n");
+        w.out
+    }
+
+    fn stream_thread_name(core: u16, stream: u16) -> String {
+        if core == SE_L3_CORE {
+            format!("se_l3 s{stream}")
+        } else {
+            format!("core{core} s{stream}")
+        }
+    }
+
+    fn write_event(w: &mut Writer, ev: &TraceEvent) {
+        match *ev {
+            TraceEvent::StreamConfig {
+                at,
+                core,
+                stream,
+                bank,
+                style,
+            } => {
+                let tid = stream_tid(core, stream);
+                w.name_thread(PID_STREAMS, tid, stream_thread_name(core, stream));
+                let args = format!(",\"args\":{{\"bank\":{bank},\"style\":\"{style}\"}}");
+                w.instant("config", PID_STREAMS, tid, at.0, &args);
+            }
+            TraceEvent::StreamStep {
+                start,
+                end,
+                core,
+                stream,
+                bank,
+            } => {
+                let tid = stream_tid(core, stream);
+                w.name_thread(PID_STREAMS, tid, stream_thread_name(core, stream));
+                let args = format!(",\"args\":{{\"bank\":{bank}}}");
+                let dur = end.0.saturating_sub(start.0);
+                w.duration("step", PID_STREAMS, tid, start.0, dur, &args);
+            }
+            TraceEvent::StreamEnd {
+                at,
+                core,
+                stream,
+                consumed,
+            } => {
+                let tid = stream_tid(core, stream);
+                w.name_thread(PID_STREAMS, tid, stream_thread_name(core, stream));
+                let args = format!(",\"args\":{{\"consumed\":{consumed}}}");
+                w.instant("end", PID_STREAMS, tid, at.0, &args);
+            }
+            TraceEvent::StreamMigrate {
+                at,
+                core,
+                stream,
+                from_bank,
+                to_bank,
+            } => {
+                let tid = stream_tid(core, stream);
+                w.name_thread(PID_STREAMS, tid, stream_thread_name(core, stream));
+                let args =
+                    format!(",\"args\":{{\"from_bank\":{from_bank},\"to_bank\":{to_bank}}}");
+                w.instant("migrate", PID_STREAMS, tid, at.0, &args);
+            }
+            TraceEvent::OffloadDecision {
+                at,
+                core,
+                stream,
+                style,
+                reason,
+            } => {
+                let tid = stream_tid(core, stream);
+                w.name_thread(PID_STREAMS, tid, stream_thread_name(core, stream));
+                let args = format!(",\"args\":{{\"style\":\"{style}\",\"reason\":\"{reason}\"}}");
+                w.instant("offload", PID_STREAMS, tid, at.0, &args);
+            }
+            TraceEvent::CacheAccess {
+                start,
+                end,
+                core,
+                level,
+                write,
+            } => {
+                let tid = core_tid(core);
+                let who = if core == SE_L3_CORE {
+                    "se_l3".to_owned()
+                } else {
+                    format!("core{core}")
+                };
+                w.name_thread(PID_CACHE, tid, who);
+                let name = format!("{}{}", level.label(), if write { " st" } else { "" });
+                let dur = end.0.saturating_sub(start.0);
+                w.duration(&name, PID_CACHE, tid, start.0, dur, "");
+            }
+            TraceEvent::Coherence { at, core, line, kind } => {
+                let tid = core_tid(core);
+                w.name_thread(PID_CACHE, tid, format!("core{core}"));
+                let args = format!(",\"args\":{{\"line\":{line}}}");
+                w.instant(kind, PID_CACHE, tid, at.0, &args);
+            }
+            TraceEvent::Lock {
+                start,
+                end,
+                line,
+                exclusive,
+                waited,
+            } => {
+                w.name_thread(PID_SYNC, 0, "line-locks".to_owned());
+                let name = if exclusive { "lock excl" } else { "lock shared" };
+                let args = format!(",\"args\":{{\"line\":{line},\"waited\":{waited}}}");
+                let dur = end.0.saturating_sub(start.0);
+                w.duration(name, PID_SYNC, 0, start.0, dur, &args);
+            }
+            TraceEvent::NocMsg {
+                start,
+                end,
+                src,
+                dst,
+                bytes,
+                hops,
+                class,
+            } => {
+                let tid = src as u32;
+                w.name_thread(PID_NOC, tid, format!("tile{src}"));
+                let args =
+                    format!(",\"args\":{{\"dst\":{dst},\"bytes\":{bytes},\"hops\":{hops}}}");
+                let dur = end.0.saturating_sub(start.0);
+                w.duration(class, PID_NOC, tid, start.0, dur, &args);
+            }
+            TraceEvent::RangeSync {
+                at,
+                core,
+                stream,
+                phase,
+            } => {
+                let tid = core_tid(core) + 1;
+                w.name_thread(PID_SYNC, tid, format!("core{core}"));
+                let args = format!(",\"args\":{{\"stream\":{stream}}}");
+                match phase {
+                    SyncPhase::Acquire | SyncPhase::Release | SyncPhase::Conflict => {
+                        w.instant(phase.label(), PID_SYNC, tid, at.0, &args);
+                    }
+                }
+            }
+            TraceEvent::CounterSample {
+                at,
+                track,
+                id,
+                value,
+            } => {
+                let tid = id as u32;
+                w.name_thread(PID_COUNTERS, tid, format!("{track}[{id}]"));
+                w.counter(track, PID_COUNTERS, tid, at.0, value);
+            }
+        }
+    }
+
+    /// Renders `events` and writes the document to `path`.
+    pub fn write_file<'a>(
+        path: &std::path::Path,
+        events: impl IntoIterator<Item = &'a TraceEvent>,
+    ) -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        std::fs::write(path, render(events))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn step(t: u64) -> TraceEvent {
+        TraceEvent::StreamStep {
+            start: Cycle(t),
+            end: Cycle(t + 4),
+            core: 1,
+            stream: 0,
+            bank: 3,
+        }
+    }
+
+    #[test]
+    fn disabled_emit_never_runs_closure() {
+        assert!(uninstall().is_none());
+        let mut ran = false;
+        emit(|| {
+            ran = true;
+            step(0)
+        });
+        assert!(!ran);
+    }
+
+    #[test]
+    fn install_records_and_uninstall_returns() {
+        install(RingRecorder::new(8), 1);
+        assert!(active());
+        emit(|| step(5));
+        emit(|| TraceEvent::StreamEnd {
+            at: Cycle(9),
+            core: 1,
+            stream: 0,
+            consumed: 1,
+        });
+        let rec = uninstall().unwrap();
+        assert_eq!(rec.len(), 2);
+        assert_eq!(rec.events().next().unwrap().time(), Cycle(5));
+    }
+
+    #[test]
+    fn ring_bounds_and_counts_drops() {
+        let mut r = RingRecorder::new(2);
+        for t in 0..5 {
+            r.record(step(t));
+        }
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.dropped(), 3);
+    }
+
+    #[test]
+    fn sampler_rate_limits_per_track() {
+        install(RingRecorder::new(64), 10);
+        sample("se.queue", 0, Cycle(0), || 1.0);
+        sample("se.queue", 0, Cycle(5), || 2.0); // suppressed: within 10 cycles
+        sample("se.queue", 1, Cycle(5), || 3.0); // different id: kept
+        sample("se.queue", 0, Cycle(10), || 4.0); // due again
+        let rec = uninstall().unwrap();
+        let values: Vec<f64> = rec
+            .events()
+            .map(|e| match e {
+                TraceEvent::CounterSample { value, .. } => *value,
+                _ => panic!("unexpected event"),
+            })
+            .collect();
+        assert_eq!(values, vec![1.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn chrome_render_is_valid_json_with_expected_shape() {
+        let events = [
+            TraceEvent::StreamConfig {
+                at: Cycle(0),
+                core: 0,
+                stream: 1,
+                bank: 2,
+                style: "NearStream",
+            },
+            step(4),
+            TraceEvent::NocMsg {
+                start: Cycle(2),
+                end: Cycle(12),
+                src: 0,
+                dst: 7,
+                bytes: 64,
+                hops: 5,
+                class: "data",
+            },
+            TraceEvent::CounterSample {
+                at: Cycle(8),
+                track: "noc.links_busy",
+                id: 0,
+                value: 3.5,
+            },
+            TraceEvent::RangeSync {
+                at: Cycle(6),
+                core: 2,
+                stream: 0,
+                phase: SyncPhase::Conflict,
+            },
+        ];
+        let doc = json::parse(&chrome::render(events.iter())).expect("valid JSON");
+        let list = doc.get("traceEvents").and_then(json::Json::as_arr).unwrap();
+        // 5 process_name metas + 5 events + thread_name metas.
+        assert!(list.len() >= 10);
+        let phases: Vec<&str> = list
+            .iter()
+            .filter_map(|e| e.get("ph").and_then(json::Json::as_str))
+            .collect();
+        assert!(phases.contains(&"X"));
+        assert!(phases.contains(&"C"));
+        assert!(phases.contains(&"M"));
+        assert!(phases.contains(&"i"));
+        // Every event has pid/ts or is metadata.
+        for e in list {
+            assert!(e.get("ph").is_some());
+            assert!(e.get("pid").is_some());
+        }
+    }
+
+    #[test]
+    fn zero_duration_spans_get_min_width() {
+        let ev = TraceEvent::StreamStep {
+            start: Cycle(7),
+            end: Cycle(7),
+            core: 0,
+            stream: 0,
+            bank: 0,
+        };
+        let doc = json::parse(&chrome::render([&ev])).unwrap();
+        let list = doc.get("traceEvents").and_then(json::Json::as_arr).unwrap();
+        let span = list
+            .iter()
+            .find(|e| e.get("ph").and_then(json::Json::as_str) == Some("X"))
+            .unwrap();
+        assert_eq!(span.get("dur").and_then(json::Json::as_f64), Some(1.0));
+    }
+}

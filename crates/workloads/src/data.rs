@@ -1,8 +1,7 @@
 //! Deterministic input generators: Kronecker graphs, uniform arrays,
 //! binary trees and chained hash tables.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use nsc_sim::rng::Rng;
 
 /// Fixed seed so every run sees identical inputs.
 pub const SEED: u64 = 0x5eed_cafe_f00d_beef;
@@ -56,7 +55,7 @@ impl Csr {
 pub fn kronecker(n: u64, edges: u64, seed: u64) -> Csr {
     assert!(n.is_power_of_two(), "Kronecker needs a power-of-two vertex count");
     let levels = n.trailing_zeros();
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     // GAP permutes vertex labels so the R-MAT hub bias does not collapse
     // onto the low vertex ids (which would break static load balance).
     let relabel = permutation(n, seed ^ 0x9e37);
@@ -66,7 +65,7 @@ pub fn kronecker(n: u64, edges: u64, seed: u64) -> Csr {
         for _ in 0..levels {
             u <<= 1;
             v <<= 1;
-            let r: f64 = rng.gen();
+            let r: f64 = rng.gen_f64();
             if r < 0.57 {
                 // quadrant A: (0,0)
             } else if r < 0.76 {
@@ -94,22 +93,22 @@ pub fn kronecker(n: u64, edges: u64, seed: u64) -> Csr {
 
 /// Uniform random `u64` values in `[0, bound)`.
 pub fn uniform_u64(n: u64, bound: u64, seed: u64) -> Vec<u64> {
-    let mut rng = SmallRng::seed_from_u64(seed);
-    (0..n).map(|_| rng.gen_range(0..bound)).collect()
+    let mut rng = Rng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range_u64(bound)).collect()
 }
 
 /// Uniform random floats in `[0, 1)`.
 pub fn uniform_f64(n: u64, seed: u64) -> Vec<f64> {
-    let mut rng = SmallRng::seed_from_u64(seed);
-    (0..n).map(|_| rng.gen::<f64>()).collect()
+    let mut rng = Rng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_f64()).collect()
 }
 
 /// A random permutation of `0..n`.
 pub fn permutation(n: u64, seed: u64) -> Vec<u64> {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut v: Vec<u64> = (0..n).collect();
     for i in (1..n as usize).rev() {
-        let j = rng.gen_range(0..=i);
+        let j = rng.gen_range_usize(i + 1);
         v.swap(i, j);
     }
     v
@@ -133,6 +132,7 @@ pub fn binary_tree(n: u64, seed: u64) -> (Vec<i64>, Vec<i64>, Vec<i64>, i64) {
     let mut left = vec![-1i64; n];
     let mut right = vec![-1i64; n];
     // Build balanced recursively over the sorted keys.
+    #[allow(clippy::too_many_arguments)]
     fn build(
         keys: &[i64],
         lo: usize,

@@ -43,7 +43,7 @@ pub fn pathfinder(size: Size) -> Workload {
         k.sync_free();
         p.push_kernel(k.finish());
     }
-    let out = if iters % 2 == 0 { buf0 } else { buf1 };
+    let out = if iters.is_multiple_of(2) { buf0 } else { buf1 };
     Workload {
         name: "pathfinder",
         category: Category::MultiOpStore,
@@ -113,7 +113,7 @@ pub fn srad(size: Size) -> Workload {
         let k = five_point_stencil(&mut p, &format!("diffuse{t}"), src, dst, coeff, rows, cols, 0.125);
         p.push_kernel(k);
     }
-    let out = if iters % 2 == 0 { img0 } else { img1 };
+    let out = if iters.is_multiple_of(2) { img0 } else { img1 };
     Workload {
         name: "srad",
         category: Category::MultiOpStore,
@@ -144,7 +144,7 @@ pub fn hotspot(size: Size) -> Workload {
         let k = five_point_stencil(&mut p, &format!("step{t}"), src, dst, power, rows, cols, 0.5);
         p.push_kernel(k);
     }
-    let out = if iters % 2 == 0 { t0 } else { t1 };
+    let out = if iters.is_multiple_of(2) { t0 } else { t1 };
     Workload {
         name: "hotspot",
         category: Category::MultiOpStore,
@@ -203,7 +203,7 @@ pub fn hotspot3d(size: Size) -> Workload {
         k.sync_free();
         p.push_kernel(k.finish());
     }
-    let out = if iters % 2 == 0 { t0 } else { t1 };
+    let out = if iters.is_multiple_of(2) { t0 } else { t1 };
     Workload {
         name: "hotspot3D",
         category: Category::MultiOpStore,

@@ -1,0 +1,39 @@
+//! Trace a near-stream run and export a Chrome trace-event file that
+//! opens directly in Perfetto (https://ui.perfetto.dev) or
+//! `chrome://tracing`.
+//!
+//! Run with: `cargo run --release --example trace_demo`
+//!
+//! The exported timeline has one process per subsystem — streams, cache,
+//! NoC, range-sync — plus counter tracks sampling stream-engine queue
+//! depth, L3 bank occupancy, and NoC link utilisation. The bench
+//! harnesses produce the same file automatically when `NSC_TRACE=1` is
+//! set (see the Observability section in DESIGN.md).
+
+use near_stream::ExecMode;
+use nsc_bench::{prepare, system_for};
+use nsc_sim::trace::{self, chrome, RingRecorder};
+use nsc_workloads::{histogram, Size};
+
+fn main() {
+    let p = prepare(histogram(Size::Tiny));
+    let cfg = system_for(Size::Tiny);
+
+    // Install a bounded recorder on this thread: up to 1M events, with
+    // counter tracks sampled at most once per 32 simulated cycles.
+    trace::install(RingRecorder::new(1 << 20), 32);
+    let r = p.run_checked(ExecMode::Ns, &cfg);
+    let rec = trace::uninstall().expect("tracer was installed");
+
+    let path = std::path::Path::new("results/trace_demo.trace.json");
+    chrome::write_file(path, rec.events()).expect("write trace file");
+
+    println!(
+        "simulated {} in {} cycles; captured {} trace events ({} dropped)",
+        p.workload.name,
+        r.cycles,
+        rec.len(),
+        rec.dropped(),
+    );
+    println!("wrote {} -- open it in https://ui.perfetto.dev", path.display());
+}

@@ -2,9 +2,16 @@
 # Regenerates every figure/table of the paper's evaluation at --small scale
 # (~1/16 of Table VI inputs with proportionally scaled caches) and captures
 # the outputs under results/. Pass --tiny or --full to change scale.
+#
+# Each harness writes two artifacts: the human-readable table it prints
+# (captured as results/<name>.txt) and a machine-readable summary it
+# emits itself (results/<name>.json, schema "nsc-bench-v1" -- see the
+# Observability section in DESIGN.md). Set NSC_TRACE=1 to additionally
+# collect a Chrome/Perfetto trace per harness (results/<name>.trace.json).
 set -u
 SCALE="${1:---small}"
 cd "$(dirname "$0")"
+mkdir -p results
 cargo build --release -p nsc-bench 2>/dev/null
 BIN=target/release
 for h in tab01_capabilities tab02_patterns tab03_stream_isas tab04_encoding \
@@ -19,4 +26,5 @@ for h in tab01_capabilities tab02_patterns tab03_stream_isas tab04_encoding \
     echo "$h FAILED"
   fi
 done
+echo "collected $(ls results/*.json 2>/dev/null | wc -l) machine-readable summaries in results/*.json"
 echo done

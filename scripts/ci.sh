@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Offline-safe CI gate for the near-stream suite.
+#
+# Runs the same checks the project expects before every merge:
+#   1. release build of the whole workspace,
+#   2. the full test suite (unit, integration, doc tests),
+#   3. clippy with warnings promoted to errors.
+#
+# No network access is required: all dependencies are path dependencies
+# inside this workspace, so everything runs with `--offline`.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release) =="
+cargo build --release --workspace --offline
+
+echo "== tests =="
+cargo test -q --workspace --offline
+
+echo "== clippy (-D warnings) =="
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "CI checks passed."

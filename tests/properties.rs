@@ -1,129 +1,176 @@
-//! Property-based invariants over the substrates (proptest).
+//! Randomized invariants over the substrates.
+//!
+//! These used to be proptest properties; they are now seeded randomized
+//! loops driven by the in-repo `nsc_sim::rng` generator so the workspace
+//! builds with zero external dependencies. Each test fixes its seed, so
+//! failures reproduce deterministically; the case counts are sized to
+//! cover the same space the proptest versions explored.
 
 use nsc_ir::encoding::{AffineConfig, ComputeConfig, IndirectConfig};
 use nsc_mem::addr::AddrRange;
 use nsc_mem::{Addr, Cache, CacheConfig, LockKind, MrswLockTable, ReplacePolicy};
 use nsc_noc::topology::{xy_route, TileId};
 use nsc_sim::resource::BandwidthLedger;
+use nsc_sim::rng::Rng;
 use nsc_sim::{Cycle, EventQueue};
-use proptest::prelude::*;
 
-proptest! {
-    /// X-Y routing always delivers, with hop count equal to Manhattan
-    /// distance and a properly chained path.
-    #[test]
-    fn routing_is_manhattan(sx in 0u16..8, sy in 0u16..8, dx in 0u16..8, dy in 0u16..8) {
-        let s = TileId::from_xy(sx, sy, 8);
-        let d = TileId::from_xy(dx, dy, 8);
-        let route = xy_route(s, d, 8);
-        prop_assert_eq!(route.len() as u64, s.hops_to(d, 8));
-        if let Some(first) = route.first() {
-            prop_assert_eq!(first.from, s);
-            prop_assert_eq!(route.last().unwrap().to, d);
-        }
-        for pair in route.windows(2) {
-            prop_assert_eq!(pair[0].to, pair[1].from);
-            prop_assert_eq!(pair[0].to.hops_to(pair[1].to, 8), 1);
+/// X-Y routing always delivers, with hop count equal to Manhattan
+/// distance and a properly chained path.
+#[test]
+fn routing_is_manhattan() {
+    for sx in 0u16..8 {
+        for sy in 0u16..8 {
+            for dx in 0u16..8 {
+                for dy in 0u16..8 {
+                    let s = TileId::from_xy(sx, sy, 8);
+                    let d = TileId::from_xy(dx, dy, 8);
+                    let route = xy_route(s, d, 8);
+                    assert_eq!(route.len() as u64, s.hops_to(d, 8));
+                    if let Some(first) = route.first() {
+                        assert_eq!(first.from, s);
+                        assert_eq!(route.last().unwrap().to, d);
+                    }
+                    for pair in route.windows(2) {
+                        assert_eq!(pair[0].to, pair[1].from);
+                        assert_eq!(pair[0].to.hops_to(pair[1].to, 8), 1);
+                    }
+                }
+            }
         }
     }
+}
 
-    /// The event queue is a stable priority queue: pops come out in
-    /// nondecreasing time, ties in insertion order.
-    #[test]
-    fn event_queue_is_stable(times in proptest::collection::vec(0u64..1000, 1..200)) {
+/// The event queue is a stable priority queue: pops come out in
+/// nondecreasing time, ties in insertion order.
+#[test]
+fn event_queue_is_stable() {
+    let mut rng = Rng::seed_from_u64(0xE0E0);
+    for _ in 0..100 {
+        let n = 1 + rng.gen_range_usize(199);
         let mut q = EventQueue::new();
-        for (i, t) in times.iter().enumerate() {
-            q.push(Cycle(*t), i);
+        for i in 0..n {
+            q.push(Cycle(rng.gen_range_u64(1000)), i);
         }
         let mut last: Option<(Cycle, usize)> = None;
         while let Some((t, i)) = q.pop() {
             if let Some((lt, li)) = last {
-                prop_assert!(t >= lt);
+                assert!(t >= lt);
                 if t == lt {
-                    prop_assert!(i > li, "FIFO violated for equal times");
+                    assert!(i > li, "FIFO violated for equal times");
                 }
             }
             last = Some((t, i));
         }
     }
+}
 
-    /// Bandwidth ledger: completion is never earlier than pure
-    /// serialization, and total booked units are conserved.
-    #[test]
-    fn ledger_conserves_and_orders(
-        bookings in proptest::collection::vec((0u64..10_000, 1u64..100), 1..100)
-    ) {
+/// Bandwidth ledger: completion is never earlier than pure serialization,
+/// and total booked units are conserved.
+#[test]
+fn ledger_conserves_and_orders() {
+    let mut rng = Rng::seed_from_u64(0x1ED6E2);
+    for _ in 0..100 {
+        let n = 1 + rng.gen_range_usize(99);
         let mut l = BandwidthLedger::new(16, 16);
         let mut total = 0;
-        for (t, units) in &bookings {
-            let done = l.book(Cycle(*t), *units);
+        for _ in 0..n {
+            let t = rng.gen_range_u64(10_000);
+            let units = 1 + rng.gen_range_u64(99);
+            let done = l.book(Cycle(t), units);
             total += units;
             // 16 units per 16 cycles = 1 unit/cycle minimum serialization.
-            prop_assert!(done.raw() >= t + units);
+            assert!(done.raw() >= t + units);
         }
-        prop_assert_eq!(l.total_booked(), total);
+        assert_eq!(l.total_booked(), total);
     }
+}
 
-    /// Address-range algebra: extend is monotone and overlap detection is
-    /// conservative (never misses a genuine overlap).
-    #[test]
-    fn range_overlap_is_conservative(
-        pts_a in proptest::collection::vec(0u64..10_000, 1..20),
-        pts_b in proptest::collection::vec(0u64..10_000, 1..20),
-    ) {
+/// Address-range algebra: extend is monotone and overlap detection is
+/// conservative (never misses a genuine overlap).
+#[test]
+fn range_overlap_is_conservative() {
+    let mut rng = Rng::seed_from_u64(0x0A11A5);
+    for _ in 0..300 {
+        let na = 1 + rng.gen_range_usize(19);
+        let nb = 1 + rng.gen_range_usize(19);
+        let pts_a: Vec<u64> = (0..na).map(|_| rng.gen_range_u64(10_000)).collect();
+        let pts_b: Vec<u64> = (0..nb).map(|_| rng.gen_range_u64(10_000)).collect();
         let mut ra = AddrRange::empty();
-        for &p in &pts_a { ra.extend(Addr(p), 4); }
+        for &p in &pts_a {
+            ra.extend(Addr(p), 4);
+        }
         let mut rb = AddrRange::empty();
-        for &p in &pts_b { rb.extend(Addr(p), 4); }
+        for &p in &pts_b {
+            rb.extend(Addr(p), 4);
+        }
         // Genuine overlap: any pair of touched intervals intersecting.
-        let genuine = pts_a.iter().any(|&a| pts_b.iter().any(|&b| a < b + 4 && b < a + 4));
+        let genuine = pts_a
+            .iter()
+            .any(|&a| pts_b.iter().any(|&b| a < b + 4 && b < a + 4));
         if genuine {
-            prop_assert!(ra.overlaps(&rb), "missed a real overlap");
+            assert!(ra.overlaps(&rb), "missed a real overlap");
         }
         // Every touched point is inside its range.
         for &p in &pts_a {
-            prop_assert!(ra.touches(Addr(p), 4));
+            assert!(ra.touches(Addr(p), 4));
         }
     }
+}
 
-    /// Cache: inserting never exceeds capacity, a just-inserted line is
-    /// resident, and eviction victims were previously resident.
-    #[test]
-    fn cache_capacity_invariant(lines in proptest::collection::vec(0u64..1000, 1..300)) {
+/// Cache: inserting never exceeds capacity, a just-inserted line is
+/// resident, and eviction victims were previously resident.
+#[test]
+fn cache_capacity_invariant() {
+    let mut rng = Rng::seed_from_u64(0xCAC4E);
+    for _ in 0..50 {
+        let n = 1 + rng.gen_range_usize(299);
         let mut c = Cache::new(CacheConfig {
             size_bytes: 4096,
             ways: 4,
             latency: Cycle(1),
-            policy: ReplacePolicy::BimodalRrip { p_promote_permille: 30 },
+            policy: ReplacePolicy::BimodalRrip {
+                p_promote_permille: 30,
+            },
             set_skip_bits: 0,
         });
         let capacity = 4096 / 64;
         let mut resident = std::collections::HashSet::new();
-        for &l in &lines {
-            let line = nsc_mem::LineAddr(l);
+        for _ in 0..n {
+            let line = nsc_mem::LineAddr(rng.gen_range_u64(1000));
             if let Some(ev) = c.insert(line, false, Cycle::ZERO) {
-                prop_assert!(resident.remove(&ev.line), "evicted a non-resident line");
+                assert!(resident.remove(&ev.line), "evicted a non-resident line");
             }
             resident.insert(line);
             resident.retain(|x| c.contains(*x));
-            prop_assert!(c.contains(line));
-            prop_assert!(c.resident_lines() <= capacity as usize);
+            assert!(c.contains(line));
+            assert!(c.resident_lines() <= capacity as usize);
         }
     }
+}
 
-    /// MRSW lock: exclusive holds on one line are throughput-exclusive —
-    /// their total duration fits in the time span they were granted (the
-    /// occupancy ledger is epoch-quantized, so pairwise exclusion holds at
-    /// epoch granularity, one epoch of slack per line).
-    #[test]
-    fn mrsw_exclusion(ops in proptest::collection::vec((0u64..3, 0u64..500, any::<bool>()), 1..60)) {
+/// MRSW lock: exclusive holds on one line are throughput-exclusive —
+/// their total duration fits in the time span they were granted (the
+/// occupancy ledger is epoch-quantized, so pairwise exclusion holds at
+/// epoch granularity, one epoch of slack per line).
+#[test]
+fn mrsw_exclusion() {
+    let mut rng = Rng::seed_from_u64(0x3C1);
+    for _ in 0..100 {
+        let n = 1 + rng.gen_range_usize(59);
         let mut t = MrswLockTable::new(true);
         let mut grants: Vec<(u64, u64, bool)> = Vec::new(); // line, start, excl
-        for (line, now, excl) in &ops {
-            let kind = if *excl { LockKind::Exclusive } else { LockKind::Shared };
-            let start = t.acquire(Cycle(*now), nsc_mem::LineAddr(*line), kind, 10);
-            prop_assert!(start >= Cycle(*now), "lock granted before it was requested");
-            grants.push((*line, start.raw(), *excl));
+        for _ in 0..n {
+            let line = rng.gen_range_u64(3);
+            let now = rng.gen_range_u64(500);
+            let excl = rng.gen_bool();
+            let kind = if excl {
+                LockKind::Exclusive
+            } else {
+                LockKind::Shared
+            };
+            let start = t.acquire(Cycle(now), nsc_mem::LineAddr(line), kind, 10);
+            assert!(start >= Cycle(now), "lock granted before it was requested");
+            grants.push((line, start.raw(), excl));
         }
         for line in 0..3u64 {
             let ex: Vec<u64> = grants
@@ -136,30 +183,41 @@ proptest! {
             }
             let span = ex.iter().max().unwrap() + 10 - ex.iter().min().unwrap();
             let total = 10 * ex.len() as u64;
-            prop_assert!(
+            assert!(
                 total <= span + 16,
                 "line {line}: {total} lock-cycles granted within a {span}-cycle span"
             );
         }
     }
+}
 
-    /// Stream-configuration encodings round-trip at every field value.
-    #[test]
-    fn encodings_roundtrip(
-        cid in 0u8..64, sid in 0u8..16, base in 0u64..(1 << 48),
-        stride in 0u64..(1 << 48), iter in 0u64..(1 << 48), size in any::<u8>(),
-        ctype in 0u8..16, fptr in 0u64..(1 << 48), data in any::<u64>(),
-    ) {
+/// Stream-configuration encodings round-trip at every field value.
+#[test]
+fn encodings_roundtrip() {
+    let mut rng = Rng::seed_from_u64(0xE4C0DE);
+    for _ in 0..500 {
+        let cid = rng.gen_range_u64(64) as u8;
+        let sid = rng.gen_range_u64(16) as u8;
+        let base = rng.gen_range_u64(1 << 48);
+        let stride = rng.gen_range_u64(1 << 48);
+        let iter = rng.gen_range_u64(1 << 48);
+        let size = rng.next_u64() as u8;
+        let ctype = rng.gen_range_u64(16) as u8;
+        let fptr = rng.gen_range_u64(1 << 48);
+        let data = rng.next_u64();
         let a = AffineConfig {
-            cid, sid, base,
+            cid,
+            sid,
+            base,
             strides: [stride, stride / 2, 0],
             ptbl: base ^ 0xFFF,
-            iter, size,
+            iter,
+            size,
             lens: [iter / 2, 3, 1],
         };
-        prop_assert_eq!(AffineConfig::decode(&a.encode()), a);
+        assert_eq!(AffineConfig::decode(&a.encode()), a);
         let i = IndirectConfig { sid, base, size };
-        prop_assert_eq!(IndirectConfig::decode(&i.encode()), i);
+        assert_eq!(IndirectConfig::decode(&i.encode()), i);
         let c = ComputeConfig {
             ctype,
             arg_sids: [sid; 8],
@@ -168,22 +226,20 @@ proptest! {
             arg_size_log2: [size % 8; 8],
             const_data: data,
         };
-        prop_assert_eq!(ComputeConfig::decode(&c.encode()), c);
+        assert_eq!(ComputeConfig::decode(&c.encode()), c);
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// Arbitrary small affine+indirect programs compute identically under
-    /// Base and NS (a randomized functional-transparency check).
-    #[test]
-    fn random_gather_program_is_transparent(
-        n in 64u64..256,
-        scale in 1i64..4,
-        offset in 0i64..8,
-        seed in any::<u64>(),
-    ) {
+/// Arbitrary small affine+indirect programs compute identically under
+/// Base and NS (a randomized functional-transparency check).
+#[test]
+fn random_gather_program_is_transparent() {
+    let mut rng = Rng::seed_from_u64(0x6A74E2);
+    for _ in 0..16 {
+        let n = 64 + rng.gen_range_u64(192);
+        let scale = 1 + rng.gen_range_u64(3) as i64;
+        let offset = rng.gen_range_u64(8) as i64;
+        let seed = rng.next_u64();
         use nsc_ir::build::KernelBuilder;
         use nsc_ir::{ElemType, Expr, Program, Scalar};
         let mut p = Program::new("rand_gather");
@@ -200,28 +256,39 @@ proptest! {
         let init = move |mem: &mut nsc_ir::Memory| {
             let mut x = seed | 1;
             for j in 0..n {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 mem.write_index(idx, j, Scalar::I64((x % n) as i64));
                 mem.write_index(src, j, Scalar::I64((x >> 32) as i64));
             }
         };
         let cfg = near_stream::SystemConfig::small();
-        let (_, base_mem) = near_stream::run(&p, &compiled, &[], near_stream::ExecMode::Base, &cfg, &init);
-        let (_, ns_mem) = near_stream::run(&p, &compiled, &[], near_stream::ExecMode::Ns, &cfg, &init);
+        let (_, base_mem) = near_stream::run(
+            &p,
+            &compiled,
+            &[],
+            near_stream::ExecMode::Base,
+            &cfg,
+            &init,
+        );
+        let (_, ns_mem) =
+            near_stream::run(&p, &compiled, &[], near_stream::ExecMode::Ns, &cfg, &init);
         for j in 0..n {
-            prop_assert_eq!(base_mem.read_index(dst, j), ns_mem.read_index(dst, j));
+            assert_eq!(base_mem.read_index(dst, j), ns_mem.read_index(dst, j));
         }
     }
 }
 
-proptest! {
-    /// Multicast: tree traffic never exceeds the sum of unicast paths, and
-    /// every destination is reached no earlier than its own hop latency.
-    #[test]
-    fn multicast_bounded_by_unicasts(
-        src in 0u16..64,
-        dsts in proptest::collection::vec(0u16..64, 1..8),
-    ) {
+/// Multicast: tree traffic never exceeds the sum of unicast paths, and
+/// every destination is reached no earlier than its own hop latency.
+#[test]
+fn multicast_bounded_by_unicasts() {
+    let mut rng = Rng::seed_from_u64(0x3417);
+    for _ in 0..200 {
+        let src = rng.gen_range_u64(64) as u16;
+        let nd = 1 + rng.gen_range_usize(7);
+        let dsts: Vec<u16> = (0..nd).map(|_| rng.gen_range_u64(64) as u16).collect();
         use nsc_noc::{Mesh, MeshConfig, MsgClass, TileId};
         let mut cfg = MeshConfig::paper_8x8();
         cfg.contention = false;
@@ -232,18 +299,23 @@ proptest! {
         for d in &tiles {
             m_uni.send(Cycle(0), TileId(src), *d, 8, MsgClass::Control);
         }
-        prop_assert!(
+        assert!(
             m_multi.traffic().total_bytes_hops() <= m_uni.traffic().total_bytes_hops(),
             "multicast {} vs unicasts {}",
             m_multi.traffic().total_bytes_hops(),
             m_uni.traffic().total_bytes_hops()
         );
     }
+}
 
-    /// The TLB never reports a hit for a page it has not installed, and
-    /// hits + misses account for every translation.
-    #[test]
-    fn tlb_accounting(pages in proptest::collection::vec(0u64..64, 1..200)) {
+/// The TLB never reports a hit for a page it has not installed, and
+/// hits + misses account for every translation.
+#[test]
+fn tlb_accounting() {
+    let mut rng = Rng::seed_from_u64(0x71B);
+    for _ in 0..100 {
+        let n = 1 + rng.gen_range_usize(199);
+        let pages: Vec<u64> = (0..n).map(|_| rng.gen_range_u64(64)).collect();
         use nsc_mem::tlb::{Tlb, HUGE_PAGE_BITS};
         let mut tlb = Tlb::new(16, 4, Cycle(8), Cycle(60));
         let mut installed = std::collections::HashSet::new();
@@ -251,15 +323,15 @@ proptest! {
             let before = (tlb.hits(), tlb.misses());
             tlb.translate(p << HUGE_PAGE_BITS, Cycle(i as u64 * 100));
             let after = (tlb.hits(), tlb.misses());
-            prop_assert_eq!(after.0 + after.1, before.0 + before.1 + 1);
+            assert_eq!(after.0 + after.1, before.0 + before.1 + 1);
             if after.1 > before.1 {
                 installed.insert(*p);
             } else {
                 // A hit requires a prior install (possibly since evicted
                 // pages were re-walked, so membership is sufficient).
-                prop_assert!(installed.contains(p), "hit on never-walked page {}", p);
+                assert!(installed.contains(p), "hit on never-walked page {}", p);
             }
         }
-        prop_assert_eq!(tlb.hits() + tlb.misses(), pages.len() as u64);
+        assert_eq!(tlb.hits() + tlb.misses(), pages.len() as u64);
     }
 }
