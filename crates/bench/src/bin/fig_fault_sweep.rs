@@ -1,0 +1,106 @@
+//! Fault-injection sweep: every workload under NS with injected NoC,
+//! bank, offload and alias-filter faults.
+//!
+//! The invariant this harness enforces (and the recovery protocol's whole
+//! point): for any seed and fault rate, every workload computes a result
+//! bit-identical to the fault-free run — faults cost cycles and traffic,
+//! never correctness. The harness runs each workload clean, then across a
+//! rate sweep x several seeds, asserts digest equality everywhere, and
+//! reports the worst-case slowdown plus the recovery counters
+//! (`fault.injected`, `offload.retries`, `offload.fallbacks`,
+//! `rangesync.replays`).
+//!
+//! `--seeds N` limits the sweep to the first N seeds (CI smoke uses 1).
+
+use near_stream::ExecMode;
+use nsc_bench::{parse_size, prepare, system_for, Report};
+use nsc_sim::fault::{self, FaultPlan};
+use nsc_workloads::all;
+
+/// Injection probabilities per fault site and draw (0 = the clean run).
+const RATES: [f64; 3] = [1e-4, 1e-3, 1e-2];
+/// Fixed seeds: the schedule is deterministic per (seed, rate).
+const SEEDS: [u64; 4] = [1, 7, 42, 0xC0FFEE];
+
+fn parse_seed_count() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    for i in 0..args.len() {
+        if args[i] == "--seeds" {
+            if let Some(n) = args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
+                return n.clamp(1, SEEDS.len());
+            }
+        }
+    }
+    SEEDS.len()
+}
+
+fn main() {
+    let size = parse_size();
+    let n_seeds = parse_seed_count();
+    let seeds = &SEEDS[..n_seeds];
+    let cfg = system_for(size);
+    let mut rep = Report::new("fig_fault_sweep", size);
+    rep.meta("figure", "fault-sweep");
+    rep.meta("modes", "NS");
+    rep.meta("seeds", &format!("{seeds:?}"));
+    println!("# Fault sweep: NS under injected faults, size {size:?}, {n_seeds} seed(s)");
+    println!(
+        "{:11} {:>12} | per rate: worst slowdown (faults/retries/fallbacks/replays)",
+        "workload", "clean cyc"
+    );
+    let mut violations = 0u64;
+    let mut worst_overall = 1.0f64;
+    for w in all(size) {
+        let p = prepare(w);
+        let want = p.workload.golden_digest();
+        let (clean, clean_mem) = p.run_unchecked(ExecMode::Ns, &cfg);
+        assert_eq!(
+            p.workload.digest(&clean_mem),
+            want,
+            "{} clean NS run diverged from golden",
+            p.workload.name
+        );
+        rep.run(p.workload.name, "clean", &clean);
+        let mut cells = Vec::new();
+        for &rate in &RATES {
+            let mut worst = 1.0f64;
+            let mut totals = [0u64; 4];
+            for &seed in seeds {
+                fault::install(FaultPlan::uniform(seed, rate));
+                let (r, mem) = p.run_unchecked(ExecMode::Ns, &cfg);
+                fault::uninstall();
+                if p.workload.digest(&mem) != want {
+                    violations += 1;
+                    eprintln!(
+                        "TRANSPARENCY VIOLATION: {} at rate {rate:e} seed {seed}",
+                        p.workload.name
+                    );
+                }
+                worst = worst.max(r.cycles as f64 / clean.cycles.max(1) as f64);
+                totals[0] += r.faults_injected;
+                totals[1] += r.offload_retries;
+                totals[2] += r.offload_fallbacks;
+                totals[3] += r.rangesync_replays;
+                rep.run(p.workload.name, &format!("ns_{rate:e}_s{seed}"), &r);
+            }
+            worst_overall = worst_overall.max(worst);
+            cells.push(format!(
+                "{rate:.0e}: {worst:4.2}x ({}/{}/{}/{})",
+                totals[0], totals[1], totals[2], totals[3]
+            ));
+        }
+        println!(
+            "{:11} {:>12} | {}",
+            p.workload.name,
+            clean.cycles,
+            cells.join(" | ")
+        );
+    }
+    println!();
+    println!("transparency violations: {violations}");
+    println!("worst slowdown anywhere: {worst_overall:.2}x");
+    rep.stat("transparency.violations", violations as f64);
+    rep.stat("slowdown.worst", worst_overall);
+    rep.finish().expect("write results json");
+    assert_eq!(violations, 0, "faulty runs diverged from fault-free results");
+}

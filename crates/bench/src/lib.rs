@@ -11,6 +11,7 @@
 use near_stream::{run, ExecMode, RunResult, SystemConfig};
 use nsc_compiler::{compile, CompiledProgram};
 use nsc_ir::Memory;
+use nsc_sim::fault::{self, FaultPlan};
 use nsc_sim::json::{escape, fmt_f64};
 use nsc_sim::trace::{self, chrome, RingRecorder};
 use nsc_sim::{Histogram, StatsTable};
@@ -120,13 +121,17 @@ pub fn size_label(size: Size) -> &'static str {
 }
 
 /// Percentile summary of one histogram, as stored in a report.
+///
+/// Percentiles are `None` for an empty histogram and render as JSON
+/// `null` — a 0 would be indistinguishable from a real zero-latency
+/// measurement.
 #[derive(Clone, Copy, Debug)]
 struct HistSummary {
     count: u64,
     mean: f64,
-    p50: f64,
-    p90: f64,
-    p99: f64,
+    p50: Option<f64>,
+    p90: Option<f64>,
+    p99: Option<f64>,
 }
 
 impl HistSummary {
@@ -134,10 +139,17 @@ impl HistSummary {
         HistSummary {
             count: h.summary().count(),
             mean: h.summary().mean(),
-            p50: h.percentile(50.0),
-            p90: h.percentile(90.0),
-            p99: h.percentile(99.0),
+            p50: h.percentile_opt(50.0),
+            p90: h.percentile_opt(90.0),
+            p99: h.percentile_opt(99.0),
         }
+    }
+}
+
+fn fmt_opt(v: Option<f64>) -> String {
+    match v {
+        Some(x) => fmt_f64(x),
+        None => "null".to_owned(),
     }
 }
 
@@ -156,6 +168,14 @@ impl HistSummary {
 /// one million) and `NSC_TRACE_SAMPLE` sets the minimum cycle spacing of
 /// occupancy counter samples (default 64). `NSC_RESULTS_DIR` relocates
 /// the `results/` directory.
+///
+/// The report is also the chaos-testing entry point: setting
+/// `NSC_FAULT_RATE` (a probability > 0, e.g. `0.001`) makes `Report::new`
+/// arm a deterministic fault injector for the whole harness run;
+/// `NSC_FAULT_SEED` picks the schedule (default `0xC0FFEE`). Injected
+/// faults perturb timing and traffic only — every workload still computes
+/// bit-identical results — and `finish` records the totals under
+/// `fault.*` stats.
 pub struct Report {
     name: String,
     size: Size,
@@ -163,6 +183,7 @@ pub struct Report {
     stats: StatsTable,
     histograms: Vec<(String, HistSummary)>,
     trace_path: Option<PathBuf>,
+    fault_armed: bool,
 }
 
 fn results_dir() -> PathBuf {
@@ -196,6 +217,17 @@ impl Report {
             }
             _ => None,
         };
+        let fault_armed = match FaultPlan::from_env() {
+            Some(plan) => {
+                eprintln!(
+                    "chaos: fault injection armed (seed {:#x}, rate {})",
+                    plan.seed, plan.noc_drop
+                );
+                fault::install(plan);
+                true
+            }
+            None => false,
+        };
         Report {
             name: name.to_owned(),
             size,
@@ -203,6 +235,7 @@ impl Report {
             stats: StatsTable::new(),
             histograms: Vec::new(),
             trace_path,
+            fault_armed,
         }
     }
 
@@ -254,9 +287,9 @@ impl Report {
                 escape(k),
                 h.count,
                 fmt_f64(h.mean),
-                fmt_f64(h.p50),
-                fmt_f64(h.p90),
-                fmt_f64(h.p99),
+                fmt_opt(h.p50),
+                fmt_opt(h.p90),
+                fmt_opt(h.p99),
             ));
         }
         out.push_str("}}\n");
@@ -266,6 +299,15 @@ impl Report {
     /// Writes `results/<name>.json` (and the trace file, when tracing) and
     /// returns the stats path.
     pub fn finish(mut self) -> std::io::Result<PathBuf> {
+        if self.fault_armed {
+            if let Some(stats) = fault::uninstall() {
+                self.stats.set("fault.injected", stats.total() as f64);
+                for site in nsc_sim::fault::FaultSite::ALL {
+                    self.stats
+                        .set(&format!("fault.{}", site.label()), stats.count(site) as f64);
+                }
+            }
+        }
         if let Some(path) = self.trace_path.take() {
             if let Some(rec) = trace::uninstall() {
                 self.stats.set("trace.events", rec.len() as f64);
@@ -352,5 +394,19 @@ mod tests {
             .and_then(Json::as_f64)
             .unwrap());
         assert!(hists.contains_key("runs.histogram.base.noc_latency"));
+    }
+
+    #[test]
+    fn empty_histogram_percentiles_render_null() {
+        use nsc_sim::json::{parse, Json};
+        let mut rep = Report::new("unit_empty_hist", Size::Tiny);
+        rep.hist("empty", &Histogram::new(8.0, 4));
+        let doc = parse(&rep.render()).expect("report is valid JSON");
+        let hists = doc.get("histograms").and_then(Json::as_obj).unwrap();
+        let e = hists.get("empty").unwrap();
+        assert_eq!(e.get("count").and_then(Json::as_f64), Some(0.0));
+        assert_eq!(e.get("p50"), Some(&Json::Null));
+        assert_eq!(e.get("p90"), Some(&Json::Null));
+        assert_eq!(e.get("p99"), Some(&Json::Null));
     }
 }

@@ -3,6 +3,7 @@
 
 use nsc_mem::MemoryConfig;
 use nsc_noc::MeshConfig;
+use nsc_sim::error::SimError;
 
 /// A core timing model (Table V: IO4 / OOO4 / OOO8).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -102,6 +103,13 @@ pub struct SeConfig {
     /// send only the changing fields (paper §IV-D, left as future work
     /// there).
     pub compact_migration: bool,
+    /// Maximum stream-configure handshake retries after a NACK before
+    /// recovery escalates (migrate to another bank, then fall back
+    /// in-core). Only exercised under fault injection.
+    pub offload_max_retries: u32,
+    /// Backoff between handshake retries, in cycles; the n-th retry waits
+    /// `n * offload_retry_backoff`.
+    pub offload_retry_backoff: u64,
 }
 
 impl SeConfig {
@@ -120,6 +128,8 @@ impl SeConfig {
             indirect_reduce_min_banks_factor: 4,
             alias_filter: crate::range_sync::AliasFilterKind::Range,
             compact_migration: false,
+            offload_max_retries: 3,
+            offload_retry_backoff: 64,
         }
     }
 }
@@ -239,6 +249,43 @@ impl SystemConfig {
         self.core = core;
         self
     }
+
+    /// Validates the whole system configuration up front, so a bad config
+    /// surfaces as one [`SimError::Config`] naming the problem instead of
+    /// a panic (or silent nonsense) deep inside a run.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.core.width == 0 || self.core.rob == 0 || self.core.lq == 0 || self.core.sq == 0 {
+            return Err(SimError::config(format!(
+                "core model {} must have non-zero width/rob/lq/sq",
+                self.core.name
+            )));
+        }
+        if self.n_cores == 0 {
+            return Err(SimError::config("n_cores must be non-zero"));
+        }
+        self.mesh.validate()?;
+        self.mem.validate()?;
+        if self.n_cores > self.mem.n_cores {
+            return Err(SimError::config(format!(
+                "{} worker cores exceed the memory system's {} cores",
+                self.n_cores, self.mem.n_cores
+            )));
+        }
+        if self.mem.n_banks() > self.mesh.tiles() {
+            return Err(SimError::config(format!(
+                "{} L3 banks exceed the {} mesh tiles",
+                self.mem.n_banks(),
+                self.mesh.tiles()
+            )));
+        }
+        if self.se.runahead_elems == 0 || self.se.l3_buffer_elems == 0 {
+            return Err(SimError::config("stream run-ahead windows must be non-zero"));
+        }
+        if self.se.range_granularity == 0 {
+            return Err(SimError::config("range-sync granularity must be non-zero"));
+        }
+        Ok(())
+    }
 }
 
 impl Default for SystemConfig {
@@ -285,5 +332,36 @@ mod tests {
         let s = SystemConfig::small().with_core(CoreModel::io4());
         assert_eq!(s.core.name, "IO4");
         assert_eq!(s.mesh.tiles(), 16);
+    }
+
+    #[test]
+    fn stock_configs_validate() {
+        assert!(SystemConfig::paper_ooo8().validate().is_ok());
+        assert!(SystemConfig::small().validate().is_ok());
+        assert!(SystemConfig::small().with_core(CoreModel::io4()).validate().is_ok());
+    }
+
+    #[test]
+    fn validation_names_the_problem() {
+        let mut c = SystemConfig::small();
+        c.n_cores = 0;
+        assert!(c.validate().unwrap_err().to_string().contains("n_cores"));
+
+        let mut c = SystemConfig::small();
+        c.n_cores = 17; // more worker cores than the 16-core memory system
+        assert!(c.validate().unwrap_err().to_string().contains("worker cores"));
+
+        let mut c = SystemConfig::small();
+        c.mesh.width = 2;
+        c.mesh.height = 2; // 4 tiles < 16 banks
+        assert!(c.validate().unwrap_err().to_string().contains("mesh tiles"));
+
+        let mut c = SystemConfig::small();
+        c.core.lq = 0;
+        assert!(c.validate().unwrap_err().to_string().contains("core model"));
+
+        let mut c = SystemConfig::small();
+        c.se.runahead_elems = 0;
+        assert!(c.validate().unwrap_err().to_string().contains("run-ahead"));
     }
 }

@@ -18,6 +18,7 @@ use nsc_ir::{MemClient, Memory};
 use nsc_mem::addr::LineAddr;
 use nsc_mem::{AccessKind, Addr, MemorySystem};
 use nsc_noc::{Mesh, MsgClass, TileId};
+use nsc_sim::fault::{self, FaultSite};
 use nsc_sim::trace::{self, SyncPhase, TraceEvent};
 use nsc_sim::{resource::BandwidthLedger, Cycle};
 use std::collections::{BTreeSet, VecDeque};
@@ -237,6 +238,13 @@ pub struct CoreState {
     pub offloaded_elems: u64,
     /// Stream-associated elements.
     pub stream_elems: u64,
+    /// Configure-handshake retries taken after injected NACKs.
+    pub offload_retries: u64,
+    /// Streams forced back in-core after the handshake was exhausted.
+    pub offload_fallbacks: u64,
+    /// Stream windows drained and replayed after a forced alias-filter
+    /// mis-speculation.
+    pub rangesync_replays: u64,
 }
 
 impl CoreState {
@@ -265,6 +273,9 @@ impl CoreState {
             peb_flushes: 0,
             offloaded_elems: 0,
             stream_elems: 0,
+            offload_retries: 0,
+            offload_fallbacks: 0,
+            rangesync_replays: 0,
         }
     }
 
@@ -379,6 +390,62 @@ pub struct Engine<'a, 'r> {
     pub decoupled: bool,
 }
 
+/// Sends a stream-configure message and models the SE_L3's ack,
+/// recovering from injected NACKs (chaos mode): bounded retries with
+/// linear backoff, then one transparent migration to the neighbouring
+/// bank, then giving up so the caller falls back to in-core execution.
+///
+/// Returns `(Some((bank, ack_time)), retries)` on success — `bank` is the
+/// bank that finally accepted, which differs from the requested one after
+/// a migration — and `(None, retries)` when the handshake was exhausted.
+/// With no fault injector armed the first send always succeeds, so this
+/// is timing-identical to a plain `mesh.send`.
+pub(crate) fn offload_config_handshake(
+    mesh: &mut Mesh,
+    time: Cycle,
+    core_tile: TileId,
+    bank: u16,
+    n_banks: u16,
+    se: &crate::config::SeConfig,
+    stream: u16,
+) -> (Option<(u16, Cycle)>, u64) {
+    let bytes = nsc_ir::encoding::ComputeConfig::config_message_bytes();
+    let core = core_tile.raw();
+    let mut t = time;
+    let mut try_bank = bank;
+    let mut migrated = false;
+    let mut attempt = 0u64;
+    let mut retries = 0u64;
+    loop {
+        let t_ack = mesh.send(t, core_tile, TileId(try_bank), bytes, MsgClass::Offloaded);
+        if !fault::inject(FaultSite::OffloadNack) {
+            return (Some((try_bank, t_ack)), retries);
+        }
+        trace::emit(|| TraceEvent::Fault {
+            at: t_ack,
+            core,
+            site: FaultSite::OffloadNack.label(),
+        });
+        if attempt < se.offload_max_retries as u64 {
+            attempt += 1;
+            retries += 1;
+            trace::emit(|| TraceEvent::Recovery { at: t_ack, core, stream, action: "retry" });
+            t = t_ack + se.offload_retry_backoff * attempt;
+        } else if !migrated && n_banks > 1 {
+            // The bank keeps refusing: move the stream next door and start
+            // the retry budget over.
+            migrated = true;
+            attempt = 0;
+            try_bank = (try_bank + 1) % n_banks;
+            trace::emit(|| TraceEvent::Recovery { at: t_ack, core, stream, action: "migrate" });
+            t = t_ack + se.offload_retry_backoff;
+        } else {
+            trace::emit(|| TraceEvent::Recovery { at: t_ack, core, stream, action: "fallback" });
+            return (None, retries);
+        }
+    }
+}
+
 impl Engine<'_, '_> {
     fn core_tile(&self) -> TileId {
         TileId(self.state.core)
@@ -437,6 +504,13 @@ impl Engine<'_, '_> {
         }
         let bank = self.refs.mem.bank_of(line);
         let mut issue = issue;
+        // Injected SE_L3 bank stall window (chaos mode): the bank is busy
+        // or briefly offline, so the element waits it out.
+        if fault::inject(FaultSite::BankStall) {
+            let (at, core) = (issue, self.state.core);
+            trace::emit(|| TraceEvent::Fault { at, core, site: FaultSite::BankStall.label() });
+            issue += fault::penalty(FaultSite::BankStall);
+        }
         // One TLB access per page transition; the SE caches the current
         // translation (paper §IV-B).
         let page = addr.raw() >> nsc_mem::tlb::HUGE_PAGE_BITS;
@@ -699,6 +773,36 @@ impl Engine<'_, '_> {
                     stream: victim.0 as u16,
                     phase: SyncPhase::Conflict,
                 });
+            } else if fault::inject(FaultSite::AliasMisSpec) {
+                // Forced alias-filter false positive (chaos mode): drain
+                // the stream's in-flight window and replay it. Unlike a
+                // true alias the stream stays offloaded — the filter was
+                // wrong, not the program — so only timing is lost.
+                if let Some(v) = self
+                    .state
+                    .streams
+                    .iter()
+                    .position(|rt| rt.effective_style().is_near_data())
+                {
+                    let rt = &mut self.state.streams[v];
+                    rt.recent.clear();
+                    rt.se_line = None;
+                    rt.last_line = None;
+                    self.state.rangesync_replays += 1;
+                    self.state.now += ALIAS_FLUSH_PENALTY;
+                    let (at, core) = (self.state.now, self.state.core);
+                    trace::emit(|| TraceEvent::Fault {
+                        at,
+                        core,
+                        site: FaultSite::AliasMisSpec.label(),
+                    });
+                    trace::emit(|| TraceEvent::Recovery {
+                        at,
+                        core,
+                        stream: v as u16,
+                        action: "replay",
+                    });
+                }
             }
         }
         // PEB disambiguation: a core store that aliases in-core prefetched
@@ -763,7 +867,6 @@ impl Engine<'_, '_> {
                     rt.deferred = None;
                     rt.probe_lines = std::collections::HashSet::new();
                     if streaming || contended {
-                        rt.style = target;
                         let bank = rt.current_bank;
                         let (at, core) = (self.state.now, self.state.core);
                         trace::emit(|| TraceEvent::OffloadDecision {
@@ -773,30 +876,44 @@ impl Engine<'_, '_> {
                             style: target.label(),
                             reason: if streaming { "probe-streaming" } else { "probe-contended" },
                         });
-                        let t = self.refs.mesh.send(
+                        let (outcome, hs_retries) = offload_config_handshake(
+                            self.refs.mesh,
                             self.state.now,
-                            self.core_tile(),
-                            TileId(bank),
-                            nsc_ir::encoding::ComputeConfig::config_message_bytes(),
-                            MsgClass::Offloaded,
+                            TileId(core),
+                            bank,
+                            self.cfg.mem.n_banks(),
+                            &self.cfg.se,
+                            s.0 as u16,
                         );
-                        self.state.streams[s.0 as usize].config_time = t;
-                        // The verdict applies to the whole co-located
-                        // group: followers share the leader's fate (a
-                        // stencil's taps stand or fall together).
-                        let me = &self.compiled.streams[s.0 as usize];
-                        let (arr, depth, irr) = (me.array, me.loop_depth, me.is_irregular());
-                        for (o, info) in self.compiled.streams.iter().enumerate() {
-                            if o != s.0 as usize
-                                && info.array == arr
-                                && info.loop_depth == depth
-                                && info.is_irregular() == irr
-                                && self.state.streams[o].deferred.is_some()
+                        self.state.offload_retries += hs_retries;
+                        if let Some((final_bank, t)) = outcome {
                             {
-                                self.state.streams[o].deferred = None;
-                                self.state.streams[o].style = target;
-                                self.state.streams[o].config_time = t;
+                                let rt = &mut self.state.streams[s.0 as usize];
+                                rt.style = target;
+                                rt.current_bank = final_bank;
+                                rt.config_time = t;
                             }
+                            // The verdict applies to the whole co-located
+                            // group: followers share the leader's fate (a
+                            // stencil's taps stand or fall together).
+                            let me = &self.compiled.streams[s.0 as usize];
+                            let (arr, depth, irr) = (me.array, me.loop_depth, me.is_irregular());
+                            for (o, info) in self.compiled.streams.iter().enumerate() {
+                                if o != s.0 as usize
+                                    && info.array == arr
+                                    && info.loop_depth == depth
+                                    && info.is_irregular() == irr
+                                    && self.state.streams[o].deferred.is_some()
+                                {
+                                    self.state.streams[o].deferred = None;
+                                    self.state.streams[o].style = target;
+                                    self.state.streams[o].config_time = t;
+                                }
+                            }
+                        } else {
+                            // Handshake exhausted: the stream keeps running
+                            // in-core for the rest of this kernel.
+                            self.state.offload_fallbacks += 1;
                         }
                     }
                 }
@@ -1136,6 +1253,12 @@ impl Engine<'_, '_> {
                 rt.se_line_done = done;
                 return done;
             }
+        }
+        let mut issue = issue;
+        if fault::inject(FaultSite::BankStall) {
+            let (at, core) = (issue, self.state.core);
+            trace::emit(|| TraceEvent::Fault { at, core, site: FaultSite::BankStall.label() });
+            issue += fault::penalty(FaultSite::BankStall);
         }
         let done = self.refs.mem.l3_atomic(issue, addr, modifies, self.refs.mesh);
         let rt = &mut self.state.streams[sid.0 as usize];

@@ -50,5 +50,5 @@ pub mod system;
 
 pub use config::{CoreModel, ExecMode, SeConfig, SystemConfig};
 pub use engine::{CoreState, RoleCounters};
-pub use policy::{offload_style, OffloadStyle, PolicyContext};
-pub use system::{run, RunResult, TrafficSnapshot};
+pub use policy::{fallback, offload_style, OffloadStyle, PolicyContext};
+pub use system::{run, try_run, RunResult, TrafficSnapshot};

@@ -153,7 +153,11 @@ pub fn offload_style(
 /// The in-core fallback when near-data offload is rejected: streams still
 /// prefetch (the paper's baselines "benefit from stream-based prefetching
 /// even when the compute pattern is not supported").
-fn fallback(stream: &StreamInfo) -> OffloadStyle {
+///
+/// Public because recovery uses it at runtime too: a stream whose
+/// configure handshake is exhausted (injected NACKs, chaos mode) falls
+/// back to exactly this style.
+pub fn fallback(stream: &StreamInfo) -> OffloadStyle {
     match stream.role {
         ComputeClass::Load | ComputeClass::Reduce => OffloadStyle::CorePrefetch,
         _ => OffloadStyle::CoreAccess,

@@ -2,10 +2,9 @@
 //! compiled program under one execution mode.
 
 use crate::config::{ExecMode, SystemConfig};
-use crate::engine::{CoreState, Engine, EngineRefs, RoleCounters};
-use crate::policy::{offload_style, OffloadStyle, PolicyContext};
+use crate::engine::{offload_config_handshake, CoreState, Engine, EngineRefs, RoleCounters};
+use crate::policy::{fallback, offload_style, OffloadStyle, PolicyContext};
 use nsc_compiler::{CompiledKernel, CompiledProgram};
-use nsc_ir::encoding::ComputeConfig;
 use nsc_ir::interp::{exec_iteration, outer_trip};
 use nsc_ir::stream::{AddrPatternClass, ComputeClass};
 use nsc_ir::types::Scalar;
@@ -13,8 +12,9 @@ use nsc_ir::{Memory, Program};
 use nsc_mem::addr::LineAddr;
 use nsc_mem::{MemStats, MemorySystem};
 use nsc_noc::{Mesh, MsgClass, TileId};
+use nsc_sim::error::SimError;
 use nsc_sim::trace::{self, SyncPhase, TraceEvent};
-use nsc_sim::{resource::BandwidthLedger, Cycle, Histogram, StatsTable};
+use nsc_sim::{fault, resource::BandwidthLedger, Cycle, Histogram, StatsTable};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet};
 
@@ -85,6 +85,15 @@ pub struct RunResult {
     pub dram_accesses: u64,
     /// Distribution of per-message NoC latencies (cycles).
     pub noc_latency: Histogram,
+    /// Faults injected during the run (zero unless a fault plan is armed).
+    pub faults_injected: u64,
+    /// Configure-handshake retries taken after injected NACKs.
+    pub offload_retries: u64,
+    /// Streams forced back in-core after the handshake was exhausted.
+    pub offload_fallbacks: u64,
+    /// Stream windows drained and replayed after forced alias-filter
+    /// mis-speculations.
+    pub rangesync_replays: u64,
 }
 
 impl RunResult {
@@ -127,6 +136,10 @@ impl RunResult {
         t.set("locks.acquisitions", self.lock_acquisitions as f64);
         t.set("locks.conflicts", self.lock_conflicts as f64);
         t.set("aliases.flushes", self.alias_flushes as f64);
+        t.set("fault.injected", self.faults_injected as f64);
+        t.set("offload.retries", self.offload_retries as f64);
+        t.set("offload.fallbacks", self.offload_fallbacks as f64);
+        t.set("rangesync.replays", self.rangesync_replays as f64);
         t
     }
 }
@@ -134,7 +147,9 @@ impl RunResult {
 /// Runs `program` (compiled as `compiled`) under `mode`, returning the
 /// result and the final data memory (for correctness checks).
 ///
-/// `init` populates the input arrays before simulation.
+/// `init` populates the input arrays before simulation. Panics on an
+/// invalid configuration or a wedged simulation; use [`try_run`] to get a
+/// typed [`SimError`] instead.
 pub fn run(
     program: &Program,
     compiled: &CompiledProgram,
@@ -143,6 +158,27 @@ pub fn run(
     cfg: &SystemConfig,
     init: &dyn Fn(&mut Memory),
 ) -> (RunResult, Memory) {
+    match try_run(program, compiled, params, mode, cfg, init) {
+        Ok(r) => r,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible variant of [`run`]: validates the configuration up front
+/// ([`SimError::Config`]) and detects a wedged simulation — the event
+/// queue drained while cores still had iterations pending
+/// ([`SimError::Wedged`], naming the incomplete work) — instead of
+/// hanging or panicking mid-run.
+pub fn try_run(
+    program: &Program,
+    compiled: &CompiledProgram,
+    params: &[Scalar],
+    mode: ExecMode,
+    cfg: &SystemConfig,
+    init: &dyn Fn(&mut Memory),
+) -> Result<(RunResult, Memory), SimError> {
+    cfg.validate()?;
+    let fault_mark = fault::snapshot();
     let mut data = Memory::for_program(program);
     init(&mut data);
 
@@ -154,8 +190,8 @@ pub fn run(
         mem_cfg.l1_spatial_prefetch = false;
         mem_cfg.l2_stride_prefetch = false;
     }
-    let mut mem = MemorySystem::new(mem_cfg);
-    let mut mesh = Mesh::new(cfg.mesh.clone());
+    let mut mem = MemorySystem::try_new(mem_cfg)?;
+    let mut mesh = Mesh::try_new(cfg.mesh.clone())?;
     // Each tile's SCM offers n_scc concurrent contexts.
     let scm_capacity = 16 * cfg.se.n_scc.max(1);
     let mut scm = vec![BandwidthLedger::new(16, scm_capacity); cfg.mesh.tiles() as usize];
@@ -254,6 +290,22 @@ pub fn run(
             }
         }
 
+        // Watchdog: the event queue drained, so every core must have
+        // finished its iteration range — anything less is a lost wakeup,
+        // not forward progress.
+        let pending: Vec<String> = (0..n_cores as usize)
+            .filter(|&c| next_iter[c] < end_iter[c])
+            .map(|c| {
+                format!(
+                    "{} core {c}: iteration {}/{}",
+                    kernel.name, next_iter[c], end_iter[c]
+                )
+            })
+            .collect();
+        if !pending.is_empty() {
+            return Err(SimError::Wedged { pending });
+        }
+
         // ---- Kernel teardown --------------------------------------------
         let mut kernel_end = time;
         for c in 0..n_cores {
@@ -318,6 +370,9 @@ pub fn run(
     let mut peb_flushes = 0;
     let mut offloaded_elems = 0;
     let mut stream_elems = 0;
+    let mut offload_retries = 0;
+    let mut offload_fallbacks = 0;
+    let mut rangesync_replays = 0;
     for c in &cores {
         roles.merge(&c.roles);
         uops_core += c.uops_core;
@@ -328,6 +383,9 @@ pub fn run(
         peb_flushes += c.peb_flushes;
         offloaded_elems += c.offloaded_elems;
         stream_elems += c.stream_elems;
+        offload_retries += c.offload_retries;
+        offload_fallbacks += c.offload_fallbacks;
+        rangesync_replays += c.rangesync_replays;
     }
     let result = RunResult {
         mode,
@@ -347,8 +405,12 @@ pub fn run(
         stream_elems,
         dram_accesses: mem.dram().accesses(),
         noc_latency: mesh.traffic().latency_hist().clone(),
+        faults_injected: fault::snapshot().since(&fault_mark).total(),
+        offload_retries,
+        offload_fallbacks,
+        rangesync_replays,
     };
-    (result, data)
+    Ok((result, data))
 }
 
 /// The static identity of a kernel: its name with any trailing step/round
@@ -445,13 +507,32 @@ fn configure_streams(
                 let bank = base_line.bank(n_banks) as u16;
                 state.streams[s].current_bank = bank;
                 if leader {
-                    mesh.send(
+                    let (outcome, retries) = offload_config_handshake(
+                        mesh,
                         time,
                         core_tile,
-                        TileId(bank),
-                        ComputeConfig::config_message_bytes(),
-                        MsgClass::Offloaded,
-                    )
+                        bank,
+                        cfg.mem.n_banks(),
+                        &cfg.se,
+                        s as u16,
+                    );
+                    state.offload_retries += retries;
+                    match outcome {
+                        Some((final_bank, t)) => {
+                            state.streams[s].current_bank = final_bank;
+                            t
+                        }
+                        None => {
+                            // Handshake exhausted (injected NACKs even
+                            // after migrating): transparently fall back to
+                            // the in-core style the policy would have
+                            // picked had offload been rejected.
+                            state.offload_fallbacks += 1;
+                            state.streams[s].style = fallback(info);
+                            state.streams[s].deferred = None;
+                            time
+                        }
+                    }
                 } else {
                     time + 4
                 }
@@ -653,5 +734,67 @@ mod tests {
         let (dec, _) = run_mode(&p, ExecMode::NsDecouple);
         assert!(dec.cycles <= ns.cycles);
         assert!(dec.traffic.total() <= ns.traffic.total());
+    }
+
+    #[test]
+    fn try_run_rejects_invalid_config() {
+        let p = memset_program(64);
+        let compiled = compile(&p);
+        let mut cfg = SystemConfig::small();
+        cfg.n_cores = 0;
+        let err = try_run(&p, &compiled, &[], ExecMode::Ns, &cfg, &|_| {}).unwrap_err();
+        assert!(err.to_string().contains("n_cores"), "got: {err}");
+    }
+
+    #[test]
+    fn faults_are_transparent_and_counted() {
+        let n = 32 * 1024;
+        let p = memset_program(n);
+        let compiled = compile(&p);
+        let cfg = SystemConfig::small();
+        let (clean, clean_mem) = run(&p, &compiled, &[], ExecMode::Ns, &cfg, &|_| {});
+        assert_eq!(clean.faults_injected, 0);
+
+        nsc_sim::fault::install(nsc_sim::fault::FaultPlan::uniform(7, 0.01));
+        let (faulty, faulty_mem) = run(&p, &compiled, &[], ExecMode::Ns, &cfg, &|_| {});
+        let stats = nsc_sim::fault::uninstall().expect("injector was armed");
+        assert!(stats.total() > 0, "no faults fired at rate 0.01");
+        assert_eq!(faulty.faults_injected, stats.total());
+        // The invariant: faults perturb timing and traffic, never data.
+        for i in (0..n).step_by(61) {
+            assert_eq!(
+                faulty_mem.read_index(nsc_ir::ArrayId(0), i),
+                clean_mem.read_index(nsc_ir::ArrayId(0), i),
+                "faulty run diverged at {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn exhausted_handshake_falls_back_in_core() {
+        let n = 64 * 1024;
+        let p = memset_program(n);
+        let compiled = compile(&p);
+        let cfg = SystemConfig::small();
+        let mut plan = nsc_sim::fault::FaultPlan::none();
+        plan.offload_nack = 1.0; // every configure attempt is refused
+        nsc_sim::fault::install(plan);
+        let (res, mem) = run(&p, &compiled, &[], ExecMode::Ns, &cfg, &|_| {});
+        nsc_sim::fault::uninstall();
+        assert!(res.offload_retries > 0, "no retries despite permanent NACKs");
+        assert!(res.offload_fallbacks > 0, "no stream fell back");
+        // Recovery is transparent: the kernel still computes the result.
+        let mut golden = Memory::for_program(&p);
+        nsc_ir::interp::run_program(&p, &mut golden, &[]);
+        for i in (0..n).step_by(97) {
+            assert_eq!(
+                mem.read_index(nsc_ir::ArrayId(0), i),
+                golden.read_index(nsc_ir::ArrayId(0), i)
+            );
+        }
+        // The report surfaces the recovery counters.
+        let t = res.to_table();
+        assert!(t.get("offload.fallbacks").unwrap_or(0.0) > 0.0);
+        assert_eq!(t.get("rangesync.replays"), Some(res.rangesync_replays as f64));
     }
 }

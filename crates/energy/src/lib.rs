@@ -192,6 +192,10 @@ mod tests {
             stream_elems: 0,
             dram_accesses: 0,
             noc_latency: nsc_sim::Histogram::new(8.0, 64),
+            faults_injected: 0,
+            offload_retries: 0,
+            offload_fallbacks: 0,
+            rangesync_replays: 0,
         }
     }
 

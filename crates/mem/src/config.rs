@@ -2,6 +2,7 @@
 
 use crate::cache::{CacheConfig, ReplacePolicy};
 use crate::dram::DramConfig;
+use nsc_sim::error::SimError;
 use nsc_sim::Cycle;
 
 /// Full configuration of the coherent memory hierarchy.
@@ -123,6 +124,48 @@ impl MemoryConfig {
     pub fn n_banks(&self) -> u16 {
         self.mesh_width * self.mesh_height
     }
+
+    /// Validates the configuration, returning a [`SimError::Config`]
+    /// naming the first problem instead of panicking mid-run.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.n_cores == 0 {
+            return Err(SimError::config("n_cores must be non-zero"));
+        }
+        if self.mesh_width == 0 || self.mesh_height == 0 {
+            return Err(SimError::config(format!(
+                "mesh dimensions must be non-zero, got {}x{}",
+                self.mesh_width, self.mesh_height
+            )));
+        }
+        if self.n_cores as usize > 64 {
+            return Err(SimError::config(format!(
+                "n_cores = {} exceeds the 64-bit sharer bitmask",
+                self.n_cores
+            )));
+        }
+        if self.n_cores > self.n_banks() {
+            return Err(SimError::config(format!(
+                "each core needs a tile: {} cores > {} tiles",
+                self.n_cores,
+                self.n_banks()
+            )));
+        }
+        if !self.n_banks().is_power_of_two() {
+            return Err(SimError::config(format!(
+                "bank count {} must be a power of two for line interleaving",
+                self.n_banks()
+            )));
+        }
+        for (name, c) in [("l1", &self.l1), ("l2", &self.l2), ("l3_bank", &self.l3_bank)] {
+            if c.size_bytes == 0 {
+                return Err(SimError::config(format!("{name} cache size must be non-zero")));
+            }
+            if c.ways == 0 {
+                return Err(SimError::config(format!("{name} cache must have at least one way")));
+            }
+        }
+        Ok(())
+    }
 }
 
 impl Default for MemoryConfig {
@@ -149,5 +192,27 @@ mod tests {
         let c = MemoryConfig::small_16core();
         assert_eq!(c.n_banks(), 16);
         assert!(c.l1.sets() >= 1);
+        assert!(c.validate().is_ok());
+        assert!(MemoryConfig::paper_64core().validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_configs() {
+        let mut c = MemoryConfig::small_16core();
+        c.n_cores = 0;
+        assert!(c.validate().unwrap_err().to_string().contains("n_cores"));
+        let mut c = MemoryConfig::small_16core();
+        c.mesh_width = 0;
+        assert!(c.validate().is_err());
+        let mut c = MemoryConfig::small_16core();
+        c.n_cores = 17; // more cores than the 16 tiles
+        assert!(c.validate().unwrap_err().to_string().contains("tile"));
+        let mut c = MemoryConfig::small_16core();
+        c.mesh_width = 3; // 12 banks: not a power of two
+        c.n_cores = 12;
+        assert!(c.validate().unwrap_err().to_string().contains("power of two"));
+        let mut c = MemoryConfig::small_16core();
+        c.l2.size_bytes = 0;
+        assert!(c.validate().unwrap_err().to_string().contains("l2"));
     }
 }

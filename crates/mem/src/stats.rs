@@ -35,6 +35,8 @@ pub struct MemStats {
     pub prefetch_hits: u64,
     /// Atomic operations executed at L3 banks.
     pub l3_atomics: u64,
+    /// Reads retried after an injected transient error (chaos mode).
+    pub read_retries: u64,
 }
 
 impl MemStats {
@@ -64,6 +66,7 @@ impl MemStats {
         t.set("mem.prefetch_fills", self.prefetch_fills as f64);
         t.set("mem.prefetch_hits", self.prefetch_hits as f64);
         t.set("mem.l3_atomics", self.l3_atomics as f64);
+        t.set("mem.read_retries", self.read_retries as f64);
         t
     }
 }
@@ -97,7 +100,7 @@ mod tests {
     #[test]
     fn table_contains_all_counters() {
         let t = MemStats::default().to_table();
-        assert_eq!(t.len(), 13);
+        assert_eq!(t.len(), 14);
         assert_eq!(t.get("mem.l1_hits"), Some(0.0));
     }
 }

@@ -9,6 +9,8 @@ use crate::mrsw::{LockKind, MrswLockTable};
 use crate::prefetch::{SpatialPrefetcher, StridePrefetcher};
 use crate::stats::MemStats;
 use nsc_noc::{Mesh, MsgClass, TileId};
+use nsc_sim::error::SimError;
+use nsc_sim::fault::{self, FaultSite};
 use nsc_sim::trace::{self, TraceEvent, TraceLevel, SE_L3_CORE};
 use nsc_sim::{resource::BandwidthLedger, Cycle};
 use std::collections::{HashMap, HashSet};
@@ -114,14 +116,21 @@ impl std::fmt::Debug for MemorySystem {
 
 impl MemorySystem {
     /// Creates a cold memory system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`MemoryConfig::validate`]; use
+    /// [`MemorySystem::try_new`] to handle invalid configs gracefully.
     pub fn new(config: MemoryConfig) -> MemorySystem {
-        assert!(config.n_cores as usize <= 64, "sharer bitmask supports up to 64 cores");
-        assert!(
-            config.n_cores <= config.n_banks(),
-            "each core needs a tile: {} cores > {} tiles",
-            config.n_cores,
-            config.n_banks()
-        );
+        match MemorySystem::try_new(config) {
+            Ok(m) => m,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Creates a cold memory system, validating the configuration first.
+    pub fn try_new(config: MemoryConfig) -> Result<MemorySystem, SimError> {
+        config.validate()?;
         let privates = (0..config.n_cores)
             .map(|_| PrivateHierarchy {
                 l1: Cache::new(config.l1),
@@ -156,7 +165,7 @@ impl MemorySystem {
                 )
             })
             .collect();
-        MemorySystem {
+        Ok(MemorySystem {
             bank_ports,
             se_tlbs,
             dram: Dram::new(config.dram, config.mesh_width, config.mesh_height),
@@ -166,7 +175,7 @@ impl MemorySystem {
             directory: HashMap::new(),
             stats: MemStats::default(),
             config,
-        }
+        })
     }
 
     /// The configuration in use.
@@ -463,14 +472,40 @@ impl MemorySystem {
         let l3_latency = self.config.l3_bank.latency;
         if let Some(hit) = self.banks[bank].lookup(line, t) {
             self.stats.l3_hits += 1;
-            return (t.max(hit.ready) + l3_latency, ServedBy::L3);
+            let mut t_done = t.max(hit.ready) + l3_latency;
+            if fault::inject(FaultSite::MemError) {
+                // Transient bank read error (chaos mode): the array is
+                // re-read; data is unaffected, only timing pays.
+                self.stats.read_retries += 1;
+                trace::emit(|| TraceEvent::Fault {
+                    at: t_done,
+                    core: SE_L3_CORE,
+                    site: FaultSite::MemError.label(),
+                });
+                t_done += l3_latency;
+            }
+            return (t_done, ServedBy::L3);
         }
         self.stats.l3_misses += 1;
         // DRAM fetch.
         let ctrl_tile = self.dram.controller_tile(line);
         let t_req = mesh.send(t + l3_latency, bank_tile, ctrl_tile, 8, MsgClass::Control);
-        let (t_dram, _) = self.dram.access(t_req, line);
+        let (mut t_dram, _) = self.dram.access(t_req, line);
         self.stats.dram_reads += 1;
+        if fault::inject(FaultSite::MemError) {
+            // Transient DRAM read error (chaos mode): wait out the retry
+            // window, then re-issue the read.
+            self.stats.read_retries += 1;
+            trace::emit(|| TraceEvent::Fault {
+                at: t_dram,
+                core: SE_L3_CORE,
+                site: FaultSite::MemError.label(),
+            });
+            let retry_at = t_dram + fault::penalty(FaultSite::MemError);
+            let (t_retry, _) = self.dram.access(retry_at, line);
+            self.stats.dram_reads += 1;
+            t_dram = t_retry;
+        }
         let t_back = mesh.send(t_dram, ctrl_tile, bank_tile, LINE_BYTES, MsgClass::Data);
         self.l3_fill(t_back, line, false, mesh);
         (t_back, ServedBy::Dram)
@@ -885,5 +920,32 @@ mod tests {
         assert_eq!(mem.bank_of(LineAddr(0)), 0);
         assert_eq!(mem.bank_of(LineAddr(15)), 15);
         assert_eq!(mem.bank_of(LineAddr(16)), 0);
+    }
+
+    #[test]
+    fn try_new_rejects_invalid_config_with_named_problem() {
+        let mut cfg = MemoryConfig::small_16core();
+        cfg.n_cores = 17;
+        let e = MemorySystem::try_new(cfg).unwrap_err();
+        assert!(e.to_string().contains("17 cores"), "{e}");
+    }
+
+    #[test]
+    fn transient_read_error_retries_and_counts() {
+        use nsc_sim::fault::{FaultPlan, FaultSite};
+        let (mut clean_mem, mut clean_mesh) = setup();
+        let t_clean = clean_mem.access(Cycle(0), 0, Addr(0x7000), AccessKind::Load, &mut clean_mesh);
+
+        let mut plan = FaultPlan::none();
+        plan.mem_error = 1.0;
+        fault::install(plan);
+        let (mut mem, mut mesh) = setup();
+        let t = mem.access(Cycle(0), 0, Addr(0x7000), AccessKind::Load, &mut mesh);
+        let stats = fault::uninstall().unwrap();
+        assert!(stats.count(FaultSite::MemError) >= 1);
+        assert!(mem.stats().read_retries >= 1);
+        assert!(t > t_clean, "retry must add latency: {t:?} vs {t_clean:?}");
+        // The retried read is a second DRAM access.
+        assert!(mem.stats().dram_reads > clean_mem.stats().dram_reads);
     }
 }

@@ -1,6 +1,8 @@
 //! The mesh timing and traffic-accounting model.
 
 use crate::topology::{xy_route, Link, TileId};
+use nsc_sim::error::SimError;
+use nsc_sim::fault::{self, FaultSite};
 use nsc_sim::trace::{self, TraceEvent};
 use nsc_sim::{resource::BandwidthLedger, Cycle, Histogram, Summary};
 use std::collections::BTreeSet;
@@ -85,6 +87,29 @@ impl MeshConfig {
     /// Number of tiles in the mesh.
     pub fn tiles(&self) -> u16 {
         self.width * self.height
+    }
+
+    /// Validates the dimensions and link parameters, returning a
+    /// [`SimError::Config`] naming the first problem found.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.width == 0 || self.height == 0 {
+            return Err(SimError::config(format!(
+                "mesh dimensions must be non-zero, got {}x{}",
+                self.width, self.height
+            )));
+        }
+        if (self.width as u32) * (self.height as u32) > u16::MAX as u32 {
+            return Err(SimError::config(format!(
+                "mesh {}x{} exceeds the 16-bit tile id space",
+                self.width, self.height
+            )));
+        }
+        if self.link_bytes_per_cycle == 0 {
+            return Err(SimError::config(
+                "mesh link_bytes_per_cycle must be non-zero",
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -206,15 +231,33 @@ fn dir_index(from: TileId, to: TileId, width: u16) -> usize {
     }
 }
 
+/// Cycles a sender waits before retransmitting a dropped message
+/// (timeout detection; deterministic so fault runs replay exactly).
+const RETRANSMIT_TIMEOUT: u64 = 32;
+
 impl Mesh {
     /// Creates a mesh with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`MeshConfig::validate`]; use
+    /// [`Mesh::try_new`] to handle invalid configs gracefully.
     pub fn new(config: MeshConfig) -> Mesh {
+        match Mesh::try_new(config) {
+            Ok(m) => m,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Creates a mesh, validating the configuration first.
+    pub fn try_new(config: MeshConfig) -> Result<Mesh, SimError> {
+        config.validate()?;
         let n = config.tiles() as usize * 4;
-        Mesh {
+        Ok(Mesh {
             config,
             links: vec![BandwidthLedger::new(16, 16); n],
             traffic: TrafficStats::default(),
-        }
+        })
     }
 
     /// The mesh configuration.
@@ -243,19 +286,11 @@ impl Mesh {
         total.div_ceil(self.config.link_bytes_per_cycle).max(1)
     }
 
-    /// Sends `bytes` of payload from `src` to `dst`, returning the arrival
-    /// time. Local messages (src == dst) cost one cycle and no traffic.
-    ///
-    /// Traffic accounting charges `(payload + header) × hops` to `class`.
-    pub fn send(&mut self, now: Cycle, src: TileId, dst: TileId, bytes: u64, class: MsgClass) -> Cycle {
-        if src == dst {
-            return now + 1;
-        }
-        let route = xy_route(src, dst, self.config.width);
-        let hops = route.len() as u64;
-        let flits = self.flit_cycles(bytes);
-        let mut t = now;
-        for link in &route {
+    /// Books one traversal of `route` starting at `start`, returning the
+    /// arrival time at the final tile.
+    fn route_time(&mut self, start: Cycle, route: &[Link], flits: u64) -> Cycle {
+        let mut t = start;
+        for link in route {
             let idx = link.from.raw() as usize * 4 + dir_index(link.from, link.to, self.config.width);
             let tail = if self.config.contention {
                 self.links[idx].book(t, flits)
@@ -264,7 +299,69 @@ impl Mesh {
             };
             t = tail + self.config.router_latency + self.config.link_latency;
         }
-        let arrival = t;
+        t
+    }
+
+    /// Sends `bytes` of payload from `src` to `dst`, returning the arrival
+    /// time. Local messages (src == dst) cost one cycle and no traffic.
+    ///
+    /// Traffic accounting charges `(payload + header) × hops` to `class`.
+    ///
+    /// When a fault plan is armed (see `nsc_sim::fault`), a message may be
+    /// dropped (timeout + retransmission on the same route), duplicated
+    /// (a discarded second copy consumes bandwidth), or delayed. Faults
+    /// perturb only timing and traffic accounting — delivery is still
+    /// guaranteed, so architectural results are unchanged.
+    pub fn send(&mut self, now: Cycle, src: TileId, dst: TileId, bytes: u64, class: MsgClass) -> Cycle {
+        if src == dst {
+            return now + 1;
+        }
+        let route = xy_route(src, dst, self.config.width);
+        let hops = route.len() as u64;
+        let flits = self.flit_cycles(bytes);
+        let mut arrival = self.route_time(now, &route, flits);
+        if fault::active() {
+            let wire_bytes = bytes + self.config.header_bytes;
+            if fault::inject(FaultSite::NocDrop) {
+                // The first copy is lost in-network: its link occupancy
+                // and traffic still count, then the sender times out and
+                // retransmits over the same route.
+                self.traffic.record(class, wire_bytes, hops, arrival - now);
+                trace::emit(|| TraceEvent::Fault {
+                    at: arrival,
+                    core: src.raw(),
+                    site: FaultSite::NocDrop.label(),
+                });
+                let restart = arrival + RETRANSMIT_TIMEOUT;
+                arrival = self.route_time(restart, &route, flits);
+                trace::emit(|| TraceEvent::Recovery {
+                    at: restart,
+                    core: src.raw(),
+                    stream: u16::MAX,
+                    action: "retransmit",
+                });
+            } else if fault::inject(FaultSite::NocDuplicate) {
+                // A spurious second copy rides the same route and is
+                // discarded at the destination: extra bandwidth and
+                // traffic, same arrival.
+                self.traffic.record(class, wire_bytes, hops, arrival - now);
+                self.route_time(now, &route, flits);
+                trace::emit(|| TraceEvent::Fault {
+                    at: now,
+                    core: src.raw(),
+                    site: FaultSite::NocDuplicate.label(),
+                });
+            }
+            if fault::inject(FaultSite::NocDelay) {
+                let d = fault::penalty(FaultSite::NocDelay);
+                trace::emit(|| TraceEvent::Fault {
+                    at: arrival,
+                    core: src.raw(),
+                    site: FaultSite::NocDelay.label(),
+                });
+                arrival += d;
+            }
+        }
         self.traffic
             .record(class, bytes + self.config.header_bytes, hops, arrival - now);
         trace::emit(|| TraceEvent::NocMsg {
@@ -456,5 +553,105 @@ mod tests {
         m.send(Cycle(0), TileId(0), TileId(1), 64, MsgClass::Data);
         m.reset_traffic();
         assert_eq!(m.traffic().total_bytes_hops(), 0);
+    }
+
+    #[test]
+    fn config_validation_names_the_problem() {
+        let cfg = MeshConfig {
+            width: 0,
+            ..MeshConfig::paper_8x8()
+        };
+        let e = Mesh::try_new(cfg).unwrap_err();
+        assert!(e.to_string().contains("non-zero"), "{e}");
+        let cfg = MeshConfig {
+            link_bytes_per_cycle: 0,
+            ..MeshConfig::paper_8x8()
+        };
+        assert!(Mesh::try_new(cfg).is_err());
+        let cfg = MeshConfig {
+            width: 300,
+            height: 300,
+            ..MeshConfig::paper_8x8()
+        };
+        let e = Mesh::try_new(cfg).unwrap_err();
+        assert!(e.to_string().contains("tile id"), "{e}");
+        assert!(Mesh::try_new(MeshConfig::small_4x4()).is_ok());
+    }
+
+    #[test]
+    fn dropped_message_is_retransmitted_and_double_charged() {
+        use nsc_sim::fault::{self, FaultPlan};
+        let a = TileId::from_xy(0, 0, 8);
+        let b = TileId::from_xy(1, 0, 8);
+        let mut clean = mesh();
+        let t_clean = clean.send(Cycle(0), a, b, 8, MsgClass::Data);
+
+        let mut plan = FaultPlan::none();
+        plan.noc_drop = 1.0;
+        fault::install(plan);
+        let mut m = mesh();
+        let t = m.send(Cycle(0), a, b, 8, MsgClass::Data);
+        let stats = fault::uninstall().unwrap();
+        assert_eq!(stats.count(fault::FaultSite::NocDrop), 1);
+        assert!(t > t_clean, "retransmission must add latency: {t:?} vs {t_clean:?}");
+        // Both copies (lost + retransmitted) consumed wire bandwidth.
+        assert_eq!(
+            m.traffic().bytes(MsgClass::Data),
+            2 * clean.traffic().bytes(MsgClass::Data)
+        );
+    }
+
+    #[test]
+    fn duplicate_costs_bandwidth_but_not_latency() {
+        use nsc_sim::fault::{self, FaultPlan};
+        let a = TileId::from_xy(0, 0, 8);
+        let b = TileId::from_xy(3, 2, 8);
+        let mut clean = mesh();
+        let t_clean = clean.send(Cycle(0), a, b, 8, MsgClass::Offloaded);
+
+        let mut plan = FaultPlan::none();
+        plan.noc_duplicate = 1.0;
+        fault::install(plan);
+        let mut m = mesh();
+        let t = m.send(Cycle(0), a, b, 8, MsgClass::Offloaded);
+        fault::uninstall();
+        assert_eq!(t, t_clean, "a discarded duplicate must not delay delivery");
+        assert_eq!(m.traffic().messages(MsgClass::Offloaded), 2);
+    }
+
+    #[test]
+    fn delay_fault_adds_exactly_the_planned_cycles() {
+        use nsc_sim::fault::{self, FaultPlan};
+        let a = TileId::from_xy(0, 0, 8);
+        let b = TileId::from_xy(1, 0, 8);
+        let mut clean = mesh();
+        let t_clean = clean.send(Cycle(0), a, b, 8, MsgClass::Control);
+
+        let mut plan = FaultPlan::none();
+        plan.noc_delay = 1.0;
+        plan.noc_delay_cycles = 25;
+        fault::install(plan);
+        let mut m = mesh();
+        let t = m.send(Cycle(0), a, b, 8, MsgClass::Control);
+        fault::uninstall();
+        assert_eq!(t, t_clean + 25);
+    }
+
+    #[test]
+    fn inert_plan_reproduces_fault_free_timing() {
+        use nsc_sim::fault::{self, FaultPlan};
+        let a = TileId::from_xy(0, 0, 8);
+        let b = TileId::from_xy(4, 4, 8);
+        let mut clean = Mesh::new(MeshConfig::paper_8x8());
+        let t_clean = clean.send(Cycle(0), a, b, 64, MsgClass::Data);
+        fault::install(FaultPlan::none());
+        let mut m = Mesh::new(MeshConfig::paper_8x8());
+        let t = m.send(Cycle(0), a, b, 64, MsgClass::Data);
+        fault::uninstall();
+        assert_eq!(t, t_clean);
+        assert_eq!(
+            m.traffic().total_bytes_hops(),
+            clean.traffic().total_bytes_hops()
+        );
     }
 }

@@ -1,0 +1,107 @@
+//! Typed errors for fallible simulator paths.
+//!
+//! The timing models distinguish two failure classes. *True internal
+//! invariants* — states the code itself guarantees can never arise —
+//! remain `panic!`s with messages naming the violated invariant.
+//! Everything a caller could plausibly get wrong (bad configuration,
+//! exhausted resources, a run that wedges under fault injection) is
+//! reported as a [`SimError`] so harnesses can surface it gracefully.
+//!
+//! # Examples
+//!
+//! ```
+//! use nsc_sim::error::SimError;
+//! let e = SimError::config("mesh width must be non-zero");
+//! assert!(e.to_string().contains("mesh width"));
+//! ```
+
+use std::fmt;
+
+/// An error from a fallible simulator path.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// A configuration failed validation before the run started.
+    Config {
+        /// What was wrong, phrased for the person who wrote the config.
+        what: String,
+    },
+    /// A bounded queue or bandwidth resource was exhausted.
+    ResourceExhausted {
+        /// Which resource ran out.
+        what: String,
+    },
+    /// An address mapped to a bank that does not exist in the topology.
+    BankLookup {
+        /// The requested bank index.
+        bank: usize,
+        /// The number of banks in the system.
+        n_banks: usize,
+    },
+    /// The event queue drained while work was still pending: the run
+    /// wedged instead of terminating. Carries the pending set so tests
+    /// and harnesses can report exactly what was stuck.
+    Wedged {
+        /// Human-readable descriptions of the incomplete work items
+        /// (e.g. `core 3: iteration 17/64`).
+        pending: Vec<String>,
+    },
+}
+
+impl SimError {
+    /// Shorthand for a [`SimError::Config`].
+    pub fn config(what: impl Into<String>) -> Self {
+        SimError::Config { what: what.into() }
+    }
+
+    /// Shorthand for a [`SimError::ResourceExhausted`].
+    pub fn exhausted(what: impl Into<String>) -> Self {
+        SimError::ResourceExhausted { what: what.into() }
+    }
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Config { what } => write!(f, "invalid configuration: {what}"),
+            SimError::ResourceExhausted { what } => write!(f, "resource exhausted: {what}"),
+            SimError::BankLookup { bank, n_banks } => {
+                write!(f, "bank lookup failed: bank {bank} of {n_banks}")
+            }
+            SimError::Wedged { pending } => {
+                write!(
+                    f,
+                    "simulation wedged with {} incomplete work item(s): {}",
+                    pending.len(),
+                    pending.join("; ")
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_problem() {
+        let e = SimError::config("n_cores must be non-zero");
+        assert_eq!(e.to_string(), "invalid configuration: n_cores must be non-zero");
+        let e = SimError::BankLookup { bank: 99, n_banks: 64 };
+        assert!(e.to_string().contains("bank 99 of 64"));
+        let e = SimError::Wedged {
+            pending: vec!["core 0: iteration 3/8".into()],
+        };
+        assert!(e.to_string().contains("core 0: iteration 3/8"));
+        let e = SimError::exhausted("SE stream slots");
+        assert!(e.to_string().contains("SE stream slots"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&SimError::config("x"));
+    }
+}

@@ -16,6 +16,8 @@
 //! assert_eq!(q.pop(), Some((Cycle(10), "late")));
 //! ```
 
+pub mod error;
+pub mod fault;
 pub mod json;
 pub mod queue;
 pub mod resource;
@@ -24,6 +26,7 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
+pub use error::SimError;
 pub use queue::EventQueue;
 pub use resource::Resource;
 pub use stats::{Counter, Histogram, StatsTable, Summary};

@@ -191,7 +191,10 @@ impl Histogram {
     /// Estimates the `p`-th percentile (`p` in `[0, 100]`) by linear
     /// interpolation within the containing bucket, clamped to the exact
     /// observed min/max so tail percentiles never over-shoot the data.
-    /// Returns 0.0 when the histogram is empty.
+    /// Returns 0.0 when the histogram is empty; reporting code should
+    /// prefer [`Histogram::percentile_opt`], which distinguishes "no
+    /// samples" from a genuine zero so degraded runs are not mistaken
+    /// for perfect ones.
     pub fn percentile(&self, p: f64) -> f64 {
         let total = self.summary.count();
         if total == 0 {
@@ -217,6 +220,13 @@ impl Histogram {
             seen = next;
         }
         self.summary.max().unwrap_or(0.0)
+    }
+
+    /// Like [`Histogram::percentile`], but `None` when the histogram is
+    /// empty. JSON reports render `None` as `null` rather than a
+    /// misleading 0.
+    pub fn percentile_opt(&self, p: f64) -> Option<f64> {
+        (self.summary.count() > 0).then(|| self.percentile(p))
     }
 }
 
@@ -397,11 +407,13 @@ mod tests {
     fn percentile_empty_and_single() {
         let h = Histogram::new(1.0, 4);
         assert_eq!(h.percentile(50.0), 0.0);
+        assert_eq!(h.percentile_opt(50.0), None);
         let mut h = Histogram::new(1.0, 4);
         h.record(2.5);
         assert_eq!(h.percentile(0.0), 2.5);
         assert_eq!(h.percentile(50.0), 2.5);
         assert_eq!(h.percentile(100.0), 2.5);
+        assert_eq!(h.percentile_opt(50.0), Some(2.5));
     }
 
     #[test]

@@ -216,6 +216,28 @@ pub enum TraceEvent {
         /// Acquire / conflict / release.
         phase: SyncPhase,
     },
+    /// A fault was injected by [`crate::fault`].
+    Fault {
+        /// Injection time.
+        at: Cycle,
+        /// Core (or tile) at which the fault fired; [`SE_L3_CORE`] for
+        /// bank-side faults without a core-side agent.
+        core: u16,
+        /// Fault-site label (see `nsc_sim::fault::FaultSite::label`).
+        site: &'static str,
+    },
+    /// A recovery action taken in response to an injected fault.
+    Recovery {
+        /// Action time.
+        at: Cycle,
+        /// Core owning the affected work.
+        core: u16,
+        /// Per-core stream slot, or `u16::MAX` when not stream-scoped.
+        stream: u16,
+        /// Action label (`retry`, `migrate`, `fallback`, `replay`,
+        /// `retransmit`).
+        action: &'static str,
+    },
     /// A sampled occupancy value for a counter track.
     CounterSample {
         /// Sample time.
@@ -239,6 +261,8 @@ impl TraceEvent {
             | TraceEvent::OffloadDecision { at, .. }
             | TraceEvent::Coherence { at, .. }
             | TraceEvent::RangeSync { at, .. }
+            | TraceEvent::Fault { at, .. }
+            | TraceEvent::Recovery { at, .. }
             | TraceEvent::CounterSample { at, .. } => at,
             TraceEvent::StreamStep { start, .. }
             | TraceEvent::CacheAccess { start, .. }
@@ -420,6 +444,7 @@ pub mod chrome {
     const PID_NOC: u32 = 3;
     const PID_SYNC: u32 = 4;
     const PID_COUNTERS: u32 = 5;
+    const PID_FAULTS: u32 = 6;
 
     fn core_tid(core: u16) -> u32 {
         if core == SE_L3_CORE {
@@ -494,6 +519,7 @@ pub mod chrome {
             (PID_NOC, "noc"),
             (PID_SYNC, "range-sync"),
             (PID_COUNTERS, "occupancy"),
+            (PID_FAULTS, "faults"),
         ] {
             let body = format!(
                 "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"args\":{{\"name\":\"{name}\"}}}}"
@@ -653,6 +679,27 @@ pub mod chrome {
                         w.instant(phase.label(), PID_SYNC, tid, at.0, &args);
                     }
                 }
+            }
+            TraceEvent::Fault { at, core, site } => {
+                let tid = core_tid(core);
+                let who = if core == SE_L3_CORE {
+                    "se_l3".to_owned()
+                } else {
+                    format!("core{core}")
+                };
+                w.name_thread(PID_FAULTS, tid, who);
+                w.instant(site, PID_FAULTS, tid, at.0, "");
+            }
+            TraceEvent::Recovery {
+                at,
+                core,
+                stream,
+                action,
+            } => {
+                let tid = core_tid(core);
+                w.name_thread(PID_FAULTS, tid, format!("core{core}"));
+                let args = format!(",\"args\":{{\"stream\":{stream}}}");
+                w.instant(action, PID_FAULTS, tid, at.0, &args);
             }
             TraceEvent::CounterSample {
                 at,

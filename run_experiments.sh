@@ -17,7 +17,7 @@ BIN=target/release
 for h in tab01_capabilities tab02_patterns tab03_stream_isas tab04_encoding \
          area_model fig01_potential fig09_speedup fig10_energy fig11_generality \
          fig12_traffic fig13_scm_latency fig14_scc_rob fig15_affine_ranges \
-         fig16_lock_type fig17_scalar_pe overview; do
+         fig16_lock_type fig17_scalar_pe fig_fault_sweep overview; do
   echo "=== $h $SCALE ==="
   start=$SECONDS
   if $BIN/$h "$SCALE" > results/$h.txt 2>&1; then

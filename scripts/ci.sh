@@ -4,7 +4,9 @@
 # Runs the same checks the project expects before every merge:
 #   1. release build of the whole workspace,
 #   2. the full test suite (unit, integration, doc tests),
-#   3. clippy with warnings promoted to errors.
+#   3. clippy with warnings promoted to errors,
+#   4. a chaos smoke: the fault-injection sweep at --tiny, which asserts
+#      bit-identical results under injected faults across 4 fixed seeds.
 #
 # No network access is required: all dependencies are path dependencies
 # inside this workspace, so everything runs with `--offline`.
@@ -19,5 +21,8 @@ cargo test -q --workspace --offline
 
 echo "== clippy (-D warnings) =="
 cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== chaos (fault-injection smoke, 4 fixed seeds) =="
+cargo run -q --release -p nsc-bench --offline --bin fig_fault_sweep -- --tiny
 
 echo "CI checks passed."

@@ -111,3 +111,30 @@ fn histogram_clamps_negative_samples_into_bucket_zero() {
     assert_eq!(h.bucket_counts()[0], 3);
     assert_eq!(h.summary().count(), 3);
 }
+
+#[test]
+fn empty_histogram_percentiles_are_null_in_results_json() {
+    // Regression: empty histograms used to report p50/p90/p99 as 0, which
+    // is indistinguishable from a real zero-latency measurement. They must
+    // render as JSON null.
+    use nsc_bench::Report;
+    let dir = std::env::temp_dir().join(format!("nsc_obs_null_{}", std::process::id()));
+    std::env::set_var("NSC_RESULTS_DIR", &dir);
+    let mut rep = Report::new("empty_hist_regression", Size::Tiny);
+    rep.hist("noc_latency_empty", &Histogram::new(8.0, 4));
+    let path = rep.finish().expect("write results json");
+    std::env::remove_var("NSC_RESULTS_DIR");
+    let text = std::fs::read_to_string(&path).expect("results file exists");
+    std::fs::remove_dir_all(&dir).ok();
+    let doc = parse(&text).expect("results are valid JSON");
+    let hists = doc.get("histograms").and_then(Json::as_obj).unwrap();
+    let h = hists.get("noc_latency_empty").unwrap();
+    assert_eq!(h.get("count").and_then(Json::as_f64), Some(0.0));
+    for p in ["p50", "p90", "p99"] {
+        assert_eq!(h.get(p), Some(&Json::Null), "{p} must be null when empty");
+    }
+    // Sanity: a populated histogram still reports numbers.
+    let mut full = Histogram::new(8.0, 4);
+    full.record(3.0);
+    assert_eq!(full.percentile_opt(50.0), Some(full.percentile(50.0)));
+}

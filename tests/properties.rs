@@ -335,3 +335,106 @@ fn tlb_accounting() {
         assert_eq!(tlb.hits() + tlb.misses(), pages.len() as u64);
     }
 }
+
+/// Fault injection is transparent: for random fault plans and random
+/// workload shapes, the faulty NS run computes results bit-identical to
+/// the fault-free golden run, and the simulation terminates (the run-loop
+/// watchdog would return [`SimError::Wedged`] otherwise).
+#[test]
+fn random_fault_plans_are_transparent() {
+    use near_stream::{try_run, ExecMode, SystemConfig};
+    use nsc_ir::build::KernelBuilder;
+    use nsc_ir::{ElemType, Expr, Program, Scalar};
+    use nsc_sim::fault::{self, FaultPlan};
+
+    let mut rng = Rng::seed_from_u64(0xFA_017);
+    let mut total_faults = 0u64;
+    for case in 0..12 {
+        // Random workload shape: a gather-scatter with random size,
+        // stride scale and index distribution.
+        let n = 96 + rng.gen_range_u64(160);
+        let scale = 1 + rng.gen_range_u64(3) as i64;
+        let seed = rng.next_u64();
+        let mut p = Program::new("rand_fault");
+        let idx = p.array("idx", ElemType::I64, n);
+        let src = p.array("src", ElemType::I64, n * 4 + 8);
+        let dst = p.array("dst", ElemType::I64, n);
+        let mut k = KernelBuilder::new("gather", n);
+        let i = k.outer_var();
+        let which = k.load(idx, Expr::var(i));
+        let v = k.load(src, Expr::var(which) * Expr::imm(scale));
+        k.store(dst, Expr::var(i), Expr::var(v) + Expr::imm(seed as i64 % 100));
+        p.push_kernel(k.finish());
+        let compiled = nsc_compiler::compile(&p);
+        let init = move |mem: &mut nsc_ir::Memory| {
+            let mut x = seed | 1;
+            for j in 0..n {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                mem.write_index(idx, j, Scalar::I64((x % n) as i64));
+                mem.write_index(src, j, Scalar::I64((x >> 32) as i64));
+            }
+        };
+        let cfg = SystemConfig::small();
+        let (_, clean_mem) =
+            try_run(&p, &compiled, &[], ExecMode::Ns, &cfg, &init).expect("clean run terminates");
+
+        // Random fault plan: every site gets an independent random rate,
+        // occasionally a pathological one (always-fire NACKs).
+        let mut plan = FaultPlan::none();
+        plan.seed = rng.next_u64();
+        plan.noc_drop = rng.gen_f64() * 0.02;
+        plan.noc_duplicate = rng.gen_f64() * 0.02;
+        plan.noc_delay = rng.gen_f64() * 0.05;
+        plan.bank_stall = rng.gen_f64() * 0.02;
+        plan.offload_nack = if case % 4 == 0 { 1.0 } else { rng.gen_f64() * 0.05 };
+        plan.mem_error = rng.gen_f64() * 0.02;
+        plan.alias_false_positive = rng.gen_f64() * 0.02;
+        fault::install(plan);
+        let outcome = try_run(&p, &compiled, &[], ExecMode::Ns, &cfg, &init);
+        let stats = fault::uninstall().expect("injector was armed");
+        total_faults += stats.total();
+        let (faulty, faulty_mem) = outcome.expect("faulty run terminates");
+        assert_eq!(faulty.faults_injected, stats.total());
+        for j in 0..n {
+            assert_eq!(
+                clean_mem.read_index(dst, j),
+                faulty_mem.read_index(dst, j),
+                "case {case}: faulty run diverged at {j}"
+            );
+        }
+    }
+    assert!(total_faults > 0, "no faults fired across all cases");
+}
+
+/// The same fault plan replays the same schedule: two runs with one seed
+/// are cycle-identical, a different seed perturbs timing independently of
+/// correctness.
+#[test]
+fn fault_schedules_are_deterministic_per_seed() {
+    use near_stream::{run, ExecMode, SystemConfig};
+    use nsc_ir::build::KernelBuilder;
+    use nsc_ir::{ElemType, Expr, Program};
+    use nsc_sim::fault::{self, FaultPlan};
+
+    let n = 16 * 1024;
+    let mut p = Program::new("det");
+    let a = p.array("a", ElemType::I64, n);
+    let mut k = KernelBuilder::new("set", n);
+    let i = k.outer_var();
+    k.store(a, Expr::var(i), Expr::var(i) * Expr::imm(5));
+    k.sync_free();
+    p.push_kernel(k.finish());
+    let compiled = nsc_compiler::compile(&p);
+    let cfg = SystemConfig::small();
+    let mut cycles = Vec::new();
+    for seed in [9u64, 9, 10] {
+        fault::install(FaultPlan::uniform(seed, 0.005));
+        let (r, _) = run(&p, &compiled, &[], ExecMode::Ns, &cfg, &|_| {});
+        let stats = fault::uninstall().expect("armed");
+        cycles.push((r.cycles, stats.total()));
+    }
+    assert_eq!(cycles[0], cycles[1], "same seed must replay identically");
+    assert!(cycles[0].1 > 0, "seed 9 fired no faults");
+}
