@@ -12,7 +12,7 @@ use nsc_ir::{ElemType, Expr, Program};
 use nsc_mem::{Cache, CacheConfig, LineAddr, ReplacePolicy};
 use nsc_noc::{Mesh, MeshConfig, MsgClass, TileId};
 use nsc_sim::resource::BandwidthLedger;
-use nsc_sim::Cycle;
+use nsc_sim::{Cycle, EventQueue};
 
 /// Times `iters` calls of `f` after a short warm-up and prints ns/iter.
 fn bench(name: &str, iters: u64, mut f: impl FnMut()) {
@@ -70,6 +70,42 @@ fn bench_ledger() {
     });
 }
 
+/// Hold-model queue benchmark: a steady population of `depth` events,
+/// each pop schedules a successor a short distance ahead — the event
+/// queue's actual usage pattern in the simulator.
+fn bench_queue() {
+    for depth in [64usize, 1024] {
+        // Calendar queue (the production implementation).
+        let mut q = EventQueue::new();
+        let mut t = 0u64;
+        for i in 0..depth {
+            q.push(Cycle(1 + (i as u64 * 13) % 97), i);
+        }
+        bench(&format!("calendar_queue_d{depth}"), 2_000_000, || {
+            let (now, payload) = q.pop().expect("held population");
+            t = now.raw();
+            q.push(Cycle(t + 1 + (t * 31 + payload as u64) % 97), payload);
+            black_box(payload);
+        });
+
+        // BinaryHeap reference with the same (time, seq) contract, for the
+        // speedup denominator in perf reports.
+        let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, u64, usize)>> =
+            std::collections::BinaryHeap::new();
+        let mut seq = 0u64;
+        for i in 0..depth {
+            heap.push(std::cmp::Reverse((1 + (i as u64 * 13) % 97, seq, i)));
+            seq += 1;
+        }
+        bench(&format!("binaryheap_ref_d{depth}"), 2_000_000, || {
+            let std::cmp::Reverse((now, _, payload)) = heap.pop().expect("held population");
+            heap.push(std::cmp::Reverse((now + 1 + (now * 31 + payload as u64) % 97, seq, payload)));
+            seq += 1;
+            black_box(payload);
+        });
+    }
+}
+
 fn bench_interp() {
     let n = 4096;
     let mut p = Program::new("vecadd");
@@ -93,5 +129,6 @@ fn main() {
     bench_cache();
     bench_mesh();
     bench_ledger();
+    bench_queue();
     bench_interp();
 }

@@ -4,12 +4,13 @@
 //! filters.
 
 use near_stream::range_sync::AliasFilterKind;
-use near_stream::{run, ExecMode, SystemConfig};
-use nsc_bench::Report;
-use nsc_workloads::Size;
+use near_stream::{run, ExecMode, RunResult, SystemConfig};
+use nsc_bench::{finalize, Report, SweepTask};
 use nsc_compiler::compile;
 use nsc_ir::build::KernelBuilder;
 use nsc_ir::{BinOp, ElemType, Expr, Program};
+use nsc_workloads::Size;
+use std::sync::Arc;
 
 fn main() {
     // A streamed store over b[] while the core reads scattered (quadratic,
@@ -37,16 +38,28 @@ fn main() {
     k.store(out, Expr::var(i), Expr::var(probe));
     p.push_kernel(k.finish());
     let compiled = compile(&p);
+    let shared = Arc::new((p, compiled));
 
     let mut rep = Report::new("abl_alias_filter", Size::Small);
     rep.meta("ablation", "alias-summary structure");
+    let kinds = [("range", AliasFilterKind::Range), ("bloom", AliasFilterKind::Bloom)];
+    let tasks: Vec<SweepTask<RunResult>> = kinds
+        .iter()
+        .map(|&(_, kind)| {
+            let shared = Arc::clone(&shared);
+            Box::new(move || {
+                let mut cfg = SystemConfig::small();
+                cfg.se.alias_filter = kind;
+                let (program, compiled) = &*shared;
+                run(program, compiled, &[], ExecMode::Ns, &cfg, &|_| {}).0
+            }) as SweepTask<RunResult>
+        })
+        .collect();
+    let results = rep.sweep(tasks);
     println!("# Ablation: alias-summary structure (NS, range-synchronized)");
     println!("{:8} {:>12} {:>14} {:>12}", "filter", "cycles", "bytes x hops", "flushes");
-    for (name, kind) in [("range", AliasFilterKind::Range), ("bloom", AliasFilterKind::Bloom)] {
-        let mut cfg = SystemConfig::small();
-        cfg.se.alias_filter = kind;
-        let (r, _) = run(&p, &compiled, &[], ExecMode::Ns, &cfg, &|_| {});
-        rep.run("alias_abl", name, &r);
+    for ((name, _), r) in kinds.iter().zip(&results) {
+        rep.run("alias_abl", name, r);
         rep.stat(&format!("flushes.{name}"), r.alias_flushes as f64);
         println!(
             "{:8} {:>12} {:>14} {:>12}",
@@ -59,5 +72,5 @@ fn main() {
     println!();
     println!("Bloom filters avoid the hull's false positives at the cost of");
     println!("larger synchronization state (2 kbit/stream vs one 96-bit range).");
-    rep.finish().expect("write results json");
+    finalize(rep);
 }

@@ -1,27 +1,37 @@
 //! Ablation: compact stream migration (paper §IV-D future work) — banks
 //! remember visited streams so re-visits send only the changing fields.
 
-use near_stream::ExecMode;
-use nsc_bench::{parse_size, prepare, system_for, Report};
+use near_stream::{ExecMode, RunResult};
+use nsc_bench::{finalize, parse_size, prepare, system_for, Report, SweepTask};
 use nsc_workloads::{bin_tree, hash_join, pr_pull};
+use std::sync::Arc;
 
 fn main() {
     let size = parse_size();
     let mut rep = Report::new("abl_migration", size);
     rep.meta("ablation", "compact stream migration");
+    let preps: Vec<Arc<_>> = [bin_tree(size), hash_join(size), pr_pull(size)]
+        .into_iter()
+        .map(|w| Arc::new(prepare(w)))
+        .collect();
+    let mut tasks: Vec<SweepTask<RunResult>> = Vec::new();
+    for p in &preps {
+        for compact in [false, true] {
+            let p = Arc::clone(p);
+            let mut cfg = system_for(size);
+            cfg.se.compact_migration = compact;
+            tasks.push(Box::new(move || p.run_unchecked(ExecMode::NsDecouple, &cfg).0));
+        }
+    }
+    let mut results = rep.sweep(tasks).into_iter();
     println!("# Ablation: compact migration (NS-decouple)");
     println!(
         "{:10} {:>14} {:>14} {:>9} {:>9}",
         "workload", "full(BxH)", "compact(BxH)", "traffic-", "speedup"
     );
-    for w in [bin_tree(size), hash_join(size), pr_pull(size)] {
-        let p = prepare(w);
-        let mut base_cfg = system_for(size);
-        base_cfg.se.compact_migration = false;
-        let (full, _) = p.run_unchecked(ExecMode::NsDecouple, &base_cfg);
-        let mut cfg = system_for(size);
-        cfg.se.compact_migration = true;
-        let (compact, _) = p.run_unchecked(ExecMode::NsDecouple, &cfg);
+    for p in &preps {
+        let full = results.next().expect("one result per task");
+        let compact = results.next().expect("one result per task");
         rep.run(p.workload.name, "NS-decouple-full", &full);
         rep.run(p.workload.name, "NS-decouple-compact", &compact);
         println!(
@@ -34,5 +44,5 @@ fn main() {
         );
     }
     println!("(the paper estimated migration traffic was already low; this bounds the win)");
-    rep.finish().expect("write results json");
+    finalize(rep);
 }

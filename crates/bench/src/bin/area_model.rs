@@ -2,7 +2,7 @@
 //! overhead.
 
 use near_stream::CoreModel;
-use nsc_bench::Report;
+use nsc_bench::{finalize, Report};
 use nsc_energy::area::AreaModel;
 use nsc_workloads::Size;
 
@@ -26,5 +26,5 @@ fn main() {
         );
     }
     println!("(paper: 2.5% for IO4, 2.1% for OOO8)");
-    rep.finish().expect("write results json");
+    finalize(rep);
 }

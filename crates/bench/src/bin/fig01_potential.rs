@@ -7,32 +7,45 @@
 //!     cache removes only ~27% of traffic; near-LLC removes ~64%).
 
 use near_stream::ideal::{ideal_traffic, IdealModel};
-use nsc_bench::{parse_size, prepare, system_for, Report};
+use nsc_bench::{finalize, parse_size, prepare, system_for, Report, SweepTask};
 use nsc_compiler::{op_breakdown, run_with_counts, OpBreakdown};
 use nsc_ir::stream::ComputeClass;
 use nsc_workloads::all;
+use std::sync::Arc;
 
 fn main() {
     let size = parse_size();
     let cfg = system_for(size);
     let mut rep = Report::new("fig01_potential", size);
     rep.meta("figure", "1");
+    let preps: Vec<Arc<_>> = all(size).into_iter().map(|w| Arc::new(prepare(w))).collect();
+
+    // (a) One functional counting run per workload.
+    let tasks: Vec<SweepTask<OpBreakdown>> = preps
+        .iter()
+        .map(|p| {
+            let p = Arc::clone(p);
+            Box::new(move || {
+                let mut mem = nsc_ir::Memory::for_program(&p.workload.program);
+                (p.workload.init)(&mut mem);
+                let counts = run_with_counts(&p.workload.program, &mut mem, &p.workload.params);
+                let mut bd = OpBreakdown::default();
+                for (k, c) in p.compiled.kernels.iter().zip(&counts) {
+                    bd.merge(&op_breakdown(k, c));
+                }
+                bd
+            }) as SweepTask<OpBreakdown>
+        })
+        .collect();
+    let breakdowns = rep.sweep(tasks);
+
     println!("# Figure 1(a): dynamic uops associated with streams, size {size:?}");
     println!(
         "{:11} {:>7} {:>7} {:>7} {:>7} {:>7} {:>8} {:>8}",
         "workload", "load", "store", "rmw", "atomic", "reduce", "streamed", "core"
     );
     let mut agg = OpBreakdown::default();
-    let mut rows = Vec::new();
-    for w in all(size) {
-        let p = prepare(w);
-        let mut mem = nsc_ir::Memory::for_program(&p.workload.program);
-        (p.workload.init)(&mut mem);
-        let counts = run_with_counts(&p.workload.program, &mut mem, &p.workload.params);
-        let mut bd = OpBreakdown::default();
-        for (k, c) in p.compiled.kernels.iter().zip(&counts) {
-            bd.merge(&op_breakdown(k, c));
-        }
+    for (p, bd) in preps.iter().zip(&breakdowns) {
         println!(
             "{:11} {:6.1}% {:6.1}% {:6.1}% {:6.1}% {:6.1}% {:7.1}% {:7.1}%",
             p.workload.name,
@@ -45,8 +58,7 @@ fn main() {
             100.0 * (1.0 - bd.stream_fraction()),
         );
         rep.stat(&format!("stream_fraction.{}", p.workload.name), bd.stream_fraction());
-        agg.merge(&bd);
-        rows.push(p);
+        agg.merge(bd);
     }
     println!(
         "{:11} {:6.1}% {:6.1}% {:6.1}% {:6.1}% {:6.1}% {:7.1}%  (paper: load+reduce ~21%, store/rmw/atomic ~31%)",
@@ -59,6 +71,25 @@ fn main() {
         100.0 * agg.stream_fraction(),
     );
 
+    // (b) Three idealized traffic models per workload, one task each.
+    let models = [
+        IdealModel::NoPrivateCache,
+        IdealModel::PerfectPrivate,
+        IdealModel::PerfectNearLlc,
+    ];
+    let mut tasks: Vec<SweepTask<u64>> = Vec::new();
+    for p in &preps {
+        for model in models {
+            let p = Arc::clone(p);
+            let cfg = cfg.clone();
+            tasks.push(Box::new(move || {
+                let w = &p.workload;
+                ideal_traffic(&w.program, &p.compiled, &w.params, model, &cfg, &w.init)
+            }));
+        }
+    }
+    let mut traffic = rep.sweep(tasks).into_iter();
+
     println!();
     println!("# Figure 1(b): idealized data traffic, normalized to No-Priv$");
     println!(
@@ -66,18 +97,17 @@ fn main() {
         "workload", "No-Priv$", "Perf-Priv$", "Perf-NearLLC"
     );
     let (mut s_no, mut s_perf, mut s_near) = (0u64, 0u64, 0u64);
-    for p in &rows {
+    for p in &preps {
         let w = &p.workload;
-        let no = ideal_traffic(&w.program, &p.compiled, &w.params, IdealModel::NoPrivateCache, &cfg, &w.init);
-        let perf = ideal_traffic(&w.program, &p.compiled, &w.params, IdealModel::PerfectPrivate, &cfg, &w.init);
-        let near = ideal_traffic(&w.program, &p.compiled, &w.params, IdealModel::PerfectNearLlc, &cfg, &w.init);
+        let no = traffic.next().expect("one result per task");
+        let perf = traffic.next().expect("one result per task");
+        let near = traffic.next().expect("one result per task");
         s_no += no;
         s_perf += perf;
         s_near += near;
         let n = no.max(1) as f64;
         rep.stat(&format!("ideal_traffic.{}.perf_priv", w.name), perf as f64 / n);
         rep.stat(&format!("ideal_traffic.{}.perf_near_llc", w.name), near as f64 / n);
-        let n = no.max(1) as f64;
         println!(
             "{:11} {:>12.2} {:>12.2} {:>12.2}",
             w.name,
@@ -96,5 +126,5 @@ fn main() {
         s_perf as f64 / s_no.max(1) as f64,
         s_near as f64 / s_no.max(1) as f64
     );
-    rep.finish().expect("write results json");
+    finalize(rep);
 }

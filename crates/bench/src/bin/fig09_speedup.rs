@@ -8,9 +8,10 @@
 //! Paper shape targets: NS ≈ 3.19x geomean, NS-decouple ≈ 4.27x,
 //! NS ≥ INST everywhere, NS-decouple ≥ SINGLE everywhere.
 
-use near_stream::ExecMode;
-use nsc_bench::{fmt_x, geomean, parse_size, prepare, system_for, Report};
+use near_stream::{ExecMode, RunResult};
+use nsc_bench::{finalize, fmt_x, geomean, parse_size, prepare, system_for, Report, SweepTask};
 use nsc_workloads::all;
+use std::sync::Arc;
 
 fn main() {
     let size = parse_size();
@@ -26,6 +27,16 @@ fn main() {
         ExecMode::NsNoSync,
         ExecMode::NsDecouple,
     ];
+    let preps: Vec<Arc<_>> = all(size).into_iter().map(|w| Arc::new(prepare(w))).collect();
+    let mut tasks: Vec<SweepTask<RunResult>> = Vec::new();
+    for p in &preps {
+        for m in std::iter::once(ExecMode::Base).chain(modes) {
+            let p = Arc::clone(p);
+            let cfg = cfg.clone();
+            tasks.push(Box::new(move || p.run_unchecked(m, &cfg).0));
+        }
+    }
+    let mut results = rep.sweep(tasks).into_iter();
     println!("# Figure 9: speedup over Base (OOO8), size {size:?}");
     print!("{:11} {:>10}", "workload", "Base(cyc)");
     for m in modes {
@@ -33,13 +44,12 @@ fn main() {
     }
     println!();
     let mut per_mode: Vec<Vec<f64>> = vec![Vec::new(); modes.len()];
-    for w in all(size) {
-        let p = prepare(w);
-        let (base, _) = p.run_unchecked(ExecMode::Base, &cfg);
+    for p in &preps {
+        let base = results.next().expect("one result per task");
         rep.run(p.workload.name, ExecMode::Base.label(), &base);
         print!("{:11} {:>10}", p.workload.name, base.cycles);
         for (i, m) in modes.iter().enumerate() {
-            let (r, _) = p.run_unchecked(*m, &cfg);
+            let r = results.next().expect("one result per task");
             let s = r.speedup_over(&base);
             rep.run(p.workload.name, m.label(), &r);
             rep.stat(&format!("speedup.{}.{}", p.workload.name, m.label()), s);
@@ -54,5 +64,5 @@ fn main() {
         print!(" {:>11}", fmt_x(geomean(col)));
     }
     println!();
-    rep.finish().expect("write results json");
+    finalize(rep);
 }

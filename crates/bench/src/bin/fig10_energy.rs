@@ -6,33 +6,46 @@
 //! (NS ≈ 4.28x over IO4); NS / NS-decouple reach ≈ 2.85x / 3.52x energy
 //! efficiency on OOO8.
 
-use near_stream::{CoreModel, ExecMode};
-use nsc_bench::{fmt_x, geomean, parse_size, prepare, system_for, Report};
+use near_stream::{CoreModel, ExecMode, RunResult};
+use nsc_bench::{finalize, fmt_x, geomean, parse_size, prepare, system_for, Report, SweepTask};
 use nsc_energy::EnergyModel;
 use nsc_workloads::all;
+use std::sync::Arc;
 
 fn main() {
     let size = parse_size();
     let energy = EnergyModel::mcpat_22nm();
     let mut rep = Report::new("fig10_energy", size);
     rep.meta("figure", "10");
+    let preps: Vec<Arc<_>> = all(size).into_iter().map(|w| Arc::new(prepare(w))).collect();
+    let modes = [ExecMode::Base, ExecMode::Ns, ExecMode::NsDecouple];
+    let mut tasks: Vec<SweepTask<RunResult>> = Vec::new();
+    for core in CoreModel::all() {
+        let cfg = system_for(size).with_core(core);
+        for p in &preps {
+            for m in modes {
+                let p = Arc::clone(p);
+                let cfg = cfg.clone();
+                tasks.push(Box::new(move || p.run_unchecked(m, &cfg).0));
+            }
+        }
+    }
+    let mut results = rep.sweep(tasks).into_iter();
     println!("# Figure 10: energy/performance per core type, size {size:?}");
     println!(
         "{:6} {:12} {:>10} {:>10} {:>12} {:>12}",
         "core", "system", "speedup", "energy", "perf (gm)", "eff (gm)"
     );
     for core in CoreModel::all() {
-        let cfg = system_for(size).with_core(core);
-        let n_tiles = cfg.mesh.tiles() as u32;
+        let n_tiles = system_for(size).with_core(core).mesh.tiles() as u32;
         let mut speedups_ns = Vec::new();
         let mut speedups_dec = Vec::new();
         let mut eff_ns = Vec::new();
         let mut eff_dec = Vec::new();
-        for w in all(size) {
-            let p = prepare(w);
-            let (base, _) = p.run_unchecked(ExecMode::Base, &cfg);
-            let (ns, _) = p.run_unchecked(ExecMode::Ns, &cfg);
-            let (dec, _) = p.run_unchecked(ExecMode::NsDecouple, &cfg);
+        for p in &preps {
+            let base = results.next().expect("one result per task");
+            let ns = results.next().expect("one result per task");
+            let dec = results.next().expect("one result per task");
             let e_base = energy.evaluate(&base, &core, n_tiles);
             let e_ns = energy.evaluate(&ns, &core, n_tiles);
             let e_dec = energy.evaluate(&dec, &core, n_tiles);
@@ -78,5 +91,5 @@ fn main() {
             fmt_x(geomean(&eff_dec)),
         );
     }
-    rep.finish().expect("write results json");
+    finalize(rep);
 }

@@ -3,29 +3,38 @@
 //! offloaded at runtime (paper: on average 93% of the possible operations
 //! are offloaded; short reductions with private-cache reuse stay in-core).
 
-use near_stream::ExecMode;
-use nsc_bench::{parse_size, prepare, system_for, Report};
+use near_stream::{ExecMode, RunResult};
+use nsc_bench::{finalize, parse_size, prepare, system_for, Report, SweepTask};
 use nsc_workloads::all;
+use std::sync::Arc;
 
 fn main() {
     let size = parse_size();
     let cfg = system_for(size);
     let mut rep = Report::new("fig11_generality", size);
     rep.meta("figure", "11");
+    let preps: Vec<Arc<_>> = all(size).into_iter().map(|w| Arc::new(prepare(w))).collect();
+    let tasks: Vec<SweepTask<RunResult>> = preps
+        .iter()
+        .map(|p| {
+            let p = Arc::clone(p);
+            let cfg = cfg.clone();
+            Box::new(move || p.run_unchecked(ExecMode::Ns, &cfg).0) as SweepTask<RunResult>
+        })
+        .collect();
+    let results = rep.sweep(tasks);
     println!("# Figure 11: stream association vs runtime offload, size {size:?}");
     println!(
         "{:11} {:>12} {:>12} {:>10}",
         "workload", "assoc uops%", "offloaded%", "of-assoc%"
     );
     let mut fr = Vec::new();
-    for w in all(size) {
-        let p = prepare(w);
-        let (r, _) = p.run_unchecked(ExecMode::Ns, &cfg);
+    for (p, r) in preps.iter().zip(&results) {
         let assoc: f64 = r.roles.assoc.iter().sum();
         let off: f64 = r.roles.offloaded.iter().sum();
         let of_assoc = if assoc > 0.0 { off / assoc } else { 0.0 };
         fr.push(of_assoc);
-        rep.run(p.workload.name, ExecMode::Ns.label(), &r);
+        rep.run(p.workload.name, ExecMode::Ns.label(), r);
         rep.stat(&format!("offload_fraction.{}", p.workload.name), of_assoc);
         println!(
             "{:11} {:>11.1}% {:>11.1}% {:>9.1}%",
@@ -38,5 +47,5 @@ fn main() {
     let avg = fr.iter().sum::<f64>() / fr.len() as f64;
     rep.stat("offload_fraction.average", avg);
     println!("{:11} {:>36.1}%  (paper: ~93%)", "average", 100.0 * avg);
-    rep.finish().expect("write results json");
+    finalize(rep);
 }

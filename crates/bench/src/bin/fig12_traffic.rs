@@ -5,9 +5,10 @@
 //! ~76%, INST by ~49% (with INST 3-5x higher than NS on affine
 //! workloads); range-synchronization ≈ 11% of NS's traffic.
 
-use near_stream::ExecMode;
-use nsc_bench::{parse_size, prepare, system_for, Report};
+use near_stream::{ExecMode, RunResult};
+use nsc_bench::{finalize, parse_size, prepare, system_for, Report, SweepTask};
 use nsc_workloads::all;
+use std::sync::Arc;
 
 fn main() {
     let size = parse_size();
@@ -21,6 +22,16 @@ fn main() {
         ExecMode::Ns,
         ExecMode::NsDecouple,
     ];
+    let preps: Vec<Arc<_>> = all(size).into_iter().map(|w| Arc::new(prepare(w))).collect();
+    let mut tasks: Vec<SweepTask<RunResult>> = Vec::new();
+    for p in &preps {
+        for m in modes {
+            let p = Arc::clone(p);
+            let cfg = cfg.clone();
+            tasks.push(Box::new(move || p.run_unchecked(m, &cfg).0));
+        }
+    }
+    let mut results = rep.sweep(tasks).into_iter();
     println!("# Figure 12: traffic breakdown (bytes x hops), normalized to Base, size {size:?}");
     println!(
         "{:11} {:>12} | {}",
@@ -34,12 +45,11 @@ fn main() {
     );
     let mut totals = vec![0u64; modes.len()];
     let mut base_total = 0u64;
-    for w in all(size) {
-        let p = prepare(w);
+    for p in &preps {
         let mut cells = Vec::new();
         let mut base = 1.0;
         for (i, m) in modes.iter().enumerate() {
-            let (r, _) = p.run_unchecked(*m, &cfg);
+            let r = results.next().expect("one result per task");
             if i == 0 {
                 base = r.traffic.total().max(1) as f64;
                 base_total += r.traffic.total();
@@ -66,5 +76,5 @@ fn main() {
         rep.stat(&format!("traffic_reduction.{}", m.label()), red);
         println!("  {:12} {:5.1}%", m.label(), 100.0 * red);
     }
-    rep.finish().expect("write results json");
+    finalize(rep);
 }

@@ -3,31 +3,40 @@
 //! workloads are insensitive (scalar PE handles them); SIMD-heavy affine
 //! workloads degrade, ~11% drop for NS-decouple at 16 cycles vs 4.
 
-use near_stream::ExecMode;
-use nsc_bench::{geomean, parse_size, prepare, system_for, Report};
+use near_stream::{ExecMode, RunResult};
+use nsc_bench::{finalize, geomean, parse_size, prepare, system_for, Report, SweepTask};
 use nsc_workloads::all;
+use std::sync::Arc;
 
 fn main() {
     let size = parse_size();
     let mut rep = Report::new("fig13_scm_latency", size);
     rep.meta("figure", "13");
-    println!("# Figure 13: SCM issue latency sensitivity, size {size:?}");
     let lats = [1u64, 4, 16];
     let modes = [ExecMode::Ns, ExecMode::NsNoSync, ExecMode::NsDecouple];
+    let preps: Vec<Arc<_>> = all(size).into_iter().map(|w| Arc::new(prepare(w))).collect();
+    let mut tasks: Vec<SweepTask<RunResult>> = Vec::new();
+    for p in &preps {
+        // Reference: NS at 1 cycle, then every (mode, latency) cell.
+        for (m, lat) in std::iter::once((ExecMode::Ns, 1u64))
+            .chain(modes.iter().flat_map(|m| lats.iter().map(|l| (*m, *l))))
+        {
+            let p = Arc::clone(p);
+            let mut cfg = system_for(size);
+            cfg.se.scm_issue_latency = lat;
+            tasks.push(Box::new(move || p.run_unchecked(m, &cfg).0));
+        }
+    }
+    let mut results = rep.sweep(tasks).into_iter();
+    println!("# Figure 13: SCM issue latency sensitivity, size {size:?}");
     println!("{:11} | {:>7} {:>7} {:>7} (NS) | (NS-nosync) | (NS-decouple)", "workload", "1cy", "4cy", "16cy");
     let mut per: Vec<Vec<Vec<f64>>> = vec![vec![Vec::new(); lats.len()]; modes.len()];
-    for w in all(size) {
-        let p = prepare(w);
+    for p in &preps {
         let mut row = format!("{:11}", p.workload.name);
-        // Reference: NS at 1 cycle.
-        let mut cfg0 = system_for(size);
-        cfg0.se.scm_issue_latency = 1;
-        let (refr, _) = p.run_unchecked(ExecMode::Ns, &cfg0);
+        let refr = results.next().expect("one result per task");
         for (mi, m) in modes.iter().enumerate() {
             for (li, lat) in lats.iter().enumerate() {
-                let mut cfg = system_for(size);
-                cfg.se.scm_issue_latency = *lat;
-                let (r, _) = p.run_unchecked(*m, &cfg);
+                let r = results.next().expect("one result per task");
                 let rel = refr.cycles as f64 / r.cycles.max(1) as f64;
                 per[mi][li].push(rel);
                 rep.stat(
@@ -47,5 +56,5 @@ fn main() {
         let g: Vec<String> = per[mi].iter().map(|v| format!("{:5.2}", geomean(v))).collect();
         println!("geomean {:12} 1/4/16cy: {}", m.label(), g.join(" "));
     }
-    rep.finish().expect("write results json");
+    finalize(rep);
 }

@@ -2,36 +2,44 @@
 //! Paper shape: graph/pointer workloads are insensitive (scalar ops);
 //! SIMD workloads need a larger ROB to overlap SCM computations.
 
-use near_stream::ExecMode;
-use nsc_bench::{parse_size, prepare, system_for, Report};
+use near_stream::{ExecMode, RunResult};
+use nsc_bench::{finalize, parse_size, prepare, system_for, Report, SweepTask};
 use nsc_workloads::all;
+use std::sync::Arc;
 
 fn main() {
     let size = parse_size();
     let robs = [8u32, 16, 32, 64];
     let mut rep = Report::new("fig14_scc_rob", size);
     rep.meta("figure", "14");
+    let preps: Vec<Arc<_>> = all(size).into_iter().map(|w| Arc::new(prepare(w))).collect();
+    let mut tasks: Vec<SweepTask<RunResult>> = Vec::new();
+    for p in &preps {
+        // Reference (64 entries) first, then every sweep point.
+        for rob in std::iter::once(64).chain(robs) {
+            let p = Arc::clone(p);
+            let mut cfg = system_for(size);
+            cfg.se.scc_rob = rob;
+            tasks.push(Box::new(move || p.run_unchecked(ExecMode::NsDecouple, &cfg).0));
+        }
+    }
+    let mut results = rep.sweep(tasks).into_iter();
     println!("# Figure 14: SCC ROB sensitivity (NS-decouple, normalized to 64 entries), size {size:?}");
     print!("{:11}", "workload");
     for r in robs {
         print!(" {:>7}", format!("{r}rob"));
     }
     println!();
-    for w in all(size) {
-        let p = prepare(w);
-        let mut cfg64 = system_for(size);
-        cfg64.se.scc_rob = 64;
-        let (r64, _) = p.run_unchecked(ExecMode::NsDecouple, &cfg64);
+    for p in &preps {
+        let r64 = results.next().expect("one result per task");
         print!("{:11}", p.workload.name);
         for rob in robs {
-            let mut cfg = system_for(size);
-            cfg.se.scc_rob = rob;
-            let (r, _) = p.run_unchecked(ExecMode::NsDecouple, &cfg);
+            let r = results.next().expect("one result per task");
             let rel = r64.cycles as f64 / r.cycles.max(1) as f64;
             rep.stat(&format!("relative.{}.{rob}rob", p.workload.name), rel);
             print!(" {rel:7.2}");
         }
         println!();
     }
-    rep.finish().expect("write results json");
+    finalize(rep);
 }

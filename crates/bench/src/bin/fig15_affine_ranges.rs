@@ -2,28 +2,38 @@
 //! (NS mode, affine workloads). Paper shape: generating ranges at SE_core
 //! saves ~15% traffic and ~5% performance.
 
-use near_stream::ExecMode;
-use nsc_bench::{parse_size, prepare, system_for, Report};
+use near_stream::{ExecMode, RunResult};
+use nsc_bench::{finalize, parse_size, prepare, system_for, Report, SweepTask};
 use nsc_workloads::{histogram, hotspot, hotspot3d, pathfinder, srad};
+use std::sync::Arc;
 
 fn main() {
     let size = parse_size();
     let mut rep = Report::new("fig15_affine_ranges", size);
     rep.meta("figure", "15");
+    let preps: Vec<Arc<_>> = [pathfinder(size), srad(size), hotspot(size), hotspot3d(size), histogram(size)]
+        .into_iter()
+        .map(|w| Arc::new(prepare(w)))
+        .collect();
+    let mut tasks: Vec<SweepTask<RunResult>> = Vec::new();
+    for p in &preps {
+        for at_core in [false, true] {
+            let p = Arc::clone(p);
+            let mut cfg = system_for(size);
+            cfg.se.affine_ranges_at_core = at_core;
+            tasks.push(Box::new(move || p.run_unchecked(ExecMode::Ns, &cfg).0));
+        }
+    }
+    let mut results = rep.sweep(tasks).into_iter();
     println!("# Figure 15: affine range generation (NS), size {size:?}");
     println!(
         "{:11} {:>12} {:>12} {:>9} {:>9}",
         "workload", "SE_L3(BxH)", "SEcore(BxH)", "traffic-", "speedup"
     );
     let (mut t_l3, mut t_core) = (0u64, 0u64);
-    for w in [pathfinder(size), srad(size), hotspot(size), hotspot3d(size), histogram(size)] {
-        let p = prepare(w);
-        let mut cfg_l3 = system_for(size);
-        cfg_l3.se.affine_ranges_at_core = false;
-        let (r_l3, _) = p.run_unchecked(ExecMode::Ns, &cfg_l3);
-        let mut cfg_core = system_for(size);
-        cfg_core.se.affine_ranges_at_core = true;
-        let (r_core, _) = p.run_unchecked(ExecMode::Ns, &cfg_core);
+    for p in &preps {
+        let r_l3 = results.next().expect("one result per task");
+        let r_core = results.next().expect("one result per task");
         t_l3 += r_l3.traffic.total();
         t_core += r_core.traffic.total();
         rep.run(p.workload.name, "NS-ranges-at-l3", &r_l3);
@@ -40,5 +50,5 @@ fn main() {
     let saved = 1.0 - t_core as f64 / t_l3.max(1) as f64;
     rep.stat("traffic_saved", saved);
     println!("overall traffic saved: {:.1}%  (paper: ~15%)", 100.0 * saved);
-    rep.finish().expect("write results json");
+    finalize(rep);
 }

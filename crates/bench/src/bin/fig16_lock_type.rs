@@ -3,28 +3,41 @@
 //! bfs_push and sssp (~1.29x under NS); pr_push always modifies, so no
 //! benefit; sync-free modes see little difference.
 
-use near_stream::ExecMode;
-use nsc_bench::{parse_size, prepare, system_for, Report};
+use near_stream::{ExecMode, RunResult};
+use nsc_bench::{finalize, parse_size, prepare, system_for, Report, SweepTask};
 use nsc_workloads::{bfs_push, pr_push, sssp};
+use std::sync::Arc;
 
 fn main() {
     let size = parse_size();
     let mut rep = Report::new("fig16_lock_type", size);
     rep.meta("figure", "16");
+    let modes = [ExecMode::Ns, ExecMode::NsNoSync, ExecMode::NsDecouple];
+    let preps: Vec<Arc<_>> = [bfs_push(size), pr_push(size), sssp(size)]
+        .into_iter()
+        .map(|w| Arc::new(prepare(w)))
+        .collect();
+    let mut tasks: Vec<SweepTask<RunResult>> = Vec::new();
+    for p in &preps {
+        for mode in modes {
+            for mrsw in [false, true] {
+                let p = Arc::clone(p);
+                let mut cfg = system_for(size);
+                cfg.mem.mrsw_lock = mrsw;
+                tasks.push(Box::new(move || p.run_unchecked(mode, &cfg).0));
+            }
+        }
+    }
+    let mut results = rep.sweep(tasks).into_iter();
     println!("# Figure 16: lock type (exclusive vs MRSW), size {size:?}");
     println!(
         "{:9} {:12} {:>10} {:>10} {:>9} {:>12} {:>12}",
         "workload", "mode", "excl(cyc)", "mrsw(cyc)", "speedup", "conflicts-x", "conflicts-m"
     );
-    for mk in [bfs_push, pr_push, sssp] {
-        for mode in [ExecMode::Ns, ExecMode::NsNoSync, ExecMode::NsDecouple] {
-            let p = prepare(mk(size));
-            let mut cfg_x = system_for(size);
-            cfg_x.mem.mrsw_lock = false;
-            let (rx, _) = p.run_unchecked(mode, &cfg_x);
-            let mut cfg_m = system_for(size);
-            cfg_m.mem.mrsw_lock = true;
-            let (rm, _) = p.run_unchecked(mode, &cfg_m);
+    for p in &preps {
+        for mode in modes {
+            let rx = results.next().expect("one result per task");
+            let rm = results.next().expect("one result per task");
             let wname = p.workload.name;
             rep.stat(
                 &format!("speedup.{wname}.{}", mode.label()),
@@ -44,5 +57,5 @@ fn main() {
             );
         }
     }
-    rep.finish().expect("write results json");
+    finalize(rep);
 }

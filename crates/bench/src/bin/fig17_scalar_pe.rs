@@ -2,25 +2,32 @@
 //! SIMD workloads insensitive; indirect/pointer-chasing workloads benefit
 //! (~1.1x for hash_join), ~2.5% overall.
 
-use near_stream::ExecMode;
-use nsc_bench::{geomean, parse_size, prepare, system_for, Report};
+use near_stream::{ExecMode, RunResult};
+use nsc_bench::{finalize, geomean, parse_size, prepare, system_for, Report, SweepTask};
 use nsc_workloads::all;
+use std::sync::Arc;
 
 fn main() {
     let size = parse_size();
     let mut rep = Report::new("fig17_scalar_pe", size);
     rep.meta("figure", "17");
+    let preps: Vec<Arc<_>> = all(size).into_iter().map(|w| Arc::new(prepare(w))).collect();
+    let mut tasks: Vec<SweepTask<RunResult>> = Vec::new();
+    for p in &preps {
+        for pe in [false, true] {
+            let p = Arc::clone(p);
+            let mut cfg = system_for(size);
+            cfg.se.scalar_pe = pe;
+            tasks.push(Box::new(move || p.run_unchecked(ExecMode::NsDecouple, &cfg).0));
+        }
+    }
+    let mut results = rep.sweep(tasks).into_iter();
     println!("# Figure 17: scalar PE sensitivity (NS-decouple), size {size:?}");
     println!("{:11} {:>12} {:>12} {:>9}", "workload", "no-PE(cyc)", "PE(cyc)", "speedup");
     let mut sp = Vec::new();
-    for w in all(size) {
-        let p = prepare(w);
-        let mut cfg_off = system_for(size);
-        cfg_off.se.scalar_pe = false;
-        let (off, _) = p.run_unchecked(ExecMode::NsDecouple, &cfg_off);
-        let mut cfg_on = system_for(size);
-        cfg_on.se.scalar_pe = true;
-        let (on, _) = p.run_unchecked(ExecMode::NsDecouple, &cfg_on);
+    for p in &preps {
+        let off = results.next().expect("one result per task");
+        let on = results.next().expect("one result per task");
         let s = off.cycles as f64 / on.cycles.max(1) as f64;
         sp.push(s);
         rep.stat(&format!("speedup.{}", p.workload.name), s);
@@ -28,5 +35,5 @@ fn main() {
     }
     rep.stat("geomean.speedup", geomean(&sp));
     println!("geomean: {:.3}x  (paper: ~1.025x overall, ~1.1x hash_join)", geomean(&sp));
-    rep.finish().expect("write results json");
+    finalize(rep);
 }

@@ -12,10 +12,11 @@
 //!
 //! `--seeds N` limits the sweep to the first N seeds (CI smoke uses 1).
 
-use near_stream::ExecMode;
-use nsc_bench::{parse_size, prepare, system_for, Report};
+use near_stream::{ExecMode, RunResult};
+use nsc_bench::{finalize, parse_size, prepare, system_for, Report, SweepTask};
 use nsc_sim::fault::{self, FaultPlan};
 use nsc_workloads::all;
+use std::sync::Arc;
 
 /// Injection probabilities per fault site and draw (0 = the clean run).
 const RATES: [f64; 3] = [1e-4, 1e-3, 1e-2];
@@ -43,6 +44,35 @@ fn main() {
     rep.meta("figure", "fault-sweep");
     rep.meta("modes", "NS");
     rep.meta("seeds", &format!("{seeds:?}"));
+    let preps: Vec<Arc<_>> = all(size).into_iter().map(|w| Arc::new(prepare(w))).collect();
+    // Per workload: the clean run, then every (rate, seed) cell. Each
+    // faulty task arms its *own* plan on whichever worker runs it — the
+    // schedule is a pure function of (seed, rate), so the sweep is
+    // bit-identical for any NSC_JOBS.
+    let mut tasks: Vec<SweepTask<(RunResult, u64)>> = Vec::new();
+    for p in &preps {
+        for plan in std::iter::once(None)
+            .chain(RATES.iter().flat_map(|&rate| {
+                seeds.iter().map(move |&seed| Some(FaultPlan::uniform(seed, rate)))
+            }))
+        {
+            let p = Arc::clone(p);
+            let cfg = cfg.clone();
+            tasks.push(Box::new(move || {
+                let armed = plan.is_some();
+                if let Some(plan) = plan {
+                    fault::install(plan);
+                }
+                let (r, mem) = p.run_unchecked(ExecMode::Ns, &cfg);
+                if armed {
+                    fault::uninstall();
+                }
+                let digest = p.workload.digest(&mem);
+                (r, digest)
+            }));
+        }
+    }
+    let mut results = rep.sweep(tasks).into_iter();
     println!("# Fault sweep: NS under injected faults, size {size:?}, {n_seeds} seed(s)");
     println!(
         "{:11} {:>12} | per rate: worst slowdown (faults/retries/fallbacks/replays)",
@@ -50,13 +80,11 @@ fn main() {
     );
     let mut violations = 0u64;
     let mut worst_overall = 1.0f64;
-    for w in all(size) {
-        let p = prepare(w);
+    for p in &preps {
         let want = p.workload.golden_digest();
-        let (clean, clean_mem) = p.run_unchecked(ExecMode::Ns, &cfg);
+        let (clean, clean_digest) = results.next().expect("one result per task");
         assert_eq!(
-            p.workload.digest(&clean_mem),
-            want,
+            clean_digest, want,
             "{} clean NS run diverged from golden",
             p.workload.name
         );
@@ -66,10 +94,8 @@ fn main() {
             let mut worst = 1.0f64;
             let mut totals = [0u64; 4];
             for &seed in seeds {
-                fault::install(FaultPlan::uniform(seed, rate));
-                let (r, mem) = p.run_unchecked(ExecMode::Ns, &cfg);
-                fault::uninstall();
-                if p.workload.digest(&mem) != want {
+                let (r, digest) = results.next().expect("one result per task");
+                if digest != want {
                     violations += 1;
                     eprintln!(
                         "TRANSPARENCY VIOLATION: {} at rate {rate:e} seed {seed}",
@@ -101,6 +127,6 @@ fn main() {
     println!("worst slowdown anywhere: {worst_overall:.2}x");
     rep.stat("transparency.violations", violations as f64);
     rep.stat("slowdown.worst", worst_overall);
-    rep.finish().expect("write results json");
+    finalize(rep);
     assert_eq!(violations, 0, "faulty runs diverged from fault-free results");
 }

@@ -2,30 +2,41 @@
 //! traffic and offload fractions — a one-screen summary of the whole
 //! evaluation (combines the axes of Figures 9, 11 and 12).
 
-use near_stream::{run, ExecMode};
-use nsc_compiler::compile;
+use near_stream::{ExecMode, RunResult};
+use nsc_bench::{finalize, parse_size, prepare, system_for, Report, SweepTask};
 use nsc_workloads::{all, Size};
-use std::time::Instant;
+use std::sync::Arc;
 
 fn main() {
-    let cfg = nsc_bench::system_for(Size::Small);
-    let mut rep = nsc_bench::Report::new("overview", nsc_bench::parse_size());
+    let cfg = system_for(Size::Small);
+    let mut rep = Report::new("overview", parse_size());
     rep.meta("summary", "all workloads under all systems");
+    let preps: Vec<Arc<_>> = all(parse_size()).into_iter().map(|w| Arc::new(prepare(w))).collect();
+    let mut tasks: Vec<SweepTask<(RunResult, bool)>> = Vec::new();
+    for p in &preps {
+        for mode in ExecMode::ALL {
+            let p = Arc::clone(p);
+            let cfg = cfg.clone();
+            tasks.push(Box::new(move || {
+                let (r, mem) = p.run_unchecked(mode, &cfg);
+                let correct = p.workload.digest(&mem) == p.workload.golden_digest();
+                (r, correct)
+            }));
+        }
+    }
+    let mut results = rep.sweep(tasks).into_iter();
     println!("{:11} {:>9} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7}  traffic: base NS NSdec  offl",
         "workload", "Base", "INST", "SINGLE", "NScore", "NSnoc", "NS", "NSnosy", "NSdec");
-    for w in all(nsc_bench::parse_size()) {
-        let compiled = compile(&w.program);
-        let golden = w.golden_digest();
-        let t0 = Instant::now();
+    for p in &preps {
+        let w = &p.workload;
         let mut cells = Vec::new();
         let mut traffic = Vec::new();
         let mut offl = 0.0;
         let mut base_cycles = 0;
         for mode in ExecMode::ALL {
-            let (r, mem) = run(&w.program, &compiled, &w.params, mode, &cfg, &w.init);
-            let d = w.digest(&mem);
+            let (r, correct) = results.next().expect("one result per task");
             rep.run(w.name, mode.label(), &r);
-            if d != golden { eprintln!("!! {} {:?} WRONG RESULT", w.name, mode); }
+            if !correct { eprintln!("!! {} {:?} WRONG RESULT", w.name, mode); }
             if mode == ExecMode::Base { base_cycles = r.cycles; }
             cells.push(if mode == ExecMode::Base { format!("{:9}", r.cycles) }
                        else { format!("{:7.2}", base_cycles as f64 / r.cycles as f64) });
@@ -34,8 +45,8 @@ fn main() {
             }
             if mode == ExecMode::Ns { offl = r.offload_fraction(); }
         }
-        println!("{:11} {}  {:>10} {:>10} {:>10}  {:.2} ({:?})",
-            w.name, cells.join(" "), traffic[0], traffic[1], traffic[2], offl, t0.elapsed());
+        println!("{:11} {}  {:>10} {:>10} {:>10}  {:.2}",
+            w.name, cells.join(" "), traffic[0], traffic[1], traffic[2], offl);
     }
-    rep.finish().expect("write results json");
+    finalize(rep);
 }

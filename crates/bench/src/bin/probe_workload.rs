@@ -4,7 +4,7 @@
 //! Usage: `probe_workload <name> [--tiny|--small|--full]`
 
 use near_stream::ExecMode;
-use nsc_bench::{prepare, system_for, Report};
+use nsc_bench::{finalize, prepare, system_for, Report};
 
 fn main() {
     let name = std::env::args().nth(1).unwrap_or("pathfinder".into());
@@ -30,5 +30,5 @@ fn main() {
             r.traffic.messages, r.dram_accesses, r.mem.l3_hits, r.mem.l3_misses,
             r.mem.l1_hits, r.mem.l1_misses, r.mem.invalidations, r.mem.private_writebacks);
     }
-    rep.finish().expect("write results json");
+    finalize(rep);
 }

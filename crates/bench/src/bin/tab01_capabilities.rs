@@ -3,7 +3,7 @@
 //! by running the implemented offload policies over the 14 workloads.
 
 use near_stream::ExecMode;
-use nsc_bench::{parse_size, prepare, system_for, Report};
+use nsc_bench::{finalize, parse_size, prepare, system_for, Report};
 use nsc_workloads::all;
 
 fn main() {
@@ -41,5 +41,5 @@ fn main() {
         cover[0], cover[1], cover[2]
     );
     println!("(*paper counts Livia's applicable set differently; see Table II)");
-    rep.finish().expect("write results json");
+    finalize(rep);
 }

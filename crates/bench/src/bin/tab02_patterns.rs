@@ -6,7 +6,7 @@
 //! high overhead), - = unsupported (falls back to prefetch/core).
 
 use near_stream::{offload_style, ExecMode, OffloadStyle, PolicyContext, SeConfig};
-use nsc_bench::Report;
+use nsc_bench::{finalize, Report};
 use nsc_workloads::Size;
 use nsc_ir::program::{ArrayId, StmtId};
 use nsc_ir::stream::{AddrPatternClass, ComputeClass, StreamId, StreamInfo};
@@ -79,5 +79,5 @@ fn main() {
     println!("NS supports {ns_full}/16 pattern cells fully (paper Table I: 16/16)");
     assert_eq!(ns_full, 16, "near-stream must cover the full taxonomy");
     rep.stat("ns_full_cells", ns_full as f64);
-    rep.finish().expect("write results json");
+    finalize(rep);
 }

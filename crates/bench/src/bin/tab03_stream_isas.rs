@@ -2,7 +2,7 @@
 //! runtime assertion that this implementation generates all three address
 //! patterns *and* offloads computation (the new dimension).
 
-use nsc_bench::{parse_size, Report};
+use nsc_bench::{finalize, parse_size, Report};
 use nsc_compiler::compile;
 use nsc_ir::stream::AddrPatternClass;
 use nsc_workloads::{all, Size};
@@ -45,5 +45,5 @@ fn main() {
     rep.stat("patterns.compute", compute as u8 as f64);
     println!();
     println!("verified: this implementation generates affine+indirect+ptr streams with computation");
-    rep.finish().expect("write results json");
+    finalize(rep);
 }

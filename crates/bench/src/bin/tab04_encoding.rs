@@ -1,7 +1,7 @@
 //! Table IV: the stream-configuration encoding — field widths, total
 //! record sizes and a round-trip exercise.
 
-use nsc_bench::Report;
+use nsc_bench::{finalize, Report};
 use nsc_ir::encoding::{AffineConfig, ComputeConfig, IndirectConfig};
 use nsc_workloads::Size;
 
@@ -41,5 +41,5 @@ fn main() {
         assert_eq!(ComputeConfig::decode(&c.encode()), c);
     }
     println!("round-trip: ok");
-    rep.finish().expect("write results json");
+    finalize(rep);
 }

@@ -13,10 +13,13 @@ use nsc_compiler::{compile, CompiledProgram};
 use nsc_ir::Memory;
 use nsc_sim::fault::{self, FaultPlan};
 use nsc_sim::json::{escape, fmt_f64};
+use nsc_sim::pool::{self, run_ordered, ThreadPool};
 use nsc_sim::trace::{self, chrome, RingRecorder};
-use nsc_sim::{Histogram, StatsTable};
+use nsc_sim::{Histogram, SimError, StatsTable};
 use nsc_workloads::{Size, Workload};
+use std::cell::Cell;
 use std::path::PathBuf;
+use std::time::Instant;
 
 /// Parses the scale flag from `std::env::args`.
 pub fn parse_size() -> Size {
@@ -183,7 +186,108 @@ pub struct Report {
     stats: StatsTable,
     histograms: Vec<(String, HistSummary)>,
     trace_path: Option<PathBuf>,
+    trace_knobs: Option<(usize, u64)>,
     fault_armed: bool,
+    started: Instant,
+    sim_runs: u64,
+    sweeper: Option<Sweep>,
+}
+
+/// One unit of sweep work: an independent simulation (or any other
+/// closure) whose result is collected in submission order.
+pub type SweepTask<T> = Box<dyn FnOnce() -> T + Send + 'static>;
+
+/// Fans independent `(workload, mode, config)` runs across `NSC_JOBS`
+/// worker threads with **bit-identical** results for any job count.
+///
+/// Three rules make parallelism unobservable:
+///
+/// 1. results return in *submission order* (never completion order),
+/// 2. when chaos mode is armed, each run gets its own injector seeded
+///    by [`FaultPlan::for_run`] from `(base seed, submission index)`,
+/// 3. when tracing, each run records into its own recorder and the
+///    recorders are absorbed back into the main-thread tracer in
+///    submission order.
+///
+/// Harnesses normally reach this through [`Report::sweep`], which also
+/// counts the runs for the `host.sim_runs` stat.
+pub struct Sweep {
+    pool: ThreadPool,
+    fault_base: Option<FaultPlan>,
+    trace_knobs: Option<(usize, u64)>,
+    /// Submission index of the next run; advances across `run` calls so
+    /// every run of a harness draws a distinct fault stream.
+    next_run: Cell<u64>,
+}
+
+impl Sweep {
+    /// Builds a sweep with `jobs` workers and explicit instrumentation
+    /// (bypassing the environment): `fault_base` arms a per-run derived
+    /// injector, `trace_knobs` is `(capacity, sample_every)` for
+    /// per-run recorders.
+    pub fn with_jobs(
+        jobs: usize,
+        fault_base: Option<FaultPlan>,
+        trace_knobs: Option<(usize, u64)>,
+    ) -> Sweep {
+        Sweep {
+            pool: ThreadPool::new(jobs),
+            fault_base,
+            trace_knobs,
+            next_run: Cell::new(0),
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn jobs(&self) -> usize {
+        self.pool.workers()
+    }
+
+    /// Runs every task, returning results in submission order.
+    ///
+    /// Instrumentation (fault injector, tracer) is armed *per run* on
+    /// whichever worker picks the task up, then merged back on the
+    /// calling thread in submission order — see the type docs for why
+    /// this makes the output independent of `NSC_JOBS`.
+    pub fn run<T: Send + 'static>(&self, tasks: Vec<SweepTask<T>>) -> Vec<T> {
+        /// A task result plus whatever per-run instrumentation it captured.
+        type Instrumented<T> = (T, Option<fault::FaultStats>, Option<RingRecorder>);
+        let first_run = self.next_run.get();
+        self.next_run.set(first_run + tasks.len() as u64);
+        let wrapped: Vec<SweepTask<Instrumented<T>>> = tasks
+            .into_iter()
+            .enumerate()
+            .map(|(i, task)| {
+                let fault_plan = self.fault_base.as_ref().map(|p| p.for_run(first_run + i as u64));
+                let trace_knobs = self.trace_knobs;
+                Box::new(move || {
+                    let faulting = fault_plan.is_some();
+                    if let Some(plan) = fault_plan {
+                        fault::install(plan);
+                    }
+                    if let Some((cap, every)) = trace_knobs {
+                        trace::install(RingRecorder::new(cap), every);
+                    }
+                    let value = task();
+                    let fstats = if faulting { fault::uninstall() } else { None };
+                    let rec = if trace_knobs.is_some() { trace::uninstall() } else { None };
+                    (value, fstats, rec)
+                }) as SweepTask<_>
+            })
+            .collect();
+        run_ordered(&self.pool, wrapped)
+            .into_iter()
+            .map(|(value, fstats, rec)| {
+                if let Some(fstats) = fstats {
+                    fault::absorb(fstats);
+                }
+                if let Some(rec) = rec {
+                    trace::absorb(rec);
+                }
+                value
+            })
+            .collect()
+    }
 }
 
 fn results_dir() -> PathBuf {
@@ -203,6 +307,7 @@ impl Report {
     /// Starts a report for harness `name` at scale `size`, installing a
     /// tracer when `NSC_TRACE` requests one.
     pub fn new(name: &str, size: Size) -> Report {
+        let mut trace_knobs = None;
         let trace_path = match std::env::var("NSC_TRACE") {
             Ok(v) if !v.is_empty() && v != "0" => {
                 let path = if v == "1" {
@@ -213,6 +318,7 @@ impl Report {
                 let cap = env_u64("NSC_TRACE_CAP", 1 << 20) as usize;
                 let sample_every = env_u64("NSC_TRACE_SAMPLE", 64);
                 trace::install(RingRecorder::new(cap), sample_every);
+                trace_knobs = Some((cap, sample_every));
                 Some(path)
             }
             _ => None,
@@ -235,8 +341,39 @@ impl Report {
             stats: StatsTable::new(),
             histograms: Vec::new(),
             trace_path,
+            trace_knobs,
             fault_armed,
+            started: Instant::now(),
+            sim_runs: 0,
+            sweeper: None,
         }
+    }
+
+    /// Fans `tasks` across `NSC_JOBS` workers (default: available
+    /// parallelism) and returns their results in submission order; see
+    /// [`Sweep`] for the determinism contract. Also counts the tasks
+    /// into the `host.sim_runs` stat.
+    ///
+    /// The worker pool and the per-run instrumentation base (the
+    /// environment's fault plan and trace knobs, as armed by
+    /// [`Report::new`]) are created on first use and reused across
+    /// calls.
+    pub fn sweep<T: Send + 'static>(&mut self, tasks: Vec<SweepTask<T>>) -> Vec<T> {
+        self.sim_runs += tasks.len() as u64;
+        if self.sweeper.is_none() {
+            self.sweeper = Some(Sweep::with_jobs(
+                pool::jobs_from_env(),
+                if self.fault_armed { FaultPlan::from_env() } else { None },
+                self.trace_knobs,
+            ));
+        }
+        self.sweeper.as_ref().expect("sweeper built above").run(tasks)
+    }
+
+    /// Counts simulations executed outside [`Report::sweep`] into the
+    /// `host.sim_runs` stat.
+    pub fn note_sim_runs(&mut self, n: u64) {
+        self.sim_runs += n;
     }
 
     /// Attaches a free-form metadata string (e.g. a config description).
@@ -292,13 +429,24 @@ impl Report {
                 fmt_opt(h.p99),
             ));
         }
-        out.push_str("}}\n");
+        out.push('}');
+        // Host-side observations (wall-clock, worker count) live in their
+        // own object, NOT under "stats": they legitimately vary between
+        // otherwise bit-identical runs, so determinism checks compare
+        // everything else and strip this one key.
+        out.push_str(&format!(
+            ",\"host\":{{\"jobs\":{},\"sim_runs\":{},\"wall_ms\":{}}}",
+            self.sweeper.as_ref().map(Sweep::jobs).unwrap_or(0),
+            self.sim_runs,
+            fmt_f64((self.started.elapsed().as_secs_f64() * 1e3 * 1e3).round() / 1e3),
+        ));
+        out.push_str("}\n");
         out
     }
 
     /// Writes `results/<name>.json` (and the trace file, when tracing) and
     /// returns the stats path.
-    pub fn finish(mut self) -> std::io::Result<PathBuf> {
+    pub fn finish(mut self) -> Result<PathBuf, SimError> {
         if self.fault_armed {
             if let Some(stats) = fault::uninstall() {
                 self.stats.set("fault.injected", stats.total() as f64);
@@ -312,15 +460,32 @@ impl Report {
             if let Some(rec) = trace::uninstall() {
                 self.stats.set("trace.events", rec.len() as f64);
                 self.stats.set("trace.dropped", rec.dropped() as f64);
-                chrome::write_file(&path, rec.events())?;
+                chrome::write_file(&path, rec.events())
+                    .map_err(|e| SimError::io(path.display().to_string(), &e))?;
                 eprintln!("trace: {}", path.display());
             }
         }
         let dir = results_dir();
-        std::fs::create_dir_all(&dir)?;
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| SimError::io(dir.display().to_string(), &e))?;
         let path = dir.join(format!("{}.json", self.name));
-        std::fs::write(&path, self.render())?;
+        std::fs::write(&path, self.render())
+            .map_err(|e| SimError::io(path.display().to_string(), &e))?;
         Ok(path)
+    }
+}
+
+/// Finishes a report, or reports the failure the way a command-line
+/// tool should: the typed error goes to stderr and the process exits
+/// non-zero. An unwritable results directory is an environment problem,
+/// not a bug — so no panic, no backtrace.
+pub fn finalize(rep: Report) -> PathBuf {
+    match rep.finish() {
+        Ok(path) => path,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
     }
 }
 
@@ -394,6 +559,52 @@ mod tests {
             .and_then(Json::as_f64)
             .unwrap());
         assert!(hists.contains_key("runs.histogram.base.noc_latency"));
+    }
+
+    #[test]
+    fn sweep_is_bit_identical_across_job_counts() {
+        let outputs: Vec<Vec<u64>> = [1usize, 4, 8]
+            .iter()
+            .map(|&jobs| {
+                let sweep = Sweep::with_jobs(jobs, Some(FaultPlan::uniform(9, 0.5)), None);
+                let tasks: Vec<SweepTask<u64>> = (0..24u64)
+                    .map(|i| {
+                        Box::new(move || {
+                            // Consume per-run injector draws so the test
+                            // fails if runs ever share a PRNG stream.
+                            let mut hits = 0u64;
+                            for _ in 0..8 {
+                                hits +=
+                                    nsc_sim::fault::inject(nsc_sim::fault::FaultSite::MemError)
+                                        as u64;
+                            }
+                            i * 100 + hits
+                        }) as SweepTask<u64>
+                    })
+                    .collect();
+                sweep.run(tasks)
+            })
+            .collect();
+        assert_eq!(outputs[0], outputs[1], "jobs=1 vs jobs=4");
+        assert_eq!(outputs[0], outputs[2], "jobs=1 vs jobs=8");
+        // Submission order: index i's result starts at i*100.
+        for (i, v) in outputs[0].iter().enumerate() {
+            assert_eq!(v / 100, i as u64);
+        }
+    }
+
+    #[test]
+    fn report_renders_host_object() {
+        use nsc_sim::json::{parse, Json};
+        let mut rep = Report::new("unit_host", Size::Tiny);
+        let vals = rep.sweep((0..3u64).map(|i| Box::new(move || i) as SweepTask<u64>).collect());
+        assert_eq!(vals, vec![0, 1, 2]);
+        rep.note_sim_runs(2);
+        let doc = parse(&rep.render()).expect("report is valid JSON");
+        let host = doc.get("host").and_then(Json::as_obj).unwrap();
+        assert!(host.get("jobs").and_then(Json::as_f64).unwrap() >= 1.0);
+        assert_eq!(host.get("sim_runs").and_then(Json::as_f64), Some(5.0));
+        assert!(host.get("wall_ms").and_then(Json::as_f64).unwrap() >= 0.0);
     }
 
     #[test]

@@ -865,7 +865,7 @@ impl Engine<'_, '_> {
                         && rt.probe_misses as f64 >= 0.4 * rt.probe_accesses as f64;
                     let contended = rt.probe_misses as f64 >= 0.25 * rt.probe_total as f64;
                     rt.deferred = None;
-                    rt.probe_lines = std::collections::HashSet::new();
+                    rt.probe_lines.clear();
                     if streaming || contended {
                         let bank = rt.current_bank;
                         let (at, core) = (self.state.now, self.state.core);
@@ -1036,13 +1036,17 @@ impl Engine<'_, '_> {
         sid: StreamId,
         modifies: bool,
     ) -> Cycle {
-        let info = &self.compiled.streams[sid.0 as usize];
+        // Reborrow `compiled` at its full lifetime, detached from `self`:
+        // the dependence list can then be iterated while `self` is mutated,
+        // without cloning a Vec on every element.
+        let compiled = self.compiled;
+        let info = &compiled.streams[sid.0 as usize];
         let role = info.role;
         let pattern = info.pattern;
         let compute_uops = info.compute_uops;
         let needs_scm = info.needs_scm;
         let result_bytes = info.result_bytes;
-        let value_deps = info.value_deps.clone();
+        let value_deps = &info.value_deps;
         let forward_only = self.state.streams[sid.0 as usize].forward_only;
         let irregular = info.is_irregular();
 
@@ -1100,7 +1104,7 @@ impl Engine<'_, '_> {
                 rt.outer_dep_marker = outer_marker;
                 changed
             };
-            for dep in &value_deps {
+            for dep in value_deps {
                 let dep_info = &self.compiled.streams[dep.0 as usize];
                 // Values co-located with the indirect base ride the
                 // indirect request itself (paper §II-B: "A[i] is included

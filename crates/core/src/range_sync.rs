@@ -8,7 +8,6 @@
 use nsc_ir::stream::StreamId;
 use nsc_mem::addr::AddrRange;
 use nsc_mem::Addr;
-use std::collections::HashMap;
 
 /// Tracks the touched ranges of a core's offloaded streams.
 ///
@@ -28,7 +27,11 @@ use std::collections::HashMap;
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct RangeTracker {
-    ranges: HashMap<StreamId, AddrRange>,
+    /// Per-stream ranges, densely indexed by `StreamId` — `record` and the
+    /// per-access checks are on the simulator's per-element hot path, so no
+    /// hashing, and iteration order is fixed (HashMap order varies per
+    /// process, which would make "first aliasing stream" nondeterministic).
+    ranges: Vec<Option<AddrRange>>,
     false_sharing_checks: u64,
     aliases: u64,
 }
@@ -41,32 +44,45 @@ impl RangeTracker {
 
     /// Extends `stream`'s touched range with `[addr, addr+bytes)`.
     pub fn record(&mut self, stream: StreamId, addr: Addr, bytes: u64) {
-        self.ranges.entry(stream).or_default().extend(addr, bytes);
+        let i = stream.0 as usize;
+        if i >= self.ranges.len() {
+            self.ranges.resize(i + 1, None);
+        }
+        self.ranges[i]
+            .get_or_insert_with(AddrRange::default)
+            .extend(addr, bytes);
     }
 
     /// Checks a core access against all offloaded ranges; returns the first
-    /// aliasing stream. Conservative: range overlap counts as an alias
-    /// even if the exact addresses differ (the paper accepts false
+    /// aliasing stream (lowest id). Conservative: range overlap counts as
+    /// an alias even if the exact addresses differ (the paper accepts false
     /// positives).
     pub fn check_core_access(&mut self, addr: Addr, bytes: u64) -> Option<StreamId> {
         self.false_sharing_checks += 1;
-        for (sid, r) in &self.ranges {
-            if r.touches(addr, bytes) {
-                self.aliases += 1;
-                return Some(*sid);
+        for (i, r) in self.ranges.iter().enumerate() {
+            if let Some(r) = r {
+                if r.touches(addr, bytes) {
+                    self.aliases += 1;
+                    return Some(StreamId(i as u8));
+                }
             }
         }
         None
     }
 
     /// Checks for inter-stream aliasing; returns the first overlapping
-    /// pair.
+    /// pair (lowest ids).
     pub fn check_inter_stream(&self) -> Option<(StreamId, StreamId)> {
-        let items: Vec<(&StreamId, &AddrRange)> = self.ranges.iter().collect();
+        let items: Vec<(StreamId, &AddrRange)> = self
+            .ranges
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.as_ref().map(|r| (StreamId(i as u8), r)))
+            .collect();
         for i in 0..items.len() {
             for j in i + 1..items.len() {
                 if items[i].1.overlaps(items[j].1) {
-                    return Some((*items[i].0, *items[j].0));
+                    return Some((items[i].0, items[j].0));
                 }
             }
         }
@@ -75,17 +91,19 @@ impl RangeTracker {
 
     /// The touched range of a stream, if recorded.
     pub fn range_of(&self, stream: StreamId) -> Option<&AddrRange> {
-        self.ranges.get(&stream)
+        self.ranges.get(stream.0 as usize)?.as_ref()
     }
 
     /// Drops a stream (terminated or flushed).
     pub fn remove(&mut self, stream: StreamId) {
-        self.ranges.remove(&stream);
+        if let Some(slot) = self.ranges.get_mut(stream.0 as usize) {
+            *slot = None;
+        }
     }
 
-    /// Resets all ranges (kernel boundary).
+    /// Resets all ranges (kernel boundary). Keeps the allocation.
     pub fn clear(&mut self) {
-        self.ranges.clear();
+        self.ranges.iter_mut().for_each(|r| *r = None);
     }
 
     /// Number of alias hits observed.
@@ -231,7 +249,9 @@ impl Default for AliasFilter {
 #[derive(Clone, Debug)]
 pub struct BloomTracker {
     bits: usize,
-    filters: HashMap<StreamId, Vec<u64>>,
+    /// Per-stream filters, densely indexed by `StreamId` (see
+    /// [`RangeTracker::ranges`] for why not a `HashMap`).
+    filters: Vec<Option<Vec<u64>>>,
     aliases: u64,
 }
 
@@ -246,7 +266,7 @@ impl BloomTracker {
         assert!(bits > 0, "need at least one filter bit");
         BloomTracker {
             bits: bits.next_multiple_of(64),
-            filters: HashMap::new(),
+            filters: Vec::new(),
             aliases: 0,
         }
     }
@@ -269,10 +289,11 @@ impl BloomTracker {
     /// Records that `stream` touched `[addr, addr+bytes)`.
     pub fn record(&mut self, stream: StreamId, addr: Addr, bytes: u64) {
         let bits = self.bits;
-        let filter = self
-            .filters
-            .entry(stream)
-            .or_insert_with(|| vec![0u64; bits / 64]);
+        let i = stream.0 as usize;
+        if i >= self.filters.len() {
+            self.filters.resize(i + 1, None);
+        }
+        let filter = self.filters[i].get_or_insert_with(|| vec![0u64; bits / 64]);
         for line in Self::lines_of(addr, bytes) {
             let h1 = line.wrapping_mul(0x9E37_79B9_7F4A_7C15) % bits as u64;
             let h2 = (line.wrapping_mul(0xC2B2_AE3D_27D4_EB4F) ^ (line >> 17)) % bits as u64;
@@ -283,9 +304,11 @@ impl BloomTracker {
     }
 
     /// Checks a core access against all stream filters; returns the first
-    /// (possibly false-positive) hit. Never returns a false negative.
+    /// (possibly false-positive) hit, lowest stream id first. Never returns
+    /// a false negative.
     pub fn check_core_access(&mut self, addr: Addr, bytes: u64) -> Option<StreamId> {
-        for (sid, filter) in &self.filters {
+        for (i, filter) in self.filters.iter().enumerate() {
+            let Some(filter) = filter else { continue };
             let hit = Self::lines_of(addr, bytes).any(|line| {
                 self.hashes(line)
                     .into_iter()
@@ -293,7 +316,7 @@ impl BloomTracker {
             });
             if hit {
                 self.aliases += 1;
-                return Some(*sid);
+                return Some(StreamId(i as u8));
             }
         }
         None
@@ -301,12 +324,14 @@ impl BloomTracker {
 
     /// Drops a stream's filter.
     pub fn remove(&mut self, stream: StreamId) {
-        self.filters.remove(&stream);
+        if let Some(slot) = self.filters.get_mut(stream.0 as usize) {
+            *slot = None;
+        }
     }
 
-    /// Resets all filters.
+    /// Resets all filters. Keeps the allocations.
     pub fn clear(&mut self) {
-        self.filters.clear();
+        self.filters.iter_mut().for_each(|f| *f = None);
     }
 
     /// Number of alias hits observed.

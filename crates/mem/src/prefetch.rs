@@ -47,8 +47,12 @@ struct ActiveRegion {
 /// ```
 #[derive(Clone, Debug)]
 pub struct SpatialPrefetcher {
-    /// Learned footprints keyed by trigger offset.
-    pht: HashMap<u8, u32>,
+    /// Learned footprints indexed by trigger offset (0 = nothing learned:
+    /// a learned footprint always contains its trigger bit). The trigger
+    /// offset has only `REGION_LINES` values, so a direct-indexed array
+    /// beats hashing on the miss path.
+    pht: [u32; REGION_LINES as usize],
+    pht_len: usize,
     pht_capacity: usize,
     active: HashMap<u64, ActiveRegion>,
     active_capacity: usize,
@@ -61,7 +65,8 @@ impl SpatialPrefetcher {
     /// table capacities.
     pub fn new(pht_capacity: usize, active_capacity: usize) -> SpatialPrefetcher {
         SpatialPrefetcher {
-            pht: HashMap::new(),
+            pht: [0; REGION_LINES as usize],
+            pht_len: 0,
             pht_capacity,
             active: HashMap::new(),
             active_capacity,
@@ -104,9 +109,10 @@ impl SpatialPrefetcher {
         }
 
         // Predict the rest of the region from the learned footprint.
-        let Some(&footprint) = self.pht.get(&offset) else {
+        let footprint = self.pht[offset as usize];
+        if footprint == 0 {
             return Vec::new();
-        };
+        }
         let base = region * REGION_LINES;
         let mut out = Vec::new();
         for bit in 0..REGION_LINES {
@@ -119,11 +125,14 @@ impl SpatialPrefetcher {
     }
 
     fn learn(&mut self, region: ActiveRegion) {
-        if self.pht.len() >= self.pht_capacity && !self.pht.contains_key(&region.trigger_offset) {
-            return; // PHT full; drop (capacity pressure model)
+        let slot = &mut self.pht[region.trigger_offset as usize];
+        if *slot == 0 {
+            if self.pht_len >= self.pht_capacity {
+                return; // PHT full; drop (capacity pressure model)
+            }
+            self.pht_len += 1;
         }
         // Blend with prior knowledge: union keeps dense patterns stable.
-        let slot = self.pht.entry(region.trigger_offset).or_insert(0);
         *slot |= region.footprint;
     }
 

@@ -280,7 +280,9 @@ impl MemorySystem {
 
         // L1 lookup.
         if let Some(hit) = p.l1.lookup(line, now) {
-            if p.prefetched.remove(&line) {
+            // Guard the set probe: with prefetching off (or idle) the set is
+            // empty and every L1 hit would still pay a hash.
+            if !p.prefetched.is_empty() && p.prefetched.remove(&line) {
                 self.stats.prefetch_hits += 1;
             }
             self.stats.l1_hits += 1;

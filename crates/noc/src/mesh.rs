@@ -1,11 +1,10 @@
 //! The mesh timing and traffic-accounting model.
 
-use crate::topology::{xy_route, Link, TileId};
+use crate::topology::{xy_route_into, Link, TileId};
 use nsc_sim::error::SimError;
 use nsc_sim::fault::{self, FaultSite};
 use nsc_sim::trace::{self, TraceEvent};
 use nsc_sim::{resource::BandwidthLedger, Cycle, Histogram, Summary};
-use std::collections::BTreeSet;
 
 /// Classification of NoC messages, matching the paper's Figure 12 breakdown.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -212,6 +211,9 @@ pub struct Mesh {
     /// Directed link bandwidth ledgers indexed by `tile * 4 + direction`.
     links: Vec<BandwidthLedger>,
     traffic: TrafficStats,
+    /// Reusable route buffer: `send` runs once per message, so routing must
+    /// not allocate. Taken (and restored) around each use.
+    route_scratch: Vec<Link>,
 }
 
 /// Direction of a mesh link from a tile.
@@ -257,6 +259,7 @@ impl Mesh {
             config,
             links: vec![BandwidthLedger::new(16, 16); n],
             traffic: TrafficStats::default(),
+            route_scratch: Vec::with_capacity(64),
         })
     }
 
@@ -316,7 +319,9 @@ impl Mesh {
         if src == dst {
             return now + 1;
         }
-        let route = xy_route(src, dst, self.config.width);
+        let mut route = std::mem::take(&mut self.route_scratch);
+        route.clear();
+        xy_route_into(src, dst, self.config.width, &mut route);
         let hops = route.len() as u64;
         let flits = self.flit_cycles(bytes);
         let mut arrival = self.route_time(now, &route, flits);
@@ -362,6 +367,7 @@ impl Mesh {
                 arrival += d;
             }
         }
+        self.route_scratch = route;
         self.traffic
             .record(class, bytes + self.config.header_bytes, hops, arrival - now);
         trace::emit(|| TraceEvent::NocMsg {
@@ -388,21 +394,24 @@ impl Mesh {
         bytes: u64,
         class: MsgClass,
     ) -> Cycle {
-        let mut union: BTreeSet<Link> = BTreeSet::new();
+        let mut union = std::mem::take(&mut self.route_scratch);
+        union.clear();
         let mut max_arrival = now + 1;
         let flits = self.flit_cycles(bytes);
         for &dst in dsts {
             if dst == src {
                 continue;
             }
-            let route = xy_route(src, dst, self.config.width);
-            let mut t = now;
-            for link in &route {
-                union.insert(*link);
-                t += self.config.router_latency + self.config.link_latency;
-            }
+            let before = union.len();
+            xy_route_into(src, dst, self.config.width, &mut union);
+            let t = now
+                + (union.len() - before) as u64
+                    * (self.config.router_latency + self.config.link_latency);
             max_arrival = max_arrival.max(t + (flits - 1));
         }
+        // Tree multicast charges each link of the route union exactly once.
+        union.sort_unstable();
+        union.dedup();
         for link in &union {
             let idx = link.from.raw() as usize * 4 + dir_index(link.from, link.to, self.config.width);
             if self.config.contention {
@@ -425,6 +434,7 @@ impl Mesh {
                 class: class.label(),
             });
         }
+        self.route_scratch = union;
         max_arrival
     }
 

@@ -83,23 +83,30 @@ pub struct Link {
 /// assert_eq!(route.last().unwrap().to, TileId::from_xy(2, 1, 4));
 /// ```
 pub fn xy_route(src: TileId, dst: TileId, width: u16) -> Vec<Link> {
+    let mut links = Vec::with_capacity(src.hops_to(dst, width) as usize);
+    xy_route_into(src, dst, width, &mut links);
+    links
+}
+
+/// Allocation-free variant of [`xy_route`]: appends the route's links to
+/// `out` without clearing it. Callers on the per-message hot path keep a
+/// scratch buffer alive across sends instead of allocating per route.
+pub fn xy_route_into(src: TileId, dst: TileId, width: u16, out: &mut Vec<Link>) {
     let (mut x, mut y) = src.xy(width);
     let (dx, dy) = dst.xy(width);
-    let mut links = Vec::with_capacity(src.hops_to(dst, width) as usize);
     let mut cur = src;
     while x != dx {
         x = if x < dx { x + 1 } else { x - 1 };
         let next = TileId::from_xy(x, y, width);
-        links.push(Link { from: cur, to: next });
+        out.push(Link { from: cur, to: next });
         cur = next;
     }
     while y != dy {
         y = if y < dy { y + 1 } else { y - 1 };
         let next = TileId::from_xy(x, y, width);
-        links.push(Link { from: cur, to: next });
+        out.push(Link { from: cur, to: next });
         cur = next;
     }
-    links
 }
 
 #[cfg(test)]

@@ -45,6 +45,13 @@ pub enum SimError {
         /// (e.g. `core 3: iteration 17/64`).
         pending: Vec<String>,
     },
+    /// An artifact (results JSON, trace file) could not be written.
+    Io {
+        /// What was being written (usually a path).
+        what: String,
+        /// The underlying OS error, stringified.
+        cause: String,
+    },
 }
 
 impl SimError {
@@ -56,6 +63,14 @@ impl SimError {
     /// Shorthand for a [`SimError::ResourceExhausted`].
     pub fn exhausted(what: impl Into<String>) -> Self {
         SimError::ResourceExhausted { what: what.into() }
+    }
+
+    /// Wraps an io error with the artifact it concerned.
+    pub fn io(what: impl Into<String>, cause: &std::io::Error) -> Self {
+        SimError::Io {
+            what: what.into(),
+            cause: cause.to_string(),
+        }
     }
 }
 
@@ -75,6 +90,7 @@ impl fmt::Display for SimError {
                     pending.join("; ")
                 )
             }
+            SimError::Io { what, cause } => write!(f, "cannot write {what}: {cause}"),
         }
     }
 }

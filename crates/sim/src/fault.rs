@@ -172,6 +172,24 @@ impl FaultPlan {
         Some(FaultPlan::uniform(seed, rate))
     }
 
+    /// Derives the plan a parallel sweep arms for run number `run`:
+    /// identical rates, with the seed mixed (splitmix64) from the base
+    /// seed and the run's submission index. Each run then draws an
+    /// independent, reproducible stream that depends only on
+    /// `(base seed, run index)` — never on which worker executes it or
+    /// in what order runs complete.
+    pub fn for_run(&self, run: u64) -> FaultPlan {
+        let mut z = self
+            .seed
+            .wrapping_add(run.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        FaultPlan {
+            seed: z ^ (z >> 31),
+            ..self.clone()
+        }
+    }
+
     /// Whether the plan can never fire (all probabilities zero).
     pub fn is_inert(&self) -> bool {
         self.noc_drop <= 0.0
@@ -271,14 +289,18 @@ pub fn install(plan: FaultPlan) {
         panic!("refusing to install fault plan: {e}");
     }
     let rng = Rng::seed_from_u64(plan.seed);
-    INJECTOR.with(|t| {
-        *t.borrow_mut() = Some(Injector {
-            plan,
-            rng,
-            stats: FaultStats::default(),
-        });
+    let replaced = INJECTOR.with(|t| {
+        t.borrow_mut()
+            .replace(Injector {
+                plan,
+                rng,
+                stats: FaultStats::default(),
+            })
+            .is_some()
     });
-    ACTIVE.fetch_add(1, Ordering::Relaxed);
+    if !replaced {
+        ACTIVE.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 /// Disarms the injector and returns its stats, or `None` if fault
@@ -289,6 +311,23 @@ pub fn uninstall() -> Option<FaultStats> {
         ACTIVE.fetch_sub(1, Ordering::Relaxed);
     }
     prev.map(|inj| inj.stats)
+}
+
+/// Adds `stats` into the injector installed on *this* thread.
+///
+/// Parallel sweeps arm a per-run injector on whatever worker executes a
+/// run (see [`FaultPlan::for_run`]) and absorb each run's stats back
+/// into the main-thread injector in submission order, so the totals the
+/// harness reports are independent of worker count and completion
+/// timing. A no-op when no injector is installed here.
+pub fn absorb(stats: FaultStats) {
+    INJECTOR.with(|t| {
+        if let Some(inj) = t.borrow_mut().as_mut() {
+            for i in 0..inj.stats.counts.len() {
+                inj.stats.counts[i] += stats.counts[i];
+            }
+        }
+    });
 }
 
 /// Whether any injector is installed (fast, approximate across threads).
@@ -352,6 +391,43 @@ pub fn snapshot() -> FaultStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn absorb_sums_into_installed_injector() {
+        install(FaultPlan::uniform(11, 1.0));
+        assert!(inject(FaultSite::NocDrop));
+        let mut other = FaultStats::default();
+        other.counts[FaultSite::MemError.index()] = 4;
+        other.counts[FaultSite::NocDrop.index()] = 2;
+        absorb(other);
+        let s = uninstall().unwrap();
+        assert_eq!(s.count(FaultSite::NocDrop), 3);
+        assert_eq!(s.count(FaultSite::MemError), 4);
+        // Absorb with nothing installed is a silent no-op.
+        absorb(other);
+        assert!(uninstall().is_none());
+    }
+
+    #[test]
+    fn for_run_is_deterministic_and_decorrelated() {
+        let base = FaultPlan::uniform(0xC0FFEE, 1e-3);
+        assert_eq!(base.for_run(5), base.for_run(5));
+        assert_ne!(base.for_run(0).seed, base.for_run(1).seed);
+        assert_ne!(base.for_run(0).seed, base.seed);
+        let derived = base.for_run(3);
+        assert_eq!(derived.mem_error, base.mem_error);
+        assert_eq!(derived.noc_delay_cycles, base.noc_delay_cycles);
+    }
+
+    #[test]
+    fn install_replacing_does_not_leak_active_count() {
+        let before = ACTIVE.load(Ordering::Relaxed);
+        install(FaultPlan::uniform(1, 0.5));
+        install(FaultPlan::uniform(2, 0.5)); // replace, not stack
+        assert_eq!(ACTIVE.load(Ordering::Relaxed), before + 1);
+        assert!(uninstall().is_some());
+        assert_eq!(ACTIVE.load(Ordering::Relaxed), before);
+    }
 
     #[test]
     fn disarmed_never_injects() {

@@ -19,6 +19,7 @@
 pub mod error;
 pub mod fault;
 pub mod json;
+pub mod pool;
 pub mod queue;
 pub mod resource;
 pub mod rng;

@@ -1,4 +1,12 @@
 //! Deterministic event queue.
+//!
+//! Implemented as a *calendar queue*: a ring of time buckets covering a
+//! near-future window, spilling far-future events into a fallback heap.
+//! Discrete-event simulations of cache/NoC hardware schedule almost
+//! every event within a few hundred cycles of "now", so push and pop
+//! are amortised O(1) bucket operations instead of the O(log n) sift of
+//! a binary heap, while the observable order stays exactly the
+//! (time, seq) total order the old heap provided.
 
 use crate::time::Cycle;
 use std::cmp::Ordering;
@@ -9,6 +17,13 @@ struct Entry<T> {
     time: Cycle,
     seq: u64,
     payload: T,
+}
+
+impl<T> Entry<T> {
+    #[inline]
+    fn key(&self) -> (Cycle, u64) {
+        (self.time, self.seq)
+    }
 }
 
 impl<T> PartialEq for Entry<T> {
@@ -32,11 +47,27 @@ impl<T> Ord for Entry<T> {
     }
 }
 
+/// Default bucket width: 16 cycles per bucket.
+const DEFAULT_WIDTH_SHIFT: u32 = 4;
+/// Default ring size: 512 buckets, i.e. an 8192-cycle near-future window.
+const DEFAULT_BUCKETS: usize = 512;
+
 /// A time-ordered event queue with deterministic tie-breaking.
 ///
 /// Events scheduled for the same cycle are delivered in insertion order, so a
 /// simulation driven by this queue is fully reproducible regardless of
 /// payload type or hash seeds.
+///
+/// Internally a calendar queue: events within `buckets × 2^width_shift`
+/// cycles of the last popped event land in a ring bucket indexed by
+/// `(time >> width_shift) % buckets`; later events wait in an overflow
+/// heap and migrate into the ring as the clock advances. Each ring
+/// "day" (one bucket-width of cycles) holds exactly one day's events
+/// — two in-window days can never collide on a bucket — and a bucket
+/// is sorted lazily the first time the pop scan reaches it, with
+/// same-day pushes binary-inserted afterwards. Every pop therefore
+/// still delivers the global minimum `(time, seq)`, bit-identical to
+/// the previous `BinaryHeap` implementation.
 ///
 /// # Examples
 ///
@@ -50,20 +81,94 @@ impl<T> Ord for Entry<T> {
 /// let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
 /// assert_eq!(order, vec!['a', 'b', 'c']);
 /// ```
-#[derive(Default)]
 pub struct EventQueue<T> {
-    heap: BinaryHeap<Entry<T>>,
+    /// Ring of near-future buckets; `buckets[day % n]` holds exactly the
+    /// entries of `day` for in-window days.
+    buckets: Vec<Vec<Entry<T>>>,
+    /// log2 of the bucket width in cycles.
+    width_shift: u32,
+    /// Entries beyond the ring window, keyed like the old heap.
+    overflow: BinaryHeap<Entry<T>>,
+    /// Number of entries currently in `buckets` (not `overflow`).
+    in_ring: usize,
+    /// Day (`time >> width_shift`) of the last popped event; every live
+    /// ring entry has a day in `[cur_day, cur_day + buckets.len())`.
+    cur_day: u64,
+    /// The single day whose bucket is currently sorted (descending by
+    /// `(time, seq)`, so the minimum pops from the back).
+    sorted_day: Option<u64>,
     next_seq: u64,
     last_popped: Cycle,
 }
 
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl<T> EventQueue<T> {
-    /// Creates an empty queue.
+    /// Creates an empty queue with the default geometry (512 buckets of
+    /// 16 cycles).
     pub fn new() -> Self {
+        Self::with_geometry(DEFAULT_WIDTH_SHIFT, DEFAULT_BUCKETS)
+    }
+
+    /// Creates an empty queue with `n_buckets` ring buckets of
+    /// `2^width_shift` cycles each. Exposed for tuning experiments and
+    /// property tests; any geometry produces the same pop order.
+    pub fn with_geometry(width_shift: u32, n_buckets: usize) -> Self {
+        assert!(n_buckets >= 1, "calendar queue needs at least one bucket");
+        assert!(width_shift < 32, "bucket width 2^{width_shift} is absurd");
         EventQueue {
-            heap: BinaryHeap::new(),
+            buckets: (0..n_buckets).map(|_| Vec::new()).collect(),
+            width_shift,
+            overflow: BinaryHeap::new(),
+            in_ring: 0,
+            cur_day: 0,
+            sorted_day: None,
             next_seq: 0,
             last_popped: Cycle::ZERO,
+        }
+    }
+
+    #[inline]
+    fn day_of(&self, time: Cycle) -> u64 {
+        time.0 >> self.width_shift
+    }
+
+    /// Upper bound (exclusive) of the ring window in days.
+    #[inline]
+    fn horizon(&self) -> u64 {
+        self.cur_day.saturating_add(self.buckets.len() as u64)
+    }
+
+    /// Places an entry in its ring bucket, preserving sortedness if the
+    /// pop scan already sorted that day's bucket.
+    fn ring_insert(&mut self, entry: Entry<T>) {
+        let day = self.day_of(entry.time);
+        debug_assert!(day >= self.cur_day && day < self.horizon());
+        let idx = (day % self.buckets.len() as u64) as usize;
+        let bucket = &mut self.buckets[idx];
+        if self.sorted_day == Some(day) {
+            // Descending by (time, seq): strictly-greater entries first.
+            let key = entry.key();
+            let at = bucket.partition_point(|e| e.key() > key);
+            bucket.insert(at, entry);
+        } else {
+            bucket.push(entry);
+        }
+        self.in_ring += 1;
+    }
+
+    /// Moves overflow entries that fell inside the window into the ring.
+    fn migrate_overflow(&mut self) {
+        while let Some(top) = self.overflow.peek() {
+            if self.day_of(top.time) >= self.horizon() {
+                break;
+            }
+            let e = self.overflow.pop().expect("peeked entry");
+            self.ring_insert(e);
         }
     }
 
@@ -82,29 +187,86 @@ impl<T> EventQueue<T> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { time, seq, payload });
+        let entry = Entry { time, seq, payload };
+        if self.day_of(time) < self.horizon() {
+            self.ring_insert(entry);
+        } else {
+            self.overflow.push(entry);
+        }
     }
 
     /// Removes and returns the earliest event, if any.
     pub fn pop(&mut self) -> Option<(Cycle, T)> {
-        let e = self.heap.pop()?;
-        self.last_popped = e.time;
-        Some((e.time, e.payload))
+        if self.in_ring == 0 {
+            // Fast-forward the calendar to the overflow's first day; the
+            // scan below then starts at a populated bucket instead of
+            // walking a possibly huge gap of empty days.
+            let first = self.overflow.peek()?.time;
+            self.cur_day = self.day_of(first);
+            self.sorted_day = None;
+            self.migrate_overflow();
+        }
+        // Every ring entry's day is in [cur_day, horizon), so this scan
+        // terminates within one lap of the ring.
+        let mut day = self.cur_day;
+        loop {
+            let idx = (day % self.buckets.len() as u64) as usize;
+            if !self.buckets[idx].is_empty() {
+                if self.sorted_day != Some(day) {
+                    self.buckets[idx].sort_unstable_by_key(|e| std::cmp::Reverse(e.key()));
+                    self.sorted_day = Some(day);
+                }
+                let e = self.buckets[idx].pop().expect("non-empty bucket");
+                self.in_ring -= 1;
+                self.last_popped = e.time;
+                if day != self.cur_day {
+                    self.cur_day = day;
+                    // The window grew on the right: admit any overflow
+                    // entries that now fit, so the ring keeps holding
+                    // everything nearer than the overflow minimum.
+                    self.migrate_overflow();
+                }
+                return Some((e.time, e.payload));
+            }
+            day += 1;
+            debug_assert!(day < self.horizon(), "ring invariant violated");
+        }
     }
 
     /// Returns the timestamp of the earliest pending event.
     pub fn peek_time(&self) -> Option<Cycle> {
-        self.heap.peek().map(|e| e.time)
+        let ring_min = if self.in_ring == 0 {
+            None
+        } else {
+            let mut day = self.cur_day;
+            loop {
+                let idx = (day % self.buckets.len() as u64) as usize;
+                let bucket = &self.buckets[idx];
+                if !bucket.is_empty() {
+                    break if self.sorted_day == Some(day) {
+                        bucket.last().map(|e| e.time)
+                    } else {
+                        bucket.iter().map(|e| e.time).min()
+                    };
+                }
+                day += 1;
+            }
+        };
+        let over_min = self.overflow.peek().map(|e| e.time);
+        match (ring_min, over_min) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
     }
 
     /// Returns the number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.in_ring + self.overflow.len()
     }
 
     /// Returns `true` if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 
     /// The timestamp of the most recently popped event (the current time).
@@ -116,7 +278,7 @@ impl<T> EventQueue<T> {
 impl<T> std::fmt::Debug for EventQueue<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("EventQueue")
-            .field("len", &self.heap.len())
+            .field("len", &self.len())
             .field("now", &self.last_popped)
             .finish()
     }
@@ -182,5 +344,76 @@ mod tests {
         q.push(t + Cycle(2), 'c');
         assert_eq!(q.pop().unwrap().1, 'c');
         assert_eq!(q.pop().unwrap().1, 'b');
+    }
+
+    #[test]
+    fn far_future_events_round_trip_through_overflow() {
+        // A 2-bucket × 2-cycle ring forces nearly everything through the
+        // overflow heap and its migration path.
+        let mut q = EventQueue::with_geometry(1, 2);
+        q.push(Cycle(1_000_000), 'z');
+        q.push(Cycle(3), 'a');
+        q.push(Cycle(500), 'm');
+        assert_eq!(q.peek_time(), Some(Cycle(3)));
+        assert_eq!(q.pop(), Some((Cycle(3), 'a')));
+        // After the jump to cycle 500 the window has moved; 'z' stays in
+        // overflow until its day comes.
+        assert_eq!(q.pop(), Some((Cycle(500), 'm')));
+        q.push(Cycle(500), 'n'); // same-cycle push after a pop
+        assert_eq!(q.pop(), Some((Cycle(500), 'n')));
+        assert_eq!(q.pop(), Some((Cycle(1_000_000), 'z')));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn fifo_ties_survive_overflow_migration() {
+        let mut q = EventQueue::with_geometry(1, 2);
+        // All at the same far-future cycle: pushed into overflow, then
+        // migrated together. Insertion order must survive.
+        for i in 0..50u32 {
+            q.push(Cycle(9999), i);
+        }
+        for i in 0..50u32 {
+            assert_eq!(q.pop(), Some((Cycle(9999), i)), "tie {i} out of order");
+        }
+    }
+
+    #[test]
+    fn matches_heap_reference_on_random_schedule() {
+        use crate::rng::Rng;
+        // Reference model: the exact (time, seq) total order.
+        let mut rng = Rng::seed_from_u64(0x5EED_CA1E);
+        for (shift, nb) in [(DEFAULT_WIDTH_SHIFT, DEFAULT_BUCKETS), (1, 2), (0, 1), (3, 8)] {
+            let mut q = EventQueue::with_geometry(shift, nb);
+            let mut reference: Vec<(Cycle, u64)> = Vec::new();
+            let mut now = 0u64;
+            let mut seq = 0u64;
+            for _ in 0..2000 {
+                if !reference.is_empty() && rng.next_u64().is_multiple_of(3) {
+                    reference.sort();
+                    let want = reference.remove(0);
+                    let got = q.pop().expect("queue and model agree on emptiness");
+                    assert_eq!((got.0, got.1), want, "geometry ({shift},{nb})");
+                    now = want.0 .0;
+                } else {
+                    // Mostly near-future, occasionally far-future times.
+                    let delta = match rng.next_u64() % 10 {
+                        0 => rng.next_u64() % 100_000,
+                        1..=3 => 0,
+                        _ => rng.next_u64() % 64,
+                    };
+                    let t = Cycle(now + delta);
+                    q.push(t, seq);
+                    reference.push((t, seq));
+                    seq += 1;
+                }
+            }
+            reference.sort();
+            for want in reference {
+                let got = q.pop().expect("drain");
+                assert_eq!((got.0, got.1), want, "drain, geometry ({shift},{nb})");
+            }
+            assert!(q.pop().is_none());
+        }
     }
 }

@@ -349,14 +349,18 @@ thread_local! {
 /// [`sample`] observations per counter track (1 keeps every sample).
 /// Replaces any previously installed tracer, discarding its events.
 pub fn install(sink: RingRecorder, sample_every: u64) {
-    TRACER.with(|t| {
-        *t.borrow_mut() = Some(Tracer {
-            sink,
-            sample_every: sample_every.max(1),
-            last_sample: HashMap::new(),
-        });
+    let replaced = TRACER.with(|t| {
+        t.borrow_mut()
+            .replace(Tracer {
+                sink,
+                sample_every: sample_every.max(1),
+                last_sample: HashMap::new(),
+            })
+            .is_some()
     });
-    ACTIVE.fetch_add(1, Ordering::Relaxed);
+    if !replaced {
+        ACTIVE.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 /// Removes the active tracer and returns its recorder, or `None` if
@@ -367,6 +371,27 @@ pub fn uninstall() -> Option<RingRecorder> {
         ACTIVE.fetch_sub(1, Ordering::Relaxed);
     }
     prev.map(|tr| tr.sink)
+}
+
+/// Appends every event of `rec` (plus its drop count) to the tracer
+/// installed on *this* thread, honouring that tracer's capacity.
+///
+/// This is how parallel sweeps merge traces deterministically: each run
+/// records into its own recorder on whatever worker executes it, and
+/// the driver absorbs the recorders back into the main-thread tracer in
+/// submission order — so the merged trace is a function of the run
+/// order, never of completion timing. A no-op (discarding `rec`) when
+/// no tracer is installed here.
+pub fn absorb(rec: RingRecorder) {
+    TRACER.with(|t| {
+        if let Some(tr) = t.borrow_mut().as_mut() {
+            let RingRecorder { events, dropped, .. } = rec;
+            for ev in events {
+                tr.sink.record(ev);
+            }
+            tr.sink.dropped += dropped;
+        }
+    });
 }
 
 /// Whether any tracer is installed (fast, approximate across threads).
@@ -768,6 +793,38 @@ mod tests {
         let rec = uninstall().unwrap();
         assert_eq!(rec.len(), 2);
         assert_eq!(rec.events().next().unwrap().time(), Cycle(5));
+    }
+
+    #[test]
+    fn absorb_appends_in_order_and_respects_capacity() {
+        install(RingRecorder::new(3), 1);
+        emit(|| step(1));
+        let mut worker = RingRecorder::new(8);
+        worker.record(step(2));
+        worker.record(step(3));
+        worker.record(step(4)); // exceeds the main tracer's capacity
+        absorb(worker);
+        let rec = uninstall().unwrap();
+        let times: Vec<Cycle> = rec.events().map(|e| e.time()).collect();
+        assert_eq!(times, vec![Cycle(1), Cycle(2), Cycle(3)]);
+        assert_eq!(rec.dropped(), 1);
+        // With no tracer installed, absorb discards silently.
+        let mut stray = RingRecorder::new(2);
+        stray.record(step(9));
+        absorb(stray);
+        assert!(uninstall().is_none());
+    }
+
+    #[test]
+    fn absorb_carries_worker_drop_counts() {
+        install(RingRecorder::new(16), 1);
+        let mut worker = RingRecorder::new(1);
+        worker.record(step(2));
+        worker.record(step(3)); // dropped on the worker
+        absorb(worker);
+        let rec = uninstall().unwrap();
+        assert_eq!(rec.len(), 1);
+        assert_eq!(rec.dropped(), 1, "worker-side drops must be preserved");
     }
 
     #[test]

@@ -8,12 +8,18 @@
 # emits itself (results/<name>.json, schema "nsc-bench-v1" -- see the
 # Observability section in DESIGN.md). Set NSC_TRACE=1 to additionally
 # collect a Chrome/Perfetto trace per harness (results/<name>.trace.json).
+#
+# Harnesses fan their runs across NSC_JOBS workers (default: all cores)
+# with bit-identical output for any job count. Wall-clock per harness and
+# in total lands in results/wall_clock.json.
 set -u
 SCALE="${1:---small}"
 cd "$(dirname "$0")"
 mkdir -p results
 cargo build --release -p nsc-bench 2>/dev/null
 BIN=target/release
+total_start=$SECONDS
+WALL_ENTRIES=""
 for h in tab01_capabilities tab02_patterns tab03_stream_isas tab04_encoding \
          area_model fig01_potential fig09_speedup fig10_energy fig11_generality \
          fig12_traffic fig13_scm_latency fig14_scc_rob fig15_affine_ranges \
@@ -21,10 +27,17 @@ for h in tab01_capabilities tab02_patterns tab03_stream_isas tab04_encoding \
   echo "=== $h $SCALE ==="
   start=$SECONDS
   if $BIN/$h "$SCALE" > results/$h.txt 2>&1; then
-    echo "($h: $((SECONDS - start))s)" > results/$h.time
+    elapsed=$((SECONDS - start))
+    echo "($h: ${elapsed}s)" > results/$h.time
+    WALL_ENTRIES="$WALL_ENTRIES\"$h\":$elapsed,"
   else
     echo "$h FAILED"
+    WALL_ENTRIES="$WALL_ENTRIES\"$h\":null,"
   fi
 done
+total=$((SECONDS - total_start))
+printf '{"scale":"%s","jobs":"%s","harness_s":{%s},"total_s":%d}\n' \
+  "$SCALE" "${NSC_JOBS:-auto}" "${WALL_ENTRIES%,}" "$total" > results/wall_clock.json
 echo "collected $(ls results/*.json 2>/dev/null | wc -l) machine-readable summaries in results/*.json"
+echo "total wall-clock: ${total}s (results/wall_clock.json)"
 echo done

@@ -6,7 +6,11 @@
 #   2. the full test suite (unit, integration, doc tests),
 #   3. clippy with warnings promoted to errors,
 #   4. a chaos smoke: the fault-injection sweep at --tiny, which asserts
-#      bit-identical results under injected faults across 4 fixed seeds.
+#      bit-identical results under injected faults across 4 fixed seeds,
+#   5. a perf smoke: NSC_JOBS=1 vs NSC_JOBS=8 must produce byte-identical
+#      tables and JSON (modulo the host.* wall-clock object), and the
+#      event-queue/substrate microbenches must run (criterion-bench
+#      feature, hand-rolled harness, offline).
 #
 # No network access is required: all dependencies are path dependencies
 # inside this workspace, so everything runs with `--offline`.
@@ -24,5 +28,22 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 
 echo "== chaos (fault-injection smoke, 4 fixed seeds) =="
 cargo run -q --release -p nsc-bench --offline --bin fig_fault_sweep -- --tiny
+
+echo "== perf (parallel-vs-serial bit-identity) =="
+PERF_TMP="$(mktemp -d)"
+trap 'rm -rf "$PERF_TMP"' EXIT
+mkdir -p "$PERF_TMP/j1" "$PERF_TMP/j8"
+NSC_JOBS=1 NSC_RESULTS_DIR="$PERF_TMP/j1" \
+  ./target/release/fig09_speedup --tiny > "$PERF_TMP/j1.txt"
+NSC_JOBS=8 NSC_RESULTS_DIR="$PERF_TMP/j8" \
+  ./target/release/fig09_speedup --tiny > "$PERF_TMP/j8.txt"
+diff "$PERF_TMP/j1.txt" "$PERF_TMP/j8.txt"
+# The host object ({jobs, sim_runs, wall_ms}) is the one legitimate delta.
+diff <(sed 's/,"host":{[^}]*}//' "$PERF_TMP/j1/fig09_speedup.json") \
+     <(sed 's/,"host":{[^}]*}//' "$PERF_TMP/j8/fig09_speedup.json")
+echo "parallel output is bit-identical (jobs 1 vs 8)"
+
+echo "== perf (substrate microbenches incl. event queue) =="
+cargo bench -q -p nsc-bench --offline --features criterion-bench
 
 echo "CI checks passed."

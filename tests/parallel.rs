@@ -1,0 +1,103 @@
+//! Parallel-sweep determinism: the whole point of `nsc_bench::Sweep` is
+//! that `NSC_JOBS` is unobservable — the same tasks produce bit-identical
+//! results, fault schedules and traces whether they run on 1 worker or 8.
+//!
+//! These tests build [`Sweep`]s with explicit job counts (bypassing the
+//! environment, so they are safe under the parallel test harness) and
+//! compare full `Debug` renderings of every run result, which covers every
+//! counter and histogram a harness could print.
+
+use near_stream::ExecMode;
+use nsc_bench::{prepare, system_for, Prepared, Sweep, SweepTask};
+use nsc_sim::fault::FaultPlan;
+use nsc_sim::trace::{self, RingRecorder};
+use nsc_workloads::{bfs_push, hash_join, hotspot, Size};
+use std::sync::Arc;
+
+/// One representative harness worth of tasks: three workloads of different
+/// shapes (irregular push, gather join, affine stencil) under two modes.
+fn harness_tasks(preps: &[Arc<Prepared>]) -> Vec<SweepTask<String>> {
+    let cfg = system_for(Size::Tiny);
+    let mut tasks: Vec<SweepTask<String>> = Vec::new();
+    for p in preps {
+        for mode in [ExecMode::Base, ExecMode::Ns] {
+            let p = Arc::clone(p);
+            let cfg = cfg.clone();
+            tasks.push(Box::new(move || {
+                let (r, mem) = p.run_unchecked(mode, &cfg);
+                format!("{:?} digest={}", r, p.workload.digest(&mem))
+            }));
+        }
+    }
+    tasks
+}
+
+fn preps() -> Vec<Arc<Prepared>> {
+    [bfs_push(Size::Tiny), hash_join(Size::Tiny), hotspot(Size::Tiny)]
+        .into_iter()
+        .map(|w| Arc::new(prepare(w)))
+        .collect()
+}
+
+#[test]
+fn results_identical_across_job_counts() {
+    let preps = preps();
+    let serial = Sweep::with_jobs(1, None, None).run(harness_tasks(&preps));
+    let wide = Sweep::with_jobs(8, None, None).run(harness_tasks(&preps));
+    assert_eq!(serial, wide);
+}
+
+#[test]
+fn results_identical_across_job_counts_under_faults() {
+    // The equivalent of NSC_FAULT_RATE=1e-3: each run draws its injector
+    // from (base seed, submission index), so the schedule cannot depend on
+    // which worker executes it.
+    let base = FaultPlan::uniform(0xC0FFEE, 1e-3);
+    let preps = preps();
+    let serial = Sweep::with_jobs(1, Some(base.clone()), None).run(harness_tasks(&preps));
+    let wide = Sweep::with_jobs(8, Some(base), None).run(harness_tasks(&preps));
+    assert_eq!(serial, wide);
+    // Faults actually fired (otherwise this test proves nothing).
+    assert!(
+        serial.iter().any(|s| !s.contains("faults_injected: 0,")),
+        "fault plan was armed but no run recorded an injection"
+    );
+}
+
+/// Runs the harness under a main-thread tracer and returns (results,
+/// absorbed trace rendered to text).
+fn traced_run(jobs: usize) -> (Vec<String>, String) {
+    let preps = preps();
+    let sweep = Sweep::with_jobs(jobs, None, Some((1 << 14, 64)));
+    trace::install(RingRecorder::new(1 << 16), 64);
+    let results = sweep.run(harness_tasks(&preps));
+    let rec = trace::uninstall().expect("tracer installed above");
+    let rendered: Vec<String> = rec.events().map(|e| format!("{e:?}")).collect();
+    (results, rendered.join("\n"))
+}
+
+#[test]
+fn traces_identical_across_job_counts() {
+    // The equivalent of NSC_TRACE=1: per-run recorders are absorbed into
+    // the main-thread tracer in submission order, so the merged trace is
+    // the serial trace.
+    let (r1, t1) = traced_run(1);
+    let (r8, t8) = traced_run(8);
+    assert_eq!(r1, r8);
+    assert!(!t1.is_empty(), "tracing was armed but recorded nothing");
+    assert_eq!(t1, t8);
+}
+
+#[test]
+fn faults_and_traces_together_identical() {
+    let run = |jobs: usize| {
+        let preps = preps();
+        let sweep = Sweep::with_jobs(jobs, Some(FaultPlan::uniform(7, 1e-3)), Some((1 << 14, 64)));
+        trace::install(RingRecorder::new(1 << 16), 64);
+        let results = sweep.run(harness_tasks(&preps));
+        let rec = trace::uninstall().expect("tracer installed above");
+        let trace_text: Vec<String> = rec.events().map(|e| format!("{e:?}")).collect();
+        (results, trace_text.join("\n"))
+    };
+    assert_eq!(run(1), run(8));
+}

@@ -64,6 +64,55 @@ fn event_queue_is_stable() {
     }
 }
 
+/// The calendar queue agrees with a plain `BinaryHeap` reference on random
+/// interleaved push/pop schedules, across bucket geometries that force
+/// heavy overflow use, ring wrap-around, and same-day pileups.
+#[test]
+fn calendar_queue_matches_heap_reference() {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let mut rng = Rng::seed_from_u64(0xCA1E_0DD5);
+    for (shift, buckets) in [(0u32, 4usize), (2, 16), (4, 512), (6, 64)] {
+        let mut q = EventQueue::with_geometry(shift, buckets);
+        // Reference: (time, seq) min-heap — the exact FIFO-stable contract.
+        let mut reference: BinaryHeap<Reverse<(Cycle, u64)>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let mut now = 0u64;
+        for _ in 0..3000 {
+            if rng.gen_range_u64(3) > 0 || q.is_empty() {
+                // Schedule at, near, or far past `now` (exercises overflow).
+                let horizon = match rng.gen_range_u64(3) {
+                    0 => 1 + rng.gen_range_u64(8),
+                    1 => 1 + rng.gen_range_u64(200),
+                    _ => 1 + rng.gen_range_u64(100_000),
+                };
+                let t = Cycle(now + horizon);
+                q.push(t, seq);
+                reference.push(Reverse((t, seq)));
+                seq += 1;
+            } else {
+                let got = q.pop();
+                let want = reference.pop().map(|Reverse(pair)| pair);
+                assert_eq!(got, want, "divergence at geometry ({shift}, {buckets})");
+                if let Some((t, _)) = got {
+                    now = t.raw();
+                }
+            }
+            assert_eq!(q.len(), reference.len());
+            assert_eq!(
+                q.peek_time(),
+                reference.peek().map(|Reverse((t, _))| *t),
+                "peek divergence at geometry ({shift}, {buckets})"
+            );
+        }
+        // Drain: full order must match.
+        while let Some(want) = reference.pop().map(|Reverse(pair)| pair) {
+            assert_eq!(q.pop(), Some(want));
+        }
+        assert!(q.pop().is_none());
+    }
+}
+
 /// Bandwidth ledger: completion is never earlier than pure serialization,
 /// and total booked units are conserved.
 #[test]
