@@ -4,8 +4,8 @@
 //! filters.
 
 use near_stream::range_sync::AliasFilterKind;
-use near_stream::{run, ExecMode, RunResult, SystemConfig};
-use nsc_bench::{finalize, Report, SweepTask};
+use near_stream::{ExecMode, RunRequest, RunResult, SystemConfig};
+use nsc_bench::{finalize, Cli, Report, SweepTask};
 use nsc_compiler::compile;
 use nsc_ir::build::KernelBuilder;
 use nsc_ir::{BinOp, ElemType, Expr, Program};
@@ -13,6 +13,7 @@ use nsc_workloads::Size;
 use std::sync::Arc;
 
 fn main() {
+    Cli::new("abl_alias_filter", "Ablation: range vs Bloom alias summaries").parse();
     // A streamed store over b[] while the core reads scattered (quadratic,
     // unstreamable) locations of a *different* region of b[]: the range
     // hull covers them (false positives), the Bloom filter does not.
@@ -51,7 +52,11 @@ fn main() {
                 let mut cfg = SystemConfig::small();
                 cfg.se.alias_filter = kind;
                 let (program, compiled) = &*shared;
-                run(program, compiled, &[], ExecMode::Ns, &cfg, &|_| {}).0
+                RunRequest::new(program)
+                    .compiled(compiled)
+                    .mode(ExecMode::Ns)
+                    .config(&cfg)
+                    .run_cached()
             }) as SweepTask<RunResult>
         })
         .collect();

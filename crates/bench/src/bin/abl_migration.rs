@@ -2,12 +2,12 @@
 //! remember visited streams so re-visits send only the changing fields.
 
 use near_stream::{ExecMode, RunResult};
-use nsc_bench::{finalize, parse_size, prepare, system_for, Report, SweepTask};
+use nsc_bench::{finalize, Cli, prepare, system_for, Report, SweepTask};
 use nsc_workloads::{bin_tree, hash_join, pr_pull};
 use std::sync::Arc;
 
 fn main() {
-    let size = parse_size();
+    let size = Cli::new("abl_migration", "Ablation: compact stream migration").parse().size;
     let mut rep = Report::new("abl_migration", size);
     rep.meta("ablation", "compact stream migration");
     let preps: Vec<Arc<_>> = [bin_tree(size), hash_join(size), pr_pull(size)]
@@ -20,7 +20,7 @@ fn main() {
             let p = Arc::clone(p);
             let mut cfg = system_for(size);
             cfg.se.compact_migration = compact;
-            tasks.push(Box::new(move || p.run_unchecked(ExecMode::NsDecouple, &cfg).0));
+            tasks.push(Box::new(move || p.run_cached(ExecMode::NsDecouple, &cfg)));
         }
     }
     let mut results = rep.sweep(tasks).into_iter();

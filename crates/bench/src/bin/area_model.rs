@@ -2,11 +2,12 @@
 //! overhead.
 
 use near_stream::CoreModel;
-use nsc_bench::{finalize, Report};
+use nsc_bench::{finalize, Cli, Report};
 use nsc_energy::area::AreaModel;
 use nsc_workloads::Size;
 
 fn main() {
+    Cli::new("area_model", "SE component areas and whole-chip overhead").parse();
     let a = AreaModel::paper_22nm();
     let mut rep = Report::new("area_model", Size::Paper);
     rep.meta("model", "CACTI/McPAT-class, 22nm");

@@ -7,14 +7,14 @@
 //!     cache removes only ~27% of traffic; near-LLC removes ~64%).
 
 use near_stream::ideal::{ideal_traffic, IdealModel};
-use nsc_bench::{finalize, parse_size, prepare, system_for, Report, SweepTask};
+use nsc_bench::{finalize, Cli, prepare, system_for, Report, SweepTask};
 use nsc_compiler::{op_breakdown, run_with_counts, OpBreakdown};
 use nsc_ir::stream::ComputeClass;
 use nsc_workloads::all;
 use std::sync::Arc;
 
 fn main() {
-    let size = parse_size();
+    let size = Cli::new("fig01_potential", "Figure 1: potential of sub-thread near-data computing").parse().size;
     let cfg = system_for(size);
     let mut rep = Report::new("fig01_potential", size);
     rep.meta("figure", "1");

@@ -9,12 +9,12 @@
 //! NS ≥ INST everywhere, NS-decouple ≥ SINGLE everywhere.
 
 use near_stream::{ExecMode, RunResult};
-use nsc_bench::{finalize, fmt_x, geomean, parse_size, prepare, system_for, Report, SweepTask};
+use nsc_bench::{finalize, fmt_x, geomean, Cli, prepare, system_for, Report, SweepTask};
 use nsc_workloads::all;
 use std::sync::Arc;
 
 fn main() {
-    let size = parse_size();
+    let size = Cli::new("fig09_speedup", "Figure 9: speedup over the Base OOO8 core").parse().size;
     let cfg = system_for(size);
     let mut rep = Report::new("fig09_speedup", size);
     rep.meta("figure", "9");
@@ -33,7 +33,7 @@ fn main() {
         for m in std::iter::once(ExecMode::Base).chain(modes) {
             let p = Arc::clone(p);
             let cfg = cfg.clone();
-            tasks.push(Box::new(move || p.run_unchecked(m, &cfg).0));
+            tasks.push(Box::new(move || p.run_cached(m, &cfg)));
         }
     }
     let mut results = rep.sweep(tasks).into_iter();

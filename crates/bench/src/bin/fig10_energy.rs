@@ -7,13 +7,13 @@
 //! efficiency on OOO8.
 
 use near_stream::{CoreModel, ExecMode, RunResult};
-use nsc_bench::{finalize, fmt_x, geomean, parse_size, prepare, system_for, Report, SweepTask};
+use nsc_bench::{finalize, fmt_x, geomean, Cli, prepare, system_for, Report, SweepTask};
 use nsc_energy::EnergyModel;
 use nsc_workloads::all;
 use std::sync::Arc;
 
 fn main() {
-    let size = parse_size();
+    let size = Cli::new("fig10_energy", "Figure 10: normalized energy vs performance across core types").parse().size;
     let energy = EnergyModel::mcpat_22nm();
     let mut rep = Report::new("fig10_energy", size);
     rep.meta("figure", "10");
@@ -26,7 +26,7 @@ fn main() {
             for m in modes {
                 let p = Arc::clone(p);
                 let cfg = cfg.clone();
-                tasks.push(Box::new(move || p.run_unchecked(m, &cfg).0));
+                tasks.push(Box::new(move || p.run_cached(m, &cfg)));
             }
         }
     }

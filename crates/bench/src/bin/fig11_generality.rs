@@ -4,12 +4,12 @@
 //! are offloaded; short reductions with private-cache reuse stay in-core).
 
 use near_stream::{ExecMode, RunResult};
-use nsc_bench::{finalize, parse_size, prepare, system_for, Report, SweepTask};
+use nsc_bench::{finalize, Cli, prepare, system_for, Report, SweepTask};
 use nsc_workloads::all;
 use std::sync::Arc;
 
 fn main() {
-    let size = parse_size();
+    let size = Cli::new("fig11_generality", "Figure 11: stream-associated and offloaded compute fractions").parse().size;
     let cfg = system_for(size);
     let mut rep = Report::new("fig11_generality", size);
     rep.meta("figure", "11");
@@ -19,7 +19,7 @@ fn main() {
         .map(|p| {
             let p = Arc::clone(p);
             let cfg = cfg.clone();
-            Box::new(move || p.run_unchecked(ExecMode::Ns, &cfg).0) as SweepTask<RunResult>
+            Box::new(move || p.run_cached(ExecMode::Ns, &cfg)) as SweepTask<RunResult>
         })
         .collect();
     let results = rep.sweep(tasks);

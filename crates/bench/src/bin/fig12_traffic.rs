@@ -6,12 +6,12 @@
 //! workloads); range-synchronization ≈ 11% of NS's traffic.
 
 use near_stream::{ExecMode, RunResult};
-use nsc_bench::{finalize, parse_size, prepare, system_for, Report, SweepTask};
+use nsc_bench::{finalize, Cli, prepare, system_for, Report, SweepTask};
 use nsc_workloads::all;
 use std::sync::Arc;
 
 fn main() {
-    let size = parse_size();
+    let size = Cli::new("fig12_traffic", "Figure 12: NoC traffic breakdown per workload and scheme").parse().size;
     let cfg = system_for(size);
     let mut rep = Report::new("fig12_traffic", size);
     rep.meta("figure", "12");
@@ -28,7 +28,7 @@ fn main() {
         for m in modes {
             let p = Arc::clone(p);
             let cfg = cfg.clone();
-            tasks.push(Box::new(move || p.run_unchecked(m, &cfg).0));
+            tasks.push(Box::new(move || p.run_cached(m, &cfg)));
         }
     }
     let mut results = rep.sweep(tasks).into_iter();

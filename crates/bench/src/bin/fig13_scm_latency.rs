@@ -4,12 +4,12 @@
 //! workloads degrade, ~11% drop for NS-decouple at 16 cycles vs 4.
 
 use near_stream::{ExecMode, RunResult};
-use nsc_bench::{finalize, geomean, parse_size, prepare, system_for, Report, SweepTask};
+use nsc_bench::{finalize, geomean, Cli, prepare, system_for, Report, SweepTask};
 use nsc_workloads::all;
 use std::sync::Arc;
 
 fn main() {
-    let size = parse_size();
+    let size = Cli::new("fig13_scm_latency", "Figure 13: sensitivity to the SE_L3->SCM issue latency").parse().size;
     let mut rep = Report::new("fig13_scm_latency", size);
     rep.meta("figure", "13");
     let lats = [1u64, 4, 16];
@@ -24,7 +24,7 @@ fn main() {
             let p = Arc::clone(p);
             let mut cfg = system_for(size);
             cfg.se.scm_issue_latency = lat;
-            tasks.push(Box::new(move || p.run_unchecked(m, &cfg).0));
+            tasks.push(Box::new(move || p.run_cached(m, &cfg)));
         }
     }
     let mut results = rep.sweep(tasks).into_iter();

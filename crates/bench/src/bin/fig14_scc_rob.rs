@@ -3,12 +3,12 @@
 //! SIMD workloads need a larger ROB to overlap SCM computations.
 
 use near_stream::{ExecMode, RunResult};
-use nsc_bench::{finalize, parse_size, prepare, system_for, Report, SweepTask};
+use nsc_bench::{finalize, Cli, prepare, system_for, Report, SweepTask};
 use nsc_workloads::all;
 use std::sync::Arc;
 
 fn main() {
-    let size = parse_size();
+    let size = Cli::new("fig14_scc_rob", "Figure 14: sensitivity to the stream-computing-context ROB size").parse().size;
     let robs = [8u32, 16, 32, 64];
     let mut rep = Report::new("fig14_scc_rob", size);
     rep.meta("figure", "14");
@@ -20,7 +20,7 @@ fn main() {
             let p = Arc::clone(p);
             let mut cfg = system_for(size);
             cfg.se.scc_rob = rob;
-            tasks.push(Box::new(move || p.run_unchecked(ExecMode::NsDecouple, &cfg).0));
+            tasks.push(Box::new(move || p.run_cached(ExecMode::NsDecouple, &cfg)));
         }
     }
     let mut results = rep.sweep(tasks).into_iter();

@@ -3,12 +3,12 @@
 //! saves ~15% traffic and ~5% performance.
 
 use near_stream::{ExecMode, RunResult};
-use nsc_bench::{finalize, parse_size, prepare, system_for, Report, SweepTask};
+use nsc_bench::{finalize, Cli, prepare, system_for, Report, SweepTask};
 use nsc_workloads::{histogram, hotspot, hotspot3d, pathfinder, srad};
 use std::sync::Arc;
 
 fn main() {
-    let size = parse_size();
+    let size = Cli::new("fig15_affine_ranges", "Figure 15: affine range generation at SE_core vs SE_L3").parse().size;
     let mut rep = Report::new("fig15_affine_ranges", size);
     rep.meta("figure", "15");
     let preps: Vec<Arc<_>> = [pathfinder(size), srad(size), hotspot(size), hotspot3d(size), histogram(size)]
@@ -21,7 +21,7 @@ fn main() {
             let p = Arc::clone(p);
             let mut cfg = system_for(size);
             cfg.se.affine_ranges_at_core = at_core;
-            tasks.push(Box::new(move || p.run_unchecked(ExecMode::Ns, &cfg).0));
+            tasks.push(Box::new(move || p.run_cached(ExecMode::Ns, &cfg)));
         }
     }
     let mut results = rep.sweep(tasks).into_iter();

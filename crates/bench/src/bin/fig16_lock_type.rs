@@ -4,12 +4,12 @@
 //! benefit; sync-free modes see little difference.
 
 use near_stream::{ExecMode, RunResult};
-use nsc_bench::{finalize, parse_size, prepare, system_for, Report, SweepTask};
+use nsc_bench::{finalize, Cli, prepare, system_for, Report, SweepTask};
 use nsc_workloads::{bfs_push, pr_push, sssp};
 use std::sync::Arc;
 
 fn main() {
-    let size = parse_size();
+    let size = Cli::new("fig16_lock_type", "Figure 16: exclusive vs MRSW locks on atomic graph workloads").parse().size;
     let mut rep = Report::new("fig16_lock_type", size);
     rep.meta("figure", "16");
     let modes = [ExecMode::Ns, ExecMode::NsNoSync, ExecMode::NsDecouple];
@@ -24,7 +24,7 @@ fn main() {
                 let p = Arc::clone(p);
                 let mut cfg = system_for(size);
                 cfg.mem.mrsw_lock = mrsw;
-                tasks.push(Box::new(move || p.run_unchecked(mode, &cfg).0));
+                tasks.push(Box::new(move || p.run_cached(mode, &cfg)));
             }
         }
     }

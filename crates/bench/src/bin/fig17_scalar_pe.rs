@@ -3,12 +3,12 @@
 //! (~1.1x for hash_join), ~2.5% overall.
 
 use near_stream::{ExecMode, RunResult};
-use nsc_bench::{finalize, geomean, parse_size, prepare, system_for, Report, SweepTask};
+use nsc_bench::{finalize, geomean, Cli, prepare, system_for, Report, SweepTask};
 use nsc_workloads::all;
 use std::sync::Arc;
 
 fn main() {
-    let size = parse_size();
+    let size = Cli::new("fig17_scalar_pe", "Figure 17: SE scalar PE on/off under NS-decouple").parse().size;
     let mut rep = Report::new("fig17_scalar_pe", size);
     rep.meta("figure", "17");
     let preps: Vec<Arc<_>> = all(size).into_iter().map(|w| Arc::new(prepare(w))).collect();
@@ -18,7 +18,7 @@ fn main() {
             let p = Arc::clone(p);
             let mut cfg = system_for(size);
             cfg.se.scalar_pe = pe;
-            tasks.push(Box::new(move || p.run_unchecked(ExecMode::NsDecouple, &cfg).0));
+            tasks.push(Box::new(move || p.run_cached(ExecMode::NsDecouple, &cfg)));
         }
     }
     let mut results = rep.sweep(tasks).into_iter();

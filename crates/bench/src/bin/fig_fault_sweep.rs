@@ -13,7 +13,7 @@
 //! `--seeds N` limits the sweep to the first N seeds (CI smoke uses 1).
 
 use near_stream::{ExecMode, RunResult};
-use nsc_bench::{finalize, parse_size, prepare, system_for, Report, SweepTask};
+use nsc_bench::{finalize, prepare, system_for, Cli, Report, SweepTask};
 use nsc_sim::fault::{self, FaultPlan};
 use nsc_workloads::all;
 use std::sync::Arc;
@@ -23,21 +23,12 @@ const RATES: [f64; 3] = [1e-4, 1e-3, 1e-2];
 /// Fixed seeds: the schedule is deterministic per (seed, rate).
 const SEEDS: [u64; 4] = [1, 7, 42, 0xC0FFEE];
 
-fn parse_seed_count() -> usize {
-    let args: Vec<String> = std::env::args().collect();
-    for i in 0..args.len() {
-        if args[i] == "--seeds" {
-            if let Some(n) = args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
-                return n.clamp(1, SEEDS.len());
-            }
-        }
-    }
-    SEEDS.len()
-}
-
 fn main() {
-    let size = parse_size();
-    let n_seeds = parse_seed_count();
+    let args = Cli::new("fig_fault_sweep", "Fault-injection sweep: NS under injected faults")
+        .opt("seeds", "N", "limit the sweep to the first N seeds")
+        .parse();
+    let size = args.size;
+    let n_seeds = args.opt_u64("seeds", SEEDS.len() as u64).clamp(1, SEEDS.len() as u64) as usize;
     let seeds = &SEEDS[..n_seeds];
     let cfg = system_for(size);
     let mut rep = Report::new("fig_fault_sweep", size);

@@ -3,15 +3,16 @@
 //! evaluation (combines the axes of Figures 9, 11 and 12).
 
 use near_stream::{ExecMode, RunResult};
-use nsc_bench::{finalize, parse_size, prepare, system_for, Report, SweepTask};
+use nsc_bench::{finalize, prepare, system_for, Cli, Report, SweepTask};
 use nsc_workloads::{all, Size};
 use std::sync::Arc;
 
 fn main() {
+    let size = Cli::new("overview", "Every workload under every system, one screen").parse().size;
     let cfg = system_for(Size::Small);
-    let mut rep = Report::new("overview", parse_size());
+    let mut rep = Report::new("overview", size);
     rep.meta("summary", "all workloads under all systems");
-    let preps: Vec<Arc<_>> = all(parse_size()).into_iter().map(|w| Arc::new(prepare(w))).collect();
+    let preps: Vec<Arc<_>> = all(size).into_iter().map(|w| Arc::new(prepare(w))).collect();
     let mut tasks: Vec<SweepTask<(RunResult, bool)>> = Vec::new();
     for p in &preps {
         for mode in ExecMode::ALL {

@@ -1,17 +1,20 @@
 //! Deep-dive probe for one workload: compiled streams plus Base / NS /
 //! NS-decouple timing, traffic and memory-system counters.
 //!
-//! Usage: `probe_workload <name> [--tiny|--small|--full]`
+//! Usage: `probe_workload [workload] [--tiny|--small|--full] [--nocontention]`
 
 use near_stream::ExecMode;
-use nsc_bench::{finalize, prepare, system_for, Report};
+use nsc_bench::{finalize, prepare, system_for, Cli, Report};
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or("pathfinder".into());
-    let size = nsc_bench::parse_size();
-    let nocont = std::env::args().any(|a| a == "--nocontention");
+    let args = Cli::new("probe_workload", "Deep-dive probe for one workload")
+        .flag("nocontention", "disable NoC contention modelling")
+        .positional("workload", "workload name (default pathfinder)")
+        .parse();
+    let name = args.positional().unwrap_or("pathfinder").to_string();
+    let size = args.size;
     let mut cfg = system_for(size);
-    if nocont {
+    if args.flag("nocontention") {
         cfg.mesh.contention = false;
     }
     let w = nsc_workloads::all(size).into_iter().find(|w| w.name == name).unwrap();
@@ -23,7 +26,7 @@ fn main() {
         println!("  vw={} decoupled={}", k.vector_width, k.fully_decoupled);
     }
     for mode in [ExecMode::Base, ExecMode::Ns, ExecMode::NsDecouple] {
-        let (r, _) = p.run_unchecked(mode, &cfg);
+        let r = p.run_cached(mode, &cfg);
         rep.run(&name, mode.label(), &r);
         println!("{:12} cyc={:9} d/c/o={:>10}/{:>10}/{:>10} msgs={:8} dram={:7} l3h={:8} l3m={:7} l1h={} l1m={} inval={} wb={}",
             mode.label(), r.cycles, r.traffic.data, r.traffic.control, r.traffic.offloaded,

@@ -3,11 +3,11 @@
 //! by running the implemented offload policies over the 14 workloads.
 
 use near_stream::ExecMode;
-use nsc_bench::{finalize, parse_size, prepare, system_for, Report};
+use nsc_bench::{finalize, Cli, prepare, system_for, Report};
 use nsc_workloads::all;
 
 fn main() {
-    let size = parse_size();
+    let size = Cli::new("tab01_capabilities", "Table I: capabilities of sub-thread near-data approaches").parse().size;
     let cfg = system_for(size);
     let mut rep = Report::new("tab01_capabilities", size);
     rep.meta("table", "I");
@@ -25,7 +25,7 @@ fn main() {
         n += 1;
         let p = prepare(w);
         for (i, m) in modes.iter().enumerate() {
-            let (r, _) = p.run_unchecked(*m, &cfg);
+            let r = p.run_cached(*m, &cfg);
             let covered = r.offloaded_elems * 5 >= r.stream_elems.max(1); // >=20% of stream work near data
             if covered {
                 cover[i] += 1;

@@ -6,7 +6,7 @@
 //! high overhead), - = unsupported (falls back to prefetch/core).
 
 use near_stream::{offload_style, ExecMode, OffloadStyle, PolicyContext, SeConfig};
-use nsc_bench::{finalize, Report};
+use nsc_bench::{finalize, Cli, Report};
 use nsc_workloads::Size;
 use nsc_ir::program::{ArrayId, StmtId};
 use nsc_ir::stream::{AddrPatternClass, ComputeClass, StreamId, StreamInfo};
@@ -42,6 +42,7 @@ fn probe(mode: ExecMode, pattern: AddrPatternClass, role: ComputeClass, deps: us
 }
 
 fn main() {
+    Cli::new("tab02_patterns", "Table II: pattern x compute support matrix").parse();
     let patterns = [
         ("affine", AddrPatternClass::Affine { stride_bytes: 8 }, 0usize),
         ("indirect", AddrPatternClass::Indirect { base: StreamId(1) }, 0),

@@ -2,13 +2,13 @@
 //! runtime assertion that this implementation generates all three address
 //! patterns *and* offloads computation (the new dimension).
 
-use nsc_bench::{finalize, parse_size, Report};
+use nsc_bench::{finalize, Cli, Report};
 use nsc_compiler::compile;
 use nsc_ir::stream::AddrPatternClass;
 use nsc_workloads::{all, Size};
 
 fn main() {
-    let size = parse_size();
+    let size = Cli::new("tab03_stream_isas", "Table III: stream-ISA capabilities").parse().size;
     let mut rep = Report::new("tab03_stream_isas", size);
     rep.meta("table", "III");
     println!("# Table III: stream-ISA capabilities");

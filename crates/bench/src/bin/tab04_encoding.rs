@@ -1,11 +1,12 @@
 //! Table IV: the stream-configuration encoding — field widths, total
 //! record sizes and a round-trip exercise.
 
-use nsc_bench::{finalize, Report};
+use nsc_bench::{finalize, Cli, Report};
 use nsc_ir::encoding::{AffineConfig, ComputeConfig, IndirectConfig};
 use nsc_workloads::Size;
 
 fn main() {
+    Cli::new("tab04_encoding", "Table IV: stream-configuration encoding").parse();
     let mut rep = Report::new("tab04_encoding", Size::Paper);
     rep.meta("table", "IV");
     rep.stat("bits.affine", AffineConfig::BITS as f64);

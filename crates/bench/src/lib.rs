@@ -8,9 +8,10 @@
 //! * output is plain text with one row per workload/configuration, in the
 //!   same order as the paper.
 
-use near_stream::{run, ExecMode, RunResult, SystemConfig};
+use near_stream::{ExecMode, RunRequest, RunResult, SystemConfig};
 use nsc_compiler::{compile, CompiledProgram};
 use nsc_ir::Memory;
+use nsc_sim::cache;
 use nsc_sim::fault::{self, FaultPlan};
 use nsc_sim::json::{escape, fmt_f64};
 use nsc_sim::pool::{self, run_ordered, ThreadPool};
@@ -21,7 +22,12 @@ use std::cell::Cell;
 use std::path::PathBuf;
 use std::time::Instant;
 
+pub mod cli;
+
+pub use cli::{size_from_str, Args, Cli};
+
 /// Parses the scale flag from `std::env::args`.
+#[deprecated(since = "0.1.0", note = "use `Cli::new(..).parse().size` instead")]
 pub fn parse_size() -> Size {
     for a in std::env::args() {
         match a.as_str() {
@@ -38,23 +44,25 @@ pub fn parse_size() -> Size {
 ///
 /// At `--tiny`/`--small` scale the caches shrink with the inputs so the
 /// offload-policy footprint heuristics see the same pressure the paper's
-/// full-size runs do.
+/// full-size runs do — but never below one cache line, which
+/// `MemoryConfig::validate` rejects.
 pub fn system_for(size: Size) -> SystemConfig {
+    let line = nsc_mem::LINE_BYTES;
     match size {
         Size::Paper => SystemConfig::paper_ooo8(),
         Size::Small => {
             let mut cfg = SystemConfig::paper_ooo8();
             // Inputs are ~1/16 of Table VI, so caches shrink by the same
             // factor to preserve relative pressure.
-            cfg.mem.l1.size_bytes /= 16;
-            cfg.mem.l2.size_bytes /= 16;
-            cfg.mem.l3_bank.size_bytes /= 16;
+            cfg.mem.l1.size_bytes = (cfg.mem.l1.size_bytes / 16).max(line);
+            cfg.mem.l2.size_bytes = (cfg.mem.l2.size_bytes / 16).max(line);
+            cfg.mem.l3_bank.size_bytes = (cfg.mem.l3_bank.size_bytes / 16).max(line);
             cfg
         }
         Size::Tiny => {
             let mut cfg = SystemConfig::small();
-            cfg.mem.l1.size_bytes /= 2;
-            cfg.mem.l2.size_bytes /= 2;
+            cfg.mem.l1.size_bytes = (cfg.mem.l1.size_bytes / 2).max(line);
+            cfg.mem.l2.size_bytes = (cfg.mem.l2.size_bytes / 2).max(line);
             cfg
         }
     }
@@ -75,6 +83,18 @@ pub fn prepare(workload: Workload) -> Prepared {
 }
 
 impl Prepared {
+    /// The canonical [`RunRequest`] for this workload under one
+    /// mode/config: the compiled program, parameters and initializer all
+    /// come from the workload.
+    pub fn request<'a>(&'a self, mode: ExecMode, cfg: &SystemConfig) -> RunRequest<'a> {
+        RunRequest::new(&self.workload.program)
+            .compiled(&self.compiled)
+            .params(&self.workload.params)
+            .mode(mode)
+            .config(cfg)
+            .init(self.workload.init.as_ref())
+    }
+
     /// Runs under one mode, validating the result against the golden
     /// digest.
     ///
@@ -83,14 +103,7 @@ impl Prepared {
     /// Panics if the simulated execution computes a different result from
     /// the golden functional run.
     pub fn run_checked(&self, mode: ExecMode, cfg: &SystemConfig) -> RunResult {
-        let (result, mem) = run(
-            &self.workload.program,
-            &self.compiled,
-            &self.workload.params,
-            mode,
-            cfg,
-            &self.workload.init,
-        );
+        let (result, mem) = self.request(mode, cfg).run();
         let got = self.workload.digest(&mem);
         let want = self.workload.golden_digest();
         assert_eq!(
@@ -103,14 +116,16 @@ impl Prepared {
 
     /// Runs under one mode without the (expensive) golden check.
     pub fn run_unchecked(&self, mode: ExecMode, cfg: &SystemConfig) -> (RunResult, Memory) {
-        run(
-            &self.workload.program,
-            &self.compiled,
-            &self.workload.params,
-            mode,
-            cfg,
-            &self.workload.init,
-        )
+        self.request(mode, cfg).run()
+    }
+
+    /// Runs under one mode through the result cache (see
+    /// [`RunRequest::run_cached`]): with `NSC_CACHE=1` a repeat of an
+    /// unchanged sweep replays stored records instead of simulating.
+    /// Returns metrics only — harnesses that need the final memory image
+    /// use [`Prepared::run_unchecked`].
+    pub fn run_cached(&self, mode: ExecMode, cfg: &SystemConfig) -> RunResult {
+        self.request(mode, cfg).run_cached()
     }
 }
 
@@ -430,14 +445,18 @@ impl Report {
             ));
         }
         out.push('}');
-        // Host-side observations (wall-clock, worker count) live in their
-        // own object, NOT under "stats": they legitimately vary between
-        // otherwise bit-identical runs, so determinism checks compare
-        // everything else and strip this one key.
+        // Host-side observations (wall-clock, worker count, result-cache
+        // hits) live in their own object, NOT under "stats": they
+        // legitimately vary between otherwise bit-identical runs (a cold
+        // and a warm cache produce the same science), so determinism
+        // checks compare everything else and strip this one key.
+        let (cache_hits, cache_misses) = cache::counters();
         out.push_str(&format!(
-            ",\"host\":{{\"jobs\":{},\"sim_runs\":{},\"wall_ms\":{}}}",
+            ",\"host\":{{\"jobs\":{},\"sim_runs\":{},\"cache_hits\":{},\"cache_misses\":{},\"wall_ms\":{}}}",
             self.sweeper.as_ref().map(Sweep::jobs).unwrap_or(0),
             self.sim_runs,
+            cache_hits,
+            cache_misses,
             fmt_f64((self.started.elapsed().as_secs_f64() * 1e3 * 1e3).round() / 1e3),
         ));
         out.push_str("}\n");
@@ -516,8 +535,23 @@ mod tests {
     #[test]
     fn size_parsing_defaults_small() {
         // No flags in the test harness args that match.
+        #[allow(deprecated)]
         let s = parse_size();
         assert!(matches!(s, Size::Small | Size::Tiny | Size::Paper));
+    }
+
+    #[test]
+    fn system_for_never_shrinks_below_one_line() {
+        // Regression: the size scaling used integer division with no
+        // floor, so configs whose caches were already near one line could
+        // end up below it and fail `SystemConfig::validate`.
+        for size in [Size::Tiny, Size::Small, Size::Paper] {
+            let cfg = system_for(size);
+            assert!(cfg.validate().is_ok(), "system_for({size:?}) must validate");
+            assert!(cfg.mem.l1.size_bytes >= nsc_mem::LINE_BYTES);
+            assert!(cfg.mem.l2.size_bytes >= nsc_mem::LINE_BYTES);
+            assert!(cfg.mem.l3_bank.size_bytes >= nsc_mem::LINE_BYTES);
+        }
     }
 
     #[test]

@@ -188,6 +188,12 @@ impl ExecMode {
         }
     }
 
+    /// Parses a display label back into a mode (case-insensitive), the
+    /// inverse of [`ExecMode::label`]. Used by the `nscd` wire protocol.
+    pub fn parse(s: &str) -> Option<ExecMode> {
+        ExecMode::ALL.into_iter().find(|m| m.label().eq_ignore_ascii_case(s))
+    }
+
     /// Whether this mode uses any stream hardware.
     pub fn uses_streams(self) -> bool {
         !matches!(self, ExecMode::Base)
@@ -320,7 +326,10 @@ mod tests {
         assert_eq!(ExecMode::ALL.len(), 8);
         for m in ExecMode::ALL {
             assert!(!m.label().is_empty());
+            assert_eq!(ExecMode::parse(m.label()), Some(m));
         }
+        assert_eq!(ExecMode::parse("ns"), Some(ExecMode::Ns));
+        assert_eq!(ExecMode::parse("bogus"), None);
     }
 
     #[test]

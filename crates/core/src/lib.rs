@@ -16,7 +16,7 @@
 //! # Examples
 //!
 //! ```
-//! use near_stream::{run, ExecMode, SystemConfig};
+//! use near_stream::{ExecMode, RunRequest, SystemConfig};
 //! use nsc_compiler::compile;
 //! use nsc_ir::build::KernelBuilder;
 //! use nsc_ir::{ElemType, Expr, Program};
@@ -36,8 +36,8 @@
 //!
 //! let compiled = compile(&p);
 //! let cfg = SystemConfig::small();
-//! let (base, _) = run(&p, &compiled, &[], ExecMode::Base, &cfg, &|_| {});
-//! let (ns, _) = run(&p, &compiled, &[], ExecMode::Ns, &cfg, &|_| {});
+//! let (base, _) = RunRequest::new(&p).compiled(&compiled).mode(ExecMode::Base).config(&cfg).run();
+//! let (ns, _) = RunRequest::new(&p).compiled(&compiled).mode(ExecMode::Ns).config(&cfg).run();
 //! assert!(ns.traffic.total() < base.traffic.total());
 //! ```
 
@@ -46,9 +46,13 @@ pub mod engine;
 pub mod ideal;
 pub mod policy;
 pub mod range_sync;
+pub mod request;
 pub mod system;
 
 pub use config::{CoreModel, ExecMode, SeConfig, SystemConfig};
 pub use engine::{CoreState, RoleCounters};
 pub use policy::{fallback, offload_style, OffloadStyle, PolicyContext};
-pub use system::{run, try_run, RunResult, TrafficSnapshot};
+pub use request::RunRequest;
+#[allow(deprecated)]
+pub use system::{run, try_run};
+pub use system::{RunResult, TrafficSnapshot};

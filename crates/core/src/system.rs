@@ -150,6 +150,7 @@ impl RunResult {
 /// `init` populates the input arrays before simulation. Panics on an
 /// invalid configuration or a wedged simulation; use [`try_run`] to get a
 /// typed [`SimError`] instead.
+#[deprecated(since = "0.1.0", note = "use `RunRequest::new(&program)...run()` instead")]
 pub fn run(
     program: &Program,
     compiled: &CompiledProgram,
@@ -158,10 +159,13 @@ pub fn run(
     cfg: &SystemConfig,
     init: &dyn Fn(&mut Memory),
 ) -> (RunResult, Memory) {
-    match try_run(program, compiled, params, mode, cfg, init) {
-        Ok(r) => r,
-        Err(e) => panic!("{e}"),
-    }
+    crate::request::RunRequest::new(program)
+        .compiled(compiled)
+        .params(params)
+        .mode(mode)
+        .config(cfg)
+        .init(init)
+        .run()
 }
 
 /// Fallible variant of [`run`]: validates the configuration up front
@@ -169,6 +173,7 @@ pub fn run(
 /// queue drained while cores still had iterations pending
 /// ([`SimError::Wedged`], naming the incomplete work) — instead of
 /// hanging or panicking mid-run.
+#[deprecated(since = "0.1.0", note = "use `RunRequest::new(&program)...try_run()` instead")]
 pub fn try_run(
     program: &Program,
     compiled: &CompiledProgram,
@@ -177,10 +182,29 @@ pub fn try_run(
     cfg: &SystemConfig,
     init: &dyn Fn(&mut Memory),
 ) -> Result<(RunResult, Memory), SimError> {
+    crate::request::RunRequest::new(program)
+        .compiled(compiled)
+        .params(params)
+        .mode(mode)
+        .config(cfg)
+        .init(init)
+        .try_run()
+}
+
+/// The simulation proper, on an already-initialized data memory. Callers
+/// go through [`crate::request::RunRequest`], which owns memory
+/// initialization (and content-addresses the initialized image for the
+/// result cache).
+pub(crate) fn simulate(
+    program: &Program,
+    compiled: &CompiledProgram,
+    params: &[Scalar],
+    mode: ExecMode,
+    cfg: &SystemConfig,
+    mut data: Memory,
+) -> Result<(RunResult, Memory), SimError> {
     cfg.validate()?;
     let fault_mark = fault::snapshot();
-    let mut data = Memory::for_program(program);
-    init(&mut data);
 
     // The paper turns hardware prefetchers off in every design except the
     // baseline (§VI: "All other designs have hardware prefetchers turned
@@ -690,7 +714,7 @@ mod tests {
     fn run_mode(p: &Program, mode: ExecMode) -> (RunResult, Memory) {
         let compiled = compile(p);
         let cfg = SystemConfig::small();
-        run(p, &compiled, &[], mode, &cfg, &|_| {})
+        crate::request::RunRequest::new(p).compiled(&compiled).mode(mode).config(&cfg).run()
     }
 
     #[test]
@@ -742,7 +766,12 @@ mod tests {
         let compiled = compile(&p);
         let mut cfg = SystemConfig::small();
         cfg.n_cores = 0;
-        let err = try_run(&p, &compiled, &[], ExecMode::Ns, &cfg, &|_| {}).unwrap_err();
+        let err = crate::request::RunRequest::new(&p)
+            .compiled(&compiled)
+            .mode(ExecMode::Ns)
+            .config(&cfg)
+            .try_run()
+            .unwrap_err();
         assert!(err.to_string().contains("n_cores"), "got: {err}");
     }
 
@@ -752,11 +781,14 @@ mod tests {
         let p = memset_program(n);
         let compiled = compile(&p);
         let cfg = SystemConfig::small();
-        let (clean, clean_mem) = run(&p, &compiled, &[], ExecMode::Ns, &cfg, &|_| {});
+        let req = || {
+            crate::request::RunRequest::new(&p).compiled(&compiled).mode(ExecMode::Ns).config(&cfg)
+        };
+        let (clean, clean_mem) = req().run();
         assert_eq!(clean.faults_injected, 0);
 
         nsc_sim::fault::install(nsc_sim::fault::FaultPlan::uniform(7, 0.01));
-        let (faulty, faulty_mem) = run(&p, &compiled, &[], ExecMode::Ns, &cfg, &|_| {});
+        let (faulty, faulty_mem) = req().run();
         let stats = nsc_sim::fault::uninstall().expect("injector was armed");
         assert!(stats.total() > 0, "no faults fired at rate 0.01");
         assert_eq!(faulty.faults_injected, stats.total());
@@ -779,7 +811,11 @@ mod tests {
         let mut plan = nsc_sim::fault::FaultPlan::none();
         plan.offload_nack = 1.0; // every configure attempt is refused
         nsc_sim::fault::install(plan);
-        let (res, mem) = run(&p, &compiled, &[], ExecMode::Ns, &cfg, &|_| {});
+        let (res, mem) = crate::request::RunRequest::new(&p)
+            .compiled(&compiled)
+            .mode(ExecMode::Ns)
+            .config(&cfg)
+            .run();
         nsc_sim::fault::uninstall();
         assert!(res.offload_retries > 0, "no retries despite permanent NACKs");
         assert!(res.offload_fallbacks > 0, "no stream fell back");

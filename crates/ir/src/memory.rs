@@ -155,6 +155,20 @@ impl Memory {
     pub fn write_index(&mut self, array: ArrayId, index: u64, v: Scalar) {
         self.write(array, index, None, v);
     }
+
+    /// Number of arrays backed by this memory.
+    pub fn n_arrays(&self) -> usize {
+        self.arrays.len()
+    }
+
+    /// The raw backing bytes of `array`.
+    ///
+    /// Init closures cannot be hashed, so the result cache content-
+    /// addresses their *effect* instead: the initialized image read
+    /// through this accessor.
+    pub fn raw(&self, array: ArrayId) -> &[u8] {
+        &self.storage(array).data
+    }
 }
 
 #[cfg(test)]

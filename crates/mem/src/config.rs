@@ -160,6 +160,13 @@ impl MemoryConfig {
             if c.size_bytes == 0 {
                 return Err(SimError::config(format!("{name} cache size must be non-zero")));
             }
+            if c.size_bytes < crate::LINE_BYTES {
+                return Err(SimError::config(format!(
+                    "{name} cache size {} is below one {}-byte line",
+                    c.size_bytes,
+                    crate::LINE_BYTES
+                )));
+            }
             if c.ways == 0 {
                 return Err(SimError::config(format!("{name} cache must have at least one way")));
             }
@@ -194,6 +201,21 @@ mod tests {
         assert!(c.l1.sets() >= 1);
         assert!(c.validate().is_ok());
         assert!(MemoryConfig::paper_64core().validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_sub_line_cache() {
+        // Regression: harness size scaling used to divide cache sizes
+        // without a floor, so a small-enough config could round below one
+        // line and silently model a cache that can hold nothing.
+        let mut c = MemoryConfig::small_16core();
+        c.l1.size_bytes = crate::LINE_BYTES - 1;
+        let msg = c.validate().unwrap_err().to_string();
+        assert!(msg.contains("below one"), "got: {msg}");
+        let mut c = MemoryConfig::small_16core();
+        c.l1.size_bytes = crate::LINE_BYTES;
+        c.l1.ways = 1;
+        assert!(c.validate().is_ok());
     }
 
     #[test]

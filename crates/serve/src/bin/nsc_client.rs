@@ -1,0 +1,169 @@
+//! `nsc-client` — CLI for the `nscd` simulation daemon.
+//!
+//! ```text
+//! nsc-client submit [--socket PATH] [--size S] [--mode M] [--local] WORKLOAD...
+//! nsc-client status [--socket PATH]
+//! nsc-client flush  [--socket PATH]
+//! nsc-client shutdown [--socket PATH]
+//! ```
+
+use near_stream::ExecMode;
+use nsc_serve::client::{default_socket, roundtrip};
+use nsc_serve::{decode_response_blob, execute, Request};
+use nsc_workloads::Size;
+use std::path::PathBuf;
+use std::process::exit;
+
+const USAGE: &str = "nsc-client — talk to the nscd simulation daemon
+
+Usage:
+  nsc-client submit [OPTIONS] WORKLOAD...   run workloads (one request each)
+  nsc-client status [--socket PATH]         daemon + cache counters
+  nsc-client flush  [--socket PATH]         wait for in-flight runs to finish
+  nsc-client shutdown [--socket PATH]       graceful daemon shutdown
+
+Options:
+  --socket PATH  daemon socket (default $NSCD_SOCKET or /tmp/nscd.sock)
+  --size S       tiny | small | full   (default small)
+  --mode M       execution mode label, e.g. Base, NS, NS-decouple (default NS)
+  --local        run in-process instead of contacting the daemon
+  -h, --help     print this help";
+
+struct Opts {
+    socket: PathBuf,
+    size: Size,
+    mode: ExecMode,
+    local: bool,
+    words: Vec<String>,
+}
+
+fn parse_opts(mut argv: impl Iterator<Item = String>) -> Opts {
+    let mut o = Opts {
+        socket: default_socket(),
+        size: Size::Small,
+        mode: ExecMode::Ns,
+        local: false,
+        words: Vec::new(),
+    };
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                exit(0);
+            }
+            "--socket" => o.socket = PathBuf::from(req_val(&mut argv, "--socket")),
+            "--size" => {
+                let v = req_val(&mut argv, "--size");
+                o.size = nsc_bench::size_from_str(&v)
+                    .unwrap_or_else(|| die(&format!("unknown size: {v}")));
+            }
+            "--mode" => {
+                let v = req_val(&mut argv, "--mode");
+                o.mode = ExecMode::parse(&v)
+                    .unwrap_or_else(|| die(&format!("unknown mode: {v}")));
+            }
+            "--local" => o.local = true,
+            w if w.starts_with('-') => die(&format!("unknown flag: {w}")),
+            _ => o.words.push(a),
+        }
+    }
+    o
+}
+
+fn main() {
+    let mut argv = std::env::args().skip(1);
+    let Some(cmd) = argv.next() else { die("missing subcommand") };
+    match cmd.as_str() {
+        "-h" | "--help" => println!("{USAGE}"),
+        "submit" => submit(parse_opts(argv)),
+        "status" | "flush" | "shutdown" => {
+            let o = parse_opts(argv);
+            if !o.words.is_empty() {
+                die(&format!("{cmd} takes no positional arguments"));
+            }
+            let req = match cmd.as_str() {
+                "status" => Request::Status { id: 0 },
+                "flush" => Request::Flush { id: 0 },
+                _ => Request::Shutdown { id: 0 },
+            };
+            match roundtrip(&o.socket, &[req]) {
+                Ok(resps) => {
+                    for r in &resps {
+                        println!("{}", r.render());
+                    }
+                }
+                Err(e) => die(&format!("{}: {e}", o.socket.display())),
+            }
+        }
+        other => die(&format!("unknown subcommand: {other}")),
+    }
+}
+
+fn submit(o: Opts) {
+    if o.words.is_empty() {
+        die("submit needs at least one workload name");
+    }
+    if o.local {
+        for w in &o.words {
+            match execute(w, o.size, o.mode) {
+                Ok(out) => println!(
+                    "{w:12} {:12} cycles={} cached={}",
+                    o.mode.label(),
+                    out.result.cycles,
+                    out.cached
+                ),
+                Err(e) => die(&e),
+            }
+        }
+        return;
+    }
+    let reqs: Vec<Request> = o
+        .words
+        .iter()
+        .enumerate()
+        .map(|(i, w)| Request::Run {
+            id: i as u64 + 1,
+            workload: w.clone(),
+            size: o.size,
+            mode: o.mode,
+        })
+        .collect();
+    let resps = match roundtrip(&o.socket, &reqs) {
+        Ok(r) => r,
+        Err(e) => die(&format!("{}: {e}", o.socket.display())),
+    };
+    let mut failed = false;
+    for resp in &resps {
+        if resp.get_bool("ok") == Some(true) {
+            let cycles = decode_response_blob(resp)
+                .map(|c| c.result.cycles)
+                .or_else(|| resp.get_num("cycles"))
+                .unwrap_or(0);
+            println!(
+                "{:12} {:12} cycles={cycles} cached={}",
+                resp.get_str("workload").unwrap_or("?"),
+                resp.get_str("mode").unwrap_or("?"),
+                resp.get_bool("cached").unwrap_or(false),
+            );
+        } else {
+            failed = true;
+            eprintln!(
+                "request {} failed: {}",
+                resp.get_num("id").unwrap_or(0),
+                resp.get_str("error").unwrap_or("unknown error"),
+            );
+        }
+    }
+    if failed {
+        exit(1);
+    }
+}
+
+fn req_val(argv: &mut impl Iterator<Item = String>, flag: &str) -> String {
+    argv.next().unwrap_or_else(|| die(&format!("{flag} requires a value")))
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("nsc-client: {msg}\n\n{USAGE}");
+    exit(2);
+}

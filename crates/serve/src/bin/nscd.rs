@@ -1,0 +1,75 @@
+//! `nscd` — the near-stream simulation daemon.
+//!
+//! ```text
+//! nscd [--socket PATH] [--jobs N]
+//! ```
+//!
+//! Listens on a Unix socket for newline-delimited JSON run requests
+//! (see the `nsc_serve` crate docs for the protocol), batches them
+//! across a shared worker pool, and consults the content-addressed
+//! result cache before simulating. The cache is armed by default —
+//! serving repeated requests from disk is the daemon's reason to exist
+//! — set `NSC_CACHE=0` to force every request to simulate.
+
+use std::path::PathBuf;
+use std::process::exit;
+
+const USAGE: &str = "nscd — near-stream simulation daemon
+
+Usage: nscd [--socket PATH] [--jobs N]
+
+Options:
+  --socket PATH  Unix socket to listen on (default $NSCD_SOCKET or /tmp/nscd.sock)
+  --jobs N       worker threads (default $NSC_JOBS or all cores)
+  -h, --help     print this help
+
+Stop it with `nsc-client shutdown` (graceful: drains in-flight runs).";
+
+fn main() {
+    let mut socket: Option<PathBuf> = None;
+    let mut jobs: Option<usize> = None;
+    let mut argv = std::env::args().skip(1);
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return;
+            }
+            "--socket" => socket = Some(PathBuf::from(req_val(&mut argv, "--socket"))),
+            "--jobs" => match req_val(&mut argv, "--jobs").parse() {
+                Ok(n) if n > 0 => jobs = Some(n),
+                _ => die("--jobs wants a positive integer"),
+            },
+            other => die(&format!("unknown argument: {other}")),
+        }
+    }
+    // The daemon arms the result cache unless the environment already
+    // decided (NSC_CACHE=0 keeps it off).
+    if std::env::var_os("NSC_CACHE").is_none() {
+        std::env::set_var("NSC_CACHE", "1");
+    }
+    let socket = socket.unwrap_or_else(nsc_serve::client::default_socket);
+    let jobs = jobs.unwrap_or_else(nsc_sim::pool::jobs_from_env);
+    eprintln!(
+        "nscd: listening on {} ({jobs} worker{}, cache {})",
+        socket.display(),
+        if jobs == 1 { "" } else { "s" },
+        if nsc_sim::cache::enabled() { "on" } else { "off" },
+    );
+    if let Err(e) = nsc_serve::server::serve(&socket, jobs) {
+        eprintln!("nscd: {e}");
+        exit(1);
+    }
+    eprintln!("nscd: shut down");
+}
+
+fn req_val(argv: &mut impl Iterator<Item = String>, flag: &str) -> String {
+    argv.next().unwrap_or_else(|| {
+        die(&format!("{flag} requires a value"));
+    })
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("nscd: {msg}\n\n{USAGE}");
+    exit(2);
+}

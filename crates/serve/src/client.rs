@@ -1,0 +1,44 @@
+//! Client-side protocol helpers shared by `nsc-client` and the tests.
+
+use crate::json::Obj;
+use crate::Request;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::Shutdown;
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+
+/// The daemon socket path: `$NSCD_SOCKET` if set, else `/tmp/nscd.sock`.
+pub fn default_socket() -> PathBuf {
+    std::env::var_os("NSCD_SOCKET")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("/tmp/nscd.sock"))
+}
+
+/// Sends `reqs` over one connection and collects every response line.
+///
+/// The write half is shut down after the batch so the daemon sees EOF
+/// and the response stream terminates; responses come back in
+/// submission order, so `out[i]` answers `reqs[i]`.
+pub fn roundtrip(socket: &Path, reqs: &[Request]) -> io::Result<Vec<Obj>> {
+    let mut stream = UnixStream::connect(socket)?;
+    let mut payload = String::with_capacity(reqs.len() * 64);
+    for r in reqs {
+        payload.push_str(&r.render());
+        payload.push('\n');
+    }
+    stream.write_all(payload.as_bytes())?;
+    stream.shutdown(Shutdown::Write)?;
+    let reader = BufReader::new(stream);
+    let mut out = Vec::with_capacity(reqs.len());
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let obj = Obj::parse(&line).ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("bad response line: {line:?}"))
+        })?;
+        out.push(obj);
+    }
+    Ok(out)
+}

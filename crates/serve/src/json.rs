@@ -1,0 +1,309 @@
+//! A minimal flat-JSON codec for the `nscd` wire protocol.
+//!
+//! The protocol is newline-delimited JSON, one object per line, with
+//! only string / unsigned-integer / boolean values at the top level —
+//! no nesting, no arrays, no floats. This module hand-rolls exactly
+//! that subset (the build is offline, so serde is not an option) with
+//! full string escaping, so result blobs containing newlines travel
+//! safely inside one line.
+
+use std::fmt::Write as _;
+
+/// A top-level value in a protocol object.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Val {
+    /// A string (stored unescaped).
+    Str(String),
+    /// An unsigned integer.
+    Num(u64),
+    /// A boolean.
+    Bool(bool),
+}
+
+/// An ordered set of `key: value` fields — one protocol line.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Obj {
+    fields: Vec<(String, Val)>,
+}
+
+impl Obj {
+    /// An empty object.
+    pub fn new() -> Obj {
+        Obj::default()
+    }
+
+    /// Appends a string field.
+    pub fn str(mut self, key: &str, val: &str) -> Obj {
+        self.fields.push((key.to_owned(), Val::Str(val.to_owned())));
+        self
+    }
+
+    /// Appends an unsigned-integer field.
+    pub fn num(mut self, key: &str, val: u64) -> Obj {
+        self.fields.push((key.to_owned(), Val::Num(val)));
+        self
+    }
+
+    /// Appends a boolean field.
+    pub fn bool(mut self, key: &str, val: bool) -> Obj {
+        self.fields.push((key.to_owned(), Val::Bool(val)));
+        self
+    }
+
+    /// The field named `key`, if present.
+    pub fn get(&self, key: &str) -> Option<&Val> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// The string field named `key`, if present and a string.
+    pub fn get_str(&self, key: &str) -> Option<&str> {
+        match self.get(key) {
+            Some(Val::Str(s)) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer field named `key`, if present and a number.
+    pub fn get_num(&self, key: &str) -> Option<u64> {
+        match self.get(key) {
+            Some(Val::Num(n)) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The boolean field named `key`, if present and a boolean.
+    pub fn get_bool(&self, key: &str) -> Option<bool> {
+        match self.get(key) {
+            Some(Val::Bool(b)) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Renders the object as one JSON line (no trailing newline).
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(64);
+        out.push('{');
+        for (i, (k, v)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            escape_into(&mut out, k);
+            out.push_str("\":");
+            match v {
+                Val::Str(s) => {
+                    out.push('"');
+                    escape_into(&mut out, s);
+                    out.push('"');
+                }
+                Val::Num(n) => {
+                    let _ = write!(out, "{n}");
+                }
+                Val::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            }
+        }
+        out.push('}');
+        out
+    }
+
+    /// Parses one JSON object line; `None` on anything outside the
+    /// protocol subset (nesting, arrays, floats, trailing garbage).
+    pub fn parse(line: &str) -> Option<Obj> {
+        let mut p = Parser { s: line.as_bytes(), i: 0 };
+        p.skip_ws();
+        p.expect(b'{')?;
+        let mut obj = Obj::new();
+        p.skip_ws();
+        if p.peek() == Some(b'}') {
+            p.i += 1;
+        } else {
+            loop {
+                p.skip_ws();
+                let key = p.string()?;
+                p.skip_ws();
+                p.expect(b':')?;
+                p.skip_ws();
+                let val = p.value()?;
+                obj.fields.push((key, val));
+                p.skip_ws();
+                match p.next() {
+                    Some(b',') => continue,
+                    Some(b'}') => break,
+                    _ => return None,
+                }
+            }
+        }
+        p.skip_ws();
+        if p.i == p.s.len() {
+            Some(obj)
+        } else {
+            None
+        }
+    }
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+struct Parser<'a> {
+    s: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.s.get(self.i).copied()
+    }
+
+    fn next(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.i += 1;
+        Some(b)
+    }
+
+    fn expect(&mut self, b: u8) -> Option<()> {
+        if self.next()? == b {
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.i += 1;
+        }
+    }
+
+    fn string(&mut self) -> Option<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.next()? {
+                b'"' => return Some(out),
+                b'\\' => match self.next()? {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = (self.next()? as char).to_digit(16)?;
+                            code = code * 16 + d;
+                        }
+                        out.push(char::from_u32(code)?);
+                    }
+                    _ => return None,
+                },
+                b => {
+                    // Re-decode multi-byte UTF-8 from the raw input.
+                    if b < 0x80 {
+                        out.push(b as char);
+                    } else {
+                        let start = self.i - 1;
+                        let len = match b {
+                            0xC0..=0xDF => 2,
+                            0xE0..=0xEF => 3,
+                            0xF0..=0xF7 => 4,
+                            _ => return None,
+                        };
+                        let end = start + len;
+                        let chunk = self.s.get(start..end)?;
+                        out.push_str(std::str::from_utf8(chunk).ok()?);
+                        self.i = end;
+                    }
+                }
+            }
+        }
+    }
+
+    fn value(&mut self) -> Option<Val> {
+        match self.peek()? {
+            b'"' => Some(Val::Str(self.string()?)),
+            b't' => {
+                self.literal(b"true")?;
+                Some(Val::Bool(true))
+            }
+            b'f' => {
+                self.literal(b"false")?;
+                Some(Val::Bool(false))
+            }
+            b'0'..=b'9' => {
+                let start = self.i;
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.i += 1;
+                }
+                // Floats are outside the protocol subset.
+                if matches!(self.peek(), Some(b'.' | b'e' | b'E')) {
+                    return None;
+                }
+                std::str::from_utf8(&self.s[start..self.i]).ok()?.parse().ok().map(Val::Num)
+            }
+            _ => None,
+        }
+    }
+
+    fn literal(&mut self, lit: &[u8]) -> Option<()> {
+        for &b in lit {
+            self.expect(b)?;
+        }
+        Some(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_parse_roundtrip() {
+        let obj = Obj::new()
+            .num("id", 7)
+            .str("op", "run")
+            .str("blob", "line1\nline2=3,4\n\"quoted\\slash\"")
+            .bool("cached", true);
+        let line = obj.render();
+        assert!(!line.contains('\n'), "rendered line must be newline-free: {line}");
+        let back = Obj::parse(&line).expect("parse back");
+        assert_eq!(back, obj);
+        assert_eq!(back.get_num("id"), Some(7));
+        assert_eq!(back.get_str("op"), Some("run"));
+        assert_eq!(back.get_bool("cached"), Some(true));
+    }
+
+    #[test]
+    fn parse_rejects_out_of_subset() {
+        assert!(Obj::parse("{\"a\":[1]}").is_none(), "arrays");
+        assert!(Obj::parse("{\"a\":{\"b\":1}}").is_none(), "nesting");
+        assert!(Obj::parse("{\"a\":1.5}").is_none(), "floats");
+        assert!(Obj::parse("{\"a\":1} trailing").is_none(), "trailing");
+        assert!(Obj::parse("{\"a\":1").is_none(), "truncated");
+        assert!(Obj::parse("").is_none(), "empty");
+        assert!(Obj::parse("{}").is_some(), "empty object is fine");
+    }
+
+    #[test]
+    fn control_chars_escape() {
+        let obj = Obj::new().str("s", "\u{1}\t\u{7f}ü日");
+        let back = Obj::parse(&obj.render()).unwrap();
+        assert_eq!(back.get_str("s"), Some("\u{1}\t\u{7f}ü日"));
+    }
+}

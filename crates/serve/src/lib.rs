@@ -1,0 +1,261 @@
+//! `nscd`: the near-stream simulation service.
+//!
+//! The evaluation harnesses call [`near_stream::RunRequest`] in
+//! process; this crate puts the same engine behind a Unix socket so
+//! simulations can be submitted from shell scripts, other languages, or
+//! several processes at once — all sharing one worker pool and one
+//! result cache. Two binaries:
+//!
+//! * `nscd` — the daemon ([`server::serve`]): accepts connections on a
+//!   Unix socket, reads newline-delimited JSON requests, fans `run`
+//!   requests across the shared [`nsc_sim::pool::ThreadPool`],
+//!   consults the content-addressed result cache ([`nsc_sim::cache`])
+//!   before simulating, and streams responses back **in submission
+//!   order** per connection.
+//! * `nsc-client` — a thin CLI ([`client`]): `submit`, `status`,
+//!   `flush`, `shutdown` subcommands speaking the same protocol.
+//!
+//! # Wire protocol
+//!
+//! One JSON object per line (see [`json`] for the exact subset), client
+//! to daemon:
+//!
+//! ```text
+//! {"op":"run","id":1,"workload":"histogram","size":"tiny","mode":"NS"}
+//! {"op":"status","id":2}
+//! {"op":"flush","id":3}
+//! {"op":"shutdown","id":4}
+//! ```
+//!
+//! and back, in submission order:
+//!
+//! ```text
+//! {"id":1,"ok":true,"cached":false,"workload":"histogram","mode":"NS","blob":"schema=nsc-run-v1\n..."}
+//! {"id":2,"ok":true,"served":12,"cache_hits":8,"cache_misses":4,"jobs":8}
+//! ```
+//!
+//! The `blob` of a `run` response is the result-cache record
+//! ([`near_stream::request::encode`]): every `f64` travels by bit
+//! pattern, so a client-side [`near_stream::request::decode`] recovers
+//! the daemon's [`RunResult`] exactly. `status` and `flush` responses
+//! ride the same ordered response stream, which makes `flush` a drain
+//! barrier: by the time its response arrives, every earlier `run` on
+//! that connection has completed and been delivered.
+
+pub mod client;
+pub mod json;
+pub mod server;
+
+use json::Obj;
+use near_stream::request::{self, CachedRun};
+use near_stream::{ExecMode, RunResult};
+use nsc_bench::size_from_str;
+use nsc_sim::{cache, fault::FaultStats};
+use nsc_workloads::Size;
+
+/// The spelling of a [`Size`] on the wire (inverse of
+/// [`nsc_bench::size_from_str`]).
+pub fn size_label(size: Size) -> &'static str {
+    match size {
+        Size::Tiny => "tiny",
+        Size::Small => "small",
+        Size::Paper => "paper",
+    }
+}
+
+/// A parsed protocol request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Simulate `workload` at `size` under `mode` (cache-aware).
+    Run {
+        /// Client-chosen correlation id, echoed in the response.
+        id: u64,
+        /// Table VI workload name.
+        workload: String,
+        /// Input scale.
+        size: Size,
+        /// Execution mode.
+        mode: ExecMode,
+    },
+    /// Report served/cache/pool counters.
+    Status {
+        /// Correlation id.
+        id: u64,
+    },
+    /// Drain: respond once every earlier request has been answered.
+    Flush {
+        /// Correlation id.
+        id: u64,
+    },
+    /// Graceful shutdown: drain in-flight runs, then stop accepting.
+    Shutdown {
+        /// Correlation id.
+        id: u64,
+    },
+}
+
+impl Request {
+    /// Parses one request line. `Err((id, message))` carries the
+    /// request's id when one could be extracted (0 otherwise) so the
+    /// server can still correlate the error response.
+    pub fn parse(line: &str) -> Result<Request, (u64, String)> {
+        let obj = Obj::parse(line).ok_or((0, format!("malformed request line: {line:?}")))?;
+        let id = obj.get_num("id").ok_or((0, "missing numeric \"id\"".to_owned()))?;
+        let op = obj.get_str("op").ok_or((id, "missing \"op\"".to_owned()))?;
+        match op {
+            "run" => {
+                let workload = obj
+                    .get_str("workload")
+                    .ok_or((id, "run needs \"workload\"".to_owned()))?
+                    .to_owned();
+                let size_s = obj.get_str("size").unwrap_or("small");
+                let size = size_from_str(size_s)
+                    .ok_or((id, format!("unknown size: {size_s:?} (want tiny|small|full)")))?;
+                let mode_s = obj.get_str("mode").unwrap_or("NS");
+                let mode = ExecMode::parse(mode_s)
+                    .ok_or((id, format!("unknown mode: {mode_s:?}")))?;
+                Ok(Request::Run { id, workload, size, mode })
+            }
+            "status" => Ok(Request::Status { id }),
+            "flush" => Ok(Request::Flush { id }),
+            "shutdown" => Ok(Request::Shutdown { id }),
+            other => Err((id, format!("unknown op: {other:?}"))),
+        }
+    }
+
+    /// Renders the request as one protocol line (client side).
+    pub fn render(&self) -> String {
+        match self {
+            Request::Run { id, workload, size, mode } => Obj::new()
+                .str("op", "run")
+                .num("id", *id)
+                .str("workload", workload)
+                .str("size", size_label(*size))
+                .str("mode", mode.label())
+                .render(),
+            Request::Status { id } => Obj::new().str("op", "status").num("id", *id).render(),
+            Request::Flush { id } => Obj::new().str("op", "flush").num("id", *id).render(),
+            Request::Shutdown { id } => Obj::new().str("op", "shutdown").num("id", *id).render(),
+        }
+    }
+
+    /// The request's correlation id.
+    pub fn id(&self) -> u64 {
+        match self {
+            Request::Run { id, .. }
+            | Request::Status { id }
+            | Request::Flush { id }
+            | Request::Shutdown { id } => *id,
+        }
+    }
+}
+
+/// The outcome of one `run` request, before serialization.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// The run's metrics.
+    pub result: RunResult,
+    /// Whether the result was replayed from the cache.
+    pub cached: bool,
+}
+
+/// Executes one run request in this process: looks the workload up,
+/// compiles it, and runs it cache-aware (a stored result is replayed
+/// without simulating). This is the daemon's backend, and also what
+/// `nsc-client submit --local` calls.
+pub fn execute(workload: &str, size: Size, mode: ExecMode) -> Result<RunOutcome, String> {
+    let w = nsc_workloads::all(size)
+        .into_iter()
+        .find(|w| w.name == workload)
+        .ok_or_else(|| {
+            let known: Vec<_> = nsc_workloads::all(size).iter().map(|w| w.name).collect();
+            format!("unknown workload: {workload:?} (known: {})", known.join(", "))
+        })?;
+    let p = nsc_bench::prepare(w);
+    let cfg = nsc_bench::system_for(size);
+    let req = p.request(mode, &cfg);
+    let cached = cache::enabled() && cache::contains(&req.key());
+    let result = req.try_run_cached().map_err(|e| e.to_string())?;
+    Ok(RunOutcome { result, cached })
+}
+
+/// Renders a successful `run` response line.
+pub fn run_response(id: u64, workload: &str, mode: ExecMode, out: &RunOutcome) -> String {
+    Obj::new()
+        .num("id", id)
+        .bool("ok", true)
+        .bool("cached", out.cached)
+        .str("workload", workload)
+        .str("mode", mode.label())
+        .num("cycles", out.result.cycles)
+        .str("blob", &request::encode(&out.result, &FaultStats::default()))
+        .render()
+}
+
+/// Renders an error response line.
+pub fn error_response(id: u64, msg: &str) -> String {
+    Obj::new().num("id", id).bool("ok", false).str("error", msg).render()
+}
+
+/// Decodes the `blob` of a `run` response back into the daemon's exact
+/// [`RunResult`].
+pub fn decode_response_blob(resp: &Obj) -> Option<CachedRun> {
+    request::decode(resp.get_str("blob")?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_lines_roundtrip() {
+        let reqs = [
+            Request::Run {
+                id: 3,
+                workload: "histogram".into(),
+                size: Size::Tiny,
+                mode: ExecMode::Ns,
+            },
+            Request::Status { id: 4 },
+            Request::Flush { id: 5 },
+            Request::Shutdown { id: 6 },
+        ];
+        for r in reqs {
+            let line = r.render();
+            assert_eq!(Request::parse(&line), Ok(r), "line: {line}");
+        }
+    }
+
+    #[test]
+    fn bad_requests_keep_their_id() {
+        assert_eq!(Request::parse("not json").unwrap_err().0, 0);
+        assert_eq!(Request::parse("{\"op\":\"run\"}").unwrap_err().0, 0);
+        let (id, msg) = Request::parse("{\"id\":9,\"op\":\"warp\"}").unwrap_err();
+        assert_eq!(id, 9);
+        assert!(msg.contains("unknown op"));
+        let (id, _) = Request::parse("{\"id\":9,\"op\":\"run\",\"workload\":\"x\",\"size\":\"huge\"}")
+            .unwrap_err();
+        assert_eq!(id, 9);
+    }
+
+    #[test]
+    fn run_response_blob_is_exact() {
+        let out = execute("histogram", Size::Tiny, ExecMode::Ns).expect("run");
+        let line = run_response(1, "histogram", ExecMode::Ns, &out);
+        let resp = Obj::parse(&line).expect("response parses");
+        assert_eq!(resp.get_bool("ok"), Some(true));
+        let back = decode_response_blob(&resp).expect("blob decodes");
+        // Bit-exact round trip: the re-encoded record matches byte for
+        // byte (RunResult has no PartialEq; the codec is the equality).
+        assert_eq!(
+            request::encode(&back.result, &FaultStats::default()),
+            request::encode(&out.result, &FaultStats::default()),
+        );
+    }
+
+    #[test]
+    fn execute_rejects_unknown_workload() {
+        let err = execute("nope", Size::Tiny, ExecMode::Base).unwrap_err();
+        assert!(err.contains("unknown workload"), "got: {err}");
+    }
+}

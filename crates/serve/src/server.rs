@@ -1,0 +1,169 @@
+//! The `nscd` daemon: accept loop, per-connection protocol handling,
+//! and the submission-order response stream.
+//!
+//! Every connection gets a reader (the connection thread itself) and a
+//! writer thread joined by an `mpsc` channel of `(sequence, line)`
+//! pairs. `run` requests are fanned out on the **shared** pool — one
+//! pool for the whole daemon, so ten clients submitting at once batch
+//! across the same `NSC_JOBS` workers instead of oversubscribing the
+//! machine. The writer holds responses in a reorder buffer and emits
+//! them strictly in submission order, which is what makes `flush` a
+//! drain barrier and keeps client-side correlation trivial.
+//!
+//! Shutdown is graceful by construction: the `shutdown` response rides
+//! the ordered stream (so it is written only after every earlier
+//! response), the accept loop is woken and breaks, connection threads
+//! are joined, and dropping the pool runs every job that was already
+//! queued before the daemon exits.
+
+use crate::json::Obj;
+use crate::{error_response, execute, run_response, Request};
+use nsc_sim::{cache, pool::ThreadPool};
+use std::collections::BTreeMap;
+use std::io::{self, BufRead, BufReader, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+
+/// Daemon-wide shared state.
+struct State {
+    pool: ThreadPool,
+    served: AtomicU64,
+    shutdown: AtomicBool,
+    socket: PathBuf,
+}
+
+/// Binds `socket` and serves until a client sends `shutdown`.
+///
+/// An existing socket file is removed first (a daemon that died without
+/// cleanup would otherwise block the bind forever); it is removed again
+/// on the way out.
+pub fn serve(socket: &Path, jobs: usize) -> io::Result<()> {
+    let _ = std::fs::remove_file(socket);
+    let listener = UnixListener::bind(socket)?;
+    let state = Arc::new(State {
+        pool: ThreadPool::new(jobs),
+        served: AtomicU64::new(0),
+        shutdown: AtomicBool::new(false),
+        socket: socket.to_owned(),
+    });
+    let mut conns = Vec::new();
+    for stream in listener.incoming() {
+        if state.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = stream?;
+        let st = Arc::clone(&state);
+        conns.push(std::thread::spawn(move || handle_conn(&st, stream)));
+    }
+    for c in conns {
+        let _ = c.join();
+    }
+    let _ = std::fs::remove_file(socket);
+    Ok(())
+    // `state`'s last Arc drops here; the pool's Drop drains any jobs
+    // still queued before the workers exit.
+}
+
+/// A response slot: either a line computed on a worker, or a thunk the
+/// writer evaluates at delivery time — *after* every earlier response —
+/// so `status` counters and `flush` acknowledgements observe all
+/// preceding runs on the connection.
+type Slot = Box<dyn FnOnce() -> String + Send>;
+
+/// One connection: read requests, dispatch, keep responses ordered.
+fn handle_conn(st: &Arc<State>, stream: UnixStream) {
+    let Ok(read_half) = stream.try_clone() else { return };
+    let reader = BufReader::new(read_half);
+    let (tx, rx) = mpsc::channel::<(u64, Slot)>();
+    let writer = std::thread::spawn(move || write_ordered(stream, &rx));
+    let mut seq = 0u64;
+    let mut want_shutdown = false;
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        match Request::parse(&line) {
+            Ok(Request::Run { id, workload, size, mode }) => {
+                // Simulate on the shared pool; the response re-enters
+                // the ordered stream at this request's sequence slot.
+                let tx = tx.clone();
+                let stc = Arc::clone(st);
+                st.pool.spawn(move || {
+                    let resp = match execute(&workload, size, mode) {
+                        Ok(out) => {
+                            stc.served.fetch_add(1, Ordering::SeqCst);
+                            run_response(id, &workload, mode, &out)
+                        }
+                        Err(e) => error_response(id, &e),
+                    };
+                    let _ = tx.send((seq, Box::new(move || resp) as Slot));
+                });
+            }
+            Ok(Request::Status { id }) => {
+                let stc = Arc::clone(st);
+                let slot = Box::new(move || {
+                    let (hits, misses) = cache::counters();
+                    Obj::new()
+                        .num("id", id)
+                        .bool("ok", true)
+                        .num("served", stc.served.load(Ordering::SeqCst))
+                        .num("cache_hits", hits)
+                        .num("cache_misses", misses)
+                        .num("jobs", stc.pool.workers() as u64)
+                        .bool("cache_enabled", cache::enabled())
+                        .render()
+                }) as Slot;
+                let _ = tx.send((seq, slot));
+            }
+            Ok(Request::Flush { id }) => {
+                // Ordered delivery IS the barrier: this slot leaves the
+                // reorder buffer only after every earlier response.
+                let slot = Box::new(move || {
+                    Obj::new().num("id", id).bool("ok", true).num("flushed", seq).render()
+                }) as Slot;
+                let _ = tx.send((seq, slot));
+            }
+            Ok(Request::Shutdown { id }) => {
+                let slot =
+                    Box::new(move || Obj::new().num("id", id).bool("ok", true).render()) as Slot;
+                let _ = tx.send((seq, slot));
+                want_shutdown = true;
+                break;
+            }
+            Err((id, msg)) => {
+                let resp = error_response(id, &msg);
+                let _ = tx.send((seq, Box::new(move || resp) as Slot));
+            }
+        }
+        seq += 1;
+    }
+    // In-flight pool jobs hold `tx` clones; the writer exits once they
+    // have all reported and this original handle drops.
+    drop(tx);
+    let _ = writer.join();
+    if want_shutdown {
+        st.shutdown.store(true, Ordering::SeqCst);
+        // Wake the accept loop so it observes the flag.
+        let _ = UnixStream::connect(&st.socket);
+    }
+}
+
+/// Drains `(sequence, slot)` pairs, evaluating and writing each slot in
+/// sequence order.
+fn write_ordered(mut out: UnixStream, rx: &mpsc::Receiver<(u64, Slot)>) {
+    let mut next = 0u64;
+    let mut pending: BTreeMap<u64, Slot> = BTreeMap::new();
+    for (seq, slot) in rx {
+        pending.insert(seq, slot);
+        while let Some(slot) = pending.remove(&next) {
+            let line = slot();
+            if writeln!(out, "{line}").and_then(|()| out.flush()).is_err() {
+                return; // client went away; drain silently
+            }
+            next += 1;
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! End-to-end daemon test: a real Unix socket, a real server thread,
+//! and the acceptance-gate property — a run submitted through `nscd`
+//! returns the same `RunResult` as an in-process `RunRequest::run()`.
+
+use near_stream::request::encode;
+use near_stream::ExecMode;
+use nsc_serve::client::roundtrip;
+use nsc_serve::Request;
+use nsc_sim::fault::FaultStats;
+use nsc_workloads::Size;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+fn temp_socket(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("nscd-test-{tag}-{}.sock", std::process::id()))
+}
+
+fn wait_for(socket: &Path) {
+    for _ in 0..200 {
+        if socket.exists() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    panic!("daemon never bound {}", socket.display());
+}
+
+#[test]
+fn daemon_roundtrip_matches_in_process() {
+    let socket = temp_socket("roundtrip");
+    let server = {
+        let socket = socket.clone();
+        std::thread::spawn(move || nsc_serve::server::serve(&socket, 2))
+    };
+    wait_for(&socket);
+
+    let run = |id, name: &str| Request::Run {
+        id,
+        workload: name.to_owned(),
+        size: Size::Tiny,
+        mode: ExecMode::Ns,
+    };
+    let reqs = [
+        run(1, "histogram"),
+        run(2, "bin_tree"),
+        run(3, "nope-not-a-workload"),
+        Request::Status { id: 4 },
+        Request::Flush { id: 5 },
+        Request::Shutdown { id: 6 },
+    ];
+    let resps = roundtrip(&socket, &reqs).expect("daemon round trip");
+    assert_eq!(resps.len(), reqs.len(), "one response per request");
+    // Submission order survives the pool: response i answers request i.
+    for (req, resp) in reqs.iter().zip(&resps) {
+        assert_eq!(resp.get_num("id"), Some(req.id()), "got {}", resp.render());
+    }
+
+    // The headline property: the daemon's result is the in-process
+    // result, bit for bit (compared through the exact codec).
+    for (resp, name) in [(&resps[0], "histogram"), (&resps[1], "bin_tree")] {
+        assert_eq!(resp.get_bool("ok"), Some(true), "got {}", resp.render());
+        let daemon = nsc_serve::decode_response_blob(resp).expect("blob decodes").result;
+        let w = nsc_workloads::all(Size::Tiny)
+            .into_iter()
+            .find(|w| w.name == name)
+            .unwrap();
+        let p = nsc_bench::prepare(w);
+        let cfg = nsc_bench::system_for(Size::Tiny);
+        let (local, _mem) = p.request(ExecMode::Ns, &cfg).run();
+        assert_eq!(
+            encode(&daemon, &FaultStats::default()),
+            encode(&local, &FaultStats::default()),
+            "{name}: daemon result differs from in-process run"
+        );
+    }
+
+    let bad = &resps[2];
+    assert_eq!(bad.get_bool("ok"), Some(false));
+    assert!(bad.get_str("error").unwrap_or("").contains("unknown workload"));
+
+    let status = &resps[3];
+    assert_eq!(status.get_bool("ok"), Some(true));
+    assert!(status.get_num("served") >= Some(2), "got {}", status.render());
+    assert!(status.get_num("jobs").is_some());
+
+    assert_eq!(resps[4].get_bool("ok"), Some(true), "flush");
+    assert_eq!(resps[5].get_bool("ok"), Some(true), "shutdown");
+
+    // `shutdown` was honored: the serve loop returns and unlinks the
+    // socket.
+    server.join().expect("server thread").expect("serve() result");
+    assert!(!socket.exists(), "socket removed on shutdown");
+}
+
+#[test]
+fn daemon_survives_disconnect_without_shutdown() {
+    let socket = temp_socket("disconnect");
+    let server = {
+        let socket = socket.clone();
+        std::thread::spawn(move || nsc_serve::server::serve(&socket, 1))
+    };
+    wait_for(&socket);
+
+    // A connection that never says shutdown must not stop the daemon.
+    let resps = roundtrip(&socket, &[Request::Status { id: 1 }]).expect("first connection");
+    assert_eq!(resps.len(), 1);
+    // A second connection still works, and shuts the daemon down.
+    let resps =
+        roundtrip(&socket, &[Request::Shutdown { id: 2 }]).expect("second connection");
+    assert_eq!(resps[0].get_bool("ok"), Some(true));
+    server.join().expect("server thread").expect("serve() result");
+}

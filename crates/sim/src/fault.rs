@@ -241,6 +241,18 @@ pub struct FaultStats {
 }
 
 impl FaultStats {
+    /// Rebuilds stats from raw per-site counts, ordered as
+    /// [`FaultSite::ALL`]. Used by the result cache to replay a cached
+    /// run's injection totals into the live accounting via [`absorb`].
+    pub fn from_counts(counts: [u64; 7]) -> FaultStats {
+        FaultStats { counts }
+    }
+
+    /// Raw per-site counts, ordered as [`FaultSite::ALL`].
+    pub fn counts(&self) -> [u64; 7] {
+        self.counts
+    }
+
     /// Injections at `site`.
     pub fn count(&self, site: FaultSite) -> u64 {
         self.counts[site.index()]
@@ -328,6 +340,13 @@ pub fn absorb(stats: FaultStats) {
             }
         }
     });
+}
+
+/// The plan armed on *this* thread, if any. The result cache folds it
+/// into the run digest: the same simulation point under different fault
+/// schedules is a different artifact.
+pub fn current_plan() -> Option<FaultPlan> {
+    INJECTOR.with(|t| t.borrow().as_ref().map(|inj| inj.plan.clone()))
 }
 
 /// Whether any injector is installed (fast, approximate across threads).

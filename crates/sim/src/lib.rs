@@ -16,6 +16,7 @@
 //! assert_eq!(q.pop(), Some((Cycle(10), "late")));
 //! ```
 
+pub mod cache;
 pub mod error;
 pub mod fault;
 pub mod json;

@@ -117,6 +117,18 @@ impl Summary {
         (self.count > 0).then_some(self.max)
     }
 
+    /// Rebuilds a summary from its stored parts (result-cache decode).
+    /// An empty summary (`count == 0`) ignores `min`/`max` and restores
+    /// the identity sentinels, so a decoded summary merges exactly like
+    /// the original.
+    pub fn from_parts(count: u64, sum: f64, min: f64, max: f64) -> Summary {
+        if count == 0 {
+            Summary::new()
+        } else {
+            Summary { count, sum, min, max }
+        }
+    }
+
     /// Merges another summary into this one.
     pub fn merge(&mut self, other: &Summary) {
         self.count += other.count;
@@ -176,6 +188,25 @@ impl Histogram {
         };
         self.counts[idx] += 1;
         self.summary.record(v);
+    }
+
+    /// Rebuilds a histogram from its stored parts (result-cache decode).
+    /// Percentiles, summaries and JSON renderings of the rebuilt value
+    /// are bit-identical to the original's.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid shape (non-positive width or no buckets),
+    /// same as [`Histogram::new`].
+    pub fn from_parts(width: f64, counts: Vec<u64>, summary: Summary) -> Histogram {
+        assert!(width > 0.0, "bucket width must be positive");
+        assert!(!counts.is_empty(), "need at least one bucket");
+        Histogram { width, counts, summary }
+    }
+
+    /// The configured bucket width.
+    pub fn bucket_width(&self) -> f64 {
+        self.width
     }
 
     /// Per-bucket counts.

@@ -249,6 +249,16 @@ pub enum TraceEvent {
         /// Sampled value.
         value: f64,
     },
+    /// A consultation of the content-addressed result cache
+    /// ([`crate::cache`]) before a simulation point ran.
+    ResultCache {
+        /// Consultation time (host-side; `Cycle(0)` before simulation).
+        at: Cycle,
+        /// High 64 bits of the 128-bit request digest.
+        key: u64,
+        /// Whether a stored result was replayed instead of simulating.
+        hit: bool,
+    },
 }
 
 impl TraceEvent {
@@ -263,7 +273,8 @@ impl TraceEvent {
             | TraceEvent::RangeSync { at, .. }
             | TraceEvent::Fault { at, .. }
             | TraceEvent::Recovery { at, .. }
-            | TraceEvent::CounterSample { at, .. } => at,
+            | TraceEvent::CounterSample { at, .. }
+            | TraceEvent::ResultCache { at, .. } => at,
             TraceEvent::StreamStep { start, .. }
             | TraceEvent::CacheAccess { start, .. }
             | TraceEvent::Lock { start, .. }
@@ -735,6 +746,13 @@ pub mod chrome {
                 let tid = id as u32;
                 w.name_thread(PID_COUNTERS, tid, format!("{track}[{id}]"));
                 w.counter(track, PID_COUNTERS, tid, at.0, value);
+            }
+            TraceEvent::ResultCache { at, key, hit } => {
+                let tid = 2_000_000;
+                w.name_thread(PID_CACHE, tid, "result-cache".to_owned());
+                let args = format!(",\"args\":{{\"key\":\"{key:016x}\"}}");
+                let name = if hit { "cache hit" } else { "cache miss" };
+                w.instant(name, PID_CACHE, tid, at.0, &args);
             }
         }
     }

@@ -3,7 +3,7 @@
 //!
 //! Run with: `cargo run --release --example graph_analytics`
 
-use near_stream::{run, ExecMode, SystemConfig};
+use near_stream::{RunRequest, ExecMode, SystemConfig};
 use nsc_compiler::compile;
 use nsc_workloads::{pr_push, Size};
 
@@ -18,9 +18,9 @@ fn main() {
         "{:12} {:>12} {:>9} {:>14} {:>10}",
         "system", "cycles", "speedup", "bytes x hops", "offloaded"
     );
-    let (base, _) = run(&w.program, &compiled, &w.params, ExecMode::Base, &cfg, &w.init);
+    let (base, _) = RunRequest::new(&w.program).compiled(&compiled).params(&w.params).mode(ExecMode::Base).config(&cfg).init(&w.init).run();
     for mode in ExecMode::ALL {
-        let (r, mem) = run(&w.program, &compiled, &w.params, mode, &cfg, &w.init);
+        let (r, mem) = RunRequest::new(&w.program).compiled(&compiled).params(&w.params).mode(mode).config(&cfg).init(&w.init).run();
         assert_eq!(w.digest(&mem), golden, "{mode:?} computed a different PageRank");
         println!(
             "{:12} {:>12} {:>8.2}x {:>14} {:>9.0}%",

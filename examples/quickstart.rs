@@ -3,7 +3,7 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use near_stream::{run, ExecMode, SystemConfig};
+use near_stream::{RunRequest, ExecMode, SystemConfig};
 use nsc_compiler::compile;
 use nsc_ir::build::KernelBuilder;
 use nsc_ir::{ElemType, Expr, Program, Scalar};
@@ -39,9 +39,9 @@ fn main() {
             mem.write_index(b, i, Scalar::I64(2 * i as i64));
         }
     };
-    let (base, base_mem) = run(&program, &compiled, &[], ExecMode::Base, &cfg, &init);
-    let (ns, ns_mem) = run(&program, &compiled, &[], ExecMode::Ns, &cfg, &init);
-    let (dec, _) = run(&program, &compiled, &[], ExecMode::NsDecouple, &cfg, &init);
+    let (base, base_mem) = RunRequest::new(&program).compiled(&compiled).mode(ExecMode::Base).config(&cfg).init(&init).run();
+    let (ns, ns_mem) = RunRequest::new(&program).compiled(&compiled).mode(ExecMode::Ns).config(&cfg).init(&init).run();
+    let (dec, _) = RunRequest::new(&program).compiled(&compiled).mode(ExecMode::NsDecouple).config(&cfg).init(&init).run();
 
     // Every system computes the same values.
     assert_eq!(base_mem.read_index(c, 12345), Scalar::I64(3 * 12345));

@@ -3,7 +3,7 @@
 //!
 //! Run with: `cargo run --release --example stencil_offload`
 
-use near_stream::{run, ExecMode, SystemConfig};
+use near_stream::{RunRequest, ExecMode, SystemConfig};
 use nsc_compiler::compile;
 use nsc_ir::stream::ComputeClass;
 use nsc_workloads::{hotspot, Size};
@@ -45,8 +45,8 @@ fn main() {
     cfg.mem.l1.size_bytes /= 16;
     cfg.mem.l2.size_bytes /= 16;
     cfg.mem.l3_bank.size_bytes /= 16;
-    let (base, _) = run(&w.program, &compiled, &w.params, ExecMode::Base, &cfg, &w.init);
-    let (ns, _) = run(&w.program, &compiled, &w.params, ExecMode::NsDecouple, &cfg, &w.init);
+    let (base, _) = RunRequest::new(&w.program).compiled(&compiled).params(&w.params).mode(ExecMode::Base).config(&cfg).init(&w.init).run();
+    let (ns, _) = RunRequest::new(&w.program).compiled(&compiled).params(&w.params).mode(ExecMode::NsDecouple).config(&cfg).init(&w.init).run();
     println!();
     println!(
         "Base: {} cycles / {} BxH; NS-decouple: {} cycles / {} BxH ({:.2}x, {:.0}% less traffic)",

@@ -12,6 +12,17 @@
 # Harnesses fan their runs across NSC_JOBS workers (default: all cores)
 # with bit-identical output for any job count. Wall-clock per harness and
 # in total lands in results/wall_clock.json.
+#
+# Warm-cache reruns: with NSC_CACHE=1 every simulation point is stored
+# content-addressed under results/.cache/, and a repeated sweep replays
+# byte-identical results without simulating. Regenerating the whole
+# evaluation after an interrupted or partial run then only simulates
+# what is missing:
+#
+#   NSC_CACHE=1 ./run_experiments.sh --small   # cold: simulates + stores
+#   NSC_CACHE=1 ./run_experiments.sh --small   # warm: replays from cache
+#
+# (check results/<name>.json host.cache_hits / host.cache_misses).
 set -u
 SCALE="${1:---small}"
 cd "$(dirname "$0")"

@@ -10,7 +10,12 @@
 #   5. a perf smoke: NSC_JOBS=1 vs NSC_JOBS=8 must produce byte-identical
 #      tables and JSON (modulo the host.* wall-clock object), and the
 #      event-queue/substrate microbenches must run (criterion-bench
-#      feature, hand-rolled harness, offline).
+#      feature, hand-rolled harness, offline),
+#   6. a cache smoke: the same harness twice under NSC_CACHE=1 — the
+#      second run must be 100% cache hits (zero simulations) and emit a
+#      byte-identical report once the host.* object is stripped,
+#   7. an nscd smoke: daemon round trip over a Unix socket, including a
+#      warm resubmission that must be served from the cache.
 #
 # No network access is required: all dependencies are path dependencies
 # inside this workspace, so everything runs with `--offline`.
@@ -45,5 +50,42 @@ echo "parallel output is bit-identical (jobs 1 vs 8)"
 
 echo "== perf (substrate microbenches incl. event queue) =="
 cargo bench -q -p nsc-bench --offline --features criterion-bench
+
+echo "== cache (cold-vs-warm byte-identity, zero warm simulations) =="
+CACHE_TMP="$PERF_TMP/cache"
+mkdir -p "$CACHE_TMP/cold" "$CACHE_TMP/warm"
+NSC_CACHE=1 NSC_CACHE_DIR="$CACHE_TMP/store" NSC_RESULTS_DIR="$CACHE_TMP/cold" \
+  ./target/release/fig09_speedup --tiny > "$CACHE_TMP/cold.txt"
+NSC_CACHE=1 NSC_CACHE_DIR="$CACHE_TMP/store" NSC_RESULTS_DIR="$CACHE_TMP/warm" \
+  ./target/release/fig09_speedup --tiny > "$CACHE_TMP/warm.txt"
+diff "$CACHE_TMP/cold.txt" "$CACHE_TMP/warm.txt"
+diff <(sed 's/,"host":{[^}]*}//' "$CACHE_TMP/cold/fig09_speedup.json") \
+     <(sed 's/,"host":{[^}]*}//' "$CACHE_TMP/warm/fig09_speedup.json")
+grep -q '"cache_misses":0,' "$CACHE_TMP/warm/fig09_speedup.json" \
+  || { echo "warm run simulated instead of replaying"; exit 1; }
+grep -q '"cache_hits":0,' "$CACHE_TMP/cold/fig09_speedup.json" \
+  || { echo "cold run hit a cache that should have been empty"; exit 1; }
+echo "warm run replayed every point from the cache, byte-identical report"
+
+echo "== nscd (daemon round trip + warm resubmission) =="
+NSCD_SOCK="$PERF_TMP/nscd.sock"
+NSC_CACHE_DIR="$PERF_TMP/nscd-cache" ./target/release/nscd --socket "$NSCD_SOCK" --jobs 2 &
+NSCD_PID=$!
+for _ in $(seq 50); do [ -S "$NSCD_SOCK" ] && break; sleep 0.1; done
+[ -S "$NSCD_SOCK" ] || { echo "nscd never bound its socket"; exit 1; }
+./target/release/nsc-client submit --socket "$NSCD_SOCK" --size tiny --mode NS histogram \
+  > "$PERF_TMP/nscd-cold.txt"
+./target/release/nsc-client submit --socket "$NSCD_SOCK" --size tiny --mode NS histogram \
+  > "$PERF_TMP/nscd-warm.txt"
+grep -q 'cached=false' "$PERF_TMP/nscd-cold.txt" \
+  || { echo "first daemon run claimed to be cached"; cat "$PERF_TMP/nscd-cold.txt"; exit 1; }
+grep -q 'cached=true' "$PERF_TMP/nscd-warm.txt" \
+  || { echo "resubmission was not served from the cache"; cat "$PERF_TMP/nscd-warm.txt"; exit 1; }
+diff <(sed 's/cached=.*//' "$PERF_TMP/nscd-cold.txt") \
+     <(sed 's/cached=.*//' "$PERF_TMP/nscd-warm.txt")
+./target/release/nsc-client status --socket "$NSCD_SOCK" | grep -q '"ok":true'
+./target/release/nsc-client shutdown --socket "$NSCD_SOCK" > /dev/null
+wait "$NSCD_PID"
+echo "daemon served, cached, and shut down cleanly"
 
 echo "CI checks passed."

@@ -1,0 +1,109 @@
+//! Properties of the content-addressed result cache: the request digest
+//! separates every field of a run request, and a cache hit replays a
+//! record byte-identical to the one the miss stored.
+//!
+//! The report-level version of the replay property (a warm `NSC_CACHE=1`
+//! sweep emitting a byte-identical JSON report with zero simulations)
+//! is exercised end-to-end by `ci.sh`'s cache-smoke stage; these tests
+//! pin down the library-level invariants it rests on.
+
+use near_stream::request::{decode, encode};
+use near_stream::{ExecMode, RunRequest, SystemConfig};
+use nsc_compiler::compile;
+use nsc_ir::build::KernelBuilder;
+use nsc_ir::{ElemType, Expr, Memory, Program, Scalar};
+use nsc_sim::fault::{self, FaultPlan, FaultStats};
+use std::collections::HashSet;
+
+/// A minimal one-kernel program; `imm` lands in an instruction
+/// immediate, so two values give programs differing in exactly one
+/// field.
+fn probe_program(imm: i64) -> Program {
+    let mut p = Program::new("cache_probe");
+    let a = p.array("a", ElemType::I64, 64);
+    let out = p.array("out", ElemType::I64, 64);
+    let mut k = KernelBuilder::new("k", 64);
+    let i = k.outer_var();
+    let v = k.load(a, Expr::var(i));
+    k.store(out, Expr::var(i), Expr::var(v) + Expr::imm(imm));
+    p.push_kernel(k.finish());
+    p
+}
+
+#[test]
+fn every_request_field_reaches_the_key() {
+    let p1 = probe_program(1);
+    let p2 = probe_program(2);
+    let c1 = compile(&p1);
+    let c2 = compile(&p2);
+    let cfg = SystemConfig::small();
+    let mut cfg_l1 = cfg.clone();
+    cfg_l1.mem.l1.size_bytes *= 2;
+    let mut cfg_se = cfg.clone();
+    cfg_se.se.runahead_elems += 1;
+    let seed_init = |m: &mut Memory| {
+        m.write_index(nsc_ir::program::ArrayId(0), 0, Scalar::I64(99));
+    };
+
+    let base = || RunRequest::new(&p1).compiled(&c1).mode(ExecMode::Ns).config(&cfg);
+    // Each entry perturbs exactly one field of the canonical request.
+    let keys = [
+        base().key(),
+        RunRequest::new(&p2).compiled(&c2).mode(ExecMode::Ns).config(&cfg).key(),
+        base().params(&[Scalar::I64(7)]).key(),
+        base().params(&[Scalar::F64(7.0)]).key(),
+        base().mode(ExecMode::Base).key(),
+        base().mode(ExecMode::NsDecouple).key(),
+        base().config(&cfg_l1).key(),
+        base().config(&cfg_se).key(),
+        base().init(&seed_init).key(),
+    ];
+    let distinct: HashSet<String> = keys.iter().map(|k| k.hex()).collect();
+    assert_eq!(
+        distinct.len(),
+        keys.len(),
+        "a single-field perturbation failed to change the cache key: {keys:?}"
+    );
+}
+
+#[test]
+fn key_is_stable_and_fault_plan_is_part_of_it() {
+    let p = probe_program(1);
+    let c = compile(&p);
+    let cfg = SystemConfig::small();
+    let req = RunRequest::new(&p).compiled(&c).mode(ExecMode::Ns).config(&cfg);
+    let clean = req.key();
+    assert_eq!(clean, req.key(), "the digest must be deterministic");
+
+    // An armed injector changes the schedule, so it must change the key
+    // (both the seed and every rate are folded).
+    fault::install(FaultPlan::uniform(42, 1e-3));
+    let faulty_42 = req.key();
+    fault::uninstall();
+    fault::install(FaultPlan::uniform(43, 1e-3));
+    let faulty_43 = req.key();
+    fault::uninstall();
+    assert_ne!(clean, faulty_42);
+    assert_ne!(faulty_42, faulty_43);
+    assert_eq!(clean, req.key(), "uninstalling the plan restores the clean key");
+}
+
+#[test]
+fn record_codec_replays_byte_identically() {
+    // A hit returns `decode(stored_blob)`; this is exact iff the codec
+    // round-trips every field bit-for-bit, floats included.
+    let p = probe_program(3);
+    let c = compile(&p);
+    let cfg = SystemConfig::small();
+    let (result, _mem) =
+        RunRequest::new(&p).compiled(&c).mode(ExecMode::Ns).config(&cfg).run();
+    let faults = FaultStats::from_counts([1, 2, 3, 4, 5, 6, 7]);
+    let blob = encode(&result, &faults);
+    let replay = decode(&blob).expect("stored record decodes");
+    assert_eq!(replay.faults, faults, "fault delta survives the round trip");
+    assert_eq!(
+        encode(&replay.result, &replay.faults),
+        blob,
+        "replayed record re-encodes byte-identically"
+    );
+}

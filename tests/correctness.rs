@@ -3,7 +3,7 @@
 //! offloading must be functionally invisible (the paper's programmer
 //! transparency claim).
 
-use near_stream::{run, ExecMode, SystemConfig};
+use near_stream::{RunRequest, ExecMode, SystemConfig};
 use nsc_compiler::compile;
 use nsc_workloads::{Size, Workload};
 
@@ -12,7 +12,7 @@ fn check_all_modes(w: Workload) {
     let cfg = SystemConfig::small();
     let golden = w.golden_digest();
     for mode in ExecMode::ALL {
-        let (result, mem) = run(&w.program, &compiled, &w.params, mode, &cfg, &w.init);
+        let (result, mem) = RunRequest::new(&w.program).compiled(&compiled).params(&w.params).mode(mode).config(&cfg).init(&w.init).run();
         assert_eq!(
             w.digest(&mem),
             golden,
@@ -70,7 +70,7 @@ fn results_are_independent_of_core_count() {
     let compiled = compile(&w.program);
     let golden = w.golden_digest();
     for cfg in [SystemConfig::small(), SystemConfig::paper_ooo8()] {
-        let (_, mem) = run(&w.program, &compiled, &w.params, ExecMode::Ns, &cfg, &w.init);
+        let (_, mem) = RunRequest::new(&w.program).compiled(&compiled).params(&w.params).mode(ExecMode::Ns).config(&cfg).init(&w.init).run();
         assert_eq!(w.digest(&mem), golden);
     }
 }
@@ -86,7 +86,7 @@ fn results_are_independent_of_se_parameters() {
         cfg.se.scc_rob = rob;
         cfg.se.scalar_pe = pe;
         cfg.mem.mrsw_lock = mrsw;
-        let (_, mem) = run(&w.program, &compiled, &w.params, ExecMode::NsDecouple, &cfg, &w.init);
+        let (_, mem) = RunRequest::new(&w.program).compiled(&compiled).params(&w.params).mode(ExecMode::NsDecouple).config(&cfg).init(&w.init).run();
         assert_eq!(w.digest(&mem), golden, "SE params changed the result");
     }
 }

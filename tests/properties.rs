@@ -313,16 +313,9 @@ fn random_gather_program_is_transparent() {
             }
         };
         let cfg = near_stream::SystemConfig::small();
-        let (_, base_mem) = near_stream::run(
-            &p,
-            &compiled,
-            &[],
-            near_stream::ExecMode::Base,
-            &cfg,
-            &init,
-        );
+        let (_, base_mem) = near_stream::RunRequest::new(&p).compiled(&compiled).mode(near_stream::ExecMode::Base).config(&cfg).init(&init).run();
         let (_, ns_mem) =
-            near_stream::run(&p, &compiled, &[], near_stream::ExecMode::Ns, &cfg, &init);
+            near_stream::RunRequest::new(&p).compiled(&compiled).mode(near_stream::ExecMode::Ns).config(&cfg).init(&init).run();
         for j in 0..n {
             assert_eq!(base_mem.read_index(dst, j), ns_mem.read_index(dst, j));
         }
@@ -391,7 +384,7 @@ fn tlb_accounting() {
 /// watchdog would return [`SimError::Wedged`] otherwise).
 #[test]
 fn random_fault_plans_are_transparent() {
-    use near_stream::{try_run, ExecMode, SystemConfig};
+    use near_stream::{RunRequest, ExecMode, SystemConfig};
     use nsc_ir::build::KernelBuilder;
     use nsc_ir::{ElemType, Expr, Program, Scalar};
     use nsc_sim::fault::{self, FaultPlan};
@@ -427,7 +420,7 @@ fn random_fault_plans_are_transparent() {
         };
         let cfg = SystemConfig::small();
         let (_, clean_mem) =
-            try_run(&p, &compiled, &[], ExecMode::Ns, &cfg, &init).expect("clean run terminates");
+            RunRequest::new(&p).compiled(&compiled).mode(ExecMode::Ns).config(&cfg).init(&init).try_run().expect("clean run terminates");
 
         // Random fault plan: every site gets an independent random rate,
         // occasionally a pathological one (always-fire NACKs).
@@ -441,7 +434,7 @@ fn random_fault_plans_are_transparent() {
         plan.mem_error = rng.gen_f64() * 0.02;
         plan.alias_false_positive = rng.gen_f64() * 0.02;
         fault::install(plan);
-        let outcome = try_run(&p, &compiled, &[], ExecMode::Ns, &cfg, &init);
+        let outcome = RunRequest::new(&p).compiled(&compiled).mode(ExecMode::Ns).config(&cfg).init(&init).try_run();
         let stats = fault::uninstall().expect("injector was armed");
         total_faults += stats.total();
         let (faulty, faulty_mem) = outcome.expect("faulty run terminates");
@@ -462,7 +455,7 @@ fn random_fault_plans_are_transparent() {
 /// correctness.
 #[test]
 fn fault_schedules_are_deterministic_per_seed() {
-    use near_stream::{run, ExecMode, SystemConfig};
+    use near_stream::{RunRequest, ExecMode, SystemConfig};
     use nsc_ir::build::KernelBuilder;
     use nsc_ir::{ElemType, Expr, Program};
     use nsc_sim::fault::{self, FaultPlan};
@@ -480,7 +473,7 @@ fn fault_schedules_are_deterministic_per_seed() {
     let mut cycles = Vec::new();
     for seed in [9u64, 9, 10] {
         fault::install(FaultPlan::uniform(seed, 0.005));
-        let (r, _) = run(&p, &compiled, &[], ExecMode::Ns, &cfg, &|_| {});
+        let (r, _) = RunRequest::new(&p).compiled(&compiled).mode(ExecMode::Ns).config(&cfg).run();
         let stats = fault::uninstall().expect("armed");
         cycles.push((r.cycles, stats.total()));
     }

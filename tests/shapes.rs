@@ -2,7 +2,7 @@
 //! evaluation establishes must hold in this reproduction (who wins, not by
 //! exactly how much).
 
-use near_stream::{run, ExecMode, SystemConfig};
+use near_stream::{RunRequest, ExecMode, SystemConfig};
 use nsc_compiler::compile;
 use nsc_workloads::Size;
 
@@ -40,9 +40,9 @@ fn stencil_offload_cuts_traffic_and_time() {
     let w_init = |_: &mut nsc_ir::Memory| {};
     let compiled = compile(&p);
     let cfg = pressured();
-    let (base, _) = run(&p, &compiled, &[], ExecMode::Base, &cfg, &w_init);
-    let (ns, _) = run(&p, &compiled, &[], ExecMode::Ns, &cfg, &w_init);
-    let (dec, _) = run(&p, &compiled, &[], ExecMode::NsDecouple, &cfg, &w_init);
+    let (base, _) = RunRequest::new(&p).compiled(&compiled).mode(ExecMode::Base).config(&cfg).init(&w_init).run();
+    let (ns, _) = RunRequest::new(&p).compiled(&compiled).mode(ExecMode::Ns).config(&cfg).init(&w_init).run();
+    let (dec, _) = RunRequest::new(&p).compiled(&compiled).mode(ExecMode::NsDecouple).config(&cfg).init(&w_init).run();
     assert!(ns.cycles < base.cycles, "NS {} vs Base {}", ns.cycles, base.cycles);
     assert!(
         (ns.traffic.total() as f64) < 0.7 * base.traffic.total() as f64,
@@ -69,8 +69,8 @@ fn near_stream_dominates_inst_on_multiop_affine() {
     let w = nsc_workloads::srad(Size::Tiny);
     let compiled = compile(&w.program);
     let cfg = pressured();
-    let (inst, _) = run(&w.program, &compiled, &w.params, ExecMode::Inst, &cfg, &w.init);
-    let (ns, _) = run(&w.program, &compiled, &w.params, ExecMode::Ns, &cfg, &w.init);
+    let (inst, _) = RunRequest::new(&w.program).compiled(&compiled).params(&w.params).mode(ExecMode::Inst).config(&cfg).init(&w.init).run();
+    let (ns, _) = RunRequest::new(&w.program).compiled(&compiled).params(&w.params).mode(ExecMode::Ns).config(&cfg).init(&w.init).run();
     assert!(ns.cycles <= inst.cycles, "NS {} vs INST {}", ns.cycles, inst.cycles);
     assert!(ns.traffic.offloaded < inst.traffic.offloaded);
 }
@@ -82,8 +82,8 @@ fn pointer_chase_offload_wins_at_scale() {
     let w = nsc_workloads::hash_join(Size::Tiny);
     let compiled = compile(&w.program);
     let cfg = pressured();
-    let (base, _) = run(&w.program, &compiled, &w.params, ExecMode::Base, &cfg, &w.init);
-    let (dec, _) = run(&w.program, &compiled, &w.params, ExecMode::NsDecouple, &cfg, &w.init);
+    let (base, _) = RunRequest::new(&w.program).compiled(&compiled).params(&w.params).mode(ExecMode::Base).config(&cfg).init(&w.init).run();
+    let (dec, _) = RunRequest::new(&w.program).compiled(&compiled).params(&w.params).mode(ExecMode::NsDecouple).config(&cfg).init(&w.init).run();
     assert!(
         (dec.traffic.total() as f64) < 0.8 * base.traffic.total() as f64,
         "decoupled traffic {} vs base {}",
@@ -112,8 +112,8 @@ fn reductions_return_only_final_values() {
     p.push_kernel(k.finish());
     let compiled = compile(&p);
     let cfg = pressured();
-    let (base, _) = run(&p, &compiled, &[], ExecMode::Base, &cfg, &|_| {});
-    let (ns, _) = run(&p, &compiled, &[], ExecMode::Ns, &cfg, &|_| {});
+    let (base, _) = RunRequest::new(&p).compiled(&compiled).mode(ExecMode::Base).config(&cfg).run();
+    let (ns, _) = RunRequest::new(&p).compiled(&compiled).mode(ExecMode::Ns).config(&cfg).run();
     assert!(
         (ns.traffic.total() as f64) < 0.7 * base.traffic.total() as f64, // compulsory DRAM traffic stays
         "NS {} vs Base {}",
@@ -130,10 +130,10 @@ fn mrsw_never_slower_than_exclusive() {
         let compiled = compile(&w.program);
         let mut cfg_x = pressured();
         cfg_x.mem.mrsw_lock = false;
-        let (excl, _) = run(&w.program, &compiled, &w.params, ExecMode::Ns, &cfg_x, &w.init);
+        let (excl, _) = RunRequest::new(&w.program).compiled(&compiled).params(&w.params).mode(ExecMode::Ns).config(&cfg_x).init(&w.init).run();
         let mut cfg_m = pressured();
         cfg_m.mem.mrsw_lock = true;
-        let (mrsw, _) = run(&w.program, &compiled, &w.params, ExecMode::Ns, &cfg_m, &w.init);
+        let (mrsw, _) = RunRequest::new(&w.program).compiled(&compiled).params(&w.params).mode(ExecMode::Ns).config(&cfg_m).init(&w.init).run();
         assert!(
             mrsw.cycles <= excl.cycles,
             "{}: MRSW {} vs exclusive {}",
@@ -172,7 +172,7 @@ fn alias_detection_forces_streams_back_in_core() {
     p.push_kernel(k.finish());
     let compiled = compile(&p);
     let cfg = pressured();
-    let (r, _) = run(&p, &compiled, &[], ExecMode::Ns, &cfg, &|_| {});
+    let (r, _) = RunRequest::new(&p).compiled(&compiled).mode(ExecMode::Ns).config(&cfg).run();
     assert!(r.alias_flushes > 0, "conservative range check must fire");
 }
 
@@ -186,10 +186,10 @@ fn in_order_cores_gain_most_from_offloading() {
     let mut io_cfg = pressured().with_core(CoreModel::io4());
     io_cfg.mem.l1_spatial_prefetch = false; // keep models comparable
     let ooo_cfg = pressured().with_core(CoreModel::ooo8());
-    let (io_base, _) = run(&w.program, &compiled, &w.params, ExecMode::Base, &io_cfg, &w.init);
-    let (io_ns, _) = run(&w.program, &compiled, &w.params, ExecMode::NsDecouple, &io_cfg, &w.init);
-    let (ooo_base, _) = run(&w.program, &compiled, &w.params, ExecMode::Base, &ooo_cfg, &w.init);
-    let (ooo_ns, _) = run(&w.program, &compiled, &w.params, ExecMode::NsDecouple, &ooo_cfg, &w.init);
+    let (io_base, _) = RunRequest::new(&w.program).compiled(&compiled).params(&w.params).mode(ExecMode::Base).config(&io_cfg).init(&w.init).run();
+    let (io_ns, _) = RunRequest::new(&w.program).compiled(&compiled).params(&w.params).mode(ExecMode::NsDecouple).config(&io_cfg).init(&w.init).run();
+    let (ooo_base, _) = RunRequest::new(&w.program).compiled(&compiled).params(&w.params).mode(ExecMode::Base).config(&ooo_cfg).init(&w.init).run();
+    let (ooo_ns, _) = RunRequest::new(&w.program).compiled(&compiled).params(&w.params).mode(ExecMode::NsDecouple).config(&ooo_cfg).init(&w.init).run();
     // The in-order baseline is slower than the OOO baseline...
     assert!(io_base.cycles > ooo_base.cycles, "IO4 {} vs OOO8 {}", io_base.cycles, ooo_base.cycles);
     // ...and near-stream computing narrows the gap (both end up
@@ -209,7 +209,7 @@ fn offloaded_fraction_matches_paper_generality() {
     for w in nsc_workloads::all(Size::Tiny) {
         let compiled = compile(&w.program);
         let cfg = pressured();
-        let (r, _) = run(&w.program, &compiled, &w.params, ExecMode::NsDecouple, &cfg, &w.init);
+        let (r, _) = RunRequest::new(&w.program).compiled(&compiled).params(&w.params).mode(ExecMode::NsDecouple).config(&cfg).init(&w.init).run();
         fracs.push(r.offload_fraction());
     }
     let avg = fracs.iter().sum::<f64>() / fracs.len() as f64;
@@ -223,8 +223,8 @@ fn inst_traffic_exceeds_ns_on_fine_grain_offload() {
     let w = nsc_workloads::hotspot(Size::Tiny);
     let compiled = compile(&w.program);
     let cfg = pressured();
-    let (inst, _) = run(&w.program, &compiled, &w.params, ExecMode::Inst, &cfg, &w.init);
-    let (ns, _) = run(&w.program, &compiled, &w.params, ExecMode::NsDecouple, &cfg, &w.init);
+    let (inst, _) = RunRequest::new(&w.program).compiled(&compiled).params(&w.params).mode(ExecMode::Inst).config(&cfg).init(&w.init).run();
+    let (ns, _) = RunRequest::new(&w.program).compiled(&compiled).params(&w.params).mode(ExecMode::NsDecouple).config(&cfg).init(&w.init).run();
     assert!(
         inst.traffic.offloaded > 2 * ns.traffic.offloaded.max(1),
         "INST offloaded {} vs NS {}",
@@ -262,6 +262,6 @@ fn peb_flushes_on_store_aliasing_incore_stream() {
     let compiled = compile(&p);
     // NsCore keeps the stream in-core, exercising the PEB.
     let cfg = pressured();
-    let (r, _) = run(&p, &compiled, &[], ExecMode::NsCore, &cfg, &|_| {});
+    let (r, _) = RunRequest::new(&p).compiled(&compiled).mode(ExecMode::NsCore).config(&cfg).run();
     assert!(r.peb_flushes > 0, "PEB never fired");
 }
