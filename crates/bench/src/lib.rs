@@ -14,6 +14,7 @@ use nsc_ir::Memory;
 use nsc_sim::cache;
 use nsc_sim::fault::{self, FaultPlan};
 use nsc_sim::json::{escape, fmt_f64};
+use nsc_sim::metrics::{self, Registry};
 use nsc_sim::pool::{self, run_ordered, ThreadPool};
 use nsc_sim::trace::{self, chrome, RingRecorder};
 use nsc_sim::{Histogram, SimError, StatsTable};
@@ -266,9 +267,14 @@ impl Sweep {
     /// this makes the output independent of `NSC_JOBS`.
     pub fn run<T: Send + 'static>(&self, tasks: Vec<SweepTask<T>>) -> Vec<T> {
         /// A task result plus whatever per-run instrumentation it captured.
-        type Instrumented<T> = (T, Option<fault::FaultStats>, Option<RingRecorder>);
+        type Instrumented<T> =
+            (T, Option<fault::FaultStats>, Option<RingRecorder>, Option<Registry>);
         let first_run = self.next_run.get();
         self.next_run.set(first_run + tasks.len() as u64);
+        // Whether workers should carry metrics shards is decided here on
+        // the submitting thread, so the per-task closures behave the same
+        // no matter which worker runs them.
+        let metering = metrics::installed();
         let wrapped: Vec<SweepTask<Instrumented<T>>> = tasks
             .into_iter()
             .enumerate()
@@ -283,21 +289,32 @@ impl Sweep {
                     if let Some((cap, every)) = trace_knobs {
                         trace::install(RingRecorder::new(cap), every);
                     }
+                    if metering {
+                        metrics::install(Registry::new());
+                    }
                     let value = task();
                     let fstats = if faulting { fault::uninstall() } else { None };
                     let rec = if trace_knobs.is_some() { trace::uninstall() } else { None };
-                    (value, fstats, rec)
+                    let shard = if metering { metrics::uninstall() } else { None };
+                    (value, fstats, rec, shard)
                 }) as SweepTask<_>
             })
             .collect();
         run_ordered(&self.pool, wrapped)
             .into_iter()
-            .map(|(value, fstats, rec)| {
+            .map(|(value, fstats, rec, shard)| {
                 if let Some(fstats) = fstats {
                     fault::absorb(fstats);
                 }
                 if let Some(rec) = rec {
                     trace::absorb(rec);
+                }
+                if let Some(shard) = shard {
+                    // Every merge op commutes and saturates, but absorbing
+                    // in submission order anyway keeps the discipline
+                    // uniform with faults/traces and byte-identical
+                    // snapshots trivially independent of NSC_JOBS.
+                    metrics::absorb(&shard);
                 }
                 value
             })
@@ -349,6 +366,10 @@ impl Report {
             }
             None => false,
         };
+        // Every harness run carries a live metrics registry: the counters
+        // feed the report's `host.profile` block, and the cost when
+        // nothing reads them is one relaxed atomic load per event.
+        metrics::install(Registry::new());
         Report {
             name: name.to_owned(),
             size,
@@ -374,7 +395,7 @@ impl Report {
     /// [`Report::new`]) are created on first use and reused across
     /// calls.
     pub fn sweep<T: Send + 'static>(&mut self, tasks: Vec<SweepTask<T>>) -> Vec<T> {
-        self.sim_runs += tasks.len() as u64;
+        self.sim_runs = self.sim_runs.saturating_add(tasks.len() as u64);
         if self.sweeper.is_none() {
             self.sweeper = Some(Sweep::with_jobs(
                 pool::jobs_from_env(),
@@ -388,7 +409,7 @@ impl Report {
     /// Counts simulations executed outside [`Report::sweep`] into the
     /// `host.sim_runs` stat.
     pub fn note_sim_runs(&mut self, n: u64) {
-        self.sim_runs += n;
+        self.sim_runs = self.sim_runs.saturating_add(n);
     }
 
     /// Attaches a free-form metadata string (e.g. a config description).
@@ -451,13 +472,15 @@ impl Report {
         // and a warm cache produce the same science), so determinism
         // checks compare everything else and strip this one key.
         let (cache_hits, cache_misses) = cache::counters();
+        let wall_ms = (self.started.elapsed().as_secs_f64() * 1e3 * 1e3).round() / 1e3;
         out.push_str(&format!(
-            ",\"host\":{{\"jobs\":{},\"sim_runs\":{},\"cache_hits\":{},\"cache_misses\":{},\"wall_ms\":{}}}",
+            ",\"host\":{{\"jobs\":{},\"sim_runs\":{},\"cache_hits\":{},\"cache_misses\":{},\"wall_ms\":{},\"profile\":{}}}",
             self.sweeper.as_ref().map(Sweep::jobs).unwrap_or(0),
             self.sim_runs,
             cache_hits,
             cache_misses,
-            fmt_f64((self.started.elapsed().as_secs_f64() * 1e3 * 1e3).round() / 1e3),
+            fmt_f64(wall_ms),
+            profile_json(&metrics::snapshot().unwrap_or_default(), wall_ms),
         ));
         out.push_str("}\n");
         out
@@ -490,8 +513,51 @@ impl Report {
         let path = dir.join(format!("{}.json", self.name));
         std::fs::write(&path, self.render())
             .map_err(|e| SimError::io(path.display().to_string(), &e))?;
+        metrics::uninstall();
         Ok(path)
     }
+}
+
+/// Renders the event-loop self-profiler block for `host.profile`.
+///
+/// The simulator never reads wall clocks on the hot path; instead every
+/// instrumented event records how many *simulated* cycles it accounted
+/// for, and the profiler attributes the harness's measured wall time
+/// proportionally to each event kind's share of those cycles
+/// (`est_ms = wall_ms * cycles / total_cycles`). The cycle shares are
+/// deterministic; only `wall_ms` (already a host-side stat) varies
+/// between runs.
+fn profile_json(reg: &Registry, wall_ms: f64) -> String {
+    let (total_events, total_cycles) = reg.prof_total();
+    let mut out = format!(
+        "{{\"total_events\":{total_events},\"total_cycles\":{total_cycles},\"by_kind\":{{"
+    );
+    let mut first = true;
+    for p in metrics::Prof::ALL {
+        let slot = reg.prof(p);
+        if slot.events == 0 && slot.cycles == 0 {
+            continue;
+        }
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let est_ms = if total_cycles == 0 {
+            0.0
+        } else {
+            wall_ms * (slot.cycles as f64 / total_cycles as f64)
+        };
+        out.push_str(&format!(
+            "\"{}\":{{\"component\":\"{}\",\"events\":{},\"cycles\":{},\"est_ms\":{}}}",
+            escape(p.label()),
+            escape(p.component()),
+            slot.events,
+            slot.cycles,
+            fmt_f64((est_ms * 1e3).round() / 1e3),
+        ));
+    }
+    out.push_str("}}");
+    out
 }
 
 /// Finishes a report, or reports the failure the way a command-line
@@ -639,6 +705,35 @@ mod tests {
         assert!(host.get("jobs").and_then(Json::as_f64).unwrap() >= 1.0);
         assert_eq!(host.get("sim_runs").and_then(Json::as_f64), Some(5.0));
         assert!(host.get("wall_ms").and_then(Json::as_f64).unwrap() >= 0.0);
+    }
+
+    #[test]
+    fn report_renders_populated_host_profile() {
+        use nsc_sim::json::{parse, Json};
+        let mut rep = Report::new("unit_profile", Size::Tiny);
+        let p = prepare(nsc_workloads::histogram(Size::Tiny));
+        let cfg = system_for(Size::Tiny);
+        // Run through the sweep so the profiler exercises the worker-shard
+        // absorb path, not just the main-thread registry.
+        let results = rep.sweep(vec![Box::new(move || {
+            p.run_checked(ExecMode::Ns, &cfg).cycles
+        }) as SweepTask<u64>]);
+        assert!(results[0] > 0);
+        let doc = parse(&rep.render()).expect("report is valid JSON");
+        let profile = doc
+            .get("host")
+            .and_then(|h| h.get("profile"))
+            .and_then(Json::as_obj)
+            .expect("host.profile present");
+        assert!(profile.get("total_events").and_then(Json::as_f64).unwrap() > 0.0);
+        assert!(profile.get("total_cycles").and_then(Json::as_f64).unwrap() > 0.0);
+        let by_kind = profile.get("by_kind").and_then(Json::as_obj).unwrap();
+        assert!(!by_kind.is_empty(), "a simulation must attribute some cycles");
+        for (_, v) in by_kind.iter() {
+            assert!(v.get("component").and_then(Json::as_str).is_some());
+            assert!(v.get("events").and_then(Json::as_f64).unwrap() > 0.0);
+            assert!(v.get("est_ms").and_then(Json::as_f64).unwrap() >= 0.0);
+        }
     }
 
     #[test]

@@ -19,6 +19,7 @@ use nsc_mem::addr::LineAddr;
 use nsc_mem::{AccessKind, Addr, MemorySystem};
 use nsc_noc::{Mesh, MsgClass, TileId};
 use nsc_sim::fault::{self, FaultSite};
+use nsc_sim::metrics::{self, Metric, Prof};
 use nsc_sim::trace::{self, SyncPhase, TraceEvent};
 use nsc_sim::{resource::BandwidthLedger, Cycle};
 use std::collections::{BTreeSet, VecDeque};
@@ -578,7 +579,9 @@ impl Engine<'_, '_> {
         let se = &self.cfg.se;
         if !needs_scm && se.scalar_pe {
             self.state.uops_se += uops as f64;
-            return ready + se.scalar_pe_latency + uops as u64;
+            let done = ready + se.scalar_pe_latency + uops as u64;
+            metrics::profile(Prof::ScmCompute, done.raw().saturating_sub(ready.raw()));
+            return done;
         }
         // SCM path: issue latency plus throughput bounded by the SCC ROB.
         self.state.uops_scm += uops as f64;
@@ -592,6 +595,7 @@ impl Engine<'_, '_> {
         trace::sample("se.scm_busy", tile, done, || {
             self.refs.scm[tile as usize].total_booked() as f64
         });
+        metrics::profile(Prof::ScmCompute, (done + 1).raw().saturating_sub(ready.raw()));
         done + 1
     }
 
@@ -631,7 +635,9 @@ impl Engine<'_, '_> {
         match self.mode {
             ExecMode::Ns => {
                 // Credits core -> SE_L3.
-                self.refs.mesh.send(now, core_tile, bank_tile, 8, MsgClass::Offloaded);
+                let t_credit =
+                    self.refs.mesh.send(now, core_tile, bank_tile, 8, MsgClass::Offloaded);
+                metrics::profile(Prof::SyncBoundary, t_credit.raw().saturating_sub(now.raw()));
                 // Range report SE_L3 -> core (affine ranges are built at
                 // SE_core by default, Figure 15).
                 if irregular || !self.cfg.se.affine_ranges_at_core {
@@ -669,7 +675,9 @@ impl Engine<'_, '_> {
             ExecMode::NsNoSync | ExecMode::NsDecouple => {
                 // Progress/credit message only (paper §V: "streams still
                 // report their progress to SE_core").
-                self.refs.mesh.send(now, core_tile, bank_tile, 8, MsgClass::Offloaded);
+                let t_credit =
+                    self.refs.mesh.send(now, core_tile, bank_tile, 8, MsgClass::Offloaded);
+                metrics::profile(Prof::SyncBoundary, t_credit.raw().saturating_sub(now.raw()));
             }
             _ => {}
         }
@@ -735,6 +743,16 @@ impl Engine<'_, '_> {
                 self.do_chained_line(addr, kind, cost, sid.expect("streamed"), modifies)
             }
         };
+        let (dm, dp) = match style {
+            OffloadStyle::CoreAccess => (Metric::DispatchCoreAccess, Prof::EngineCoreAccess),
+            OffloadStyle::CorePrefetch => (Metric::DispatchCorePrefetch, Prof::EngineCorePrefetch),
+            OffloadStyle::FloatLoad => (Metric::DispatchFloatLoad, Prof::EngineFloatLoad),
+            OffloadStyle::NearStream => (Metric::DispatchNearStream, Prof::EngineNearStream),
+            OffloadStyle::PerIteration => (Metric::DispatchPerIteration, Prof::EnginePerIteration),
+            OffloadStyle::ChainedLine => (Metric::DispatchChainedLine, Prof::EngineChainedLine),
+        };
+        metrics::count(dm);
+        metrics::profile(dp, done.raw().saturating_sub(t0.raw()));
         if let Some(s) = sid {
             let core = self.state.core;
             let bank = self.state.streams[s.0 as usize].current_bank;
@@ -764,7 +782,7 @@ impl Engine<'_, '_> {
             if let Some(victim) = self.state.ranges.check_core_access(addr, bytes as u64) {
                 self.state.streams[victim.0 as usize].aliased = true;
                 self.state.ranges.remove(victim);
-                self.state.alias_flushes += 1;
+                self.state.alias_flushes = self.state.alias_flushes.saturating_add(1);
                 self.state.now += ALIAS_FLUSH_PENALTY;
                 let (at, core) = (self.state.now, self.state.core);
                 trace::emit(|| TraceEvent::RangeSync {
@@ -788,7 +806,7 @@ impl Engine<'_, '_> {
                     rt.recent.clear();
                     rt.se_line = None;
                     rt.last_line = None;
-                    self.state.rangesync_replays += 1;
+                    self.state.rangesync_replays = self.state.rangesync_replays.saturating_add(1);
                     self.state.now += ALIAS_FLUSH_PENALTY;
                     let (at, core) = (self.state.now, self.state.core);
                     trace::emit(|| TraceEvent::Fault {
@@ -817,7 +835,7 @@ impl Engine<'_, '_> {
                     // Reissue: the stream loses its buffered lead.
                     rt.recent.clear();
                     rt.se_line = None;
-                    self.state.peb_flushes += 1;
+                    self.state.peb_flushes = self.state.peb_flushes.saturating_add(1);
                     self.state.now += 20;
                 }
             }
@@ -885,7 +903,7 @@ impl Engine<'_, '_> {
                             &self.cfg.se,
                             s.0 as u16,
                         );
-                        self.state.offload_retries += hs_retries;
+                        self.state.offload_retries = self.state.offload_retries.saturating_add(hs_retries);
                         if let Some((final_bank, t)) = outcome {
                             {
                                 let rt = &mut self.state.streams[s.0 as usize];
@@ -913,7 +931,7 @@ impl Engine<'_, '_> {
                         } else {
                             // Handshake exhausted: the stream keeps running
                             // in-core for the rest of this kernel.
-                            self.state.offload_fallbacks += 1;
+                            self.state.offload_fallbacks = self.state.offload_fallbacks.saturating_add(1);
                         }
                     }
                 }

@@ -13,6 +13,7 @@ use nsc_mem::addr::LineAddr;
 use nsc_mem::{MemStats, MemorySystem};
 use nsc_noc::{Mesh, MsgClass, TileId};
 use nsc_sim::error::SimError;
+use nsc_sim::metrics::{self, Metric};
 use nsc_sim::trace::{self, SyncPhase, TraceEvent};
 use nsc_sim::{fault, resource::BandwidthLedger, Cycle, Histogram, StatsTable};
 use std::cmp::Reverse;
@@ -277,6 +278,7 @@ pub(crate) fn simulate(
             .map(|(i, _)| i)
             .collect();
         while let Some(Reverse((_, c))) = heap.pop() {
+            metrics::count(Metric::EngineIterations);
             let ci = c as usize;
             let iter = next_iter[ci];
             cores[ci].begin_iteration(cfg.core.rob, decoupled);
@@ -390,27 +392,36 @@ pub(crate) fn simulate(
     let mut uops_se = 0.0;
     let mut uops_scm = 0.0;
     let mut total_uops = 0.0;
-    let mut alias_flushes = 0;
-    let mut peb_flushes = 0;
-    let mut offloaded_elems = 0;
-    let mut stream_elems = 0;
-    let mut offload_retries = 0;
-    let mut offload_fallbacks = 0;
-    let mut rangesync_replays = 0;
+    let mut alias_flushes = 0u64;
+    let mut peb_flushes = 0u64;
+    let mut offloaded_elems = 0u64;
+    let mut stream_elems = 0u64;
+    let mut offload_retries = 0u64;
+    let mut offload_fallbacks = 0u64;
+    let mut rangesync_replays = 0u64;
     for c in &cores {
         roles.merge(&c.roles);
         uops_core += c.uops_core;
         uops_se += c.uops_se;
         uops_scm += c.uops_scm;
         total_uops += c.total_uops;
-        alias_flushes += c.alias_flushes;
-        peb_flushes += c.peb_flushes;
-        offloaded_elems += c.offloaded_elems;
-        stream_elems += c.stream_elems;
-        offload_retries += c.offload_retries;
-        offload_fallbacks += c.offload_fallbacks;
-        rangesync_replays += c.rangesync_replays;
+        alias_flushes = alias_flushes.saturating_add(c.alias_flushes);
+        peb_flushes = peb_flushes.saturating_add(c.peb_flushes);
+        offloaded_elems = offloaded_elems.saturating_add(c.offloaded_elems);
+        stream_elems = stream_elems.saturating_add(c.stream_elems);
+        offload_retries = offload_retries.saturating_add(c.offload_retries);
+        offload_fallbacks = offload_fallbacks.saturating_add(c.offload_fallbacks);
+        rangesync_replays = rangesync_replays.saturating_add(c.rangesync_replays);
     }
+    // Engine-level counters feed the live metrics registry once, at this
+    // aggregation point: the underlying increments are split between the
+    // per-core engine and `configure_streams`, and counting the summed
+    // totals here keeps the registry in lock-step with `RunResult`.
+    metrics::add(Metric::AliasFlushes, alias_flushes);
+    metrics::add(Metric::PebFlushes, peb_flushes);
+    metrics::add(Metric::RangeSyncReplays, rangesync_replays);
+    metrics::add(Metric::OffloadRetries, offload_retries);
+    metrics::add(Metric::OffloadFallbacks, offload_fallbacks);
     let result = RunResult {
         mode,
         cycles: time.raw(),
@@ -540,7 +551,7 @@ fn configure_streams(
                         &cfg.se,
                         s as u16,
                     );
-                    state.offload_retries += retries;
+                    state.offload_retries = state.offload_retries.saturating_add(retries);
                     match outcome {
                         Some((final_bank, t)) => {
                             state.streams[s].current_bank = final_bank;
@@ -551,7 +562,7 @@ fn configure_streams(
                             // after migrating): transparently fall back to
                             // the in-core style the policy would have
                             // picked had offload been rejected.
-                            state.offload_fallbacks += 1;
+                            state.offload_fallbacks = state.offload_fallbacks.saturating_add(1);
                             state.streams[s].style = fallback(info);
                             state.streams[s].deferred = None;
                             time

@@ -42,12 +42,12 @@ pub struct MemStats {
 impl MemStats {
     /// Demand L1 hit rate in `[0, 1]`.
     pub fn l1_hit_rate(&self) -> f64 {
-        ratio(self.l1_hits, self.l1_hits + self.l1_misses)
+        ratio(self.l1_hits, self.l1_hits.saturating_add(self.l1_misses))
     }
 
     /// Demand L3 hit rate in `[0, 1]`.
     pub fn l3_hit_rate(&self) -> f64 {
-        ratio(self.l3_hits, self.l3_hits + self.l3_misses)
+        ratio(self.l3_hits, self.l3_hits.saturating_add(self.l3_misses))
     }
 
     /// Renders all counters into a [`StatsTable`] under a `mem.` prefix.

@@ -11,6 +11,7 @@ use crate::stats::MemStats;
 use nsc_noc::{Mesh, MsgClass, TileId};
 use nsc_sim::error::SimError;
 use nsc_sim::fault::{self, FaultSite};
+use nsc_sim::metrics::{self, Metric, Prof};
 use nsc_sim::trace::{self, TraceEvent, TraceLevel, SE_L3_CORE};
 use nsc_sim::{resource::BandwidthLedger, Cycle};
 use std::collections::{HashMap, HashSet};
@@ -43,6 +44,14 @@ impl ServedBy {
             ServedBy::Dram => TraceLevel::Dram,
         }
     }
+}
+
+/// Saturating stat bump that also feeds the live metrics registry (a
+/// no-op relaxed load when no registry is installed).
+#[inline]
+fn bump(slot: &mut u64, m: Metric) {
+    *slot = slot.saturating_add(1);
+    metrics::count(m);
 }
 
 /// Which level ultimately served a demand access.
@@ -283,9 +292,10 @@ impl MemorySystem {
             // Guard the set probe: with prefetching off (or idle) the set is
             // empty and every L1 hit would still pay a hash.
             if !p.prefetched.is_empty() && p.prefetched.remove(&line) {
-                self.stats.prefetch_hits += 1;
+                bump(&mut self.stats.prefetch_hits, Metric::MemPrefetchHits);
             }
-            self.stats.l1_hits += 1;
+            bump(&mut self.stats.l1_hits, Metric::MemL1Hits);
+            metrics::profile(Prof::MemL1, l1_latency.raw());
             if !needs_own || owned {
                 if needs_own {
                     p.l1.set_dirty(line);
@@ -298,7 +308,7 @@ impl MemorySystem {
             self.privates[core as usize].l1.set_dirty(line);
             return (done, ServedBy::L1);
         }
-        self.stats.l1_misses += 1;
+        bump(&mut self.stats.l1_misses, Metric::MemL1Misses);
 
         // Bingo-like spatial prefetch triggers on L1 demand misses.
         let pf_lines = if self.config.l1_spatial_prefetch {
@@ -313,7 +323,8 @@ impl MemorySystem {
         let p = &mut self.privates[core as usize];
         let l2_hit = p.l2.lookup(line, t_l2);
         let (data_at_core, served) = if let Some(hit) = l2_hit {
-            self.stats.l2_hits += 1;
+            bump(&mut self.stats.l2_hits, Metric::MemL2Hits);
+            metrics::profile(Prof::MemL2, l2_latency.raw());
             let t = t_l2.max(hit.ready) + l2_latency;
             if needs_own && !owned {
                 (self.ownership_transaction(t, core, line, mesh, false), ServedBy::L2)
@@ -321,7 +332,7 @@ impl MemorySystem {
                 (t, ServedBy::L2)
             }
         } else {
-            self.stats.l2_misses += 1;
+            bump(&mut self.stats.l2_misses, Metric::MemL2Misses);
             // L2 stride prefetch triggers on L2 demand misses.
             let stride_lines = if self.config.l2_stride_prefetch {
                 p.stride.on_miss(line)
@@ -422,7 +433,7 @@ impl MemorySystem {
                 let t_inv = mesh.send(t, bank_tile, owner_tile, 8, MsgClass::Control);
                 let o = &mut self.privates[owner as usize];
                 let had = o.l1.invalidate(line).is_some() | o.l2.invalidate(line).is_some();
-                self.stats.invalidations += 1;
+                bump(&mut self.stats.invalidations, Metric::MemInvalidations);
                 trace::emit(|| TraceEvent::Coherence {
                     at: t_inv,
                     core: owner,
@@ -431,7 +442,7 @@ impl MemorySystem {
                 });
                 let t_back = mesh.send(t_inv, owner_tile, bank_tile, LINE_BYTES, MsgClass::Data);
                 if had {
-                    self.stats.private_writebacks += 1;
+                    bump(&mut self.stats.private_writebacks, Metric::MemPrivateWritebacks);
                 }
                 // The returned data becomes a dirty L3 copy.
                 self.l3_fill(t_back, line, true, mesh);
@@ -452,7 +463,7 @@ impl MemorySystem {
                     let p = &mut self.privates[s as usize];
                     p.l1.invalidate(line);
                     p.l2.invalidate(line);
-                    self.stats.invalidations += 1;
+                    bump(&mut self.stats.invalidations, Metric::MemInvalidations);
                     trace::emit(|| TraceEvent::Coherence {
                         at: t_inv,
                         core: s,
@@ -473,12 +484,13 @@ impl MemorySystem {
         let bank = self.bank_of(line) as usize;
         let l3_latency = self.config.l3_bank.latency;
         if let Some(hit) = self.banks[bank].lookup(line, t) {
-            self.stats.l3_hits += 1;
+            bump(&mut self.stats.l3_hits, Metric::MemL3Hits);
+            metrics::profile(Prof::MemL3, l3_latency.raw());
             let mut t_done = t.max(hit.ready) + l3_latency;
             if fault::inject(FaultSite::MemError) {
                 // Transient bank read error (chaos mode): the array is
                 // re-read; data is unaffected, only timing pays.
-                self.stats.read_retries += 1;
+                bump(&mut self.stats.read_retries, Metric::MemReadRetries);
                 trace::emit(|| TraceEvent::Fault {
                     at: t_done,
                     core: SE_L3_CORE,
@@ -488,16 +500,17 @@ impl MemorySystem {
             }
             return (t_done, ServedBy::L3);
         }
-        self.stats.l3_misses += 1;
+        bump(&mut self.stats.l3_misses, Metric::MemL3Misses);
         // DRAM fetch.
         let ctrl_tile = self.dram.controller_tile(line);
         let t_req = mesh.send(t + l3_latency, bank_tile, ctrl_tile, 8, MsgClass::Control);
         let (mut t_dram, _) = self.dram.access(t_req, line);
-        self.stats.dram_reads += 1;
+        bump(&mut self.stats.dram_reads, Metric::MemDramReads);
+        metrics::profile(Prof::MemDram, t_dram.raw().saturating_sub(t_req.raw()));
         if fault::inject(FaultSite::MemError) {
             // Transient DRAM read error (chaos mode): wait out the retry
             // window, then re-issue the read.
-            self.stats.read_retries += 1;
+            bump(&mut self.stats.read_retries, Metric::MemReadRetries);
             trace::emit(|| TraceEvent::Fault {
                 at: t_dram,
                 core: SE_L3_CORE,
@@ -505,7 +518,7 @@ impl MemorySystem {
             });
             let retry_at = t_dram + fault::penalty(FaultSite::MemError);
             let (t_retry, _) = self.dram.access(retry_at, line);
-            self.stats.dram_reads += 1;
+            bump(&mut self.stats.dram_reads, Metric::MemDramReads);
             t_dram = t_retry;
         }
         let t_back = mesh.send(t_dram, ctrl_tile, bank_tile, LINE_BYTES, MsgClass::Data);
@@ -521,7 +534,7 @@ impl MemorySystem {
                 let ctrl_tile = self.dram.controller_tile(ev.line);
                 mesh.send(now, self.bank_tile(line), ctrl_tile, LINE_BYTES, MsgClass::Data);
                 self.dram.access(now, ev.line);
-                self.stats.dram_writebacks += 1;
+                bump(&mut self.stats.dram_writebacks, Metric::MemDramWritebacks);
                 trace::emit(|| TraceEvent::Coherence {
                     at: now,
                     core: SE_L3_CORE,
@@ -561,7 +574,7 @@ impl MemorySystem {
                     let p = &mut self.privates[s as usize];
                     p.l1.invalidate(line);
                     p.l2.invalidate(line);
-                    self.stats.invalidations += 1;
+                    bump(&mut self.stats.invalidations, Metric::MemInvalidations);
                     trace::emit(|| TraceEvent::Coherence {
                         at: t_inv,
                         core: s,
@@ -616,7 +629,7 @@ impl MemorySystem {
         let core_tile = self.core_tile(core);
         if dirty {
             let t = mesh.send(now, core_tile, bank_tile, LINE_BYTES, MsgClass::Data);
-            self.stats.private_writebacks += 1;
+            bump(&mut self.stats.private_writebacks, Metric::MemPrivateWritebacks);
             trace::emit(|| TraceEvent::Coherence {
                 at: t,
                 core,
@@ -643,7 +656,7 @@ impl MemorySystem {
         }
         let (t, _) = self.remote_fetch(now, core, line, false, mesh);
         self.fill_private(t, core, line, false, mesh);
-        self.stats.prefetch_fills += 1;
+        bump(&mut self.stats.prefetch_fills, Metric::MemPrefetchFills);
         let p = &mut self.privates[core as usize];
         p.prefetched.insert(line);
         if p.prefetched.len() > 4096 {
@@ -660,7 +673,7 @@ impl MemorySystem {
         if let Some(ev) = ev {
             self.evict_private_line(t, core, ev.line, ev.dirty, mesh);
         }
-        self.stats.prefetch_fills += 1;
+        bump(&mut self.stats.prefetch_fills, Metric::MemPrefetchFills);
     }
 
     // ------------------------------------------------------------------
@@ -763,7 +776,7 @@ impl MemorySystem {
         let kind = if modifies { LockKind::Exclusive } else { LockKind::Shared };
         let dur = self.config.atomic_op_cycles;
         let start = self.locks.acquire(t_data, line, kind, dur);
-        self.stats.l3_atomics += 1;
+        bump(&mut self.stats.l3_atomics, Metric::MemL3Atomics);
         trace::emit(|| TraceEvent::Lock {
             start,
             end: start + dur,

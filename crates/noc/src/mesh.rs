@@ -3,6 +3,7 @@
 use crate::topology::{xy_route_into, Link, TileId};
 use nsc_sim::error::SimError;
 use nsc_sim::fault::{self, FaultSite};
+use nsc_sim::metrics::{self, Hist, Metric, Prof};
 use nsc_sim::trace::{self, TraceEvent};
 use nsc_sim::{resource::BandwidthLedger, Cycle, Histogram, Summary};
 
@@ -153,9 +154,9 @@ impl TrafficStats {
         self.bytes_hops[class.index()]
     }
 
-    /// Total bytes × hops across all classes.
+    /// Total bytes × hops across all classes (saturating).
     pub fn total_bytes_hops(&self) -> u64 {
-        self.bytes_hops.iter().sum()
+        self.bytes_hops.iter().fold(0u64, |a, &v| a.saturating_add(v))
     }
 
     /// Total payload+header bytes injected for one class.
@@ -168,9 +169,9 @@ impl TrafficStats {
         self.messages[class.index()]
     }
 
-    /// Total messages across classes.
+    /// Total messages across classes (saturating).
     pub fn total_messages(&self) -> u64 {
-        self.messages.iter().sum()
+        self.messages.iter().fold(0u64, |a, &v| a.saturating_add(v))
     }
 
     /// Hops traversed for one class.
@@ -191,12 +192,26 @@ impl TrafficStats {
 
     fn record(&mut self, class: MsgClass, bytes: u64, hops: u64, latency: Cycle) {
         let i = class.index();
-        self.bytes_hops[i] += bytes * hops;
-        self.bytes[i] += bytes;
-        self.messages[i] += 1;
-        self.hops[i] += hops;
+        let byte_hops = bytes.saturating_mul(hops);
+        self.bytes_hops[i] = self.bytes_hops[i].saturating_add(byte_hops);
+        self.bytes[i] = self.bytes[i].saturating_add(bytes);
+        self.messages[i] = self.messages[i].saturating_add(1);
+        self.hops[i] = self.hops[i].saturating_add(hops);
         self.latency.record(latency.raw() as f64);
         self.latency_hist.record(latency.raw() as f64);
+        // Live metrics mirror: per-class message counts, traffic volume,
+        // the latency distribution, and profiler attribution of the
+        // message's in-network cycles.
+        let (msgs, prof) = match class {
+            MsgClass::Data => (Metric::NocMsgsData, Prof::NocData),
+            MsgClass::Control => (Metric::NocMsgsControl, Prof::NocControl),
+            MsgClass::Offloaded => (Metric::NocMsgsOffloaded, Prof::NocOffloaded),
+        };
+        metrics::count(msgs);
+        metrics::add(Metric::NocBytes, bytes);
+        metrics::add(Metric::NocByteHops, byte_hops);
+        metrics::observe(Hist::NocLatencyCycles, latency.raw() as f64);
+        metrics::profile(prof, latency.raw());
     }
 }
 
@@ -338,6 +353,7 @@ impl Mesh {
                     site: FaultSite::NocDrop.label(),
                 });
                 let restart = arrival + RETRANSMIT_TIMEOUT;
+                metrics::count(Metric::NocRetransmits);
                 arrival = self.route_time(restart, &route, flits);
                 trace::emit(|| TraceEvent::Recovery {
                     at: restart,

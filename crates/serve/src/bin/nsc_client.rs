@@ -3,6 +3,7 @@
 //! ```text
 //! nsc-client submit [--socket PATH] [--size S] [--mode M] [--local] WORKLOAD...
 //! nsc-client status [--socket PATH]
+//! nsc-client metrics [--socket PATH] [--prom] [--watch N]
 //! nsc-client flush  [--socket PATH]
 //! nsc-client shutdown [--socket PATH]
 //! ```
@@ -10,6 +11,7 @@
 use near_stream::ExecMode;
 use nsc_serve::client::{default_socket, roundtrip};
 use nsc_serve::{decode_response_blob, execute, Request};
+use nsc_sim::json::{parse, Json};
 use nsc_workloads::Size;
 use std::path::PathBuf;
 use std::process::exit;
@@ -19,6 +21,7 @@ const USAGE: &str = "nsc-client — talk to the nscd simulation daemon
 Usage:
   nsc-client submit [OPTIONS] WORKLOAD...   run workloads (one request each)
   nsc-client status [--socket PATH]         daemon + cache counters
+  nsc-client metrics [--socket PATH]        live metrics-registry snapshot
   nsc-client flush  [--socket PATH]         wait for in-flight runs to finish
   nsc-client shutdown [--socket PATH]       graceful daemon shutdown
 
@@ -27,6 +30,8 @@ Options:
   --size S       tiny | small | full   (default small)
   --mode M       execution mode label, e.g. Base, NS, NS-decouple (default NS)
   --local        run in-process instead of contacting the daemon
+  --prom         render metrics in Prometheus text exposition format
+  --watch N      re-poll metrics every N seconds until interrupted
   -h, --help     print this help";
 
 struct Opts {
@@ -34,6 +39,8 @@ struct Opts {
     size: Size,
     mode: ExecMode,
     local: bool,
+    prom: bool,
+    watch: Option<u64>,
     words: Vec<String>,
 }
 
@@ -43,6 +50,8 @@ fn parse_opts(mut argv: impl Iterator<Item = String>) -> Opts {
         size: Size::Small,
         mode: ExecMode::Ns,
         local: false,
+        prom: false,
+        watch: None,
         words: Vec::new(),
     };
     while let Some(a) = argv.next() {
@@ -63,6 +72,14 @@ fn parse_opts(mut argv: impl Iterator<Item = String>) -> Opts {
                     .unwrap_or_else(|| die(&format!("unknown mode: {v}")));
             }
             "--local" => o.local = true,
+            "--prom" => o.prom = true,
+            "--watch" => {
+                let v = req_val(&mut argv, "--watch");
+                let n = v.parse::<u64>().ok().filter(|&n| n > 0).unwrap_or_else(|| {
+                    die(&format!("--watch wants a positive integer, got {v:?}"))
+                });
+                o.watch = Some(n);
+            }
             w if w.starts_with('-') => die(&format!("unknown flag: {w}")),
             _ => o.words.push(a),
         }
@@ -76,6 +93,7 @@ fn main() {
     match cmd.as_str() {
         "-h" | "--help" => println!("{USAGE}"),
         "submit" => submit(parse_opts(argv)),
+        "metrics" => metrics_cmd(parse_opts(argv)),
         "status" | "flush" | "shutdown" => {
             let o = parse_opts(argv);
             if !o.words.is_empty() {
@@ -89,13 +107,190 @@ fn main() {
             match roundtrip(&o.socket, &[req]) {
                 Ok(resps) => {
                     for r in &resps {
+                        // The raw protocol line first (scripts grep it),
+                        // then a human-oriented summary for `status`.
                         println!("{}", r.render());
+                        if cmd == "status" && r.get_bool("ok") == Some(true) {
+                            print_status_summary(r);
+                        }
                     }
                 }
                 Err(e) => die(&format!("{}: {e}", o.socket.display())),
             }
         }
         other => die(&format!("unknown subcommand: {other}")),
+    }
+}
+
+fn print_status_summary(r: &nsc_serve::json::Obj) {
+    let uptime_s = r.get_num("uptime_ms").unwrap_or(0) as f64 / 1e3;
+    eprintln!(
+        "  uptime {uptime_s:.1}s, {} completed, {} in flight, cache {}/{} hit/miss ({}), {} workers",
+        r.get_num("served").unwrap_or(0),
+        r.get_num("in_flight").unwrap_or(0),
+        r.get_num("cache_hits").unwrap_or(0),
+        r.get_num("cache_misses").unwrap_or(0),
+        if r.get_bool("cache_enabled") == Some(true) { "enabled" } else { "disabled" },
+        r.get_num("jobs").unwrap_or(0),
+    );
+}
+
+/// `nsc-client metrics`: one status + one metrics request per poll; the
+/// nested `nsc-metrics-v1` snapshot travels as an escaped string and is
+/// re-parsed here with the full JSON parser.
+fn metrics_cmd(o: Opts) {
+    if !o.words.is_empty() {
+        die("metrics takes no positional arguments");
+    }
+    loop {
+        let reqs = [Request::Status { id: 1 }, Request::Metrics { id: 2 }];
+        let resps = match roundtrip(&o.socket, &reqs) {
+            Ok(r) => r,
+            Err(e) => die(&format!("{}: {e}", o.socket.display())),
+        };
+        let status = resps.first().filter(|r| r.get_bool("ok") == Some(true));
+        let snap_line = resps
+            .get(1)
+            .filter(|r| r.get_bool("ok") == Some(true))
+            .and_then(|r| r.get_str("snapshot"))
+            .unwrap_or_else(|| die("daemon did not answer the metrics request"));
+        let snap = parse(snap_line)
+            .unwrap_or_else(|e| die(&format!("bad metrics snapshot from daemon: {e}")));
+        let text = if o.prom {
+            render_prom(status, &snap)
+        } else {
+            render_human(status, &snap)
+        };
+        print!("{text}");
+        match o.watch {
+            Some(secs) => {
+                println!("---");
+                std::thread::sleep(std::time::Duration::from_secs(secs));
+            }
+            None => break,
+        }
+    }
+}
+
+/// `noc.byte_hops` -> `nsc_noc_byte_hops` (Prometheus metric names allow
+/// `[a-zA-Z0-9_:]` only).
+fn prom_name(label: &str) -> String {
+    let mut out = String::with_capacity(label.len() + 4);
+    out.push_str("nsc_");
+    for c in label.chars() {
+        out.push(if c.is_ascii_alphanumeric() { c } else { '_' });
+    }
+    out
+}
+
+fn obj<'a>(doc: &'a Json, key: &str) -> Option<&'a std::collections::BTreeMap<String, Json>> {
+    doc.get(key).and_then(Json::as_obj)
+}
+
+fn render_prom(status: Option<&nsc_serve::json::Obj>, snap: &Json) -> String {
+    let mut out = String::new();
+    if let Some(st) = status {
+        for key in ["uptime_ms", "served", "in_flight", "cache_hits", "cache_misses", "jobs"] {
+            if let Some(v) = st.get_num(key) {
+                let name = prom_name(&format!("daemon.{key}"));
+                out.push_str(&format!("# TYPE {name} gauge\n{name} {v}\n"));
+            }
+        }
+    }
+    for (label, v) in obj(snap, "counters").into_iter().flatten() {
+        let name = prom_name(label) + "_total";
+        let v = v.as_f64().unwrap_or(0.0);
+        out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+    }
+    for (label, v) in obj(snap, "gauges").into_iter().flatten() {
+        let name = prom_name(label);
+        let v = v.as_f64().unwrap_or(0.0);
+        out.push_str(&format!("# TYPE {name} gauge\n{name} {v}\n"));
+    }
+    for (label, h) in obj(snap, "histograms").into_iter().flatten() {
+        let name = prom_name(label);
+        out.push_str(&format!("# TYPE {name} summary\n"));
+        for (q, key) in [("0.5", "p50"), ("0.9", "p90"), ("0.99", "p99")] {
+            if let Some(v) = h.get(key).and_then(Json::as_f64) {
+                out.push_str(&format!("{name}{{quantile=\"{q}\"}} {v}\n"));
+            }
+        }
+        out.push_str(&format!(
+            "{name}_count {}\n",
+            h.get("count").and_then(Json::as_f64).unwrap_or(0.0)
+        ));
+    }
+    for (label, p) in obj(snap, "profile").into_iter().flatten() {
+        let component = p.get("component").and_then(Json::as_str).unwrap_or("?");
+        let sel = format!("{{kind=\"{label}\",component=\"{component}\"}}");
+        out.push_str(&format!(
+            "nsc_profile_events_total{sel} {}\n",
+            p.get("events").and_then(Json::as_f64).unwrap_or(0.0)
+        ));
+        out.push_str(&format!(
+            "nsc_profile_cycles_total{sel} {}\n",
+            p.get("cycles").and_then(Json::as_f64).unwrap_or(0.0)
+        ));
+    }
+    out
+}
+
+fn render_human(status: Option<&nsc_serve::json::Obj>, snap: &Json) -> String {
+    let mut out = String::new();
+    if let Some(st) = status {
+        let uptime_s = st.get_num("uptime_ms").unwrap_or(0) as f64 / 1e3;
+        out.push_str(&format!(
+            "daemon: up {uptime_s:.1}s, {} completed, {} in flight, cache {}/{} hit/miss, {} workers\n",
+            st.get_num("served").unwrap_or(0),
+            st.get_num("in_flight").unwrap_or(0),
+            st.get_num("cache_hits").unwrap_or(0),
+            st.get_num("cache_misses").unwrap_or(0),
+            st.get_num("jobs").unwrap_or(0),
+        ));
+    }
+    out.push_str("counters:\n");
+    for (label, v) in obj(snap, "counters").into_iter().flatten() {
+        let v = v.as_f64().unwrap_or(0.0);
+        if v != 0.0 {
+            out.push_str(&format!("  {label:40} {v}\n"));
+        }
+    }
+    out.push_str("gauges:\n");
+    for (label, v) in obj(snap, "gauges").into_iter().flatten() {
+        out.push_str(&format!("  {label:40} {}\n", v.as_f64().unwrap_or(0.0)));
+    }
+    out.push_str("histograms:\n");
+    for (label, h) in obj(snap, "histograms").into_iter().flatten() {
+        let count = h.get("count").and_then(Json::as_f64).unwrap_or(0.0);
+        if count == 0.0 {
+            continue;
+        }
+        out.push_str(&format!(
+            "  {label:40} n={count} mean={:.2} p50={} p90={} p99={}\n",
+            h.get("mean").and_then(Json::as_f64).unwrap_or(0.0),
+            fmt_q(h.get("p50")),
+            fmt_q(h.get("p90")),
+            fmt_q(h.get("p99")),
+        ));
+    }
+    out.push_str("profile:\n");
+    for (label, p) in obj(snap, "profile").into_iter().flatten() {
+        let events = p.get("events").and_then(Json::as_f64).unwrap_or(0.0);
+        if events == 0.0 {
+            continue;
+        }
+        out.push_str(&format!(
+            "  {label:40} events={events} cycles={}\n",
+            p.get("cycles").and_then(Json::as_f64).unwrap_or(0.0),
+        ));
+    }
+    out
+}
+
+fn fmt_q(v: Option<&Json>) -> String {
+    match v.and_then(Json::as_f64) {
+        Some(x) => format!("{x:.1}"),
+        None => "-".to_owned(),
     }
 }
 

@@ -23,16 +23,25 @@
 //! ```text
 //! {"op":"run","id":1,"workload":"histogram","size":"tiny","mode":"NS"}
 //! {"op":"status","id":2}
-//! {"op":"flush","id":3}
-//! {"op":"shutdown","id":4}
+//! {"op":"metrics","id":3}
+//! {"op":"flush","id":4}
+//! {"op":"shutdown","id":5}
 //! ```
 //!
 //! and back, in submission order:
 //!
 //! ```text
 //! {"id":1,"ok":true,"cached":false,"workload":"histogram","mode":"NS","blob":"schema=nsc-run-v1\n..."}
-//! {"id":2,"ok":true,"served":12,"cache_hits":8,"cache_misses":4,"jobs":8}
+//! {"id":2,"ok":true,"served":12,"cache_hits":8,"cache_misses":4,"jobs":8,...}
+//! {"id":3,"ok":true,"schema":"nsc-metrics-v1","snapshot":"{...}"}
 //! ```
+//!
+//! The `snapshot` of a `metrics` response is a full
+//! [`nsc_sim::metrics`] registry snapshot (schema `nsc-metrics-v1`)
+//! rendered as single-line JSON and carried as an escaped string field:
+//! the wire protocol itself stays flat (strings/integers/booleans
+//! only), and the client re-parses the nested document with
+//! [`nsc_sim::json::parse`].
 //!
 //! The `blob` of a `run` response is the result-cache record
 //! ([`near_stream::request::encode`]): every `f64` travels by bit
@@ -82,6 +91,11 @@ pub enum Request {
         /// Correlation id.
         id: u64,
     },
+    /// Dump the daemon's full metrics-registry snapshot.
+    Metrics {
+        /// Correlation id.
+        id: u64,
+    },
     /// Drain: respond once every earlier request has been answered.
     Flush {
         /// Correlation id.
@@ -117,6 +131,7 @@ impl Request {
                 Ok(Request::Run { id, workload, size, mode })
             }
             "status" => Ok(Request::Status { id }),
+            "metrics" => Ok(Request::Metrics { id }),
             "flush" => Ok(Request::Flush { id }),
             "shutdown" => Ok(Request::Shutdown { id }),
             other => Err((id, format!("unknown op: {other:?}"))),
@@ -134,6 +149,7 @@ impl Request {
                 .str("mode", mode.label())
                 .render(),
             Request::Status { id } => Obj::new().str("op", "status").num("id", *id).render(),
+            Request::Metrics { id } => Obj::new().str("op", "metrics").num("id", *id).render(),
             Request::Flush { id } => Obj::new().str("op", "flush").num("id", *id).render(),
             Request::Shutdown { id } => Obj::new().str("op", "shutdown").num("id", *id).render(),
         }
@@ -144,6 +160,7 @@ impl Request {
         match self {
             Request::Run { id, .. }
             | Request::Status { id }
+            | Request::Metrics { id }
             | Request::Flush { id }
             | Request::Shutdown { id } => *id,
         }
@@ -217,8 +234,9 @@ mod tests {
                 mode: ExecMode::Ns,
             },
             Request::Status { id: 4 },
-            Request::Flush { id: 5 },
-            Request::Shutdown { id: 6 },
+            Request::Metrics { id: 5 },
+            Request::Flush { id: 6 },
+            Request::Shutdown { id: 7 },
         ];
         for r in reqs {
             let line = r.render();

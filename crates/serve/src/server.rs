@@ -18,6 +18,7 @@
 
 use crate::json::Obj;
 use crate::{error_response, execute, run_response, Request};
+use nsc_sim::metrics::{self, Gauge, Hist, Metric, Registry};
 use nsc_sim::{cache, pool::ThreadPool};
 use std::collections::BTreeMap;
 use std::io::{self, BufRead, BufReader, Write};
@@ -25,11 +26,14 @@ use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
+use std::time::Instant;
 
 /// Daemon-wide shared state.
 struct State {
     pool: ThreadPool,
     served: AtomicU64,
+    in_flight: AtomicU64,
+    started: Instant,
     shutdown: AtomicBool,
     socket: PathBuf,
 }
@@ -45,6 +49,8 @@ pub fn serve(socket: &Path, jobs: usize) -> io::Result<()> {
     let state = Arc::new(State {
         pool: ThreadPool::new(jobs),
         served: AtomicU64::new(0),
+        in_flight: AtomicU64::new(0),
+        started: Instant::now(),
         shutdown: AtomicBool::new(false),
         socket: socket.to_owned(),
     });
@@ -92,14 +98,41 @@ fn handle_conn(st: &Arc<State>, stream: UnixStream) {
                 let tx = tx.clone();
                 let stc = Arc::clone(st);
                 st.pool.spawn(move || {
-                    let resp = match execute(&workload, size, mode) {
+                    let live = stc.in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+                    metrics::gauge_global_max(Gauge::ServeInFlight, live as f64);
+                    // The run records into a thread-local shard; the shard
+                    // is merged into the daemon-global registry only at
+                    // delivery time, inside the per-connection reorder
+                    // buffer, so merges land in submission order.
+                    metrics::install(Registry::new());
+                    let t0 = Instant::now();
+                    let outcome = execute(&workload, size, mode);
+                    let run_ms = t0.elapsed().as_secs_f64() * 1e3;
+                    metrics::count(Metric::ServeRequests);
+                    metrics::observe(Hist::ServeRunMs, run_ms);
+                    let resp = match outcome {
                         Ok(out) => {
+                            metrics::count(Metric::ServeRuns);
+                            if out.cached {
+                                metrics::count(Metric::ServeRunsCached);
+                            }
                             stc.served.fetch_add(1, Ordering::SeqCst);
                             run_response(id, &workload, mode, &out)
                         }
-                        Err(e) => error_response(id, &e),
+                        Err(e) => {
+                            metrics::count(Metric::ServeErrors);
+                            error_response(id, &e)
+                        }
                     };
-                    let _ = tx.send((seq, Box::new(move || resp) as Slot));
+                    let shard = metrics::uninstall();
+                    stc.in_flight.fetch_sub(1, Ordering::SeqCst);
+                    let slot = Box::new(move || {
+                        if let Some(shard) = &shard {
+                            metrics::absorb_global(shard);
+                        }
+                        resp
+                    }) as Slot;
+                    let _ = tx.send((seq, slot));
                 });
             }
             Ok(Request::Status { id }) => {
@@ -114,6 +147,23 @@ fn handle_conn(st: &Arc<State>, stream: UnixStream) {
                         .num("cache_misses", misses)
                         .num("jobs", stc.pool.workers() as u64)
                         .bool("cache_enabled", cache::enabled())
+                        .num("uptime_ms", stc.started.elapsed().as_millis() as u64)
+                        .num("in_flight", stc.in_flight.load(Ordering::SeqCst))
+                        .render()
+                }) as Slot;
+                let _ = tx.send((seq, slot));
+            }
+            Ok(Request::Metrics { id }) => {
+                // Evaluated at delivery time, after every earlier run on
+                // this connection has been absorbed into the global
+                // registry — so a submit-then-metrics batch always sees
+                // its own runs.
+                let slot = Box::new(move || {
+                    Obj::new()
+                        .num("id", id)
+                        .bool("ok", true)
+                        .str("schema", metrics::SCHEMA)
+                        .str("snapshot", &metrics::global_snapshot().to_json())
                         .render()
                 }) as Slot;
                 let _ = tx.send((seq, slot));

@@ -45,8 +45,9 @@ fn daemon_roundtrip_matches_in_process() {
         run(2, "bin_tree"),
         run(3, "nope-not-a-workload"),
         Request::Status { id: 4 },
-        Request::Flush { id: 5 },
-        Request::Shutdown { id: 6 },
+        Request::Metrics { id: 5 },
+        Request::Flush { id: 6 },
+        Request::Shutdown { id: 7 },
     ];
     let resps = roundtrip(&socket, &reqs).expect("daemon round trip");
     assert_eq!(resps.len(), reqs.len(), "one response per request");
@@ -82,9 +83,37 @@ fn daemon_roundtrip_matches_in_process() {
     assert_eq!(status.get_bool("ok"), Some(true));
     assert!(status.get_num("served") >= Some(2), "got {}", status.render());
     assert!(status.get_num("jobs").is_some());
+    assert!(status.get_num("uptime_ms").is_some(), "got {}", status.render());
+    assert!(status.get_num("in_flight").is_some(), "got {}", status.render());
 
-    assert_eq!(resps[4].get_bool("ok"), Some(true), "flush");
-    assert_eq!(resps[5].get_bool("ok"), Some(true), "shutdown");
+    // The metrics snapshot rides the same ordered stream, so by delivery
+    // time both earlier runs have been absorbed into the global registry.
+    let metrics = &resps[4];
+    assert_eq!(metrics.get_bool("ok"), Some(true), "got {}", metrics.render());
+    assert_eq!(metrics.get_str("schema"), Some("nsc-metrics-v1"));
+    let snap = nsc_sim::json::parse(metrics.get_str("snapshot").expect("snapshot field"))
+        .expect("snapshot is valid JSON");
+    assert_eq!(
+        snap.get("schema").and_then(nsc_sim::json::Json::as_str),
+        Some("nsc-metrics-v1")
+    );
+    let counters = snap
+        .get("counters")
+        .and_then(nsc_sim::json::Json::as_obj)
+        .expect("counters section");
+    let count = |label: &str| {
+        counters.get(label).and_then(nsc_sim::json::Json::as_f64).unwrap_or_else(|| {
+            panic!("counter {label} missing from snapshot")
+        })
+    };
+    assert!(count("serve.requests") >= 3.0, "all three runs counted");
+    assert!(count("serve.runs") >= 2.0, "successful runs counted");
+    assert!(count("serve.errors") >= 1.0, "the bad workload counted");
+    assert!(count("engine.iterations") > 0.0, "simulations fed the registry");
+    assert!(count("mem.l1.hits") > 0.0, "memory system fed the registry");
+
+    assert_eq!(resps[5].get_bool("ok"), Some(true), "flush");
+    assert_eq!(resps[6].get_bool("ok"), Some(true), "shutdown");
 
     // `shutdown` was honored: the serve loop returns and unlinks the
     // socket.

@@ -198,10 +198,12 @@ pub fn lookup(key: &Key) -> Option<String> {
     match std::fs::read_to_string(entry_path(key)) {
         Ok(blob) => {
             HITS.fetch_add(1, Ordering::Relaxed);
+            crate::metrics::count(crate::metrics::Metric::ResultCacheHits);
             Some(blob)
         }
         Err(_) => {
             MISSES.fetch_add(1, Ordering::Relaxed);
+            crate::metrics::count(crate::metrics::Metric::ResultCacheMisses);
             None
         }
     }
@@ -227,7 +229,10 @@ pub fn store(key: &Key, blob: &str) -> io::Result<()> {
     ));
     std::fs::write(&tmp, blob)?;
     match std::fs::rename(&tmp, &path) {
-        Ok(()) => Ok(()),
+        Ok(()) => {
+            crate::metrics::count(crate::metrics::Metric::ResultCacheStores);
+            Ok(())
+        }
         Err(e) => {
             let _ = std::fs::remove_file(&tmp);
             Err(e)

@@ -258,9 +258,9 @@ impl FaultStats {
         self.counts[site.index()]
     }
 
-    /// Total injections across all sites.
+    /// Total injections across all sites (saturating).
     pub fn total(&self) -> u64 {
-        self.counts.iter().sum()
+        self.counts.iter().fold(0u64, |a, &c| a.saturating_add(c))
     }
 
     /// Per-site difference `self - earlier` (saturating), for windowed
@@ -336,7 +336,7 @@ pub fn absorb(stats: FaultStats) {
     INJECTOR.with(|t| {
         if let Some(inj) = t.borrow_mut().as_mut() {
             for i in 0..inj.stats.counts.len() {
-                inj.stats.counts[i] += stats.counts[i];
+                inj.stats.counts[i] = inj.stats.counts[i].saturating_add(stats.counts[i]);
             }
         }
     });
@@ -377,7 +377,9 @@ fn inject_slow(site: FaultSite) -> bool {
         }
         let hit = rate >= 1.0 || inj.rng.gen_f64() < rate;
         if hit {
-            inj.stats.counts[site.index()] += 1;
+            let c = &mut inj.stats.counts[site.index()];
+            *c = c.saturating_add(1);
+            crate::metrics::count(crate::metrics::Metric::FaultsInjected);
         }
         hit
     })

@@ -20,6 +20,7 @@ pub mod cache;
 pub mod error;
 pub mod fault;
 pub mod json;
+pub mod metrics;
 pub mod pool;
 pub mod queue;
 pub mod resource;

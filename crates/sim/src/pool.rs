@@ -140,6 +140,11 @@ pub fn run_ordered<T: Send + 'static>(
     tasks: Vec<Box<dyn FnOnce() -> T + Send + 'static>>,
 ) -> Vec<T> {
     let n = tasks.len();
+    // Pool accounting happens here on the submitting thread (not in the
+    // racy worker queue), so the recorded batch size and job count are
+    // deterministic for any worker count.
+    crate::metrics::add(crate::metrics::Metric::PoolJobs, n as u64);
+    crate::metrics::gauge_max(crate::metrics::Gauge::PoolQueueDepth, n as f64);
     let slots: Arc<SlotBoard<T>> = Arc::new(SlotBoard::new(n));
     for (idx, task) in tasks.into_iter().enumerate() {
         let slots = Arc::clone(&slots);

@@ -23,16 +23,16 @@ impl Counter {
         Counter(0)
     }
 
-    /// Increments by one.
+    /// Increments by one (saturating at `u64::MAX`).
     #[inline]
     pub fn inc(&mut self) {
-        self.0 += 1;
+        self.0 = self.0.saturating_add(1);
     }
 
-    /// Increments by `n`.
+    /// Increments by `n` (saturating at `u64::MAX`).
     #[inline]
     pub fn add(&mut self, n: u64) {
-        self.0 += n;
+        self.0 = self.0.saturating_add(n);
     }
 
     /// Returns the current count.
@@ -80,9 +80,10 @@ impl Summary {
         }
     }
 
-    /// Records one sample.
+    /// Records one sample. The sample count saturates at `u64::MAX`
+    /// instead of wrapping.
     pub fn record(&mut self, v: f64) {
-        self.count += 1;
+        self.count = self.count.saturating_add(1);
         self.sum += v;
         self.min = self.min.min(v);
         self.max = self.max.max(v);
@@ -129,9 +130,9 @@ impl Summary {
         }
     }
 
-    /// Merges another summary into this one.
+    /// Merges another summary into this one (count saturates).
     pub fn merge(&mut self, other: &Summary) {
-        self.count += other.count;
+        self.count = self.count.saturating_add(other.count);
         self.sum += other.sum;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
@@ -186,8 +187,25 @@ impl Histogram {
         } else {
             ((v / self.width) as usize).min(self.counts.len() - 1)
         };
-        self.counts[idx] += 1;
+        self.counts[idx] = self.counts[idx].saturating_add(1);
         self.summary.record(v);
+    }
+
+    /// Merges another histogram of the **same geometry** into this one:
+    /// bucket counts add (saturating) and the summaries merge.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `other` has a different bucket width or count — the
+    /// metrics registry only ever merges same-variant histograms, so a
+    /// mismatch is a programming error.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.width, other.width, "histogram width mismatch");
+        assert_eq!(self.counts.len(), other.counts.len(), "histogram bucket mismatch");
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a = a.saturating_add(*b);
+        }
+        self.summary.merge(&other.summary);
     }
 
     /// Rebuilds a histogram from its stored parts (result-cache decode).
@@ -460,6 +478,53 @@ mod tests {
         assert!(p50 >= 1.0 && p99 <= 151.0);
         // p50 of 10 samples lands in the bucket holding samples 50..53.
         assert!((50.0..60.0).contains(&p50), "p50 {p50}");
+    }
+
+    #[test]
+    fn counters_saturate_instead_of_wrapping() {
+        let mut c = Counter::new();
+        c.add(u64::MAX - 1);
+        c.inc();
+        c.inc(); // would wrap to 0 without saturation
+        c.add(100);
+        assert_eq!(c.get(), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_and_summary_counts_saturate() {
+        let mut h = Histogram::from_parts(
+            1.0,
+            vec![u64::MAX - 1, 0],
+            Summary::from_parts(u64::MAX - 1, 0.0, 0.0, 0.0),
+        );
+        h.record(0.5);
+        h.record(0.5); // bucket 0 and the summary count both sit at MAX now
+        assert_eq!(h.bucket_counts()[0], u64::MAX);
+        assert_eq!(h.summary().count(), u64::MAX);
+        let mut s = Summary::from_parts(u64::MAX, 1.0, 1.0, 1.0);
+        s.merge(&Summary::from_parts(10, 1.0, 1.0, 1.0));
+        assert_eq!(s.count(), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_merge_adds_buckets_and_summaries() {
+        let mut a = Histogram::new(1.0, 4);
+        a.record(0.5);
+        a.record(3.5);
+        let mut b = Histogram::new(1.0, 4);
+        b.record(0.5);
+        b.record(2.5);
+        a.merge(&b);
+        assert_eq!(a.bucket_counts(), &[2, 0, 1, 1]);
+        assert_eq!(a.summary().count(), 4);
+        assert_eq!(a.summary().max(), Some(3.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn histogram_merge_rejects_different_geometry() {
+        let mut a = Histogram::new(1.0, 4);
+        a.merge(&Histogram::new(2.0, 4));
     }
 
     #[test]

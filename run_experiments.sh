@@ -27,7 +27,7 @@ set -u
 SCALE="${1:---small}"
 cd "$(dirname "$0")"
 mkdir -p results
-cargo build --release -p nsc-bench 2>/dev/null
+cargo build --release -p nsc-bench -p nsc-serve 2>/dev/null
 BIN=target/release
 total_start=$SECONDS
 WALL_ENTRIES=""
@@ -46,6 +46,11 @@ for h in tab01_capabilities tab02_patterns tab03_stream_isas tab04_encoding \
     WALL_ENTRIES="$WALL_ENTRIES\"$h\":null,"
   fi
 done
+# Perf baseline for this scale: wall time + pinned sim counters per
+# workload, comparable across checkouts with `nsc_perf --compare`.
+echo "=== nsc_perf $SCALE ==="
+NSC_RESULTS_DIR=results $BIN/nsc_perf "$SCALE" --label "${SCALE#--}" \
+  || echo "nsc_perf FAILED"
 total=$((SECONDS - total_start))
 printf '{"scale":"%s","jobs":"%s","harness_s":{%s},"total_s":%d}\n' \
   "$SCALE" "${NSC_JOBS:-auto}" "${WALL_ENTRIES%,}" "$total" > results/wall_clock.json

@@ -43,9 +43,11 @@ NSC_JOBS=1 NSC_RESULTS_DIR="$PERF_TMP/j1" \
 NSC_JOBS=8 NSC_RESULTS_DIR="$PERF_TMP/j8" \
   ./target/release/fig09_speedup --tiny > "$PERF_TMP/j8.txt"
 diff "$PERF_TMP/j1.txt" "$PERF_TMP/j8.txt"
-# The host object ({jobs, sim_runs, wall_ms}) is the one legitimate delta.
-diff <(sed 's/,"host":{[^}]*}//' "$PERF_TMP/j1/fig09_speedup.json") \
-     <(sed 's/,"host":{[^}]*}//' "$PERF_TMP/j8/fig09_speedup.json")
+# The host object ({jobs, sim_runs, wall_ms, profile, ...}) is the one
+# legitimate delta. It is the report's last key and carries nested
+# braces (host.profile), so strip from its key to end of line.
+diff <(sed 's/,"host":.*//' "$PERF_TMP/j1/fig09_speedup.json") \
+     <(sed 's/,"host":.*//' "$PERF_TMP/j8/fig09_speedup.json")
 echo "parallel output is bit-identical (jobs 1 vs 8)"
 
 echo "== perf (substrate microbenches incl. event queue) =="
@@ -59,8 +61,8 @@ NSC_CACHE=1 NSC_CACHE_DIR="$CACHE_TMP/store" NSC_RESULTS_DIR="$CACHE_TMP/cold" \
 NSC_CACHE=1 NSC_CACHE_DIR="$CACHE_TMP/store" NSC_RESULTS_DIR="$CACHE_TMP/warm" \
   ./target/release/fig09_speedup --tiny > "$CACHE_TMP/warm.txt"
 diff "$CACHE_TMP/cold.txt" "$CACHE_TMP/warm.txt"
-diff <(sed 's/,"host":{[^}]*}//' "$CACHE_TMP/cold/fig09_speedup.json") \
-     <(sed 's/,"host":{[^}]*}//' "$CACHE_TMP/warm/fig09_speedup.json")
+diff <(sed 's/,"host":.*//' "$CACHE_TMP/cold/fig09_speedup.json") \
+     <(sed 's/,"host":.*//' "$CACHE_TMP/warm/fig09_speedup.json")
 grep -q '"cache_misses":0,' "$CACHE_TMP/warm/fig09_speedup.json" \
   || { echo "warm run simulated instead of replaying"; exit 1; }
 grep -q '"cache_hits":0,' "$CACHE_TMP/cold/fig09_speedup.json" \
@@ -84,8 +86,26 @@ grep -q 'cached=true' "$PERF_TMP/nscd-warm.txt" \
 diff <(sed 's/cached=.*//' "$PERF_TMP/nscd-cold.txt") \
      <(sed 's/cached=.*//' "$PERF_TMP/nscd-warm.txt")
 ./target/release/nsc-client status --socket "$NSCD_SOCK" | grep -q '"ok":true'
+./target/release/nsc-client status --socket "$NSCD_SOCK" | grep -q '"uptime_ms":'
+# Live metrics: the daemon's registry saw both runs (one cached), and
+# the Prometheus rendering carries the counter with a TYPE line.
+./target/release/nsc-client metrics --socket "$NSCD_SOCK" > "$PERF_TMP/nscd-metrics.txt"
+grep -q 'serve.runs_cached[ =]*1' "$PERF_TMP/nscd-metrics.txt" \
+  || { echo "daemon metrics missed the cached run"; cat "$PERF_TMP/nscd-metrics.txt"; exit 1; }
+./target/release/nsc-client metrics --prom --socket "$NSCD_SOCK" > "$PERF_TMP/nscd-prom.txt"
+grep -q '# TYPE nsc_serve_runs_total counter' "$PERF_TMP/nscd-prom.txt" \
+  || { echo "prometheus rendering broken"; cat "$PERF_TMP/nscd-prom.txt"; exit 1; }
 ./target/release/nsc-client shutdown --socket "$NSCD_SOCK" > /dev/null
 wait "$NSCD_PID"
-echo "daemon served, cached, and shut down cleanly"
+echo "daemon served, cached, reported metrics, and shut down cleanly"
+
+echo "== perf baseline (nsc_perf vs committed BENCH_baseline.json) =="
+# Sim counters must match the committed baseline exactly; wall time gets
+# a 2x tolerance (CI hosts are noisy). Regenerate after an intentional
+# change with:
+#   NSC_RESULTS_DIR=results ./target/release/nsc_perf --tiny --label baseline
+NSC_RESULTS_DIR="$PERF_TMP" ./target/release/nsc_perf --tiny --label current
+./target/release/nsc_perf --compare results/BENCH_baseline.json "$PERF_TMP/BENCH_current.json"
+echo "no perf regressions vs results/BENCH_baseline.json"
 
 echo "CI checks passed."

@@ -1,0 +1,170 @@
+//! Live-metrics determinism: a metered sweep produces a byte-identical
+//! registry snapshot for any `NSC_JOBS`, with or without fault
+//! injection and tracing riding along — the same contract
+//! `tests/parallel.rs` proves for results, fault schedules, and traces,
+//! extended to the metrics registry. Plus overflow regressions: every
+//! registry counter saturates instead of wrapping near `u64::MAX`.
+
+use near_stream::ExecMode;
+use nsc_bench::{prepare, system_for, Prepared, Sweep, SweepTask};
+use nsc_sim::fault::FaultPlan;
+use nsc_sim::json::parse;
+use nsc_sim::metrics::{self, Gauge, Hist, Metric, Prof, Registry};
+use nsc_sim::trace::{self, RingRecorder};
+use nsc_workloads::{bfs_push, hash_join, hotspot, Size};
+use std::sync::Arc;
+
+fn preps() -> Vec<Arc<Prepared>> {
+    [bfs_push(Size::Tiny), hash_join(Size::Tiny), hotspot(Size::Tiny)]
+        .into_iter()
+        .map(|w| Arc::new(prepare(w)))
+        .collect()
+}
+
+fn harness_tasks(preps: &[Arc<Prepared>]) -> Vec<SweepTask<u64>> {
+    let cfg = system_for(Size::Tiny);
+    let mut tasks: Vec<SweepTask<u64>> = Vec::new();
+    for p in preps {
+        for mode in [ExecMode::Base, ExecMode::Ns] {
+            let p = Arc::clone(p);
+            let cfg = cfg.clone();
+            tasks.push(Box::new(move || p.run_unchecked(mode, &cfg).0.cycles));
+        }
+    }
+    tasks
+}
+
+/// Runs one metered harness sweep and returns (results, snapshot JSON).
+/// Worker shards are absorbed into this thread's registry in submission
+/// order, so the rendered snapshot must not depend on `jobs`.
+fn metered_run(
+    jobs: usize,
+    faults: Option<FaultPlan>,
+    traced: bool,
+) -> (Vec<u64>, String) {
+    let preps = preps();
+    let geom = traced.then_some((1usize << 14, 64u64));
+    let sweep = Sweep::with_jobs(jobs, faults, geom);
+    if traced {
+        trace::install(RingRecorder::new(1 << 16), 64);
+    }
+    metrics::install(Registry::new());
+    let results = sweep.run(harness_tasks(&preps));
+    let reg = metrics::uninstall().expect("registry installed above");
+    if traced {
+        trace::uninstall().expect("tracer installed above");
+    }
+    (results, reg.to_json())
+}
+
+#[test]
+fn snapshots_byte_identical_across_job_counts() {
+    let (r1, s1) = metered_run(1, None, false);
+    let (r8, s8) = metered_run(8, None, false);
+    assert_eq!(r1, r8, "sweep results diverged");
+    assert_eq!(s1, s8, "metrics snapshot depends on the worker count");
+    // The snapshot is a real document, not an empty shell.
+    let doc = parse(&s1).expect("snapshot is valid JSON");
+    let count = |label: &str| {
+        doc.get("counters")
+            .and_then(|c| c.get(label))
+            .and_then(nsc_sim::json::Json::as_f64)
+            .unwrap_or(0.0)
+    };
+    assert!(count("engine.iterations") > 0.0, "engine never counted");
+    assert!(count("mem.l1.hits") > 0.0, "memory system never counted");
+    assert!(count("pool.jobs") >= 6.0, "pool accounting missing");
+}
+
+#[test]
+fn snapshots_identical_across_job_counts_under_faults() {
+    let plan = || Some(FaultPlan::uniform(0xC0FFEE, 1e-3));
+    let (r1, s1) = metered_run(1, plan(), false);
+    let (r8, s8) = metered_run(8, plan(), false);
+    assert_eq!(r1, r8);
+    assert_eq!(s1, s8, "fault injection broke snapshot determinism");
+}
+
+#[test]
+fn snapshots_identical_across_job_counts_under_traces() {
+    let (r1, s1) = metered_run(1, None, true);
+    let (r8, s8) = metered_run(8, None, true);
+    assert_eq!(r1, r8);
+    assert_eq!(s1, s8, "tracing broke snapshot determinism");
+}
+
+#[test]
+fn snapshots_identical_with_faults_and_traces_together() {
+    let plan = || Some(FaultPlan::uniform(7, 1e-3));
+    let (r1, s1) = metered_run(1, plan(), true);
+    let (r8, s8) = metered_run(8, plan(), true);
+    assert_eq!(r1, r8);
+    assert_eq!(s1, s8);
+}
+
+#[test]
+fn no_registry_installed_means_no_snapshot() {
+    // A sweep without a registry must leave the thread clean: nothing
+    // to uninstall afterwards, nothing recorded anywhere.
+    let preps = preps();
+    let sweep = Sweep::with_jobs(2, None, None);
+    let results = sweep.run(harness_tasks(&preps));
+    assert!(!results.is_empty());
+    assert!(metrics::uninstall().is_none(), "phantom registry appeared");
+}
+
+// --- overflow regressions -------------------------------------------------
+
+#[test]
+fn counters_saturate_at_u64_max() {
+    metrics::install(Registry::new());
+    metrics::add(Metric::EngineIterations, u64::MAX - 1);
+    metrics::add(Metric::EngineIterations, 5);
+    metrics::count(Metric::EngineIterations);
+    let reg = metrics::uninstall().expect("installed above");
+    assert_eq!(
+        reg.count(Metric::EngineIterations),
+        u64::MAX,
+        "counter wrapped instead of saturating"
+    );
+}
+
+#[test]
+fn merge_saturates_at_u64_max() {
+    let shard = {
+        metrics::install(Registry::new());
+        metrics::add(Metric::MemDramReads, u64::MAX - 10);
+        metrics::profile(Prof::EngineNearStream, u64::MAX - 10);
+        metrics::uninstall().expect("installed")
+    };
+    metrics::install(Registry::new());
+    metrics::add(Metric::MemDramReads, 100);
+    metrics::profile(Prof::EngineNearStream, 100);
+    metrics::absorb(&shard);
+    metrics::absorb(&shard); // absorbing twice must still not wrap
+    let reg = metrics::uninstall().expect("installed");
+    assert_eq!(reg.count(Metric::MemDramReads), u64::MAX);
+    let slot = reg.prof(Prof::EngineNearStream);
+    assert_eq!(slot.cycles, u64::MAX, "profiled cycles wrapped");
+    assert_eq!(slot.events, 3);
+    let (_, total_cycles) = reg.prof_total();
+    assert_eq!(total_cycles, u64::MAX, "profile total wrapped");
+}
+
+#[test]
+fn saturated_registry_still_renders_and_parses() {
+    metrics::install(Registry::new());
+    metrics::add(Metric::NocMsgsData, u64::MAX);
+    metrics::gauge_max(Gauge::PoolQueueDepth, 3.0);
+    metrics::observe(Hist::NocLatencyCycles, 12.0);
+    let reg = metrics::uninstall().expect("installed");
+    let doc = parse(&reg.to_json()).expect("saturated snapshot is valid JSON");
+    // u64::MAX exceeds f64's exact-integer range; the parse must still
+    // succeed and land in the right neighbourhood.
+    let v = doc
+        .get("counters")
+        .and_then(|c| c.get("noc.msgs.data"))
+        .and_then(nsc_sim::json::Json::as_f64)
+        .expect("saturated counter present");
+    assert!(v > 1.8e19, "saturated counter rendered as {v}");
+}

@@ -1,0 +1,60 @@
+//! The disabled-registry fast path must be allocation-free: with no
+//! registry installed anywhere in the process, every record call is one
+//! relaxed atomic load and a branch. This file installs a counting
+//! global allocator, so it must stay the **only** test in its binary —
+//! a concurrent test allocating on another thread would poison the
+//! count.
+
+use nsc_sim::metrics::{self, Gauge, Hist, Metric, Prof};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn disabled_registry_records_without_allocating() {
+    // Touch every record path once first so lazy thread-local
+    // initialization (if any) happens outside the measured window.
+    metrics::count(Metric::EngineIterations);
+    metrics::gauge_max(Gauge::PoolQueueDepth, 1.0);
+    metrics::observe(Hist::NocLatencyCycles, 1.0);
+    metrics::profile(Prof::EngineNearStream, 1);
+
+    let before = ALLOCS.load(Ordering::SeqCst);
+    for i in 0..100_000u64 {
+        metrics::count(Metric::MemL1Hits);
+        metrics::add(Metric::NocBytes, i);
+        metrics::gauge_max(Gauge::ServeInFlight, i as f64);
+        metrics::observe(Hist::NocLatencyCycles, i as f64);
+        metrics::profile(Prof::ScmCompute, i);
+    }
+    let after = ALLOCS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "disabled metrics allocated {} times in 500k record calls",
+        after - before
+    );
+    assert!(metrics::uninstall().is_none(), "no registry was ever installed");
+}
