@@ -7,7 +7,7 @@
 use std::hint::black_box;
 use std::time::Instant;
 
-use near_stream::{run, ExecMode, SystemConfig};
+use near_stream::{ExecMode, RunRequest, SystemConfig};
 use nsc_compiler::compile;
 use nsc_workloads::{hash_join, histogram, hotspot, pr_push, Size};
 
@@ -16,12 +16,20 @@ fn bench_mode(name: &str, w: nsc_workloads::Workload) {
     let cfg = SystemConfig::small();
     for mode in [ExecMode::Base, ExecMode::Ns, ExecMode::NsDecouple] {
         let iters = 10;
+        let request = || {
+            RunRequest::new(&w.program)
+                .compiled(&compiled)
+                .params(&w.params)
+                .mode(mode)
+                .config(&cfg)
+                .init(&w.init)
+        };
         // Warm-up run, then timed samples.
-        let (r, _) = run(&w.program, &compiled, &w.params, mode, &cfg, &w.init);
+        let (r, _) = request().run();
         black_box(r.cycles);
         let start = Instant::now();
         for _ in 0..iters {
-            let (r, _) = run(&w.program, &compiled, &w.params, mode, &cfg, &w.init);
+            let (r, _) = request().run();
             black_box(r.cycles);
         }
         let per = start.elapsed().as_secs_f64() * 1e3 / iters as f64;

@@ -258,6 +258,16 @@ fn nscd_roundtrip(size: Size) -> Measurement {
     // string field.
     let run1 = parse(&resps[0]).expect("run response parses");
     let cycles = run1.get("cycles").and_then(Json::as_f64).unwrap_or(0.0) as u64;
+    // Every live run now carries a per-request latency breakdown; count
+    // its spans (deterministic — the span *names* are fixed even though
+    // their durations are not).
+    let latency_spans = run1
+        .get("latency")
+        .and_then(Json::as_str)
+        .and_then(|s| parse(s).ok())
+        .and_then(|t| t.get("spans").and_then(Json::as_arr).map(|s| s.len()))
+        .unwrap_or(0) as u64;
+    assert!(latency_spans >= 6, "run response latency has {latency_spans} spans, want ≥6");
     let run2 = parse(&resps[1]).expect("second run parses");
     let warm_cached = run2.get("cached") == Some(&Json::Bool(true));
     let snap_doc = parse(&resps[2]).expect("metrics response parses");
@@ -275,6 +285,7 @@ fn nscd_roundtrip(size: Size) -> Measurement {
         counters: vec![
             ("cycles".into(), cycles),
             ("warm_cached".into(), warm_cached as u64),
+            ("latency_spans".into(), latency_spans),
             ("serve_runs".into(), counter("serve.runs")),
             ("serve_runs_cached".into(), counter("serve.runs_cached")),
             ("result_cache_hits".into(), counter("result_cache.hits")),

@@ -53,6 +53,4 @@ pub use config::{CoreModel, ExecMode, SeConfig, SystemConfig};
 pub use engine::{CoreState, RoleCounters};
 pub use policy::{fallback, offload_style, OffloadStyle, PolicyContext};
 pub use request::RunRequest;
-#[allow(deprecated)]
-pub use system::{run, try_run};
 pub use system::{RunResult, TrafficSnapshot};

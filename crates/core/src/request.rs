@@ -2,8 +2,8 @@
 //! point completely, and is therefore hashable (for the content-addressed
 //! result cache) and serializable (for the `nscd` batch service).
 //!
-//! [`RunRequest`] replaces the historical 6-positional-argument
-//! `run(program, compiled, params, mode, cfg, init)` free functions:
+//! [`RunRequest`] is the one front door to the simulator (the historical
+//! 6-positional-argument `run(...)` free functions are gone):
 //!
 //! ```
 //! use near_stream::{ExecMode, RunRequest, SystemConfig};
@@ -553,14 +553,13 @@ mod tests {
     }
 
     #[test]
-    fn builder_matches_deprecated_free_function() {
+    fn precompiled_matches_compile_on_demand() {
         let p = memset_program(4096);
         let compiled = compile(&p);
         let cfg = SystemConfig::small();
-        #[allow(deprecated)]
-        let (old, _) = crate::system::run(&p, &compiled, &[], ExecMode::Ns, &cfg, &|_| {});
-        let (new, _) = RunRequest::new(&p).compiled(&compiled).mode(ExecMode::Ns).config(&cfg).run();
-        assert_eq!(old.to_table().to_json(), new.to_table().to_json());
+        let (pre, _) = RunRequest::new(&p).compiled(&compiled).mode(ExecMode::Ns).config(&cfg).run();
+        let (lazy, _) = RunRequest::new(&p).mode(ExecMode::Ns).config(&cfg).run();
+        assert_eq!(pre.to_table().to_json(), lazy.to_table().to_json());
     }
 
     #[test]

@@ -145,53 +145,6 @@ impl RunResult {
     }
 }
 
-/// Runs `program` (compiled as `compiled`) under `mode`, returning the
-/// result and the final data memory (for correctness checks).
-///
-/// `init` populates the input arrays before simulation. Panics on an
-/// invalid configuration or a wedged simulation; use [`try_run`] to get a
-/// typed [`SimError`] instead.
-#[deprecated(since = "0.1.0", note = "use `RunRequest::new(&program)...run()` instead")]
-pub fn run(
-    program: &Program,
-    compiled: &CompiledProgram,
-    params: &[Scalar],
-    mode: ExecMode,
-    cfg: &SystemConfig,
-    init: &dyn Fn(&mut Memory),
-) -> (RunResult, Memory) {
-    crate::request::RunRequest::new(program)
-        .compiled(compiled)
-        .params(params)
-        .mode(mode)
-        .config(cfg)
-        .init(init)
-        .run()
-}
-
-/// Fallible variant of [`run`]: validates the configuration up front
-/// ([`SimError::Config`]) and detects a wedged simulation — the event
-/// queue drained while cores still had iterations pending
-/// ([`SimError::Wedged`], naming the incomplete work) — instead of
-/// hanging or panicking mid-run.
-#[deprecated(since = "0.1.0", note = "use `RunRequest::new(&program)...try_run()` instead")]
-pub fn try_run(
-    program: &Program,
-    compiled: &CompiledProgram,
-    params: &[Scalar],
-    mode: ExecMode,
-    cfg: &SystemConfig,
-    init: &dyn Fn(&mut Memory),
-) -> Result<(RunResult, Memory), SimError> {
-    crate::request::RunRequest::new(program)
-        .compiled(compiled)
-        .params(params)
-        .mode(mode)
-        .config(cfg)
-        .init(init)
-        .try_run()
-}
-
 /// The simulation proper, on an already-initialized data memory. Callers
 /// go through [`crate::request::RunRequest`], which owns memory
 /// initialization (and content-addresses the initialized image for the

@@ -1,12 +1,19 @@
 //! `nsc-client` — CLI for the `nscd` simulation daemon.
 //!
 //! ```text
-//! nsc-client submit [--socket PATH] [--size S] [--mode M] [--local] WORKLOAD...
+//! nsc-client submit [--socket PATH] [--size S] [--mode M] [--local] [--latency] WORKLOAD...
 //! nsc-client status [--socket PATH]
 //! nsc-client metrics [--socket PATH] [--prom] [--watch N]
+//! nsc-client logs   [--socket PATH]
+//! nsc-client trace  [--socket PATH] [--perfetto FILE] REQUEST_ID
 //! nsc-client flush  [--socket PATH]
 //! nsc-client shutdown [--socket PATH]
 //! ```
+//!
+//! `submit` mints a 64-bit request id per workload (printed as
+//! `rid=<hex>`); `trace` takes that hex id back and prints the request's
+//! span tree, optionally writing a combined Perfetto document (serve
+//! spans + that run's simulator events) with `--perfetto`.
 
 use near_stream::ExecMode;
 use nsc_serve::client::{default_socket, roundtrip};
@@ -22,25 +29,31 @@ Usage:
   nsc-client submit [OPTIONS] WORKLOAD...   run workloads (one request each)
   nsc-client status [--socket PATH]         daemon + cache counters
   nsc-client metrics [--socket PATH]        live metrics-registry snapshot
+  nsc-client logs   [--socket PATH]         drain the daemon's log flight recorder
+  nsc-client trace  [OPTIONS] REQUEST_ID    one request's span tree (hex id from submit)
   nsc-client flush  [--socket PATH]         wait for in-flight runs to finish
   nsc-client shutdown [--socket PATH]       graceful daemon shutdown
 
 Options:
-  --socket PATH  daemon socket (default $NSCD_SOCKET or /tmp/nscd.sock)
-  --size S       tiny | small | full   (default small)
-  --mode M       execution mode label, e.g. Base, NS, NS-decouple (default NS)
-  --local        run in-process instead of contacting the daemon
-  --prom         render metrics in Prometheus text exposition format
-  --watch N      re-poll metrics every N seconds until interrupted
-  -h, --help     print this help";
+  --socket PATH    daemon socket (default $NSCD_SOCKET or /tmp/nscd.sock)
+  --size S         tiny | small | full   (default small)
+  --mode M         execution mode label, e.g. Base, NS, NS-decouple (default NS)
+  --local          run in-process instead of contacting the daemon
+  --latency        print each submit's per-span latency breakdown
+  --prom           render metrics in Prometheus text exposition format
+  --watch N        clear + re-render metrics every N seconds, with counter deltas
+  --perfetto FILE  (trace) also write a combined Perfetto trace document
+  -h, --help       print this help";
 
 struct Opts {
     socket: PathBuf,
     size: Size,
     mode: ExecMode,
     local: bool,
+    latency: bool,
     prom: bool,
     watch: Option<u64>,
+    perfetto: Option<PathBuf>,
     words: Vec<String>,
 }
 
@@ -50,8 +63,10 @@ fn parse_opts(mut argv: impl Iterator<Item = String>) -> Opts {
         size: Size::Small,
         mode: ExecMode::Ns,
         local: false,
+        latency: false,
         prom: false,
         watch: None,
+        perfetto: None,
         words: Vec::new(),
     };
     while let Some(a) = argv.next() {
@@ -72,6 +87,7 @@ fn parse_opts(mut argv: impl Iterator<Item = String>) -> Opts {
                     .unwrap_or_else(|| die(&format!("unknown mode: {v}")));
             }
             "--local" => o.local = true,
+            "--latency" => o.latency = true,
             "--prom" => o.prom = true,
             "--watch" => {
                 let v = req_val(&mut argv, "--watch");
@@ -80,6 +96,7 @@ fn parse_opts(mut argv: impl Iterator<Item = String>) -> Opts {
                 });
                 o.watch = Some(n);
             }
+            "--perfetto" => o.perfetto = Some(PathBuf::from(req_val(&mut argv, "--perfetto"))),
             w if w.starts_with('-') => die(&format!("unknown flag: {w}")),
             _ => o.words.push(a),
         }
@@ -94,6 +111,8 @@ fn main() {
         "-h" | "--help" => println!("{USAGE}"),
         "submit" => submit(parse_opts(argv)),
         "metrics" => metrics_cmd(parse_opts(argv)),
+        "logs" => logs_cmd(parse_opts(argv)),
+        "trace" => trace_cmd(parse_opts(argv)),
         "status" | "flush" | "shutdown" => {
             let o = parse_opts(argv);
             if !o.words.is_empty() {
@@ -142,6 +161,9 @@ fn metrics_cmd(o: Opts) {
     if !o.words.is_empty() {
         die("metrics takes no positional arguments");
     }
+    // Previous tick's counter values, so watch mode can show deltas.
+    let mut prev: Option<std::collections::BTreeMap<String, f64>> = None;
+    let mut tick = 0u64;
     loop {
         let reqs = [Request::Status { id: 1 }, Request::Metrics { id: 2 }];
         let resps = match roundtrip(&o.socket, &reqs) {
@@ -159,17 +181,37 @@ fn metrics_cmd(o: Opts) {
         let text = if o.prom {
             render_prom(status, &snap)
         } else {
-            render_human(status, &snap)
+            render_human(status, &snap, prev.as_ref())
         };
-        print!("{text}");
         match o.watch {
             Some(secs) => {
-                println!("---");
+                // Clear + home, then redraw in place: under load the eye
+                // stays on one position and the delta column shows what
+                // moved this tick.
+                tick += 1;
+                print!("\x1b[2J\x1b[H");
+                println!("nsc-client metrics --watch {secs}  (tick {tick}, ctrl-c to stop)");
+                print!("{text}");
+                use std::io::Write as _;
+                let _ = std::io::stdout().flush();
+                prev = Some(counter_values(&snap));
                 std::thread::sleep(std::time::Duration::from_secs(secs));
             }
-            None => break,
+            None => {
+                print!("{text}");
+                break;
+            }
         }
     }
+}
+
+/// Flattens the snapshot's counters object into name → value.
+fn counter_values(snap: &Json) -> std::collections::BTreeMap<String, f64> {
+    obj(snap, "counters")
+        .into_iter()
+        .flatten()
+        .map(|(label, v)| (label.clone(), v.as_f64().unwrap_or(0.0)))
+        .collect()
 }
 
 /// `noc.byte_hops` -> `nsc_noc_byte_hops` (Prometheus metric names allow
@@ -235,7 +277,11 @@ fn render_prom(status: Option<&nsc_serve::json::Obj>, snap: &Json) -> String {
     out
 }
 
-fn render_human(status: Option<&nsc_serve::json::Obj>, snap: &Json) -> String {
+fn render_human(
+    status: Option<&nsc_serve::json::Obj>,
+    snap: &Json,
+    prev: Option<&std::collections::BTreeMap<String, f64>>,
+) -> String {
     let mut out = String::new();
     if let Some(st) = status {
         let uptime_s = st.get_num("uptime_ms").unwrap_or(0) as f64 / 1e3;
@@ -252,7 +298,13 @@ fn render_human(status: Option<&nsc_serve::json::Obj>, snap: &Json) -> String {
     for (label, v) in obj(snap, "counters").into_iter().flatten() {
         let v = v.as_f64().unwrap_or(0.0);
         if v != 0.0 {
-            out.push_str(&format!("  {label:40} {v}\n"));
+            match prev {
+                Some(p) => {
+                    let delta = v - p.get(label).copied().unwrap_or(0.0);
+                    out.push_str(&format!("  {label:40} {v:>12} {:>10}\n", format!("+{delta}")));
+                }
+                None => out.push_str(&format!("  {label:40} {v}\n")),
+            }
         }
     }
     out.push_str("gauges:\n");
@@ -294,6 +346,23 @@ fn fmt_q(v: Option<&Json>) -> String {
     }
 }
 
+/// Mints client-side request ids: time- and pid-seeded so concurrent
+/// clients against one daemon do not collide, never 0 (0 = "unset").
+fn rid_minter() -> impl FnMut() -> u64 {
+    let seed = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0)
+        ^ (std::process::id() as u64).rotate_left(32);
+    let mut rng = nsc_sim::rng::Rng::seed_from_u64(seed);
+    move || loop {
+        let rid = rng.next_u64();
+        if rid != 0 {
+            return rid;
+        }
+    }
+}
+
 fn submit(o: Opts) {
     if o.words.is_empty() {
         die("submit needs at least one workload name");
@@ -312,12 +381,14 @@ fn submit(o: Opts) {
         }
         return;
     }
+    let mut mint = rid_minter();
     let reqs: Vec<Request> = o
         .words
         .iter()
         .enumerate()
         .map(|(i, w)| Request::Run {
             id: i as u64 + 1,
+            request_id: mint(),
             workload: w.clone(),
             size: o.size,
             mode: o.mode,
@@ -335,11 +406,18 @@ fn submit(o: Opts) {
                 .or_else(|| resp.get_num("cycles"))
                 .unwrap_or(0);
             println!(
-                "{:12} {:12} cycles={cycles} cached={}",
+                "{:12} {:12} cycles={cycles} cached={} rid={:016x}",
                 resp.get_str("workload").unwrap_or("?"),
                 resp.get_str("mode").unwrap_or("?"),
                 resp.get_bool("cached").unwrap_or(false),
+                resp.get_num("request_id").unwrap_or(0),
             );
+            if o.latency {
+                match resp.get_str("latency").map(parse) {
+                    Some(Ok(tree)) => print!("{}", render_span_rows(&tree)),
+                    _ => eprintln!("  (no latency breakdown in response)"),
+                }
+            }
         } else {
             failed = true;
             eprintln!(
@@ -352,6 +430,84 @@ fn submit(o: Opts) {
     if failed {
         exit(1);
     }
+}
+
+/// `nsc-client logs`: drain the daemon's flight recorder. Record lines
+/// (one JSON object each) go to stdout; the drain summary to stderr.
+fn logs_cmd(o: Opts) {
+    if !o.words.is_empty() {
+        die("logs takes no positional arguments");
+    }
+    let resps = match roundtrip(&o.socket, &[Request::Logs { id: 1 }]) {
+        Ok(r) => r,
+        Err(e) => die(&format!("{}: {e}", o.socket.display())),
+    };
+    let resp = resps
+        .first()
+        .filter(|r| r.get_bool("ok") == Some(true))
+        .unwrap_or_else(|| die("daemon did not answer the logs request"));
+    print!("{}", resp.get_str("lines").unwrap_or(""));
+    eprintln!(
+        "  {} records drained, {} dropped since last drain",
+        resp.get_num("count").unwrap_or(0),
+        resp.get_num("dropped").unwrap_or(0),
+    );
+}
+
+/// `nsc-client trace REQUEST_ID`: print one request's span tree as
+/// awk-friendly rows; `--perfetto FILE` additionally writes a combined
+/// serve-spans + sim-events Chrome trace document.
+fn trace_cmd(o: Opts) {
+    let [rid_word] = o.words.as_slice() else {
+        die("trace takes exactly one REQUEST_ID (the hex rid printed by submit)")
+    };
+    let rid = u64::from_str_radix(rid_word.trim_start_matches("0x"), 16)
+        .unwrap_or_else(|_| die(&format!("bad REQUEST_ID (want hex): {rid_word:?}")));
+    let req = Request::Trace { id: 1, request_id: rid, perfetto: o.perfetto.is_some() };
+    let resps = match roundtrip(&o.socket, &[req]) {
+        Ok(r) => r,
+        Err(e) => die(&format!("{}: {e}", o.socket.display())),
+    };
+    let Some(resp) = resps.first() else { die("daemon did not answer the trace request") };
+    if resp.get_bool("ok") != Some(true) {
+        die(resp.get_str("error").unwrap_or("trace request failed"));
+    }
+    let tree = resp
+        .get_str("tree")
+        .map(parse)
+        .unwrap_or_else(|| die("trace response carried no tree"))
+        .unwrap_or_else(|e| die(&format!("bad span tree from daemon: {e}")));
+    println!(
+        "request {rid:016x}: wall {}µs, {} spans, {} sim events",
+        resp.get_num("wall_us").unwrap_or(0),
+        resp.get_num("spans").unwrap_or(0),
+        resp.get_num("sim_events").unwrap_or(0),
+    );
+    print!("{}", render_span_rows(&tree));
+    if let Some(path) = &o.perfetto {
+        let doc = resp
+            .get_str("perfetto")
+            .unwrap_or_else(|| die("daemon sent no perfetto document"));
+        if let Err(e) = std::fs::write(path, doc) {
+            die(&format!("writing {}: {e}", path.display()));
+        }
+        eprintln!("  wrote combined Perfetto trace to {}", path.display());
+    }
+}
+
+/// One indented `name start dur` row per span of a parsed
+/// `nsc-span-v1` tree.
+fn render_span_rows(tree: &Json) -> String {
+    let mut out = String::new();
+    for s in tree.get("spans").and_then(Json::as_arr).into_iter().flatten() {
+        out.push_str(&format!(
+            "  {:<14} {:>8}µs {:>8}µs\n",
+            s.get("name").and_then(Json::as_str).unwrap_or("?"),
+            s.get("start_us").and_then(Json::as_f64).unwrap_or(0.0),
+            s.get("dur_us").and_then(Json::as_f64).unwrap_or(0.0),
+        ));
+    }
+    out
 }
 
 fn req_val(argv: &mut impl Iterator<Item = String>, flag: &str) -> String {

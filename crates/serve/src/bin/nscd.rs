@@ -10,6 +10,11 @@
 //! result cache before simulating. The cache is armed by default —
 //! serving repeated requests from disk is the daemon's reason to exist
 //! — set `NSC_CACHE=0` to force every request to simulate.
+//!
+//! Observability: the daemon logs at `info` unless `NSC_LOG` says
+//! otherwise (the flight recorder is drained by `nsc-client logs`),
+//! and `NSC_TRACE=1` arms per-request simulator event capture for
+//! `nsc-client trace --perfetto`.
 
 use std::path::PathBuf;
 use std::process::exit;
@@ -48,6 +53,9 @@ fn main() {
     if std::env::var_os("NSC_CACHE").is_none() {
         std::env::set_var("NSC_CACHE", "1");
     }
+    // A daemon without logs is a black box: default the flight recorder
+    // to info when NSC_LOG is unset (libraries default to off).
+    nsc_sim::log::init(Some(nsc_sim::log::Level::Info));
     let socket = socket.unwrap_or_else(nsc_serve::client::default_socket);
     let jobs = jobs.unwrap_or_else(nsc_sim::pool::jobs_from_env);
     eprintln!(

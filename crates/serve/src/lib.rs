@@ -21,19 +21,23 @@
 //! to daemon:
 //!
 //! ```text
-//! {"op":"run","id":1,"workload":"histogram","size":"tiny","mode":"NS"}
+//! {"op":"run","id":1,"request_id":81985529216486895,"workload":"histogram","size":"tiny","mode":"NS"}
 //! {"op":"status","id":2}
 //! {"op":"metrics","id":3}
-//! {"op":"flush","id":4}
-//! {"op":"shutdown","id":5}
+//! {"op":"logs","id":4}
+//! {"op":"trace","id":5,"request_id":81985529216486895}
+//! {"op":"flush","id":6}
+//! {"op":"shutdown","id":7}
 //! ```
 //!
 //! and back, in submission order:
 //!
 //! ```text
-//! {"id":1,"ok":true,"cached":false,"workload":"histogram","mode":"NS","blob":"schema=nsc-run-v1\n..."}
+//! {"id":1,"ok":true,"request_id":81985529216486895,"cached":false,"workload":"histogram","mode":"NS","blob":"schema=nsc-run-v1\n...","latency":"{...}"}
 //! {"id":2,"ok":true,"served":12,"cache_hits":8,"cache_misses":4,"jobs":8,...}
 //! {"id":3,"ok":true,"schema":"nsc-metrics-v1","snapshot":"{...}"}
+//! {"id":4,"ok":true,"count":17,"dropped":0,"lines":"{...}\n{...}\n"}
+//! {"id":5,"ok":true,"request_id":81985529216486895,"wall_us":812,"spans":9,"tree":"{...}"}
 //! ```
 //!
 //! The `snapshot` of a `metrics` response is a full
@@ -41,7 +45,20 @@
 //! rendered as single-line JSON and carried as an escaped string field:
 //! the wire protocol itself stays flat (strings/integers/booleans
 //! only), and the client re-parses the nested document with
-//! [`nsc_sim::json::parse`].
+//! [`nsc_sim::json::parse`]. The `latency` of a `run` response and the
+//! `tree` of a `trace` response travel the same way: they carry one
+//! request's span tree ([`nsc_sim::span`], schema `nsc-span-v1`), and
+//! are the *same* tree — the daemon seals it once, at delivery time.
+//! The `lines` of a `logs` response is a newline-joined drain of the
+//! [`nsc_sim::log`] flight recorder.
+//!
+//! Every `run` carries a 64-bit `request_id`, minted by the client (the
+//! daemon mints one when the field is absent or zero) and echoed in the
+//! response; it keys the daemon's bounded per-request trace store that
+//! the `trace` op reads. A `request_id` reused within one connection is
+//! rejected with a typed error. `trace` accepts an optional
+//! `"perfetto":true` flag asking for a combined Chrome trace-event
+//! document (serve spans + that run's sim events on one timeline).
 //!
 //! The `blob` of a `run` response is the result-cache record
 //! ([`near_stream::request::encode`]): every `f64` travels by bit
@@ -59,6 +76,7 @@ use json::Obj;
 use near_stream::request::{self, CachedRun};
 use near_stream::{ExecMode, RunResult};
 use nsc_bench::size_from_str;
+use nsc_sim::span::SpanTrace;
 use nsc_sim::{cache, fault::FaultStats};
 use nsc_workloads::Size;
 
@@ -79,6 +97,9 @@ pub enum Request {
     Run {
         /// Client-chosen correlation id, echoed in the response.
         id: u64,
+        /// Request trace id (0 = unset; the daemon mints one). Unique
+        /// per connection; keys the daemon's trace store.
+        request_id: u64,
         /// Table VI workload name.
         workload: String,
         /// Input scale.
@@ -95,6 +116,21 @@ pub enum Request {
     Metrics {
         /// Correlation id.
         id: u64,
+    },
+    /// Drain the daemon's log flight recorder.
+    Logs {
+        /// Correlation id.
+        id: u64,
+    },
+    /// Fetch one request's sealed span tree from the trace store.
+    Trace {
+        /// Correlation id.
+        id: u64,
+        /// The run to look up.
+        request_id: u64,
+        /// Also return a combined Perfetto document (serve spans + that
+        /// run's simulator events).
+        perfetto: bool,
     },
     /// Drain: respond once every earlier request has been answered.
     Flush {
@@ -128,10 +164,19 @@ impl Request {
                 let mode_s = obj.get_str("mode").unwrap_or("NS");
                 let mode = ExecMode::parse(mode_s)
                     .ok_or((id, format!("unknown mode: {mode_s:?}")))?;
-                Ok(Request::Run { id, workload, size, mode })
+                let request_id = obj.get_num("request_id").unwrap_or(0);
+                Ok(Request::Run { id, request_id, workload, size, mode })
             }
             "status" => Ok(Request::Status { id }),
             "metrics" => Ok(Request::Metrics { id }),
+            "logs" => Ok(Request::Logs { id }),
+            "trace" => {
+                let request_id = obj
+                    .get_num("request_id")
+                    .ok_or((id, "trace needs numeric \"request_id\"".to_owned()))?;
+                let perfetto = obj.get_bool("perfetto").unwrap_or(false);
+                Ok(Request::Trace { id, request_id, perfetto })
+            }
             "flush" => Ok(Request::Flush { id }),
             "shutdown" => Ok(Request::Shutdown { id }),
             other => Err((id, format!("unknown op: {other:?}"))),
@@ -141,15 +186,31 @@ impl Request {
     /// Renders the request as one protocol line (client side).
     pub fn render(&self) -> String {
         match self {
-            Request::Run { id, workload, size, mode } => Obj::new()
-                .str("op", "run")
-                .num("id", *id)
-                .str("workload", workload)
-                .str("size", size_label(*size))
-                .str("mode", mode.label())
-                .render(),
+            Request::Run { id, request_id, workload, size, mode } => {
+                let mut o = Obj::new()
+                    .str("op", "run")
+                    .num("id", *id)
+                    .str("workload", workload)
+                    .str("size", size_label(*size))
+                    .str("mode", mode.label());
+                if *request_id != 0 {
+                    o = o.num("request_id", *request_id);
+                }
+                o.render()
+            }
             Request::Status { id } => Obj::new().str("op", "status").num("id", *id).render(),
             Request::Metrics { id } => Obj::new().str("op", "metrics").num("id", *id).render(),
+            Request::Logs { id } => Obj::new().str("op", "logs").num("id", *id).render(),
+            Request::Trace { id, request_id, perfetto } => {
+                let mut o = Obj::new()
+                    .str("op", "trace")
+                    .num("id", *id)
+                    .num("request_id", *request_id);
+                if *perfetto {
+                    o = o.bool("perfetto", true);
+                }
+                o.render()
+            }
             Request::Flush { id } => Obj::new().str("op", "flush").num("id", *id).render(),
             Request::Shutdown { id } => Obj::new().str("op", "shutdown").num("id", *id).render(),
         }
@@ -161,6 +222,8 @@ impl Request {
             Request::Run { id, .. }
             | Request::Status { id }
             | Request::Metrics { id }
+            | Request::Logs { id }
+            | Request::Trace { id, .. }
             | Request::Flush { id }
             | Request::Shutdown { id } => *id,
         }
@@ -181,37 +244,64 @@ pub struct RunOutcome {
 /// without simulating). This is the daemon's backend, and also what
 /// `nsc-client submit --local` calls.
 pub fn execute(workload: &str, size: Size, mode: ExecMode) -> Result<RunOutcome, String> {
-    let w = nsc_workloads::all(size)
-        .into_iter()
-        .find(|w| w.name == workload)
-        .ok_or_else(|| {
-            let known: Vec<_> = nsc_workloads::all(size).iter().map(|w| w.name).collect();
-            format!("unknown workload: {workload:?} (known: {})", known.join(", "))
-        })?;
+    execute_spanned(workload, size, mode, &mut SpanTrace::begin(0))
+}
+
+/// [`execute`] with per-phase attribution: records `pool_dispatch`
+/// (workload lookup + kernel compilation), `cache_probe` (result-cache
+/// digest + lookup) and `simulate` (the run itself, cache-aware) spans
+/// into `spans`. The simulation is untouched — only wall-clock fences
+/// are added around it — so results stay byte-identical with or without
+/// a live trace.
+pub fn execute_spanned(
+    workload: &str,
+    size: Size,
+    mode: ExecMode,
+    spans: &mut SpanTrace,
+) -> Result<RunOutcome, String> {
+    let t0 = nsc_sim::span::now_us();
+    let found = nsc_workloads::all(size).into_iter().find(|w| w.name == workload);
+    let Some(w) = found else {
+        spans.push("pool_dispatch", t0, nsc_sim::span::now_us());
+        let known: Vec<_> = nsc_workloads::all(size).iter().map(|w| w.name).collect();
+        return Err(format!(
+            "unknown workload: {workload:?} (known: {})",
+            known.join(", ")
+        ));
+    };
     let p = nsc_bench::prepare(w);
     let cfg = nsc_bench::system_for(size);
     let req = p.request(mode, &cfg);
-    let cached = cache::enabled() && cache::contains(&req.key());
-    let result = req.try_run_cached().map_err(|e| e.to_string())?;
+    spans.push("pool_dispatch", t0, nsc_sim::span::now_us());
+    let cached = spans.time("cache_probe", || cache::enabled() && cache::contains(&req.key()));
+    let result = spans
+        .time("simulate", || req.try_run_cached())
+        .map_err(|e| e.to_string())?;
     Ok(RunOutcome { result, cached })
 }
 
-/// Renders a successful `run` response line.
-pub fn run_response(id: u64, workload: &str, mode: ExecMode, out: &RunOutcome) -> String {
+/// Builds a successful `run` response (unrendered: the daemon appends
+/// the `latency` field at delivery time, once the span tree is sealed).
+pub fn run_response(id: u64, request_id: u64, workload: &str, mode: ExecMode, out: &RunOutcome) -> Obj {
     Obj::new()
         .num("id", id)
         .bool("ok", true)
+        .num("request_id", request_id)
         .bool("cached", out.cached)
         .str("workload", workload)
         .str("mode", mode.label())
         .num("cycles", out.result.cycles)
         .str("blob", &request::encode(&out.result, &FaultStats::default()))
-        .render()
+}
+
+/// Builds an error response (unrendered, for callers that append fields).
+pub fn error_obj(id: u64, msg: &str) -> Obj {
+    Obj::new().num("id", id).bool("ok", false).str("error", msg)
 }
 
 /// Renders an error response line.
 pub fn error_response(id: u64, msg: &str) -> String {
-    Obj::new().num("id", id).bool("ok", false).str("error", msg).render()
+    error_obj(id, msg).render()
 }
 
 /// Decodes the `blob` of a `run` response back into the daemon's exact
@@ -229,12 +319,23 @@ mod tests {
         let reqs = [
             Request::Run {
                 id: 3,
+                request_id: 0,
                 workload: "histogram".into(),
                 size: Size::Tiny,
                 mode: ExecMode::Ns,
             },
+            Request::Run {
+                id: 8,
+                request_id: 0x0123_4567_89AB_CDEF,
+                workload: "bin_tree".into(),
+                size: Size::Small,
+                mode: ExecMode::Base,
+            },
             Request::Status { id: 4 },
             Request::Metrics { id: 5 },
+            Request::Logs { id: 9 },
+            Request::Trace { id: 10, request_id: 77, perfetto: false },
+            Request::Trace { id: 11, request_id: 78, perfetto: true },
             Request::Flush { id: 6 },
             Request::Shutdown { id: 7 },
         ];
@@ -242,6 +343,13 @@ mod tests {
             let line = r.render();
             assert_eq!(Request::parse(&line), Ok(r), "line: {line}");
         }
+    }
+
+    #[test]
+    fn trace_without_request_id_is_rejected() {
+        let (id, msg) = Request::parse("{\"id\":4,\"op\":\"trace\"}").unwrap_err();
+        assert_eq!(id, 4);
+        assert!(msg.contains("request_id"), "got: {msg}");
     }
 
     #[test]
@@ -259,9 +367,10 @@ mod tests {
     #[test]
     fn run_response_blob_is_exact() {
         let out = execute("histogram", Size::Tiny, ExecMode::Ns).expect("run");
-        let line = run_response(1, "histogram", ExecMode::Ns, &out);
+        let line = run_response(1, 0xABCD, "histogram", ExecMode::Ns, &out).render();
         let resp = Obj::parse(&line).expect("response parses");
         assert_eq!(resp.get_bool("ok"), Some(true));
+        assert_eq!(resp.get_num("request_id"), Some(0xABCD));
         let back = decode_response_blob(&resp).expect("blob decodes");
         // Bit-exact round trip: the re-encoded record matches byte for
         // byte (RunResult has no PartialEq; the codec is the equality).
@@ -275,5 +384,16 @@ mod tests {
     fn execute_rejects_unknown_workload() {
         let err = execute("nope", Size::Tiny, ExecMode::Base).unwrap_err();
         assert!(err.contains("unknown workload"), "got: {err}");
+    }
+
+    #[test]
+    fn execute_spanned_records_backend_phases() {
+        let mut spans = SpanTrace::begin(42);
+        execute_spanned("histogram", Size::Tiny, ExecMode::Ns, &mut spans).expect("run");
+        let tree = spans.finish();
+        for name in ["pool_dispatch", "cache_probe", "simulate"] {
+            assert!(tree.span(name).is_some(), "missing span {name}");
+        }
+        assert!(tree.spans_total_us() <= tree.wall_us);
     }
 }

@@ -2,13 +2,32 @@
 //! and the submission-order response stream.
 //!
 //! Every connection gets a reader (the connection thread itself) and a
-//! writer thread joined by an `mpsc` channel of `(sequence, line)`
+//! writer thread joined by an `mpsc` channel of `(sequence, slot)`
 //! pairs. `run` requests are fanned out on the **shared** pool — one
 //! pool for the whole daemon, so ten clients submitting at once batch
 //! across the same `NSC_JOBS` workers instead of oversubscribing the
 //! machine. The writer holds responses in a reorder buffer and emits
 //! them strictly in submission order, which is what makes `flush` a
 //! drain barrier and keeps client-side correlation trivial.
+//!
+//! # Request tracing
+//!
+//! Each `run` carries a [`nsc_sim::span::SpanTrace`] from the moment
+//! its line started arriving: `accept` and `parse` close on the
+//! connection thread, `queue_wait`/`pool_dispatch`/`cache_probe`/
+//! `simulate`/`encode` on the pool worker, and `reorder_hold`/`deliver`
+//! inside the response slot, which the writer evaluates at delivery
+//! time. That evaluation point is where the tree is sealed — so the
+//! `latency` field embedded in the response and the copy kept in the
+//! bounded per-daemon trace store (read by the `trace` op) are the
+//! *same* tree, not two measurements. When the daemon runs with
+//! `NSC_TRACE` armed, each run also records its simulator events into a
+//! private ring that lands in the store next to the tree, which is what
+//! lets `trace` with `"perfetto":true` render one combined timeline.
+//!
+//! Request lines are read through a bounded reader: a line longer than
+//! [`MAX_LINE_BYTES`] is discarded up to its newline and answered with
+//! a typed error, keeping the connection (and its ordering) alive.
 //!
 //! Shutdown is graceful by construction: the `shutdown` response rides
 //! the ordered stream (so it is written only after every earlier
@@ -17,16 +36,57 @@
 //! queued before the daemon exits.
 
 use crate::json::Obj;
-use crate::{error_response, execute, run_response, Request};
+use crate::{error_obj, error_response, execute_spanned, run_response, Request};
+use nsc_sim::log;
 use nsc_sim::metrics::{self, Gauge, Hist, Metric, Registry};
+use nsc_sim::span::{self, SpanTrace, SpanTree};
+use nsc_sim::trace::{self, RingRecorder, TraceEvent};
 use nsc_sim::{cache, pool::ThreadPool};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::io::{self, BufRead, BufReader, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::Instant;
+
+/// Longest accepted request line. Anything longer is discarded up to
+/// its newline and answered with a typed error.
+pub const MAX_LINE_BYTES: usize = 1 << 20;
+
+/// How many sealed request traces the daemon retains for the `trace`
+/// op (oldest evicted first).
+const TRACE_STORE_CAP: usize = 128;
+
+/// One request's sealed observability record.
+struct StoredTrace {
+    tree: SpanTree,
+    events: Vec<TraceEvent>,
+}
+
+/// Bounded map of recent request traces, keyed by `request_id`.
+struct TraceStore {
+    order: VecDeque<u64>,
+    map: HashMap<u64, StoredTrace>,
+}
+
+impl TraceStore {
+    fn new() -> TraceStore {
+        TraceStore { order: VecDeque::new(), map: HashMap::new() }
+    }
+
+    fn insert(&mut self, t: StoredTrace) {
+        let rid = t.tree.request_id;
+        if self.map.insert(rid, t).is_none() {
+            self.order.push_back(rid);
+        }
+        while self.order.len() > TRACE_STORE_CAP {
+            if let Some(old) = self.order.pop_front() {
+                self.map.remove(&old);
+            }
+        }
+    }
+}
 
 /// Daemon-wide shared state.
 struct State {
@@ -36,6 +96,42 @@ struct State {
     started: Instant,
     shutdown: AtomicBool,
     socket: PathBuf,
+    traces: Mutex<TraceStore>,
+    /// `(capacity, sample_every)` when `NSC_TRACE` arms per-run
+    /// simulator event capture; `None` leaves the sim trace layer cold.
+    sim_trace: Option<(usize, u64)>,
+    rid_seed: u64,
+    rid_counter: AtomicU64,
+}
+
+impl State {
+    /// Mints a daemon-side request id for runs submitted without one.
+    /// SplitMix64 over a per-daemon seed: unique within the daemon,
+    /// never 0 (0 means "unset" on the wire).
+    fn mint_rid(&self) -> u64 {
+        let n = self.rid_counter.fetch_add(1, Ordering::Relaxed);
+        let mut z = self.rid_seed.wrapping_add(n.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        z.max(1)
+    }
+}
+
+fn sim_trace_from_env() -> Option<(usize, u64)> {
+    let armed = std::env::var("NSC_TRACE").map(|v| v != "0" && !v.is_empty()).unwrap_or(false);
+    if !armed {
+        return None;
+    }
+    let cap = std::env::var("NSC_TRACE_CAP")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .unwrap_or(4096);
+    let every = std::env::var("NSC_TRACE_SAMPLE")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(64);
+    Some((cap.max(1), every.max(1)))
 }
 
 /// Binds `socket` and serves until a client sends `shutdown`.
@@ -46,6 +142,12 @@ struct State {
 pub fn serve(socket: &Path, jobs: usize) -> io::Result<()> {
     let _ = std::fs::remove_file(socket);
     let listener = UnixListener::bind(socket)?;
+    let sim_trace = sim_trace_from_env();
+    let rid_seed = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0)
+        ^ (std::process::id() as u64) << 32;
     let state = Arc::new(State {
         pool: ThreadPool::new(jobs),
         served: AtomicU64::new(0),
@@ -53,6 +155,18 @@ pub fn serve(socket: &Path, jobs: usize) -> io::Result<()> {
         started: Instant::now(),
         shutdown: AtomicBool::new(false),
         socket: socket.to_owned(),
+        traces: Mutex::new(TraceStore::new()),
+        sim_trace,
+        rid_seed,
+        rid_counter: AtomicU64::new(0),
+    });
+    log::info("nscd", || {
+        format!(
+            "serving on {} jobs={jobs} cache={} sim_trace={}",
+            socket.display(),
+            cache::enabled(),
+            sim_trace.is_some()
+        )
     });
     let mut conns = Vec::new();
     for stream in listener.incoming() {
@@ -67,6 +181,9 @@ pub fn serve(socket: &Path, jobs: usize) -> io::Result<()> {
         let _ = c.join();
     }
     let _ = std::fs::remove_file(socket);
+    log::info("nscd", || {
+        format!("shut down after {} served", state.served.load(Ordering::SeqCst))
+    });
     Ok(())
     // `state`'s last Arc drops here; the pool's Drop drains any jobs
     // still queued before the workers exit.
@@ -78,26 +195,133 @@ pub fn serve(socket: &Path, jobs: usize) -> io::Result<()> {
 /// preceding runs on the connection.
 type Slot = Box<dyn FnOnce() -> String + Send>;
 
+/// One bounded line read.
+enum ReadLine {
+    /// A complete line (without its newline).
+    Line(String),
+    /// The line exceeded [`MAX_LINE_BYTES`]; input was discarded up to
+    /// (and including) the next newline.
+    TooLong,
+    /// Clean end of stream.
+    Eof,
+}
+
+/// Reads one newline-terminated line with a hard size cap, so a
+/// misbehaving client cannot buffer unbounded memory in the daemon. A
+/// final unterminated chunk at EOF is returned as a line (it will fail
+/// request parsing and get a typed error like any other bad line).
+fn read_bounded_line(r: &mut impl BufRead) -> io::Result<ReadLine> {
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        let chunk = r.fill_buf()?;
+        if chunk.is_empty() {
+            return Ok(if buf.is_empty() {
+                ReadLine::Eof
+            } else {
+                ReadLine::Line(String::from_utf8_lossy(&buf).into_owned())
+            });
+        }
+        if let Some(pos) = chunk.iter().position(|&b| b == b'\n') {
+            buf.extend_from_slice(&chunk[..pos]);
+            r.consume(pos + 1);
+            if buf.len() > MAX_LINE_BYTES {
+                return Ok(ReadLine::TooLong);
+            }
+            return Ok(ReadLine::Line(String::from_utf8_lossy(&buf).into_owned()));
+        }
+        buf.extend_from_slice(chunk);
+        let n = chunk.len();
+        r.consume(n);
+        if buf.len() > MAX_LINE_BYTES {
+            buf.clear();
+            skip_to_newline(r)?;
+            return Ok(ReadLine::TooLong);
+        }
+    }
+}
+
+/// Discards input up to and including the next newline (or EOF).
+fn skip_to_newline(r: &mut impl BufRead) -> io::Result<()> {
+    loop {
+        let chunk = r.fill_buf()?;
+        if chunk.is_empty() {
+            return Ok(());
+        }
+        match chunk.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                r.consume(pos + 1);
+                return Ok(());
+            }
+            None => {
+                let n = chunk.len();
+                r.consume(n);
+            }
+        }
+    }
+}
+
 /// One connection: read requests, dispatch, keep responses ordered.
 fn handle_conn(st: &Arc<State>, stream: UnixStream) {
     let Ok(read_half) = stream.try_clone() else { return };
-    let reader = BufReader::new(read_half);
+    let mut reader = BufReader::new(read_half);
     let (tx, rx) = mpsc::channel::<(u64, Slot)>();
     let writer = std::thread::spawn(move || write_ordered(stream, &rx));
     let mut seq = 0u64;
     let mut want_shutdown = false;
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
+    // request_ids already seen on this connection: a duplicate would
+    // silently overwrite its predecessor in the trace store, so it is
+    // rejected with a typed error instead.
+    let mut seen_rids: HashSet<u64> = HashSet::new();
+    log::debug("serve", || "connection opened".to_owned());
+    loop {
+        let t_read0 = span::now_us();
+        let line = match read_bounded_line(&mut reader) {
+            Ok(ReadLine::Line(line)) => line,
+            Ok(ReadLine::TooLong) => {
+                log::warn("serve", || {
+                    format!("request line over {MAX_LINE_BYTES} bytes discarded")
+                });
+                metrics::count_global(Metric::ServeErrors, 1);
+                let resp =
+                    error_response(0, &format!("request line exceeds {MAX_LINE_BYTES} bytes"));
+                let _ = tx.send((seq, Box::new(move || resp) as Slot));
+                seq += 1;
+                continue;
+            }
+            Ok(ReadLine::Eof) | Err(_) => break,
+        };
         if line.trim().is_empty() {
             continue;
         }
+        let t_read1 = span::now_us();
         match Request::parse(&line) {
-            Ok(Request::Run { id, workload, size, mode }) => {
+            Ok(Request::Run { id, request_id, workload, size, mode }) => {
+                let rid = if request_id == 0 { st.mint_rid() } else { request_id };
+                if !seen_rids.insert(rid) {
+                    log::warn("serve", || {
+                        format!("duplicate request_id {rid:016x} rejected (id={id})")
+                    });
+                    metrics::count_global(Metric::ServeErrors, 1);
+                    let resp = error_obj(id, &format!("duplicate request_id: {rid:016x}"))
+                        .num("request_id", rid)
+                        .render();
+                    let _ = tx.send((seq, Box::new(move || resp) as Slot));
+                    seq += 1;
+                    continue;
+                }
+                let mut spans = SpanTrace::begin_at(rid, t_read0);
+                spans.push("accept", t_read0, t_read1);
+                spans.push("parse", t_read1, span::now_us());
+                log::debug("serve", || {
+                    format!("run rid={rid:016x} workload={workload} mode={} (id={id})", mode.label())
+                });
                 // Simulate on the shared pool; the response re-enters
                 // the ordered stream at this request's sequence slot.
                 let tx = tx.clone();
                 let stc = Arc::clone(st);
+                let t_enq = span::now_us();
                 st.pool.spawn(move || {
+                    spans.push("queue_wait", t_enq, span::now_us());
                     let live = stc.in_flight.fetch_add(1, Ordering::SeqCst) + 1;
                     metrics::gauge_global_max(Gauge::ServeInFlight, live as f64);
                     // The run records into a thread-local shard; the shard
@@ -105,8 +329,11 @@ fn handle_conn(st: &Arc<State>, stream: UnixStream) {
                     // delivery time, inside the per-connection reorder
                     // buffer, so merges land in submission order.
                     metrics::install(Registry::new());
+                    if let Some((cap, every)) = stc.sim_trace {
+                        trace::install(RingRecorder::new(cap), every);
+                    }
                     let t0 = Instant::now();
-                    let outcome = execute(&workload, size, mode);
+                    let outcome = execute_spanned(&workload, size, mode, &mut spans);
                     let run_ms = t0.elapsed().as_secs_f64() * 1e3;
                     metrics::count(Metric::ServeRequests);
                     metrics::observe(Hist::ServeRunMs, run_ms);
@@ -117,20 +344,49 @@ fn handle_conn(st: &Arc<State>, stream: UnixStream) {
                                 metrics::count(Metric::ServeRunsCached);
                             }
                             stc.served.fetch_add(1, Ordering::SeqCst);
-                            run_response(id, &workload, mode, &out)
+                            spans.time("encode", || run_response(id, rid, &workload, mode, &out))
                         }
                         Err(e) => {
                             metrics::count(Metric::ServeErrors);
-                            error_response(id, &e)
+                            log::warn("serve", || format!("run rid={rid:016x} failed: {e}"));
+                            error_obj(id, &e).num("request_id", rid)
                         }
+                    };
+                    let events = if stc.sim_trace.is_some() {
+                        trace::uninstall().map(|r| r.into_events().0).unwrap_or_default()
+                    } else {
+                        Vec::new()
                     };
                     let shard = metrics::uninstall();
                     stc.in_flight.fetch_sub(1, Ordering::SeqCst);
+                    let t_sent = span::now_us();
                     let slot = Box::new(move || {
+                        let t_eval = span::now_us();
+                        spans.push("reorder_hold", t_sent, t_eval);
                         if let Some(shard) = &shard {
                             metrics::absorb_global(shard);
                         }
-                        resp
+                        spans.push("deliver", t_eval, span::now_us());
+                        let tree = spans.finish();
+                        metrics::observe_global(
+                            Hist::ServeQueueUs,
+                            tree.span("queue_wait").map_or(0.0, |s| s.dur_us as f64),
+                        );
+                        metrics::observe_global(Hist::ServeTotalUs, tree.wall_us as f64);
+                        log::info("serve", || {
+                            format!(
+                                "served rid={:016x} wall={}µs sim={}µs (id={id})",
+                                tree.request_id,
+                                tree.wall_us,
+                                tree.span("simulate").map_or(0, |s| s.dur_us),
+                            )
+                        });
+                        let latency = tree.to_json();
+                        stc.traces
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .insert(StoredTrace { tree, events });
+                        resp.str("latency", &latency).render()
                     }) as Slot;
                     let _ = tx.send((seq, slot));
                 });
@@ -168,6 +424,58 @@ fn handle_conn(st: &Arc<State>, stream: UnixStream) {
                 }) as Slot;
                 let _ = tx.send((seq, slot));
             }
+            Ok(Request::Logs { id }) => {
+                // Delivery-time drain: records logged by earlier runs on
+                // this connection are already in the flight recorder.
+                let slot = Box::new(move || {
+                    let (recs, dropped) = log::drain();
+                    let mut lines = String::new();
+                    for r in &recs {
+                        lines.push_str(&r.render());
+                        lines.push('\n');
+                    }
+                    Obj::new()
+                        .num("id", id)
+                        .bool("ok", true)
+                        .num("count", recs.len() as u64)
+                        .num("dropped", dropped)
+                        .str("lines", &lines)
+                        .render()
+                }) as Slot;
+                let _ = tx.send((seq, slot));
+            }
+            Ok(Request::Trace { id, request_id, perfetto }) => {
+                let stc = Arc::clone(st);
+                // Delivery-time lookup: a submit earlier in this batch
+                // has sealed and stored its tree by the time this slot
+                // is evaluated, so submit-then-trace always works.
+                let slot = Box::new(move || {
+                    let store = stc.traces.lock().unwrap_or_else(|e| e.into_inner());
+                    match store.map.get(&request_id) {
+                        Some(t) => {
+                            let mut o = Obj::new()
+                                .num("id", id)
+                                .bool("ok", true)
+                                .num("request_id", request_id)
+                                .num("wall_us", t.tree.wall_us)
+                                .num("spans", t.tree.spans.len() as u64)
+                                .num("sim_events", t.events.len() as u64)
+                                .str("tree", &t.tree.to_json());
+                            if perfetto {
+                                o = o.str(
+                                    "perfetto",
+                                    &trace::chrome::render_with_spans(t.events.iter(), &t.tree),
+                                );
+                            }
+                            o.render()
+                        }
+                        None => error_obj(id, &format!("unknown request_id: {request_id:016x}"))
+                            .num("request_id", request_id)
+                            .render(),
+                    }
+                }) as Slot;
+                let _ = tx.send((seq, slot));
+            }
             Ok(Request::Flush { id }) => {
                 // Ordered delivery IS the barrier: this slot leaves the
                 // reorder buffer only after every earlier response.
@@ -177,6 +485,7 @@ fn handle_conn(st: &Arc<State>, stream: UnixStream) {
                 let _ = tx.send((seq, slot));
             }
             Ok(Request::Shutdown { id }) => {
+                log::info("serve", || format!("shutdown requested (id={id})"));
                 let slot =
                     Box::new(move || Obj::new().num("id", id).bool("ok", true).render()) as Slot;
                 let _ = tx.send((seq, slot));
@@ -184,6 +493,8 @@ fn handle_conn(st: &Arc<State>, stream: UnixStream) {
                 break;
             }
             Err((id, msg)) => {
+                log::warn("serve", || format!("bad request line (id={id}): {msg}"));
+                metrics::count_global(Metric::ServeErrors, 1);
                 let resp = error_response(id, &msg);
                 let _ = tx.send((seq, Box::new(move || resp) as Slot));
             }
@@ -194,6 +505,7 @@ fn handle_conn(st: &Arc<State>, stream: UnixStream) {
     // have all reported and this original handle drops.
     drop(tx);
     let _ = writer.join();
+    log::debug("serve", || format!("connection closed after {seq} requests"));
     if want_shutdown {
         st.shutdown.store(true, Ordering::SeqCst);
         // Wake the accept loop so it observes the flag.
@@ -214,6 +526,63 @@ fn write_ordered(mut out: UnixStream, rx: &mpsc::Receiver<(u64, Slot)>) {
                 return; // client went away; drain silently
             }
             next += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_reader_caps_and_recovers() {
+        let long = "x".repeat(MAX_LINE_BYTES + 10);
+        let input = format!("short\n{long}\nafter\ntail-no-newline");
+        let mut r = BufReader::new(input.as_bytes());
+        assert!(matches!(read_bounded_line(&mut r), Ok(ReadLine::Line(l)) if l == "short"));
+        assert!(matches!(read_bounded_line(&mut r), Ok(ReadLine::TooLong)));
+        assert!(matches!(read_bounded_line(&mut r), Ok(ReadLine::Line(l)) if l == "after"));
+        assert!(
+            matches!(read_bounded_line(&mut r), Ok(ReadLine::Line(l)) if l == "tail-no-newline")
+        );
+        assert!(matches!(read_bounded_line(&mut r), Ok(ReadLine::Eof)));
+    }
+
+    #[test]
+    fn trace_store_evicts_oldest() {
+        let mut s = TraceStore::new();
+        for rid in 1..=(TRACE_STORE_CAP as u64 + 5) {
+            let tree = SpanTrace::begin_at(rid, 0).finish();
+            s.insert(StoredTrace { tree, events: Vec::new() });
+        }
+        assert_eq!(s.map.len(), TRACE_STORE_CAP);
+        assert!(!s.map.contains_key(&1), "oldest entries must be evicted");
+        assert!(s.map.contains_key(&(TRACE_STORE_CAP as u64 + 5)));
+        // Re-inserting an existing rid must not grow the order queue.
+        let tree = SpanTrace::begin_at(9, 0).finish();
+        s.insert(StoredTrace { tree, events: Vec::new() });
+        assert_eq!(s.order.len(), s.map.len());
+    }
+
+    #[test]
+    fn minted_rids_are_unique_and_nonzero() {
+        let st = State {
+            pool: ThreadPool::new(1),
+            served: AtomicU64::new(0),
+            in_flight: AtomicU64::new(0),
+            started: Instant::now(),
+            shutdown: AtomicBool::new(false),
+            socket: PathBuf::new(),
+            traces: Mutex::new(TraceStore::new()),
+            sim_trace: None,
+            rid_seed: 42,
+            rid_counter: AtomicU64::new(0),
+        };
+        let mut seen = HashSet::new();
+        for _ in 0..1000 {
+            let rid = st.mint_rid();
+            assert_ne!(rid, 0);
+            assert!(seen.insert(rid), "minted rid repeated");
         }
     }
 }

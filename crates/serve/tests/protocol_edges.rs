@@ -1,0 +1,237 @@
+//! Wire-protocol edge cases against a live daemon: every malformed or
+//! hostile input must come back as a typed error *response* on the same
+//! connection — never a dropped connection — and the request-tracing
+//! surface (`latency` field, `trace` op, `logs` op) must hold its
+//! contract end to end.
+
+use near_stream::ExecMode;
+use nsc_serve::client::roundtrip;
+use nsc_serve::{server::MAX_LINE_BYTES, Request};
+use nsc_sim::json::{parse, Json};
+use nsc_workloads::Size;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+fn temp_socket(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("nscd-edge-{tag}-{}.sock", std::process::id()))
+}
+
+fn wait_for(socket: &Path) {
+    for _ in 0..200 {
+        if socket.exists() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    panic!("daemon never bound {}", socket.display());
+}
+
+fn start_daemon(tag: &str) -> (PathBuf, std::thread::JoinHandle<std::io::Result<()>>) {
+    let socket = temp_socket(tag);
+    let server = {
+        let socket = socket.clone();
+        std::thread::spawn(move || nsc_serve::server::serve(&socket, 2))
+    };
+    wait_for(&socket);
+    (socket, server)
+}
+
+fn shutdown(socket: &Path, server: std::thread::JoinHandle<std::io::Result<()>>) {
+    let resps = roundtrip(socket, &[Request::Shutdown { id: 99 }]).expect("shutdown");
+    assert_eq!(resps[0].get_bool("ok"), Some(true));
+    server.join().expect("server thread").expect("serve() result");
+}
+
+/// Writes raw bytes, half-closes, and reads back all response lines —
+/// the lowest-level client possible, for inputs `Request::render` could
+/// never produce.
+fn raw_exchange(socket: &Path, bytes: &[u8]) -> Vec<String> {
+    let mut stream = UnixStream::connect(socket).expect("connect");
+    stream.write_all(bytes).expect("write");
+    stream.shutdown(std::net::Shutdown::Write).expect("half-close");
+    let mut lines = Vec::new();
+    for line in BufReader::new(stream).lines() {
+        lines.push(line.expect("read response line"));
+    }
+    lines
+}
+
+#[test]
+fn oversized_line_gets_typed_error_and_connection_survives() {
+    let (socket, server) = start_daemon("oversize");
+    let mut payload = Vec::new();
+    payload.extend_from_slice(b"{\"op\":\"status\",\"id\":1}\n");
+    payload.extend_from_slice("x".repeat(MAX_LINE_BYTES + 100).as_bytes());
+    payload.extend_from_slice(b"\n{\"op\":\"status\",\"id\":3}\n");
+    let lines = raw_exchange(&socket, &payload);
+    assert_eq!(lines.len(), 3, "one response per line, got: {lines:?}");
+    assert!(lines[0].contains("\"ok\":true"), "got: {}", lines[0]);
+    assert!(lines[1].contains("\"ok\":false"), "got: {}", lines[1]);
+    assert!(lines[1].contains("exceeds"), "got: {}", lines[1]);
+    // The line after the oversized one is served normally: the daemon
+    // resynchronized at the newline instead of dropping the connection.
+    assert!(lines[2].contains("\"ok\":true"), "got: {}", lines[2]);
+    assert!(lines[2].contains("\"id\":3"), "got: {}", lines[2]);
+    shutdown(&socket, server);
+}
+
+#[test]
+fn truncated_json_at_eof_gets_typed_error() {
+    let (socket, server) = start_daemon("truncated");
+    // The connection dies mid-object: no newline after the fragment.
+    let lines = raw_exchange(&socket, b"{\"op\":\"status\",\"id\":1}\n{\"op\":\"run\",\"id\":2,\"work");
+    assert_eq!(lines.len(), 2, "got: {lines:?}");
+    assert!(lines[0].contains("\"ok\":true"));
+    assert!(lines[1].contains("\"ok\":false"), "got: {}", lines[1]);
+    assert!(lines[1].contains("malformed"), "got: {}", lines[1]);
+    shutdown(&socket, server);
+}
+
+#[test]
+fn unknown_op_gets_typed_error_with_id() {
+    let (socket, server) = start_daemon("unknown-op");
+    let lines = raw_exchange(&socket, b"{\"op\":\"teleport\",\"id\":7}\n");
+    assert_eq!(lines.len(), 1, "got: {lines:?}");
+    assert!(lines[0].contains("\"id\":7"));
+    assert!(lines[0].contains("\"ok\":false"));
+    assert!(lines[0].contains("unknown op"), "got: {}", lines[0]);
+    shutdown(&socket, server);
+}
+
+#[test]
+fn duplicate_request_id_in_one_batch_is_rejected() {
+    let (socket, server) = start_daemon("dup-rid");
+    let run = |id, rid| Request::Run {
+        id,
+        request_id: rid,
+        workload: "histogram".to_owned(),
+        size: Size::Tiny,
+        mode: ExecMode::Ns,
+    };
+    let resps = roundtrip(&socket, &[run(1, 0xDEAD), run(2, 0xDEAD), run(3, 0xBEEF)])
+        .expect("round trip");
+    assert_eq!(resps.len(), 3);
+    assert_eq!(resps[0].get_bool("ok"), Some(true), "got {}", resps[0].render());
+    assert_eq!(resps[1].get_bool("ok"), Some(false), "got {}", resps[1].render());
+    assert!(
+        resps[1].get_str("error").unwrap_or("").contains("duplicate request_id"),
+        "got {}",
+        resps[1].render()
+    );
+    assert_eq!(resps[1].get_num("request_id"), Some(0xDEAD));
+    // The batch keeps flowing after the rejection.
+    assert_eq!(resps[2].get_bool("ok"), Some(true), "got {}", resps[2].render());
+    shutdown(&socket, server);
+}
+
+#[test]
+fn submit_then_trace_reproduces_the_latency_tree() {
+    let (socket, server) = start_daemon("trace");
+    let rid = 0xAB_CDEF;
+    let reqs = [
+        Request::Run {
+            id: 1,
+            request_id: rid,
+            workload: "histogram".to_owned(),
+            size: Size::Tiny,
+            mode: ExecMode::Ns,
+        },
+        // Same batch: ordered delivery guarantees the run's tree is
+        // sealed and stored before this trace slot is evaluated.
+        Request::Trace { id: 2, request_id: rid, perfetto: false },
+        Request::Trace { id: 3, request_id: 0x1234_5678, perfetto: false },
+    ];
+    let resps = roundtrip(&socket, &reqs).expect("round trip");
+
+    let run = &resps[0];
+    assert_eq!(run.get_bool("ok"), Some(true), "got {}", run.render());
+    assert_eq!(run.get_num("request_id"), Some(rid));
+    let latency = run.get_str("latency").expect("run response embeds latency");
+    let tree = parse(latency).expect("latency parses");
+    assert_eq!(tree.get("schema").and_then(Json::as_str), Some("nsc-span-v1"));
+    assert_eq!(
+        tree.get("request_id").and_then(Json::as_str),
+        Some(format!("{rid:016x}").as_str()),
+    );
+    let spans = tree.get("spans").and_then(Json::as_arr).expect("spans array");
+    assert!(spans.len() >= 6, "want ≥6 spans, got {}: {latency}", spans.len());
+    for name in
+        ["accept", "parse", "queue_wait", "pool_dispatch", "cache_probe", "simulate", "deliver"]
+    {
+        assert!(
+            spans.iter().any(|s| s.get("name").and_then(Json::as_str) == Some(name)),
+            "span {name} missing: {latency}"
+        );
+    }
+    // Phases are sequential slices of the request: durations must sum
+    // to within the reported wall time.
+    let wall = tree.get("wall_us").and_then(Json::as_f64).expect("wall_us");
+    let sum: f64 =
+        spans.iter().filter_map(|s| s.get("dur_us").and_then(Json::as_f64)).sum();
+    assert!(sum <= wall, "span durations ({sum}µs) exceed wall ({wall}µs): {latency}");
+
+    // `trace` returns the *same* tree, byte for byte.
+    let trace = &resps[1];
+    assert_eq!(trace.get_bool("ok"), Some(true), "got {}", trace.render());
+    assert_eq!(trace.get_str("tree"), Some(latency), "trace tree != submit latency");
+    assert_eq!(trace.get_num("spans"), Some(spans.len() as u64));
+
+    // An unknown rid is a typed error.
+    let missing = &resps[2];
+    assert_eq!(missing.get_bool("ok"), Some(false));
+    assert!(missing.get_str("error").unwrap_or("").contains("unknown request_id"));
+    shutdown(&socket, server);
+}
+
+#[test]
+fn logs_op_drains_the_flight_recorder() {
+    // Level state is process-global; this is the only test in this
+    // binary that turns it on.
+    nsc_sim::log::set_level(Some(nsc_sim::log::Level::Debug));
+    let (socket, server) = start_daemon("logs");
+    let reqs = [
+        Request::Run {
+            id: 1,
+            request_id: 0,
+            workload: "histogram".to_owned(),
+            size: Size::Tiny,
+            mode: ExecMode::Ns,
+        },
+        Request::Logs { id: 2 },
+    ];
+    let resps = roundtrip(&socket, &reqs).expect("round trip");
+    let logs = &resps[1];
+    assert_eq!(logs.get_bool("ok"), Some(true), "got {}", logs.render());
+    assert!(logs.get_num("count").unwrap_or(0) > 0, "flight recorder empty");
+    let lines = logs.get_str("lines").expect("lines field");
+    assert!(
+        lines.lines().any(|l| l.contains("\"target\":\"serve\"")),
+        "no serve records in: {lines}"
+    );
+    // Every drained line is itself valid JSON.
+    for l in lines.lines() {
+        parse(l).unwrap_or_else(|e| panic!("bad log line {l:?}: {e}"));
+    }
+    nsc_sim::log::set_level(None);
+    shutdown(&socket, server);
+}
+
+#[test]
+fn slow_trickled_request_still_parses() {
+    // A request written byte-by-byte across many writes must be
+    // reassembled: the bounded reader cannot assume one write per line.
+    let (socket, server) = start_daemon("trickle");
+    let mut stream = UnixStream::connect(&socket).expect("connect");
+    for b in b"{\"op\":\"status\",\"id\":5}\n" {
+        stream.write_all(&[*b]).expect("write byte");
+        stream.flush().expect("flush");
+    }
+    stream.shutdown(std::net::Shutdown::Write).expect("half-close");
+    let mut body = String::new();
+    stream.read_to_string(&mut body).expect("read");
+    assert!(body.contains("\"id\":5"), "got: {body}");
+    assert!(body.contains("\"ok\":true"), "got: {body}");
+    shutdown(&socket, server);
+}

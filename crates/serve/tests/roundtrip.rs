@@ -36,6 +36,7 @@ fn daemon_roundtrip_matches_in_process() {
 
     let run = |id, name: &str| Request::Run {
         id,
+        request_id: 0, // daemon mints one
         workload: name.to_owned(),
         size: Size::Tiny,
         mode: ExecMode::Ns,

@@ -20,11 +20,13 @@ pub mod cache;
 pub mod error;
 pub mod fault;
 pub mod json;
+pub mod log;
 pub mod metrics;
 pub mod pool;
 pub mod queue;
 pub mod resource;
 pub mod rng;
+pub mod span;
 pub mod stats;
 pub mod time;
 pub mod trace;

@@ -281,17 +281,30 @@ pub enum Hist {
     NocLatencyCycles,
     /// Daemon per-run wall time in milliseconds.
     ServeRunMs,
+    /// Daemon per-request pool queue wait in microseconds (from the
+    /// request's `queue_wait` span).
+    ServeQueueUs,
+    /// Daemon per-request total wall time in microseconds (the span
+    /// tree's root duration).
+    ServeTotalUs,
 }
 
 impl Hist {
     /// Every histogram, in declaration (= index) order.
-    pub const ALL: [Hist; 2] = [Hist::NocLatencyCycles, Hist::ServeRunMs];
+    pub const ALL: [Hist; 4] = [
+        Hist::NocLatencyCycles,
+        Hist::ServeRunMs,
+        Hist::ServeQueueUs,
+        Hist::ServeTotalUs,
+    ];
 
     /// Dotted histogram name.
     pub fn label(self) -> &'static str {
         match self {
             Hist::NocLatencyCycles => "noc.latency_cycles",
             Hist::ServeRunMs => "serve.run_ms",
+            Hist::ServeQueueUs => "serve.queue_us",
+            Hist::ServeTotalUs => "serve.total_us",
         }
     }
 
@@ -300,6 +313,8 @@ impl Hist {
         match self {
             Hist::NocLatencyCycles => (8.0, 64),
             Hist::ServeRunMs => (10.0, 64),
+            Hist::ServeQueueUs => (50.0, 64),
+            Hist::ServeTotalUs => (500.0, 64),
         }
     }
 

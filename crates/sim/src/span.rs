@@ -1,0 +1,252 @@
+//! Request-scoped spans: a tiny tracing layer for the serving path.
+//!
+//! Where [`crate::trace`] records *simulated* time (cycles), this module
+//! records *host* time (microseconds since a process-wide epoch) for the
+//! phases of one service request: accept, parse, queue wait, dispatch,
+//! cache probe, simulate, encode, reorder hold, deliver. A request's
+//! spans accumulate into a [`SpanTrace`] that travels with the request
+//! across threads (connection reader → pool worker → ordered writer) and
+//! is sealed into an immutable [`SpanTree`] at delivery time.
+//!
+//! The tree serializes under schema [`SCHEMA`] (`nsc-span-v1`) as a
+//! single-line JSON document: the `nscd` daemon embeds it as the
+//! `latency` field of every `submit` response and serves it again
+//! through the `trace` op. [`crate::trace::chrome::render_with_spans`]
+//! merges a span tree with the simulator's cycle-level trace events into
+//! one Perfetto document, anchoring the sim tracks at the `simulate`
+//! span's start.
+//!
+//! Cost model: spans exist only on the serving path — one small `Vec`
+//! per request, nothing per element — and the simulation itself is never
+//! touched, so sim results are byte-identical whether or not a request
+//! is being traced.
+//!
+//! # Examples
+//!
+//! ```
+//! use nsc_sim::span::{self, SpanTrace};
+//!
+//! let mut t = SpanTrace::begin(0xABCD);
+//! let v = t.time("parse", || 21 * 2);
+//! assert_eq!(v, 42);
+//! let tree = t.finish();
+//! assert_eq!(tree.request_id, 0xABCD);
+//! assert_eq!(tree.spans.len(), 1);
+//! assert!(tree.to_json().contains("\"name\":\"parse\""));
+//! ```
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Schema identifier embedded in every serialized span tree.
+pub const SCHEMA: &str = "nsc-span-v1";
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Microseconds since the process-wide span epoch (latched on first
+/// use). Monotonic and shared across threads, so timestamps taken on
+/// the connection reader, a pool worker and the ordered writer are
+/// directly comparable.
+pub fn now_us() -> u64 {
+    EPOCH.get_or_init(Instant::now).elapsed().as_micros() as u64
+}
+
+/// One named, closed phase of a request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Span {
+    /// Phase name (`accept`, `parse`, `simulate`, ...).
+    pub name: &'static str,
+    /// Start, µs. Absolute (epoch-relative) inside a [`SpanTrace`];
+    /// request-relative inside a sealed [`SpanTree`].
+    pub start_us: u64,
+    /// Duration, µs.
+    pub dur_us: u64,
+}
+
+/// A request's spans while the request is still in flight. Created when
+/// the request line starts arriving, moved through the worker closures,
+/// sealed with [`finish`](SpanTrace::finish) at delivery time.
+#[derive(Clone, Debug)]
+pub struct SpanTrace {
+    request_id: u64,
+    t0_us: u64,
+    spans: Vec<Span>,
+}
+
+impl SpanTrace {
+    /// Starts a trace for `request_id` now.
+    pub fn begin(request_id: u64) -> SpanTrace {
+        Self::begin_at(request_id, now_us())
+    }
+
+    /// Starts a trace whose root opened at `t0_us` (a timestamp taken
+    /// before the request id was known, e.g. when the socket read began).
+    pub fn begin_at(request_id: u64, t0_us: u64) -> SpanTrace {
+        SpanTrace { request_id, t0_us, spans: Vec::with_capacity(10) }
+    }
+
+    /// The id this trace belongs to.
+    pub fn request_id(&self) -> u64 {
+        self.request_id
+    }
+
+    /// Records a closed span from absolute timestamps (clamped so a
+    /// non-monotonic pair cannot underflow).
+    pub fn push(&mut self, name: &'static str, from_us: u64, to_us: u64) {
+        self.spans.push(Span {
+            name,
+            start_us: from_us,
+            dur_us: to_us.saturating_sub(from_us),
+        });
+    }
+
+    /// Times `f` as a span named `name`.
+    pub fn time<T>(&mut self, name: &'static str, f: impl FnOnce() -> T) -> T {
+        let t0 = now_us();
+        let v = f();
+        self.push(name, t0, now_us());
+        v
+    }
+
+    /// Seals the trace: the root span closes now, and every recorded
+    /// span is rebased to be relative to the root's start.
+    pub fn finish(self) -> SpanTree {
+        let end = now_us().max(self.t0_us);
+        let t0 = self.t0_us;
+        SpanTree {
+            request_id: self.request_id,
+            start_us: t0,
+            wall_us: end - t0,
+            spans: self
+                .spans
+                .into_iter()
+                .map(|s| Span {
+                    name: s.name,
+                    start_us: s.start_us.saturating_sub(t0),
+                    dur_us: s.dur_us,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// A sealed span tree: the root (`wall_us`, opened at `start_us`) plus
+/// its child phases, each relative to the root's start.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanTree {
+    /// The request this tree describes.
+    pub request_id: u64,
+    /// Root start, µs since the process span epoch (absolute — this is
+    /// what places the tree on a shared Perfetto timeline).
+    pub start_us: u64,
+    /// Root duration: total request wall time, µs.
+    pub wall_us: u64,
+    /// Child phases, `start_us` relative to the root.
+    pub spans: Vec<Span>,
+}
+
+impl SpanTree {
+    /// The first span named `name`, if recorded.
+    pub fn span(&self, name: &str) -> Option<&Span> {
+        self.spans.iter().find(|s| s.name == name)
+    }
+
+    /// Sum of all child durations (≤ `wall_us` up to rounding, since
+    /// the serving phases are sequential).
+    pub fn spans_total_us(&self) -> u64 {
+        self.spans.iter().map(|s| s.dur_us).sum()
+    }
+
+    /// Serializes the tree as one line of `nsc-span-v1` JSON. The
+    /// request id is rendered as a hex *string*: nested documents are
+    /// re-parsed with [`crate::json::parse`], whose numbers are `f64`
+    /// and would round ids above 2^53.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(128 + self.spans.len() * 48);
+        out.push_str("{\"schema\":\"");
+        out.push_str(SCHEMA);
+        out.push_str("\",\"request_id\":\"");
+        out.push_str(&format!("{:016x}", self.request_id));
+        out.push_str(&format!(
+            "\",\"start_us\":{},\"wall_us\":{},\"spans\":[",
+            self.start_us, self.wall_us
+        ));
+        for (i, s) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"start_us\":{},\"dur_us\":{}}}",
+                s.name, s.start_us, s.dur_us
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn now_us_is_monotonic() {
+        let a = now_us();
+        let b = now_us();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn trace_records_and_rebases() {
+        let mut t = SpanTrace::begin_at(7, 100);
+        t.push("accept", 100, 112);
+        t.push("parse", 112, 113);
+        let tree = t.finish();
+        assert_eq!(tree.request_id, 7);
+        assert_eq!(tree.span("accept"), Some(&Span { name: "accept", start_us: 0, dur_us: 12 }));
+        assert_eq!(tree.span("parse"), Some(&Span { name: "parse", start_us: 12, dur_us: 1 }));
+        assert!(tree.span("simulate").is_none());
+        assert_eq!(tree.spans_total_us(), 13);
+    }
+
+    #[test]
+    fn non_monotonic_pairs_clamp_to_zero() {
+        let mut t = SpanTrace::begin_at(1, 50);
+        t.push("weird", 60, 40);
+        let tree = t.finish();
+        assert_eq!(tree.span("weird").unwrap().dur_us, 0);
+    }
+
+    #[test]
+    fn json_parses_and_carries_every_span() {
+        let mut t = SpanTrace::begin_at(0xFFFF_FFFF_FFFF_FFFF, 0);
+        t.push("accept", 0, 5);
+        t.push("simulate", 5, 905);
+        let tree = t.finish();
+        let doc = crate::json::parse(&tree.to_json()).expect("tree JSON parses");
+        assert_eq!(
+            doc.get("schema").and_then(crate::json::Json::as_str),
+            Some(SCHEMA)
+        );
+        // The id survives as a lossless hex string.
+        assert_eq!(
+            doc.get("request_id").and_then(crate::json::Json::as_str),
+            Some("ffffffffffffffff")
+        );
+        let spans = doc.get("spans").and_then(crate::json::Json::as_arr).unwrap();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(
+            spans[1].get("dur_us").and_then(crate::json::Json::as_f64),
+            Some(900.0)
+        );
+    }
+
+    #[test]
+    fn time_closure_returns_value() {
+        let mut t = SpanTrace::begin(3);
+        assert_eq!(t.time("work", || "done"), "done");
+        let tree = t.finish();
+        assert_eq!(tree.spans.len(), 1);
+        assert!(tree.wall_us >= tree.spans_total_us());
+    }
+}

@@ -328,6 +328,13 @@ impl RingRecorder {
     pub fn dropped(&self) -> u64 {
         self.dropped
     }
+
+    /// Consumes the recorder, returning its events (arrival order) and
+    /// drop count — used when a recorder outlives its install window,
+    /// e.g. `nscd` keeping one run's events in its per-request store.
+    pub fn into_events(self) -> (Vec<TraceEvent>, u64) {
+        (self.events.into(), self.dropped)
+    }
 }
 
 impl TraceSink for RingRecorder {
@@ -481,6 +488,9 @@ pub mod chrome {
     const PID_SYNC: u32 = 4;
     const PID_COUNTERS: u32 = 5;
     const PID_FAULTS: u32 = 6;
+    /// Host-side serving spans ([`crate::span`]); present only in
+    /// documents produced by [`render_with_spans`].
+    const PID_SERVE: u32 = 7;
 
     fn core_tid(core: u16) -> u32 {
         if core == SE_L3_CORE {
@@ -499,6 +509,10 @@ pub mod chrome {
         out: String,
         first: bool,
         threads: BTreeMap<(u32, u32), String>,
+        /// Added to every emitted `ts`: lets sim events (cycle-based,
+        /// starting at 0) be re-anchored onto an absolute host-µs
+        /// timeline next to serving spans.
+        offset: u64,
     }
 
     impl Writer {
@@ -512,6 +526,7 @@ pub mod chrome {
 
         fn duration(&mut self, name: &str, pid: u32, tid: u32, ts: u64, dur: u64, args: &str) {
             let dur = dur.max(1); // zero-width spans are invisible in Perfetto
+            let ts = ts + self.offset;
             let body = format!(
                 "{{\"name\":\"{}\",\"ph\":\"X\",\"pid\":{pid},\"tid\":{tid},\"ts\":{ts},\"dur\":{dur}{args}}}",
                 escape(name)
@@ -520,6 +535,7 @@ pub mod chrome {
         }
 
         fn instant(&mut self, name: &str, pid: u32, tid: u32, ts: u64, args: &str) {
+            let ts = ts + self.offset;
             let body = format!(
                 "{{\"name\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"pid\":{pid},\"tid\":{tid},\"ts\":{ts}{args}}}",
                 escape(name)
@@ -528,6 +544,7 @@ pub mod chrome {
         }
 
         fn counter(&mut self, name: &str, pid: u32, tid: u32, ts: u64, value: f64) {
+            let ts = ts + self.offset;
             let body = format!(
                 "{{\"name\":\"{}\",\"ph\":\"C\",\"pid\":{pid},\"tid\":{tid},\"ts\":{ts},\"args\":{{\"value\":{}}}}}",
                 escape(name),
@@ -543,10 +560,31 @@ pub mod chrome {
 
     /// Renders `events` as a complete Chrome trace-event JSON document.
     pub fn render<'a>(events: impl IntoIterator<Item = &'a TraceEvent>) -> String {
+        render_inner(events, None)
+    }
+
+    /// Renders one request's serving spans *and* its simulator events on
+    /// a single timeline. Serving spans land under a dedicated `serve`
+    /// process at their absolute host-µs timestamps; sim events (whose
+    /// cycles render as µs, one cycle = 1 µs) are shifted to start at the
+    /// `simulate` span's start, so the cycle-level tracks visually fill
+    /// the simulate slice of the request.
+    pub fn render_with_spans<'a>(
+        events: impl IntoIterator<Item = &'a TraceEvent>,
+        tree: &crate::span::SpanTree,
+    ) -> String {
+        render_inner(events, Some(tree))
+    }
+
+    fn render_inner<'a>(
+        events: impl IntoIterator<Item = &'a TraceEvent>,
+        spans: Option<&crate::span::SpanTree>,
+    ) -> String {
         let mut w = Writer {
             out: String::from("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n"),
             first: true,
             threads: BTreeMap::new(),
+            offset: 0,
         };
         // Process-name metadata first so Perfetto labels the groups.
         for (pid, name) in [
@@ -561,6 +599,20 @@ pub mod chrome {
                 "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"args\":{{\"name\":\"{name}\"}}}}"
             );
             w.event(&body);
+        }
+        if let Some(tree) = spans {
+            let body = format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{PID_SERVE},\"tid\":0,\"args\":{{\"name\":\"serve\"}}}}"
+            );
+            w.event(&body);
+            w.name_thread(PID_SERVE, 0, format!("request {:016x}", tree.request_id));
+            let args = format!(",\"args\":{{\"request_id\":\"{:016x}\"}}", tree.request_id);
+            w.duration("request", PID_SERVE, 0, tree.start_us, tree.wall_us, &args);
+            for s in &tree.spans {
+                w.duration(s.name, PID_SERVE, 0, tree.start_us + s.start_us, s.dur_us, "");
+            }
+            // Anchor the sim tracks at the simulate span's start.
+            w.offset = tree.start_us + tree.span("simulate").map_or(0, |s| s.start_us);
         }
         for ev in events {
             write_event(&mut w, ev);
@@ -923,6 +975,58 @@ mod tests {
             assert!(e.get("ph").is_some());
             assert!(e.get("pid").is_some());
         }
+    }
+
+    #[test]
+    fn into_events_preserves_order_and_drops() {
+        let mut r = RingRecorder::new(2);
+        for t in 0..3 {
+            r.record(step(t));
+        }
+        let (events, dropped) = r.into_events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].time(), Cycle(0));
+        assert_eq!(dropped, 1);
+    }
+
+    #[test]
+    fn render_with_spans_merges_serve_and_sim_timelines() {
+        let mut st = crate::span::SpanTrace::begin_at(0xAB, 1000);
+        st.push("accept", 1000, 1010);
+        st.push("simulate", 1010, 1500);
+        let tree = st.finish();
+        let events = [step(4)];
+        let doc = json::parse(&chrome::render_with_spans(events.iter(), &tree)).unwrap();
+        let list = doc.get("traceEvents").and_then(json::Json::as_arr).unwrap();
+        // The serve process is named and carries the request root.
+        assert!(list.iter().any(|e| {
+            e.get("ph").and_then(json::Json::as_str) == Some("M")
+                && e.get("pid").and_then(json::Json::as_f64) == Some(7.0)
+        }));
+        let root = list
+            .iter()
+            .find(|e| e.get("name").and_then(json::Json::as_str) == Some("request"))
+            .expect("request root span present");
+        assert_eq!(root.get("ts").and_then(json::Json::as_f64), Some(1000.0));
+        // The sim step (cycle 4) is re-anchored at simulate's absolute
+        // start: 1000 + 10 + 4.
+        let step_ev = list
+            .iter()
+            .find(|e| e.get("name").and_then(json::Json::as_str) == Some("step"))
+            .expect("sim step present");
+        assert_eq!(step_ev.get("ts").and_then(json::Json::as_f64), Some(1014.0));
+        // Plain render is unchanged: the same step sits at its raw cycle.
+        let plain = json::parse(&chrome::render(events.iter())).unwrap();
+        let plain_step = plain
+            .get("traceEvents")
+            .and_then(json::Json::as_arr)
+            .unwrap()
+            .iter()
+            .find(|e| e.get("name").and_then(json::Json::as_str) == Some("step"))
+            .unwrap()
+            .get("ts")
+            .and_then(json::Json::as_f64);
+        assert_eq!(plain_step, Some(4.0));
     }
 
     #[test]

@@ -99,6 +99,46 @@ grep -q '# TYPE nsc_serve_runs_total counter' "$PERF_TMP/nscd-prom.txt" \
 wait "$NSCD_PID"
 echo "daemon served, cached, reported metrics, and shut down cleanly"
 
+echo "== trace (request spans, flight recorder, log-on bit-identity) =="
+TRACE_SOCK="$PERF_TMP/nscd-trace.sock"
+NSC_LOG=debug NSC_TRACE=1 NSC_CACHE_DIR="$PERF_TMP/nscd-trace-cache" \
+  ./target/release/nscd --socket "$TRACE_SOCK" --jobs 2 &
+TRACE_PID=$!
+for _ in $(seq 50); do [ -S "$TRACE_SOCK" ] && break; sleep 0.1; done
+[ -S "$TRACE_SOCK" ] || { echo "nscd (trace) never bound its socket"; exit 1; }
+./target/release/nsc-client submit --socket "$TRACE_SOCK" --size tiny --mode NS histogram \
+  > "$PERF_TMP/trace-submit.txt"
+RID="$(sed -n 's/.*rid=\([0-9a-f]*\).*/\1/p' "$PERF_TMP/trace-submit.txt")"
+[ -n "$RID" ] || { echo "submit printed no request id"; cat "$PERF_TMP/trace-submit.txt"; exit 1; }
+./target/release/nsc-client trace "$RID" --socket "$TRACE_SOCK" > "$PERF_TMP/trace-tree.txt"
+# Span rows are indented "  <name> <start>µs <dur>µs"; the header line
+# carries the wall time. The spans are sequential slices of one request,
+# so their durations must sum to within the reported wall time.
+WALL="$(sed -n 's/^request .*: wall \([0-9]*\)µs.*/\1/p' "$PERF_TMP/trace-tree.txt")"
+awk -v wall="$WALL" '
+  /^  / { n++; gsub(/µs/, "", $3); sum += $3 }
+  END {
+    if (n < 6)      { printf "only %d spans, want >=6\n", n; exit 1 }
+    if (sum > wall) { printf "span durations (%dus) exceed wall (%dus)\n", sum, wall; exit 1 }
+    printf "%d spans, %dus of %dus wall accounted\n", n, sum, wall
+  }' "$PERF_TMP/trace-tree.txt" \
+  || { cat "$PERF_TMP/trace-tree.txt"; exit 1; }
+# The flight recorder saw the request: `logs` drains structured records.
+./target/release/nsc-client logs --socket "$TRACE_SOCK" > "$PERF_TMP/trace-logs.txt"
+grep -q '"level":"debug"' "$PERF_TMP/trace-logs.txt" \
+  || { echo "flight recorder empty at NSC_LOG=debug"; cat "$PERF_TMP/trace-logs.txt"; exit 1; }
+./target/release/nsc-client shutdown --socket "$TRACE_SOCK" > /dev/null
+wait "$TRACE_PID"
+# Logging must not perturb simulation: fig09 under NSC_LOG=debug is
+# byte-identical to the plain NSC_JOBS=1 run from the perf stage.
+mkdir -p "$PERF_TMP/logdbg"
+NSC_LOG=debug NSC_JOBS=1 NSC_RESULTS_DIR="$PERF_TMP/logdbg" \
+  ./target/release/fig09_speedup --tiny > "$PERF_TMP/logdbg.txt"
+diff "$PERF_TMP/j1.txt" "$PERF_TMP/logdbg.txt"
+diff <(sed 's/,"host":.*//' "$PERF_TMP/j1/fig09_speedup.json") \
+     <(sed 's/,"host":.*//' "$PERF_TMP/logdbg/fig09_speedup.json")
+echo "request traced end to end, logs drained, sim output unperturbed"
+
 echo "== perf baseline (nsc_perf vs committed BENCH_baseline.json) =="
 # Sim counters must match the committed baseline exactly; wall time gets
 # a 2x tolerance (CI hosts are noisy). Regenerate after an intentional
