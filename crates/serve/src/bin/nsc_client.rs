@@ -16,7 +16,7 @@
 //! spans + that run's simulator events) with `--perfetto`.
 
 use near_stream::ExecMode;
-use nsc_serve::client::{default_socket, roundtrip};
+use nsc_serve::client::{default_socket, roundtrip, roundtrip_retry, RetryPolicy};
 use nsc_serve::{decode_response_blob, execute, Request};
 use nsc_sim::json::{parse, Json};
 use nsc_workloads::Size;
@@ -40,10 +40,19 @@ Options:
   --mode M         execution mode label, e.g. Base, NS, NS-decouple (default NS)
   --local          run in-process instead of contacting the daemon
   --latency        print each submit's per-span latency breakdown
+  --deadline-ms N  per-request deadline; expired runs come back as typed sheds
+  --retries N      retry budget for overloaded/shutting_down sheds
+                   (default $NSC_RETRIES or 3; 0 disables)
+  --retry-base-ms N  first backoff step, doubling per attempt (default 100)
+  --retry-seed N   jitter seed — fixed seed, deterministic schedule
+  --timeout-ms N   per-read socket timeout, 0 blocks forever (default 30000)
   --prom           render metrics in Prometheus text exposition format
   --watch N        clear + re-render metrics every N seconds, with counter deltas
   --perfetto FILE  (trace) also write a combined Perfetto trace document
-  -h, --help       print this help";
+  -h, --help       print this help
+
+Retried submissions reuse their request id, so a run whose response was
+lost is deduplicated by the daemon instead of simulated twice.";
 
 struct Opts {
     socket: PathBuf,
@@ -51,6 +60,8 @@ struct Opts {
     mode: ExecMode,
     local: bool,
     latency: bool,
+    deadline_ms: u64,
+    retry: RetryPolicy,
     prom: bool,
     watch: Option<u64>,
     perfetto: Option<PathBuf>,
@@ -64,6 +75,8 @@ fn parse_opts(mut argv: impl Iterator<Item = String>) -> Opts {
         mode: ExecMode::Ns,
         local: false,
         latency: false,
+        deadline_ms: 0,
+        retry: RetryPolicy::from_env(),
         prom: false,
         watch: None,
         perfetto: None,
@@ -88,6 +101,11 @@ fn parse_opts(mut argv: impl Iterator<Item = String>) -> Opts {
             }
             "--local" => o.local = true,
             "--latency" => o.latency = true,
+            "--deadline-ms" => o.deadline_ms = req_num(&mut argv, "--deadline-ms"),
+            "--retries" => o.retry.max_retries = req_num(&mut argv, "--retries") as u32,
+            "--retry-base-ms" => o.retry.base_ms = req_num(&mut argv, "--retry-base-ms"),
+            "--retry-seed" => o.retry.seed = req_num(&mut argv, "--retry-seed"),
+            "--timeout-ms" => o.retry.read_timeout_ms = req_num(&mut argv, "--timeout-ms"),
             "--prom" => o.prom = true,
             "--watch" => {
                 let v = req_val(&mut argv, "--watch");
@@ -151,6 +169,13 @@ fn print_status_summary(r: &nsc_serve::json::Obj) {
         r.get_num("cache_misses").unwrap_or(0),
         if r.get_bool("cache_enabled") == Some(true) { "enabled" } else { "disabled" },
         r.get_num("jobs").unwrap_or(0),
+    );
+    eprintln!(
+        "  queue {}/{}, connections {}/{}",
+        r.get_num("queue_depth").unwrap_or(0),
+        r.get_num("queue_cap").unwrap_or(0),
+        r.get_num("conns").unwrap_or(0),
+        r.get_num("max_conns").unwrap_or(0),
     );
 }
 
@@ -232,7 +257,18 @@ fn obj<'a>(doc: &'a Json, key: &str) -> Option<&'a std::collections::BTreeMap<St
 fn render_prom(status: Option<&nsc_serve::json::Obj>, snap: &Json) -> String {
     let mut out = String::new();
     if let Some(st) = status {
-        for key in ["uptime_ms", "served", "in_flight", "cache_hits", "cache_misses", "jobs"] {
+        for key in [
+            "uptime_ms",
+            "served",
+            "in_flight",
+            "queue_depth",
+            "queue_cap",
+            "conns",
+            "max_conns",
+            "cache_hits",
+            "cache_misses",
+            "jobs",
+        ] {
             if let Some(v) = st.get_num(key) {
                 let name = prom_name(&format!("daemon.{key}"));
                 out.push_str(&format!("# TYPE {name} gauge\n{name} {v}\n"));
@@ -286,9 +322,13 @@ fn render_human(
     if let Some(st) = status {
         let uptime_s = st.get_num("uptime_ms").unwrap_or(0) as f64 / 1e3;
         out.push_str(&format!(
-            "daemon: up {uptime_s:.1}s, {} completed, {} in flight, cache {}/{} hit/miss, {} workers\n",
+            "daemon: up {uptime_s:.1}s, {} completed, {} in flight, queue {}/{}, conns {}/{}, cache {}/{} hit/miss, {} workers\n",
             st.get_num("served").unwrap_or(0),
             st.get_num("in_flight").unwrap_or(0),
+            st.get_num("queue_depth").unwrap_or(0),
+            st.get_num("queue_cap").unwrap_or(0),
+            st.get_num("conns").unwrap_or(0),
+            st.get_num("max_conns").unwrap_or(0),
             st.get_num("cache_hits").unwrap_or(0),
             st.get_num("cache_misses").unwrap_or(0),
             st.get_num("jobs").unwrap_or(0),
@@ -392,14 +432,18 @@ fn submit(o: Opts) {
             workload: w.clone(),
             size: o.size,
             mode: o.mode,
+            deadline_ms: o.deadline_ms,
         })
         .collect();
-    let resps = match roundtrip(&o.socket, &reqs) {
+    let outcome = match roundtrip_retry(&o.socket, &reqs, &o.retry) {
         Ok(r) => r,
         Err(e) => die(&format!("{}: {e}", o.socket.display())),
     };
+    if outcome.retries > 0 {
+        eprintln!("  {} request(s) resubmitted after typed sheds", outcome.retries);
+    }
     let mut failed = false;
-    for resp in &resps {
+    for resp in &outcome.resps {
         if resp.get_bool("ok") == Some(true) {
             let cycles = decode_response_blob(resp)
                 .map(|c| c.result.cycles)
@@ -420,11 +464,18 @@ fn submit(o: Opts) {
             }
         } else {
             failed = true;
-            eprintln!(
-                "request {} failed: {}",
-                resp.get_num("id").unwrap_or(0),
-                resp.get_str("error").unwrap_or("unknown error"),
-            );
+            match resp.get_str("shed") {
+                Some(reason) => eprintln!(
+                    "request {} shed ({reason}): {}",
+                    resp.get_num("id").unwrap_or(0),
+                    resp.get_str("error").unwrap_or("unknown error"),
+                ),
+                None => eprintln!(
+                    "request {} failed: {}",
+                    resp.get_num("id").unwrap_or(0),
+                    resp.get_str("error").unwrap_or("unknown error"),
+                ),
+            }
         }
     }
     if failed {
@@ -512,6 +563,11 @@ fn render_span_rows(tree: &Json) -> String {
 
 fn req_val(argv: &mut impl Iterator<Item = String>, flag: &str) -> String {
     argv.next().unwrap_or_else(|| die(&format!("{flag} requires a value")))
+}
+
+fn req_num(argv: &mut impl Iterator<Item = String>, flag: &str) -> u64 {
+    let v = req_val(argv, flag);
+    v.parse().unwrap_or_else(|_| die(&format!("{flag} wants an integer, got {v:?}")))
 }
 
 fn die(msg: &str) -> ! {

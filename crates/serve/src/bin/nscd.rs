@@ -15,6 +15,13 @@
 //! otherwise (the flight recorder is drained by `nsc-client logs`),
 //! and `NSC_TRACE=1` arms per-request simulator event capture for
 //! `nsc-client trace --perfetto`.
+//!
+//! Overload protection (see `nsc_serve::server`): `NSC_MAX_CONNS`
+//! bounds live connections, `NSC_QUEUE_CAP` bounds admitted runs
+//! (excess submits get typed `overloaded` sheds with a
+//! `retry_after_ms` hint; cache hits are still answered in degraded
+//! mode), and `NSC_DEADLINE_MS` sets a default per-run deadline
+//! enforced at dequeue.
 
 use std::path::PathBuf;
 use std::process::exit;
@@ -28,7 +35,19 @@ Options:
   --jobs N       worker threads (default $NSC_JOBS or all cores)
   -h, --help     print this help
 
-Stop it with `nsc-client shutdown` (graceful: drains in-flight runs).";
+Environment:
+  NSC_MAX_CONNS    live-connection limit; excess connections get one
+                   typed `overloaded` line and are closed (default 64)
+  NSC_QUEUE_CAP    admitted-run limit; at saturation cache hits are
+                   still served, cache misses are shed with a
+                   retry_after_ms hint (default 128)
+  NSC_DEADLINE_MS  default per-run deadline, enforced at dequeue;
+                   0 disables (default 0)
+  NSC_FAULT_RATE   arm deterministic chaos for every run (content-
+                   derived plans: replays are bit-identical)
+
+Stop it with `nsc-client shutdown` (graceful: new submits are rejected
+with typed `shutting_down` sheds while admitted runs drain).";
 
 fn main() {
     let mut socket: Option<PathBuf> = None;
@@ -58,13 +77,16 @@ fn main() {
     nsc_sim::log::init(Some(nsc_sim::log::Level::Info));
     let socket = socket.unwrap_or_else(nsc_serve::client::default_socket);
     let jobs = jobs.unwrap_or_else(nsc_sim::pool::jobs_from_env);
+    let cfg = nsc_serve::server::ServeConfig::from_env(jobs);
     eprintln!(
-        "nscd: listening on {} ({jobs} worker{}, cache {})",
+        "nscd: listening on {} ({jobs} worker{}, cache {}, max_conns {}, queue_cap {})",
         socket.display(),
         if jobs == 1 { "" } else { "s" },
         if nsc_sim::cache::enabled() { "on" } else { "off" },
+        cfg.max_conns,
+        cfg.queue_cap,
     );
-    if let Err(e) = nsc_serve::server::serve(&socket, jobs) {
+    if let Err(e) = nsc_serve::server::serve_with(&socket, cfg) {
         eprintln!("nscd: {e}");
         exit(1);
     }

@@ -50,6 +50,17 @@ impl Obj {
         self
     }
 
+    /// Replaces the integer field named `key` in place (or appends it),
+    /// keeping field order stable — used to rewrite the correlation id
+    /// when a stored response is replayed for a resubmitted request.
+    pub fn set_num(mut self, key: &str, val: u64) -> Obj {
+        match self.fields.iter_mut().find(|(k, _)| k == key) {
+            Some((_, v)) => *v = Val::Num(val),
+            None => self.fields.push((key.to_owned(), Val::Num(val))),
+        }
+        self
+    }
+
     /// The field named `key`, if present.
     pub fn get(&self, key: &str) -> Option<&Val> {
         self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
@@ -298,6 +309,17 @@ mod tests {
         assert!(Obj::parse("{\"a\":1").is_none(), "truncated");
         assert!(Obj::parse("").is_none(), "empty");
         assert!(Obj::parse("{}").is_some(), "empty object is fine");
+    }
+
+    #[test]
+    fn set_num_replaces_in_place() {
+        let obj = Obj::new().num("id", 1).bool("ok", true).num("request_id", 9);
+        let patched = obj.set_num("id", 42).set_num("fresh", 7);
+        assert_eq!(patched.get_num("id"), Some(42));
+        assert_eq!(patched.get_num("request_id"), Some(9));
+        assert_eq!(patched.get_num("fresh"), Some(7));
+        // Replacement keeps field order: "id" still renders first.
+        assert!(patched.render().starts_with("{\"id\":42,"));
     }
 
     #[test]

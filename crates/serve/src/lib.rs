@@ -60,6 +60,20 @@
 //! `"perfetto":true` flag asking for a combined Chrome trace-event
 //! document (serve spans + that run's sim events on one timeline).
 //!
+//! # Overload behavior
+//!
+//! A `run` may carry `"deadline_ms":N`; if the run is still queued when
+//! that budget (measured from line arrival) expires, it is shed before
+//! simulating. When the daemon's bounded admission queue
+//! (`NSC_QUEUE_CAP`) is full, cache hits are still answered inline
+//! (degraded mode) and misses get an immediate typed shed. Shed
+//! responses are `ok:false` plus a `"shed"` reason — `"overloaded"`
+//! (with a `"retry_after_ms"` hint), `"deadline_exceeded"`, or
+//! `"shutting_down"` — see [`shed_obj`]. A completed `request_id`
+//! resubmitted on a later connection is answered by replaying the
+//! stored response (`"deduped":true`) instead of re-simulating, which
+//! is what makes client retries after a lost response idempotent.
+//!
 //! The `blob` of a `run` response is the result-cache record
 //! ([`near_stream::request::encode`]): every `f64` travels by bit
 //! pattern, so a client-side [`near_stream::request::decode`] recovers
@@ -106,6 +120,13 @@ pub enum Request {
         size: Size,
         /// Execution mode.
         mode: ExecMode,
+        /// Per-request deadline in milliseconds, measured from the
+        /// moment the request line started arriving (0 = the daemon's
+        /// `NSC_DEADLINE_MS` default, which itself defaults to none).
+        /// An admitted run whose deadline has already passed at dequeue
+        /// is shed with a typed `deadline_exceeded` response instead of
+        /// simulating.
+        deadline_ms: u64,
     },
     /// Report served/cache/pool counters.
     Status {
@@ -165,7 +186,8 @@ impl Request {
                 let mode = ExecMode::parse(mode_s)
                     .ok_or((id, format!("unknown mode: {mode_s:?}")))?;
                 let request_id = obj.get_num("request_id").unwrap_or(0);
-                Ok(Request::Run { id, request_id, workload, size, mode })
+                let deadline_ms = obj.get_num("deadline_ms").unwrap_or(0);
+                Ok(Request::Run { id, request_id, workload, size, mode, deadline_ms })
             }
             "status" => Ok(Request::Status { id }),
             "metrics" => Ok(Request::Metrics { id }),
@@ -186,7 +208,7 @@ impl Request {
     /// Renders the request as one protocol line (client side).
     pub fn render(&self) -> String {
         match self {
-            Request::Run { id, request_id, workload, size, mode } => {
+            Request::Run { id, request_id, workload, size, mode, deadline_ms } => {
                 let mut o = Obj::new()
                     .str("op", "run")
                     .num("id", *id)
@@ -195,6 +217,9 @@ impl Request {
                     .str("mode", mode.label());
                 if *request_id != 0 {
                     o = o.num("request_id", *request_id);
+                }
+                if *deadline_ms != 0 {
+                    o = o.num("deadline_ms", *deadline_ms);
                 }
                 o.render()
             }
@@ -299,6 +324,48 @@ pub fn error_obj(id: u64, msg: &str) -> Obj {
     Obj::new().num("id", id).bool("ok", false).str("error", msg)
 }
 
+/// Builds a typed shed response: `ok:false` with a machine-readable
+/// `shed` reason (`"overloaded"`, `"deadline_exceeded"`,
+/// `"shutting_down"`) so clients can distinguish "back off and retry"
+/// from a genuine request error. A non-zero `retry_after_ms` carries
+/// the daemon's backoff hint (its current queue backlog times the
+/// smoothed per-run wall time).
+pub fn shed_obj(id: u64, request_id: u64, reason: &str, msg: &str, retry_after_ms: u64) -> Obj {
+    let mut o = error_obj(id, msg).str("shed", reason);
+    if request_id != 0 {
+        o = o.num("request_id", request_id);
+    }
+    if retry_after_ms != 0 {
+        o = o.num("retry_after_ms", retry_after_ms);
+    }
+    o
+}
+
+/// Whether `response` is a shed a client may retry after backing off
+/// (`overloaded` / `shutting_down`). A `deadline_exceeded` shed is
+/// deliberately *not* retryable: the caller's time budget is spent.
+pub fn is_retryable_shed(response: &Obj) -> bool {
+    response.get_bool("ok") == Some(false)
+        && matches!(response.get_str("shed"), Some("overloaded" | "shutting_down"))
+}
+
+/// Whether a run request would be answered from the result cache
+/// without simulating — the saturation-time probe behind the daemon's
+/// degraded mode (cache hits keep flowing while misses are shed). Any
+/// fault plan installed on the calling thread participates in the key,
+/// exactly as it would on the run path.
+pub fn cache_would_hit(workload: &str, size: Size, mode: ExecMode) -> bool {
+    if !cache::enabled() {
+        return false;
+    }
+    let Some(w) = nsc_workloads::all(size).into_iter().find(|w| w.name == workload) else {
+        return false;
+    };
+    let p = nsc_bench::prepare(w);
+    let cfg = nsc_bench::system_for(size);
+    cache::contains(&p.request(mode, &cfg).key())
+}
+
 /// Renders an error response line.
 pub fn error_response(id: u64, msg: &str) -> String {
     error_obj(id, msg).render()
@@ -323,6 +390,7 @@ mod tests {
                 workload: "histogram".into(),
                 size: Size::Tiny,
                 mode: ExecMode::Ns,
+                deadline_ms: 0,
             },
             Request::Run {
                 id: 8,
@@ -330,6 +398,15 @@ mod tests {
                 workload: "bin_tree".into(),
                 size: Size::Small,
                 mode: ExecMode::Base,
+                deadline_ms: 0,
+            },
+            Request::Run {
+                id: 12,
+                request_id: 7,
+                workload: "sssp".into(),
+                size: Size::Tiny,
+                mode: ExecMode::Ns,
+                deadline_ms: 1500,
             },
             Request::Status { id: 4 },
             Request::Metrics { id: 5 },
@@ -343,6 +420,35 @@ mod tests {
             let line = r.render();
             assert_eq!(Request::parse(&line), Ok(r), "line: {line}");
         }
+    }
+
+    #[test]
+    fn shed_responses_are_typed_and_classified() {
+        let o = shed_obj(4, 0xBEEF, "overloaded", "admission queue full", 120);
+        let line = o.render();
+        let back = Obj::parse(&line).unwrap();
+        assert_eq!(back.get_bool("ok"), Some(false));
+        assert_eq!(back.get_str("shed"), Some("overloaded"));
+        assert_eq!(back.get_num("retry_after_ms"), Some(120));
+        assert_eq!(back.get_num("request_id"), Some(0xBEEF));
+        assert!(is_retryable_shed(&back));
+
+        let deadline = shed_obj(5, 1, "deadline_exceeded", "expired in queue", 0);
+        assert!(!is_retryable_shed(&deadline), "deadline sheds must not auto-retry");
+        assert!(deadline.get_num("retry_after_ms").is_none());
+
+        let draining = shed_obj(6, 2, "shutting_down", "daemon draining", 0);
+        assert!(is_retryable_shed(&draining));
+
+        let genuine = error_obj(7, "unknown workload");
+        assert!(!is_retryable_shed(&genuine), "plain errors are not sheds");
+    }
+
+    #[test]
+    fn cache_probe_is_safe_for_unknown_workloads() {
+        // Regardless of cache state, probing a nonexistent workload must
+        // report a miss (the run path will answer with a typed error).
+        assert!(!cache_would_hit("not-a-workload", Size::Tiny, ExecMode::Ns));
     }
 
     #[test]

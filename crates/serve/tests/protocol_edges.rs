@@ -15,7 +15,12 @@ use std::path::{Path, PathBuf};
 use std::time::Duration;
 
 fn temp_socket(tag: &str) -> PathBuf {
-    std::env::temp_dir().join(format!("nscd-edge-{tag}-{}.sock", std::process::id()))
+    let path = std::env::temp_dir().join(format!("nscd-edge-{tag}-{}.sock", std::process::id()));
+    // A stale socket file (earlier panicked run + recycled pid) would
+    // satisfy `wait_for` before the daemon binds; clear it first so the
+    // path can only reappear as a live listener.
+    let _ = std::fs::remove_file(&path);
+    path
 }
 
 fn wait_for(socket: &Path) {
@@ -109,6 +114,7 @@ fn duplicate_request_id_in_one_batch_is_rejected() {
         workload: "histogram".to_owned(),
         size: Size::Tiny,
         mode: ExecMode::Ns,
+        deadline_ms: 0,
     };
     let resps = roundtrip(&socket, &[run(1, 0xDEAD), run(2, 0xDEAD), run(3, 0xBEEF)])
         .expect("round trip");
@@ -137,6 +143,7 @@ fn submit_then_trace_reproduces_the_latency_tree() {
             workload: "histogram".to_owned(),
             size: Size::Tiny,
             mode: ExecMode::Ns,
+            deadline_ms: 0,
         },
         // Same batch: ordered delivery guarantees the run's tree is
         // sealed and stored before this trace slot is evaluated.
@@ -198,6 +205,7 @@ fn logs_op_drains_the_flight_recorder() {
             workload: "histogram".to_owned(),
             size: Size::Tiny,
             mode: ExecMode::Ns,
+            deadline_ms: 0,
         },
         Request::Logs { id: 2 },
     ];
@@ -216,6 +224,78 @@ fn logs_op_drains_the_flight_recorder() {
     }
     nsc_sim::log::set_level(None);
     shutdown(&socket, server);
+}
+
+#[test]
+fn disconnect_mid_stream_reaps_pending_work() {
+    // Regression: a client that submits a burst and vanishes must not
+    // leave the daemon simulating for a dead socket. Jobs still queued
+    // when the writer notices the dead peer are shed (serve.shed), the
+    // queue drains, and the daemon stays healthy for other clients.
+    let socket = temp_socket("reap");
+    let server = {
+        let socket = socket.clone();
+        let cfg = nsc_serve::server::ServeConfig {
+            jobs: 1,
+            max_conns: 8,
+            queue_cap: 64,
+            deadline_ms: 0,
+        };
+        std::thread::spawn(move || nsc_serve::server::serve_with(&socket, cfg))
+    };
+    wait_for(&socket);
+
+    let shed_before = global_counter("serve.shed", &socket);
+    {
+        // Submit a burst of distinct cold runs on one worker, then drop
+        // the connection without reading a single response. The writer
+        // hits EPIPE on the first delivery and flips the `alive` flag.
+        let mut stream = UnixStream::connect(&socket).expect("connect");
+        let mut payload = String::new();
+        for (i, w) in ["histogram", "bin_tree", "hash_join", "bfs_push", "pr_push", "sssp"]
+            .iter()
+            .enumerate()
+        {
+            payload.push_str(&format!(
+                "{{\"op\":\"run\",\"id\":{},\"workload\":\"{w}\",\"size\":\"tiny\",\"mode\":\"NS\"}}\n",
+                i + 1
+            ));
+        }
+        stream.write_all(payload.as_bytes()).expect("write burst");
+        // Dropping `stream` closes both halves.
+    }
+
+    // The queue must drain on its own: queued jobs observe the dead
+    // connection at dequeue and skip their simulations.
+    let mut drained = false;
+    for _ in 0..400 {
+        let resps = roundtrip(&socket, &[Request::Status { id: 1 }]).expect("status");
+        let idle = resps[0].get_num("queue_depth") == Some(0)
+            && resps[0].get_num("in_flight") == Some(0);
+        if idle {
+            drained = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(drained, "queue never drained after client disconnect");
+    let shed_after = global_counter("serve.shed", &socket);
+    assert!(
+        shed_after > shed_before,
+        "disconnect must shed queued work (serve.shed {shed_before} -> {shed_after})"
+    );
+    shutdown(&socket, server);
+}
+
+/// Reads one global counter through the daemon's `metrics` op.
+fn global_counter(label: &str, socket: &Path) -> f64 {
+    let resps = roundtrip(socket, &[Request::Metrics { id: 1 }]).expect("metrics");
+    let snap = parse(resps[0].get_str("snapshot").expect("snapshot")).expect("snapshot json");
+    snap.get("counters")
+        .and_then(Json::as_obj)
+        .and_then(|c| c.get(label))
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0)
 }
 
 #[test]

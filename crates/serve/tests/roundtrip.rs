@@ -12,7 +12,12 @@ use std::path::{Path, PathBuf};
 use std::time::Duration;
 
 fn temp_socket(tag: &str) -> PathBuf {
-    std::env::temp_dir().join(format!("nscd-test-{tag}-{}.sock", std::process::id()))
+    let path = std::env::temp_dir().join(format!("nscd-test-{tag}-{}.sock", std::process::id()));
+    // A stale socket file (earlier panicked run + recycled pid) would
+    // satisfy `wait_for` before the daemon binds; clear it first so the
+    // path can only reappear as a live listener.
+    let _ = std::fs::remove_file(&path);
+    path
 }
 
 fn wait_for(socket: &Path) {
@@ -40,6 +45,7 @@ fn daemon_roundtrip_matches_in_process() {
         workload: name.to_owned(),
         size: Size::Tiny,
         mode: ExecMode::Ns,
+        deadline_ms: 0,
     };
     let reqs = [
         run(1, "histogram"),

@@ -138,11 +138,24 @@ pub enum Metric {
     ServeRunsCached,
     /// Daemon requests answered with an error.
     ServeErrors,
+    /// Run requests shed by overload protection (admission queue full
+    /// with a cold cache, draining for shutdown, or client gone before
+    /// dequeue). Deadline sheds are counted separately.
+    ServeShed,
+    /// Run requests shed because their deadline expired before the
+    /// simulation started.
+    ServeDeadlineExceeded,
+    /// Connections refused at accept because `NSC_MAX_CONNS` live
+    /// connections already existed.
+    ServeConnsRejected,
+    /// Resubmitted `request_id`s answered by replaying the stored
+    /// response instead of re-simulating.
+    ServeDedupReplays,
 }
 
 impl Metric {
     /// Every counter, in declaration (= index) order.
-    pub const ALL: [Metric; 41] = [
+    pub const ALL: [Metric; 45] = [
         Metric::EngineIterations,
         Metric::DispatchCoreAccess,
         Metric::DispatchCorePrefetch,
@@ -184,6 +197,10 @@ impl Metric {
         Metric::ServeRuns,
         Metric::ServeRunsCached,
         Metric::ServeErrors,
+        Metric::ServeShed,
+        Metric::ServeDeadlineExceeded,
+        Metric::ServeConnsRejected,
+        Metric::ServeDedupReplays,
     ];
 
     /// Dotted metric name, e.g. `"mem.l1.hits"`.
@@ -230,6 +247,10 @@ impl Metric {
             Metric::ServeRuns => "serve.runs",
             Metric::ServeRunsCached => "serve.runs_cached",
             Metric::ServeErrors => "serve.errors",
+            Metric::ServeShed => "serve.shed",
+            Metric::ServeDeadlineExceeded => "serve.deadline_exceeded",
+            Metric::ServeConnsRejected => "serve.conns_rejected",
+            Metric::ServeDedupReplays => "serve.dedup_replays",
         }
     }
 
@@ -251,17 +272,21 @@ pub enum Gauge {
     PoolQueueDepth,
     /// Most daemon runs simultaneously in flight.
     ServeInFlight,
+    /// Deepest the daemon's bounded admission queue ever got (admitted
+    /// runs not yet delivered; capped by `NSC_QUEUE_CAP`).
+    ServeQueueDepth,
 }
 
 impl Gauge {
     /// Every gauge, in declaration (= index) order.
-    pub const ALL: [Gauge; 2] = [Gauge::PoolQueueDepth, Gauge::ServeInFlight];
+    pub const ALL: [Gauge; 3] = [Gauge::PoolQueueDepth, Gauge::ServeInFlight, Gauge::ServeQueueDepth];
 
     /// Dotted gauge name.
     pub fn label(self) -> &'static str {
         match self {
             Gauge::PoolQueueDepth => "pool.queue_depth_hwm",
             Gauge::ServeInFlight => "serve.in_flight_hwm",
+            Gauge::ServeQueueDepth => "serve.queue_depth_hwm",
         }
     }
 

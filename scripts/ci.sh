@@ -15,7 +15,11 @@
 #      second run must be 100% cache hits (zero simulations) and emit a
 #      byte-identical report once the host.* object is stripped,
 #   7. an nscd smoke: daemon round trip over a Unix socket, including a
-#      warm resubmission that must be served from the cache.
+#      warm resubmission that must be served from the cache,
+#   8. an overload soak: a saturating nsc_load burst against a one-worker
+#      daemon with fault injection armed — every request must get exactly
+#      one terminal response (typed sheds allowed, lost responses not)
+#      and the shed counters must surface in the Prometheus exporter.
 #
 # No network access is required: all dependencies are path dependencies
 # inside this workspace, so everything runs with `--offline`.
@@ -138,6 +142,34 @@ diff "$PERF_TMP/j1.txt" "$PERF_TMP/logdbg.txt"
 diff <(sed 's/,"host":.*//' "$PERF_TMP/j1/fig09_speedup.json") \
      <(sed 's/,"host":.*//' "$PERF_TMP/logdbg/fig09_speedup.json")
 echo "request traced end to end, logs drained, sim output unperturbed"
+
+echo "== soak (nsc_load burst vs one-worker daemon, chaos armed) =="
+# A saturating open-loop burst against a deliberately tiny daemon
+# (one worker, queue_cap 8) with fault injection armed. The harness
+# exits non-zero unless every accepted request got exactly one terminal
+# response (lost=0, dup=0) and every completed run was bit-identical
+# per key (mismatch=0); typed sheds must surface in the Prometheus
+# exporter, and the daemon must drain and exit cleanly afterwards.
+SOAK_SOCK="$PERF_TMP/nscd-soak.sock"
+NSC_CACHE_DIR="$PERF_TMP/nscd-soak-cache" NSC_FAULT_RATE=1e-3 \
+  NSC_QUEUE_CAP=8 NSC_MAX_CONNS=32 \
+  ./target/release/nscd --socket "$SOAK_SOCK" --jobs 1 &
+SOAK_PID=$!
+for _ in $(seq 50); do [ -S "$SOAK_SOCK" ] && break; sleep 0.1; done
+[ -S "$SOAK_SOCK" ] || { echo "nscd (soak) never bound its socket"; exit 1; }
+./target/release/nsc_load --tiny --socket "$SOAK_SOCK" \
+  --secs 10 --rate 300 --conns 4 --seed 7 --deadline-ms 2000 --burst 4 \
+  | tee "$PERF_TMP/soak.txt"
+grep -q ' lost=0 ' "$PERF_TMP/soak.txt" \
+  || { echo "soak lost responses"; exit 1; }
+./target/release/nsc-client metrics --prom --socket "$SOAK_SOCK" > "$PERF_TMP/soak-prom.txt"
+grep -q '# TYPE nsc_serve_shed_total counter' "$PERF_TMP/soak-prom.txt" \
+  || { echo "serve.shed missing from prometheus exporter"; cat "$PERF_TMP/soak-prom.txt"; exit 1; }
+grep -q '# TYPE nsc_serve_deadline_exceeded_total counter' "$PERF_TMP/soak-prom.txt" \
+  || { echo "serve.deadline_exceeded missing from prometheus exporter"; exit 1; }
+./target/release/nsc-client shutdown --socket "$SOAK_SOCK" > /dev/null
+wait "$SOAK_PID"
+echo "soak survived: one terminal response per request, typed sheds observable"
 
 echo "== perf baseline (nsc_perf vs committed BENCH_baseline.json) =="
 # Sim counters must match the committed baseline exactly; wall time gets
