@@ -39,7 +39,10 @@
 //!
 //! The report is one `key=value` line (`lost=0` is what CI greps) plus
 //! a latency line with p50/p99/p999 from the shared histogram
-//! plumbing.
+//! plumbing. `--bench-out PATH` additionally writes an `nsc-perf-v1`
+//! summary (workload `serving`, toleranced series only — throughput,
+//! p99, shed rate) so serving slowdowns fail the same
+//! `nsc_perf --compare` gate as simulator regressions.
 
 use near_stream::ExecMode;
 use nsc_bench::Cli;
@@ -387,6 +390,39 @@ fn retry_pass(
     acct.retryable = work;
 }
 
+/// Writes an `nsc-perf-v1`-compatible summary so serving performance
+/// rides the same regression gate as the simulator: one workload
+/// (`serving`) with no exact counters (nothing here is deterministic)
+/// and a toleranced `series` — `throughput_rps` is higher-is-better by
+/// its suffix, `p99_us` and `shed_rate` are lower-is-better. Compare
+/// against a committed baseline with
+/// `nsc_perf --compare results/BENCH_serving_baseline.json <PATH>`.
+fn write_bench_out(
+    path: &str,
+    size: Size,
+    wall: Duration,
+    throughput_rps: f64,
+    p99_us: f64,
+    acct: &Acct,
+) {
+    use nsc_sim::json::fmt_f64;
+    let sheds = acct.shed_overloaded + acct.shed_deadline + acct.shed_shutdown;
+    let shed_rate = sheds as f64 / (acct.sent as f64).max(1.0);
+    let r3 = |v: f64| (v * 1e3).round() / 1e3;
+    let out = format!(
+        "{{\"schema\":\"nsc-perf-v1\",\"label\":\"serving\",\"size\":\"{}\",\"workloads\":{{\
+         \"serving\":{{\"wall_ms\":{},\"counters\":{{}},\"series\":{{\
+         \"throughput_rps\":{},\"p99_us\":{},\"shed_rate\":{}}}}}}}}}\n",
+        size_label(size),
+        fmt_f64(r3(wall.as_secs_f64() * 1e3)),
+        fmt_f64(r3(throughput_rps)),
+        fmt_f64(r3(p99_us)),
+        fmt_f64(r3(shed_rate)),
+    );
+    std::fs::write(path, out).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    eprintln!("nsc_load: wrote {path} (throughput={throughput_rps:.0} rps, p99={p99_us:.0}µs, shed_rate={shed_rate:.3})");
+}
+
 fn main() {
     let args = Cli::new("nsc_load", "open-loop load generator / chaos soak for a live nscd")
         .opt("socket", "PATH", "daemon socket (default $NSCD_SOCKET or /tmp/nscd.sock)")
@@ -398,6 +434,7 @@ fn main() {
         .opt("zipf", "N", "Zipf theta x100 for the key mix (default 90)")
         .opt("deadline-ms", "N", "per-request deadline after the cold flood (default 0)")
         .opt("retries", "N", "closed-loop replay budget for retryable sheds (default 4)")
+        .opt("bench-out", "PATH", "write an nsc-perf-v1 summary (workload \"serving\") for nsc_perf --compare")
         .parse();
     let socket = args
         .opt("socket")
@@ -483,15 +520,19 @@ fn main() {
         acct.mismatch,
     );
     let p = |q: f64| acct.hist.percentile_opt(q).unwrap_or(0.0);
+    let throughput_rps = acct.ok as f64 / open_loop_wall.as_secs_f64().max(1e-9);
     println!(
         "nsc_load: wall={:.1}s throughput={:.0} req/s p50={:.0}µs p99={:.0}µs p999={:.0}µs keys_verified={}",
         open_loop_wall.as_secs_f64(),
-        acct.ok as f64 / open_loop_wall.as_secs_f64().max(1e-9),
+        throughput_rps,
         p(50.0),
         p(99.0),
         p(99.9),
         acct.blobs.len(),
     );
+    if let Some(path) = args.opt("bench-out") {
+        write_bench_out(path, args.size, open_loop_wall, throughput_rps, p(99.0), &acct);
+    }
     if acct.lost > 0 || acct.dup > 0 || acct.mismatch > 0 {
         eprintln!(
             "nsc_load: FAILED: lost={} dup={} mismatch={} (every accepted request must get \

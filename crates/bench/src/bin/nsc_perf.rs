@@ -1,22 +1,29 @@
 //! `nsc_perf` — the pinned-workload performance-regression harness.
 //!
 //! Runs a fixed set of workloads that exercise every layer of the stack
-//! (calendar-queue microbench, tiny fig09/fig12 subsets, result-cache
-//! warm replay, an `nscd` daemon round trip) and writes
-//! `results/BENCH_<label>.json` (schema `nsc-perf-v1`): per-workload
-//! wall-clock milliseconds plus key *simulated* counters. The sim
-//! counters are bit-deterministic, so a comparison can demand exact
-//! equality on them while allowing a generous tolerance on wall time:
+//! (calendar-queue microbench, expression-evaluation storm, tiny
+//! fig09/fig12 subsets, result-cache warm replay, an `nscd` daemon round
+//! trip) and writes `results/BENCH_<label>.json` (schema `nsc-perf-v1`):
+//! per-workload wall-clock milliseconds plus key *simulated* counters.
+//! The sim counters are bit-deterministic, so a comparison can demand
+//! exact equality on them while allowing a generous tolerance on wall
+//! time:
 //!
 //! ```text
 //! nsc_perf --tiny --label baseline          # write BENCH_baseline.json
 //! nsc_perf --compare results/BENCH_baseline.json results/BENCH_current.json
+//! nsc_perf --tiny --only expr_storm         # run a single leg
 //! ```
 //!
 //! `--compare` exits non-zero when any sim counter differs or any
 //! workload's wall time exceeds `base * tol` (`--wall-tol`, default
-//! 2.0). Regenerate the committed baseline with
-//! `scripts/ci.sh`'s reference recipe (see README "Perf baseline").
+//! 2.0). Workloads may also carry a `series` object of *toleranced*
+//! floats (serving throughput, tail latency, speedups — quantities
+//! derived from host timing that can never be exact); those get a
+//! direction-aware factor band (`--serve-tol`, default 3.0). `nsc_load
+//! --bench-out` emits a compatible file so serving regressions ride the
+//! same gate. Regenerate the committed baseline with `scripts/ci.sh`'s
+//! reference recipe (see README "Perf baseline").
 
 use near_stream::ExecMode;
 use nsc_bench::{prepare, system_for, Cli};
@@ -30,11 +37,15 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 /// One pinned workload's measurements: host wall time plus deterministic
-/// simulated counters.
+/// simulated counters, plus optional *toleranced* float series (host-
+/// timing-derived quantities like throughput that can never be exact).
 struct Measurement {
     name: &'static str,
     wall_ms: f64,
     counters: Vec<(String, u64)>,
+    /// Toleranced series: keys ending `_rps` / `_x` are higher-is-better,
+    /// everything else lower-is-better (see `--serve-tol`).
+    series: Vec<(&'static str, f64)>,
 }
 
 fn main() {
@@ -52,19 +63,34 @@ fn main() {
 
     let cli = Cli::new("nsc_perf", "pinned-workload perf harness (see --compare)")
         .opt("label", "L", "output label: results/BENCH_<L>.json (default current)")
+        .opt("only", "NAME", "run only the named workload leg")
         .opt("compare", "BASE NEW", "compare two BENCH files (use as first argument)");
     let args = cli.parse();
     let size = args.size;
     let label = args.opt("label").unwrap_or("current").to_owned();
+    let only = args.opt("only").map(str::to_owned);
 
+    type Leg = fn(Size) -> Measurement;
+    let legs: [(&str, Leg); 6] = [
+        ("calendar_queue", calendar_queue),
+        ("expr_storm", expr_storm),
+        ("fig09_tiny", fig09_subset),
+        ("fig12_tiny", fig12_subset),
+        ("cache_warm", cache_warm_replay),
+        ("nscd_roundtrip", nscd_roundtrip),
+    ];
+    if let Some(name) = &only {
+        assert!(
+            legs.iter().any(|(n, _)| n == name),
+            "--only {name}: no such leg (have: {})",
+            legs.iter().map(|(n, _)| *n).collect::<Vec<_>>().join(", ")
+        );
+    }
     let mut runs = Vec::new();
-    for work in [
-        calendar_queue,
-        fig09_subset,
-        fig12_subset,
-        cache_warm_replay,
-        nscd_roundtrip,
-    ] {
+    for (name, work) in legs {
+        if only.as_deref().is_some_and(|o| o != name) {
+            continue;
+        }
         let m = work(size);
         eprintln!("nsc_perf: {:18} {:9.2} ms, {} counters", m.name, m.wall_ms, m.counters.len());
         runs.push(m);
@@ -119,6 +145,133 @@ fn calendar_queue(size: Size) -> Measurement {
             ("checksum".into(), checksum & 0xFFFF_FFFF),
             ("final_cycle".into(), now),
         ],
+        series: Vec::new(),
+    }
+}
+
+/// Deep random expression trees evaluated by the tree walker and by the
+/// compiled register bytecode (`ExprCode`): pins bit-identity between
+/// the two evaluators *and* tracks the compiled path's speedup as a
+/// toleranced series. Exp is excluded from the op mix so the checksum
+/// stays libm-independent; everything else is IEEE-exact.
+fn expr_storm(size: Size) -> Measurement {
+    use nsc_ir::{Expr, ExprCode, Scalar, VarId};
+    const N_LOCALS: usize = 6;
+    const N_PARAMS: u64 = 4;
+    let (n_trees, evals) = match size {
+        Size::Tiny => (64u64, 2_000u64),
+        Size::Small => (128, 8_000),
+        Size::Paper => (256, 32_000),
+    };
+
+    const BINOPS: [nsc_ir::BinOp; 16] = {
+        use nsc_ir::BinOp::*;
+        [Add, Sub, Mul, Div, Rem, Min, Max, And, Or, Xor, Shr, Shl, Lt, Le, Eq, Ne]
+    };
+    const UNOPS: [nsc_ir::UnOp; 4] = {
+        use nsc_ir::UnOp::*;
+        [Neg, Not, Abs, Sqrt]
+    };
+    fn gen_expr(rng: &mut Rng, depth: u32) -> Expr {
+        if depth == 0 || rng.gen_range_u64(8) == 0 {
+            return match rng.gen_range_u64(4) {
+                0 => Expr::imm(rng.next_u64() as i64 % 1_000),
+                1 => Expr::immf((rng.gen_f64() - 0.5) * 64.0),
+                2 => Expr::param(rng.gen_range_u64(N_PARAMS) as u32),
+                _ => Expr::var(VarId(rng.gen_range_u64(N_LOCALS as u64) as u16)),
+            };
+        }
+        match rng.gen_range_u64(10) {
+            0 => Expr::un(UNOPS[rng.gen_range_usize(UNOPS.len())], gen_expr(rng, depth - 1)),
+            1 => Expr::select(
+                gen_expr(rng, depth - 1),
+                gen_expr(rng, depth - 1),
+                gen_expr(rng, depth - 1),
+            ),
+            _ => Expr::bin(
+                BINOPS[rng.gen_range_usize(BINOPS.len())],
+                gen_expr(rng, depth - 1),
+                gen_expr(rng, depth - 1),
+            ),
+        }
+    }
+    fn locals_for(i: u64) -> [Scalar; N_LOCALS] {
+        let mut out = [Scalar::I64(0); N_LOCALS];
+        for (j, l) in out.iter_mut().enumerate() {
+            let x = i
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add((j as u64).wrapping_mul(0xD1B5_4A32_D192_ED03));
+            *l = if j % 2 == 0 {
+                Scalar::I64((x as i64) >> 16)
+            } else {
+                Scalar::F64(((x >> 11) as f64 / (1u64 << 53) as f64) * 8.0 - 4.0)
+            };
+        }
+        out
+    }
+    fn mix(cs: u64, v: Scalar) -> u64 {
+        let bits = match v {
+            Scalar::I64(x) => x as u64,
+            Scalar::F64(x) => x.to_bits(),
+        };
+        cs.rotate_left(7).wrapping_mul(0x100000001B3) ^ bits
+    }
+
+    let t0 = Instant::now();
+    let mut rng = Rng::seed_from_u64(0x5DEE_CE66_D5DE_ECE6);
+    let trees: Vec<Expr> = (0..n_trees).map(|_| gen_expr(&mut rng, 7)).collect();
+    let params = [Scalar::I64(3), Scalar::F64(1.5), Scalar::I64(-7), Scalar::I64(1 << 20)];
+    let nodes: u64 = trees.iter().map(|e| e.uops() as u64).sum();
+
+    // Pass 1 — tree walker.
+    let t_tree = Instant::now();
+    let mut cs_tree = 0u64;
+    for i in 0..evals {
+        let locals = locals_for(i);
+        for e in &trees {
+            cs_tree = mix(cs_tree, e.eval(&locals, &params));
+        }
+    }
+    let tree_ms = ms(t_tree);
+
+    // Pass 2 — compiled bytecode (compile + bind amortized inside the
+    // timed region, as the plan pass amortizes it over a kernel run).
+    let t_bc = Instant::now();
+    let mut codes: Vec<(ExprCode, Vec<Scalar>)> = trees
+        .iter()
+        .map(|e| {
+            let c = ExprCode::compile(e, N_LOCALS as u16);
+            let mut regs = Vec::new();
+            c.bind(&params, &mut regs);
+            (c, regs)
+        })
+        .collect();
+    let bc_ops: u64 = codes.iter().map(|(c, _)| c.op_count() as u64).sum();
+    let mut cs_bc = 0u64;
+    for i in 0..evals {
+        let locals = locals_for(i);
+        for (c, regs) in &mut codes {
+            cs_bc = mix(cs_bc, c.eval(&locals, regs));
+        }
+    }
+    let bc_ms = ms(t_bc);
+    assert_eq!(
+        cs_tree, cs_bc,
+        "bytecode and tree walker diverged over {n_trees} trees x {evals} evals"
+    );
+    let speedup = tree_ms / bc_ms.max(1e-6);
+    eprintln!("nsc_perf: expr_storm tree {tree_ms:.2} ms, bytecode {bc_ms:.2} ms ({speedup:.2}x)");
+    Measurement {
+        name: "expr_storm",
+        wall_ms: ms(t0),
+        counters: vec![
+            ("trees".into(), n_trees),
+            ("evals".into(), evals),
+            ("nodes".into(), nodes),
+            ("bc_ops".into(), bc_ops),
+            ("checksum".into(), cs_tree & 0xFFFF_FFFF),
+        ],
+        series: vec![("speedup_x", (speedup * 1e3).round() / 1e3)],
     }
 }
 
@@ -138,7 +291,7 @@ fn fig09_subset(size: Size) -> Measurement {
             counters.push((format!("{tag}.l1_hits"), r.mem.l1_hits));
         }
     }
-    Measurement { name: "fig09_tiny", wall_ms: ms(t0), counters }
+    Measurement { name: "fig09_tiny", wall_ms: ms(t0), counters, series: Vec::new() }
 }
 
 /// A figure-12 style traffic subset: byte×hop totals under NS and
@@ -156,7 +309,7 @@ fn fig12_subset(size: Size) -> Measurement {
             counters.push((format!("{tag}.messages"), r.traffic.messages));
         }
     }
-    Measurement { name: "fig12_tiny", wall_ms: ms(t0), counters }
+    Measurement { name: "fig12_tiny", wall_ms: ms(t0), counters, series: Vec::new() }
 }
 
 /// Result-cache warm replay: one cold run that stores, one warm run that
@@ -181,6 +334,7 @@ fn cache_warm_replay(size: Size) -> Measurement {
             ("cache_hits".into(), hits),
             ("cache_misses".into(), misses),
         ],
+        series: Vec::new(),
     }
 }
 
@@ -290,6 +444,7 @@ fn nscd_roundtrip(size: Size) -> Measurement {
             ("serve_runs_cached".into(), counter("serve.runs_cached")),
             ("result_cache_hits".into(), counter("result_cache.hits")),
         ],
+        series: Vec::new(),
     }
 }
 
@@ -319,7 +474,18 @@ fn write_bench(label: &str, size: Size, runs: &[Measurement]) -> PathBuf {
             }
             let _ = write!(out, "\"{}\":{v}", escape(k));
         }
-        out.push_str("}}");
+        out.push('}');
+        if !m.series.is_empty() {
+            out.push_str(",\"series\":{");
+            for (j, (k, v)) in m.series.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"{}\":{}", escape(k), fmt_f64(*v));
+            }
+            out.push('}');
+        }
+        out.push('}');
     }
     out.push_str("}}\n");
     let dir = results_dir();
@@ -329,12 +495,16 @@ fn write_bench(label: &str, size: Size, runs: &[Measurement]) -> PathBuf {
     path
 }
 
-/// `--compare BASE NEW [--wall-tol X]`: exact equality on every sim
-/// counter, `new.wall_ms <= base.wall_ms * X` on wall time. Returns the
-/// process exit code.
+/// `--compare BASE NEW [--wall-tol X] [--serve-tol Y]`: exact equality
+/// on every sim counter, `new.wall_ms <= base.wall_ms * X` on wall time,
+/// and a direction-aware factor-`Y` band on every `series` entry — keys
+/// ending `_rps` / `_x` are higher-is-better (regress when
+/// `new < base / Y`), everything else lower-is-better (regress when
+/// `new > base * Y`). Returns the process exit code.
 fn compare_cmd(rest: &[String]) -> i32 {
     let mut paths = Vec::new();
     let mut wall_tol = 2.0f64;
+    let mut serve_tol = 3.0f64;
     let mut it = rest.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -342,11 +512,15 @@ fn compare_cmd(rest: &[String]) -> i32 {
                 let v = it.next().expect("--wall-tol requires a value");
                 wall_tol = v.parse().expect("--wall-tol wants a number");
             }
+            "--serve-tol" => {
+                let v = it.next().expect("--serve-tol requires a value");
+                serve_tol = v.parse().expect("--serve-tol wants a number");
+            }
             p => paths.push(p.to_owned()),
         }
     }
     if paths.len() != 2 {
-        eprintln!("usage: nsc_perf --compare BASE NEW [--wall-tol X]");
+        eprintln!("usage: nsc_perf --compare BASE NEW [--wall-tol X] [--serve-tol Y]");
         return 2;
     }
     let load = |p: &str| -> Json {
@@ -404,6 +578,34 @@ fn compare_cmd(rest: &[String]) -> i32 {
                 eprintln!(
                     "note: {name}.{k} is new (absent from baseline; regenerate the baseline)"
                 );
+            }
+        }
+        // Toleranced series: float quantities derived from host timing
+        // (throughput, latency, speedups) can never be exact, so they
+        // get a direction-aware factor band instead of equality.
+        let b_s = bw.get("series").and_then(Json::as_obj).cloned().unwrap_or_default();
+        let n_s = nw.get("series").and_then(Json::as_obj).cloned().unwrap_or_default();
+        for (k, bv) in &b_s {
+            let bv = bv.as_f64().unwrap_or(0.0);
+            let Some(nv) = n_s.get(k).and_then(Json::as_f64) else {
+                eprintln!("REGRESSION {name}.{k}: series missing from {}", paths[1]);
+                regressions += 1;
+                continue;
+            };
+            let higher_better = k.ends_with("_rps") || k.ends_with("_x");
+            let (bad, bound) = if higher_better {
+                (nv < bv / serve_tol, bv / serve_tol)
+            } else {
+                (nv > bv * serve_tol, bv * serve_tol)
+            };
+            if bad {
+                let dir = if higher_better { "<" } else { ">" };
+                eprintln!(
+                    "REGRESSION {name}.{k}: series {nv:.3} {dir} {bound:.3} (base {bv:.3} tol x{serve_tol})"
+                );
+                regressions += 1;
+            } else {
+                println!("ok {name}.{k}: series {nv:.3} (base {bv:.3}, tol x{serve_tol})");
             }
         }
     }

@@ -1,0 +1,83 @@
+//! The compiled-bytecode plan must be invisible in every observable:
+//! same simulated counters, same memory image, same report bytes.
+//!
+//! Two layers of evidence:
+//!
+//! * **In-process** — the same workloads simulated with their
+//!   `CompiledKernel::plan` present and forcibly stripped (`plan = None`
+//!   routes the engine back onto the tree walker) must produce identical
+//!   stats tables and result digests.
+//! * **Subprocess** — `fig09_speedup --tiny` run with `NSC_COMPILE=0`
+//!   and `NSC_COMPILE=1` must emit byte-identical stdout and, after
+//!   stripping the host-timing object, byte-identical report JSON. This
+//!   is the same invariant `scripts/ci.sh`'s compile-smoke stage gates.
+
+use near_stream::ExecMode;
+use nsc_bench::{prepare, system_for};
+use nsc_workloads::Size;
+
+/// Stripping the plan (forcing the tree walker) must not change one
+/// simulated counter or result bit.
+#[test]
+fn plan_stripped_run_is_bit_identical() {
+    let cfg = system_for(Size::Tiny);
+    let again = nsc_workloads::all(Size::Tiny);
+    for (w, w2) in nsc_workloads::all(Size::Tiny).into_iter().zip(again).take(3) {
+        let name = w.name;
+        assert_eq!(name, w2.name, "workload registry order is stable");
+        let planned = prepare(w);
+        assert!(
+            planned.compiled.kernels.iter().all(|k| k.plan.is_some()),
+            "{name}: plan pass should populate every kernel by default"
+        );
+        let mut stripped = prepare(w2);
+        for k in &mut stripped.compiled.kernels {
+            k.plan = None;
+        }
+        for mode in [ExecMode::Base, ExecMode::Ns, ExecMode::NsDecouple] {
+            let (rp, mp) = planned.run_unchecked(mode, &cfg);
+            let (rs, ms) = stripped.run_unchecked(mode, &cfg);
+            assert_eq!(
+                rp.to_table().to_json(),
+                rs.to_table().to_json(),
+                "{name} under {mode:?}: stats diverged between bytecode and tree walker"
+            );
+            assert_eq!(
+                planned.workload.digest(&mp),
+                stripped.workload.digest(&ms),
+                "{name} under {mode:?}: result memory diverged"
+            );
+        }
+    }
+}
+
+/// Full-harness bit-identity: `NSC_COMPILE=0` vs `1` through the real
+/// fig09 binary, stdout and host-stripped JSON both byte-equal.
+#[test]
+fn fig09_reports_are_identical_with_compile_toggled() {
+    let bin = env!("CARGO_BIN_EXE_fig09_speedup");
+    let tmp = std::env::temp_dir().join(format!("nsc-compile-identity-{}", std::process::id()));
+    let run = |compile: &str| -> (String, String) {
+        let dir = tmp.join(format!("c{compile}"));
+        std::fs::create_dir_all(&dir).expect("results dir");
+        let out = std::process::Command::new(bin)
+            .arg("--tiny")
+            .env("NSC_COMPILE", compile)
+            .env("NSC_RESULTS_DIR", &dir)
+            .env("NSC_JOBS", "1")
+            .env_remove("NSC_CACHE")
+            .output()
+            .expect("run fig09_speedup");
+        assert!(out.status.success(), "fig09 (NSC_COMPILE={compile}) failed");
+        let json = std::fs::read_to_string(dir.join("fig09_speedup.json")).expect("report json");
+        // The host object (wall clock, jobs, profile) is the one
+        // legitimate delta; it is the report's final key.
+        let stripped = json.split(",\"host\":").next().expect("non-empty").to_owned();
+        (String::from_utf8(out.stdout).expect("utf8 stdout"), stripped)
+    };
+    let (out0, json0) = run("0");
+    let (out1, json1) = run("1");
+    let _ = std::fs::remove_dir_all(&tmp);
+    assert_eq!(out0, out1, "fig09 stdout differs between NSC_COMPILE=0 and 1");
+    assert_eq!(json0, json1, "fig09 report JSON differs between NSC_COMPILE=0 and 1");
+}

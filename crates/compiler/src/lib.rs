@@ -39,6 +39,7 @@ pub mod analysis;
 pub mod assign;
 pub mod classify;
 pub mod cost;
+pub mod plan;
 pub mod stats;
 
 use nsc_ir::program::{Program, StmtId};
@@ -76,6 +77,11 @@ pub struct CompiledKernel {
     /// AVX-512-style vectorization factor for the core's execution of this
     /// kernel (1 = scalar).
     pub vector_width: u32,
+    /// Execution plan: the kernel's expression trees lowered to register
+    /// bytecode (see [`plan`]). `None` when `NSC_COMPILE=0` — the
+    /// interpreter then walks the trees. Excluded from the `RunRequest`
+    /// digest because results are bit-identical either way.
+    pub plan: Option<std::sync::Arc<nsc_ir::bytecode::KernelCode>>,
 }
 
 impl CompiledKernel {
@@ -167,6 +173,7 @@ pub fn compile(program: &Program) -> CompiledProgram {
                 sync_free: k.sync_free,
                 fully_decoupled,
                 vector_width,
+                plan: plan::plan_kernel(k),
             }
         })
         .collect();

@@ -1,0 +1,55 @@
+//! The plan pass: per-kernel execution planning at `CompiledKernel`
+//! construction.
+//!
+//! Classification and stream assignment decide *where* work runs (core vs
+//! stream engine); this pass decides *how* the control engine executes the
+//! residual per-element work: each kernel's expression trees are lowered to
+//! register bytecode ([`nsc_ir::bytecode`]) with dead-assign pruning,
+//! constant folding, CSE and loop-invariant hoisting, and the dispatch cost
+//! model in [`cost`](crate::cost) keeps or declines the bytecode per
+//! statement (declined statements run on the tree walker, sharing the same
+//! locals).
+//!
+//! `NSC_COMPILE=0` disables planning entirely: every kernel carries no plan
+//! and the interpreter's tree walker runs everywhere. Results are
+//! bit-identical either way (the `RunRequest` digest deliberately excludes
+//! the plan).
+
+use crate::cost;
+use nsc_ir::bytecode::{self, KernelCode};
+use nsc_ir::program::Kernel;
+use std::sync::Arc;
+
+/// Builds the execution plan for one kernel: lowered bytecode with the
+/// cost-model policy applied per statement, or `None` when `NSC_COMPILE=0`.
+pub fn plan_kernel(kernel: &Kernel) -> Option<Arc<KernelCode>> {
+    if !bytecode::enabled() {
+        return None;
+    }
+    let code =
+        KernelCode::compile_with(kernel, &mut |_, lowered| cost::prefer_bytecode(lowered));
+    Some(Arc::new(code))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nsc_ir::build::KernelBuilder;
+    use nsc_ir::{ElemType, Expr, Program};
+
+    #[test]
+    fn plan_is_built_and_lowers_whole_kernel() {
+        let mut p = Program::new("t");
+        let a = p.array("a", ElemType::I64, 64);
+        let b = p.array("b", ElemType::I64, 64);
+        let mut k = KernelBuilder::new("k", 64);
+        let i = k.outer_var();
+        let v = k.load(a, Expr::var(i));
+        k.store(b, Expr::var(i), Expr::var(v) * Expr::imm(3) + Expr::imm(1));
+        let kernel = k.finish();
+        // NSC_COMPILE is unset in tests, so planning is on.
+        let plan = plan_kernel(&kernel).unwrap();
+        assert_eq!(plan.stats.tree_stmts, 0);
+        assert!(plan.stats.ops > 0);
+    }
+}

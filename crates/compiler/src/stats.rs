@@ -62,7 +62,8 @@ pub fn run_with_counts(program: &Program, mem: &mut Memory, params: &[Scalar]) -
         let mut locals = Vec::new();
         let mut acc: Option<Scalar> = None;
         for i in 0..trip {
-            let contrib = interp::exec_iteration(k, i, params, &mut client, &mut locals);
+            let contrib = interp::exec_iteration(k, i, params, &mut client, &mut locals)
+                .unwrap_or_else(|e| panic!("kernel {}: {e}", k.name));
             if let (Some(r), Some(c)) = (&k.outer_reduction, contrib) {
                 acc = Some(match acc {
                     None => c,

@@ -235,7 +235,8 @@ pub fn ideal_traffic(
                 n_banks: cfg.mem.n_banks() as u64,
                 forward_only: &forward_only,
             };
-            let contrib = exec_iteration(kernel, i, params, &mut client, &mut locals);
+            let contrib = exec_iteration(kernel, i, params, &mut client, &mut locals)
+                .unwrap_or_else(|e| panic!("kernel {}: {e}", kernel.name));
             if let (Some(r), Some(c)) = (&kernel.outer_reduction, contrib) {
                 acc = Some(match acc {
                     None => c,

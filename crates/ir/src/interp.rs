@@ -9,10 +9,37 @@
 use crate::memory::Memory;
 use crate::program::{ArrayId, Field, Kernel, Loop, Program, Stmt, StmtId, Trip};
 use crate::types::{AtomicOp, Scalar};
+use std::fmt;
 
 /// Safety bound on data-dependent (`while`) loops: beyond this the kernel
-/// is assumed non-terminating and the interpreter panics.
+/// is assumed non-terminating and execution fails with
+/// [`ExecError::LoopCap`].
 pub const WHILE_LOOP_CAP: u64 = 100_000_000;
+
+/// A typed execution failure. Kernels are otherwise total (scalar ops never
+/// trap), so the only runtime failure is a runaway data-dependent loop —
+/// surfaced as an error so a server can shed the request instead of killing
+/// the worker.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExecError {
+    /// A `while` loop exceeded [`WHILE_LOOP_CAP`] iterations.
+    LoopCap {
+        /// The configured iteration cap.
+        cap: u64,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::LoopCap { cap } => {
+                write!(f, "while loop exceeded {cap} iterations (assumed non-terminating)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
 
 /// Supplies memory semantics (and, for timing clients, charges time) for
 /// each access the interpreter executes.
@@ -74,12 +101,12 @@ fn index_of(e: &crate::expr::Expr, locals: &[Scalar], params: &[Scalar]) -> u64 
     e.eval(locals, params).as_index()
 }
 
-fn exec_stmts(
+pub(crate) fn exec_stmts(
     stmts: &[Stmt],
     locals: &mut [Scalar],
     params: &[Scalar],
     client: &mut impl MemClient,
-) {
+) -> Result<(), ExecError> {
     for s in stmts {
         match s {
             Stmt::Assign { var, expr } => {
@@ -105,29 +132,35 @@ fn exec_stmts(
             }
             Stmt::If { cond, then_body, else_body } => {
                 if cond.eval(locals, params).as_bool() {
-                    exec_stmts(then_body, locals, params, client);
+                    exec_stmts(then_body, locals, params, client)?;
                 } else {
-                    exec_stmts(else_body, locals, params, client);
+                    exec_stmts(else_body, locals, params, client)?;
                 }
             }
-            Stmt::Loop(l) => exec_loop(l, locals, params, client),
+            Stmt::Loop(l) => exec_loop(l, locals, params, client)?,
         }
     }
+    Ok(())
 }
 
-fn exec_loop(l: &Loop, locals: &mut [Scalar], params: &[Scalar], client: &mut impl MemClient) {
+fn exec_loop(
+    l: &Loop,
+    locals: &mut [Scalar],
+    params: &[Scalar],
+    client: &mut impl MemClient,
+) -> Result<(), ExecError> {
     match &l.trip {
         Trip::Const(n) => {
             for i in 0..*n {
                 locals[l.var.0 as usize] = Scalar::I64(i as i64);
-                exec_stmts(&l.body, locals, params, client);
+                exec_stmts(&l.body, locals, params, client)?;
             }
         }
         Trip::Expr(e) => {
             let n = e.eval(locals, params).as_i64().max(0) as u64;
             for i in 0..n {
                 locals[l.var.0 as usize] = Scalar::I64(i as i64);
-                exec_stmts(&l.body, locals, params, client);
+                exec_stmts(&l.body, locals, params, client)?;
             }
         }
         Trip::While(cond) => {
@@ -137,12 +170,15 @@ fn exec_loop(l: &Loop, locals: &mut [Scalar], params: &[Scalar], client: &mut im
                 if !cond.eval(locals, params).as_bool() {
                     break;
                 }
-                exec_stmts(&l.body, locals, params, client);
+                exec_stmts(&l.body, locals, params, client)?;
                 i += 1;
-                assert!(i < WHILE_LOOP_CAP, "while loop exceeded {WHILE_LOOP_CAP} iterations");
+                if i >= WHILE_LOOP_CAP {
+                    return Err(ExecError::LoopCap { cap: WHILE_LOOP_CAP });
+                }
             }
         }
     }
+    Ok(())
 }
 
 /// Executes one iteration of a kernel's parallel outer loop, returning the
@@ -156,15 +192,15 @@ pub fn exec_iteration(
     params: &[Scalar],
     client: &mut impl MemClient,
     locals: &mut Vec<Scalar>,
-) -> Option<Scalar> {
+) -> Result<Option<Scalar>, ExecError> {
     locals.clear();
     locals.resize(kernel.n_locals as usize, Scalar::I64(0));
     locals[kernel.outer.var.0 as usize] = Scalar::I64(iter as i64);
-    exec_stmts(&kernel.outer.body, locals, params, client);
-    kernel
+    exec_stmts(&kernel.outer.body, locals, params, client)?;
+    Ok(kernel
         .outer_reduction
         .as_ref()
-        .map(|r| locals[r.var.0 as usize])
+        .map(|r| locals[r.var.0 as usize]))
 }
 
 /// Outer-loop trip count for a kernel (must not depend on locals).
@@ -181,14 +217,28 @@ pub fn outer_trip(kernel: &Kernel, params: &[Scalar]) -> u64 {
     }
 }
 
-/// Runs a whole kernel sequentially (the golden semantics).
+/// Runs a whole kernel sequentially (the golden semantics). Uses the
+/// compiled bytecode path unless `NSC_COMPILE=0` (results are bit-identical
+/// either way).
+///
+/// # Panics
+///
+/// Panics on [`ExecError`] (a runaway `while` loop), naming the kernel.
 pub fn run_kernel(kernel: &Kernel, params: &[Scalar], mem: &mut Memory) {
     let trip = outer_trip(kernel, params);
+    let code = crate::bytecode::enabled().then(|| crate::bytecode::KernelCode::compile(kernel));
     let mut locals = Vec::new();
+    if let Some(c) = &code {
+        c.init_regs(&mut locals, params);
+    }
     let mut acc: Option<Scalar> = None;
     for i in 0..trip {
         let mut client = FunctionalClient { mem };
-        let contrib = exec_iteration(kernel, i, params, &mut client, &mut locals);
+        let contrib = match &code {
+            Some(c) => c.exec_iteration(i, params, &mut client, &mut locals),
+            None => exec_iteration(kernel, i, params, &mut client, &mut locals),
+        }
+        .unwrap_or_else(|e| panic!("kernel {}: {e}", kernel.name));
         if let (Some(r), Some(c)) = (&kernel.outer_reduction, contrib) {
             acc = Some(match acc {
                 None => c,

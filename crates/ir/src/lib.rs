@@ -45,6 +45,7 @@
 //! ```
 
 pub mod build;
+pub mod bytecode;
 pub mod encoding;
 pub mod expr;
 pub mod interp;
@@ -53,8 +54,9 @@ pub mod program;
 pub mod stream;
 pub mod types;
 
+pub use bytecode::{ExprCode, KernelCode};
 pub use expr::Expr;
-pub use interp::{run_program, MemClient};
+pub use interp::{run_program, ExecError, MemClient};
 pub use memory::Memory;
 pub use program::{ArrayDecl, ArrayId, Kernel, Loop, Program, Stmt, StmtId, Trip, VarId};
 pub use stream::{AddrPatternClass, ComputeClass, StreamId, StreamInfo};

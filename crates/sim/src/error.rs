@@ -45,6 +45,15 @@ pub enum SimError {
         /// (e.g. `core 3: iteration 17/64`).
         pending: Vec<String>,
     },
+    /// A kernel's data-dependent (`while`) loop exceeded its iteration cap:
+    /// the run is assumed non-terminating and is shed instead of spinning a
+    /// worker forever.
+    LoopCap {
+        /// The kernel whose loop ran away.
+        kernel: String,
+        /// The iteration cap that was exceeded.
+        cap: u64,
+    },
     /// An artifact (results JSON, trace file) could not be written.
     Io {
         /// What was being written (usually a path).
@@ -89,6 +98,9 @@ impl fmt::Display for SimError {
                     pending.len(),
                     pending.join("; ")
                 )
+            }
+            SimError::LoopCap { kernel, cap } => {
+                write!(f, "kernel {kernel}: while loop exceeded {cap} iterations (assumed non-terminating)")
             }
             SimError::Io { what, cause } => write!(f, "cannot write {what}: {cause}"),
         }

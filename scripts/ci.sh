@@ -19,7 +19,13 @@
 #   8. an overload soak: a saturating nsc_load burst against a one-worker
 #      daemon with fault injection armed — every request must get exactly
 #      one terminal response (typed sheds allowed, lost responses not)
-#      and the shed counters must surface in the Prometheus exporter.
+#      and the shed counters must surface in the Prometheus exporter;
+#      the soak also emits an nsc-perf-v1 serving summary that is gated
+#      against results/BENCH_serving_baseline.json (toleranced series),
+#   9. a compile smoke: fig09 at --tiny with NSC_COMPILE=0 (tree walker)
+#      vs NSC_COMPILE=1 (register bytecode) must be byte-identical
+#      (stdout and host-stripped JSON), and the expr_storm microbench
+#      must run — it asserts tree/bytecode checksum equality internally.
 #
 # No network access is required: all dependencies are path dependencies
 # inside this workspace, so everything runs with `--offline`.
@@ -159,9 +165,16 @@ for _ in $(seq 50); do [ -S "$SOAK_SOCK" ] && break; sleep 0.1; done
 [ -S "$SOAK_SOCK" ] || { echo "nscd (soak) never bound its socket"; exit 1; }
 ./target/release/nsc_load --tiny --socket "$SOAK_SOCK" \
   --secs 10 --rate 300 --conns 4 --seed 7 --deadline-ms 2000 --burst 4 \
+  --bench-out "$PERF_TMP/BENCH_serving.json" \
   | tee "$PERF_TMP/soak.txt"
 grep -q ' lost=0 ' "$PERF_TMP/soak.txt" \
   || { echo "soak lost responses"; exit 1; }
+# Serving perf rides the same regression gate as the simulator: the
+# soak's throughput/p99/shed-rate series vs the committed baseline,
+# with a generous factor band (CI hosts are noisy). Regenerate with:
+#   scripts/ci.sh's soak recipe + nsc_load --bench-out (see README).
+./target/release/nsc_perf --compare results/BENCH_serving_baseline.json \
+  "$PERF_TMP/BENCH_serving.json" --serve-tol 5
 ./target/release/nsc-client metrics --prom --socket "$SOAK_SOCK" > "$PERF_TMP/soak-prom.txt"
 grep -q '# TYPE nsc_serve_shed_total counter' "$PERF_TMP/soak-prom.txt" \
   || { echo "serve.shed missing from prometheus exporter"; cat "$PERF_TMP/soak-prom.txt"; exit 1; }
@@ -170,6 +183,25 @@ grep -q '# TYPE nsc_serve_deadline_exceeded_total counter' "$PERF_TMP/soak-prom.
 ./target/release/nsc-client shutdown --socket "$SOAK_SOCK" > /dev/null
 wait "$SOAK_PID"
 echo "soak survived: one terminal response per request, typed sheds observable"
+
+echo "== compile (bytecode-vs-tree bit-identity + expr_storm microbench) =="
+# The cost-guided plan pass lowers kernel expression trees to register
+# bytecode; NSC_COMPILE=0 forces the tree walker everywhere. The two
+# paths must be observationally identical: same stdout, same report
+# bytes once the host-timing object is stripped.
+mkdir -p "$PERF_TMP/nc0" "$PERF_TMP/nc1"
+NSC_COMPILE=0 NSC_JOBS=1 NSC_RESULTS_DIR="$PERF_TMP/nc0" \
+  ./target/release/fig09_speedup --tiny > "$PERF_TMP/nc0.txt"
+NSC_COMPILE=1 NSC_JOBS=1 NSC_RESULTS_DIR="$PERF_TMP/nc1" \
+  ./target/release/fig09_speedup --tiny > "$PERF_TMP/nc1.txt"
+diff "$PERF_TMP/nc0.txt" "$PERF_TMP/nc1.txt"
+diff <(sed 's/,"host":.*//' "$PERF_TMP/nc0/fig09_speedup.json") \
+     <(sed 's/,"host":.*//' "$PERF_TMP/nc1/fig09_speedup.json")
+# expr_storm asserts tree/bytecode checksum equality over deep random
+# expression trees and reports the compiled path's speedup.
+NSC_RESULTS_DIR="$PERF_TMP" \
+  ./target/release/nsc_perf --tiny --only expr_storm --label expr_storm
+echo "bytecode and tree walker are bit-identical (NSC_COMPILE 0 vs 1)"
 
 echo "== perf baseline (nsc_perf vs committed BENCH_baseline.json) =="
 # Sim counters must match the committed baseline exactly; wall time gets
