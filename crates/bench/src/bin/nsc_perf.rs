@@ -29,7 +29,8 @@ use near_stream::ExecMode;
 use nsc_bench::{prepare, system_for, Cli};
 use nsc_sim::json::{escape, fmt_f64, parse, Json};
 use nsc_sim::rng::Rng;
-use nsc_sim::{cache, Cycle, EventQueue};
+use nsc_sim::cache::{self, CacheStore};
+use nsc_sim::{Cycle, EventQueue};
 use nsc_workloads::Size;
 use std::fmt::Write as _;
 use std::io::{BufRead, BufReader, Write as _};
@@ -316,15 +317,17 @@ fn fig12_subset(size: Size) -> Measurement {
 /// must replay from the cache.
 fn cache_warm_replay(size: Size) -> Measurement {
     assert!(cache::enabled(), "nsc_perf pins NSC_CACHE=1 before first use");
-    cache::purge().expect("purge scratch cache");
-    cache::reset_counters();
+    let store = cache::shared();
+    store.purge().expect("purge scratch cache");
+    store.reset_stats();
     let cfg = system_for(size);
     let w = nsc_workloads::all(size).into_iter().next().expect("at least one workload");
     let p = prepare(w);
     let t0 = Instant::now();
     let cold = p.run_cached(ExecMode::Ns, &cfg);
     let warm = p.run_cached(ExecMode::Ns, &cfg);
-    let (hits, misses) = cache::counters();
+    let s = store.stats();
+    let (hits, misses) = (s.hits(), s.misses());
     assert_eq!(cold.cycles, warm.cycles, "replay must be exact");
     Measurement {
         name: "cache_warm",

@@ -39,8 +39,8 @@
 //! the report JSON cannot guarantee ULP-exactness); misses simulate and
 //! store. Each consultation emits a
 //! [`TraceEvent::ResultCache`](nsc_sim::trace::TraceEvent::ResultCache)
-//! on the observability tracks and bumps the process-wide
-//! `cache::counters()`.
+//! on the observability tracks and bumps the shared store's per-tier
+//! [`cache::CacheStats`](nsc_sim::cache::CacheStats).
 //!
 //! A cached record also carries the per-run fault-injection delta; a hit
 //! replays it into the live injector accounting via `fault::absorb`, so a
@@ -58,7 +58,7 @@ use nsc_compiler::{compile, CompiledProgram};
 use nsc_ir::types::Scalar;
 use nsc_ir::{ArrayId, Memory, Program};
 use nsc_mem::MemStats;
-use nsc_sim::cache::{self, Key};
+use nsc_sim::cache::{self, CacheStore, Key};
 use nsc_sim::error::SimError;
 use nsc_sim::fault::{self, FaultStats};
 use nsc_sim::trace::{self, TraceEvent};
@@ -285,12 +285,20 @@ impl<'a> RunRequest<'a> {
     /// replays the stored record (byte-identical stats table, fault delta
     /// absorbed) and a miss simulates and stores.
     pub fn try_run_cached(&self) -> Result<RunResult, SimError> {
+        self.try_run_cached_in(cache::shared())
+    }
+
+    /// [`try_run_cached`](RunRequest::try_run_cached) against an explicit
+    /// [`CacheStore`] instead of the process-wide [`cache::shared`]
+    /// handle. Tests inject tiny-budget [`nsc_sim::cache::TieredCache`]
+    /// instances to force tier evictions mid-sweep.
+    pub fn try_run_cached_in(&self, store: &dyn CacheStore) -> Result<RunResult, SimError> {
         if !cache::enabled() {
             return self.try_run().map(|(r, _)| r);
         }
         let data = self.init_memory();
         let key = self.with_compiled(|ck| self.digest(ck, &data));
-        if let Some(rec) = cache::lookup(&key).and_then(|blob| decode(&blob)) {
+        if let Some(rec) = store.lookup(&key).and_then(|blob| decode(&blob)) {
             fault::absorb(rec.faults);
             trace::emit(|| TraceEvent::ResultCache {
                 at: Cycle::ZERO,
@@ -311,7 +319,7 @@ impl<'a> RunRequest<'a> {
         let faults = fault::snapshot().since(&fault_mark);
         // A failed store degrades to an ordinary miss next time; the run
         // itself already succeeded.
-        let _ = cache::store(&key, &encode(&result, &faults));
+        let _ = store.store(&key, &encode(&result, &faults));
         Ok(result)
     }
 }

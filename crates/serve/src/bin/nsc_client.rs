@@ -6,6 +6,7 @@
 //! nsc-client metrics [--socket PATH] [--prom] [--watch N]
 //! nsc-client logs   [--socket PATH]
 //! nsc-client trace  [--socket PATH] [--perfetto FILE] REQUEST_ID
+//! nsc-client inspect [--socket PATH] [--key HEX] [--local]
 //! nsc-client flush  [--socket PATH]
 //! nsc-client shutdown [--socket PATH]
 //! ```
@@ -17,7 +18,7 @@
 
 use near_stream::ExecMode;
 use nsc_serve::client::{default_socket, roundtrip, roundtrip_retry, RetryPolicy};
-use nsc_serve::{decode_response_blob, execute, Request};
+use nsc_serve::{decode_response_blob, execute, inspect_body, InspectBody, Request, Response};
 use nsc_sim::json::{parse, Json};
 use nsc_workloads::Size;
 use std::path::PathBuf;
@@ -31,6 +32,7 @@ Usage:
   nsc-client metrics [--socket PATH]        live metrics-registry snapshot
   nsc-client logs   [--socket PATH]         drain the daemon's log flight recorder
   nsc-client trace  [OPTIONS] REQUEST_ID    one request's span tree (hex id from submit)
+  nsc-client inspect [OPTIONS]              tiered result-cache report (hot/cold stats)
   nsc-client flush  [--socket PATH]         wait for in-flight runs to finish
   nsc-client shutdown [--socket PATH]       graceful daemon shutdown
 
@@ -49,6 +51,7 @@ Options:
   --prom           render metrics in Prometheus text exposition format
   --watch N        clear + re-render metrics every N seconds, with counter deltas
   --perfetto FILE  (trace) also write a combined Perfetto trace document
+  --key HEX        (inspect) probe one 32-hex-digit cache key's residency
   -h, --help       print this help
 
 Retried submissions reuse their request id, so a run whose response was
@@ -65,6 +68,7 @@ struct Opts {
     prom: bool,
     watch: Option<u64>,
     perfetto: Option<PathBuf>,
+    key: Option<String>,
     words: Vec<String>,
 }
 
@@ -80,6 +84,7 @@ fn parse_opts(mut argv: impl Iterator<Item = String>) -> Opts {
         prom: false,
         watch: None,
         perfetto: None,
+        key: None,
         words: Vec::new(),
     };
     while let Some(a) = argv.next() {
@@ -115,6 +120,7 @@ fn parse_opts(mut argv: impl Iterator<Item = String>) -> Opts {
                 o.watch = Some(n);
             }
             "--perfetto" => o.perfetto = Some(PathBuf::from(req_val(&mut argv, "--perfetto"))),
+            "--key" => o.key = Some(req_val(&mut argv, "--key")),
             w if w.starts_with('-') => die(&format!("unknown flag: {w}")),
             _ => o.words.push(a),
         }
@@ -131,6 +137,7 @@ fn main() {
         "metrics" => metrics_cmd(parse_opts(argv)),
         "logs" => logs_cmd(parse_opts(argv)),
         "trace" => trace_cmd(parse_opts(argv)),
+        "inspect" => inspect_cmd(parse_opts(argv)),
         "status" | "flush" | "shutdown" => {
             let o = parse_opts(argv);
             if !o.words.is_empty() {
@@ -503,6 +510,74 @@ fn logs_cmd(o: Opts) {
         resp.get_num("count").unwrap_or(0),
         resp.get_num("dropped").unwrap_or(0),
     );
+}
+
+/// `nsc-client inspect`: report the tiered result cache. The raw protocol
+/// line goes to stdout (scripts grep the flat `hot_*`/`cold_*` fields); a
+/// per-tier table plus the hottest keys goes to stderr. `--key HEX` probes
+/// one key's residency; `--local` reads this process's cache instead of a
+/// daemon's.
+fn inspect_cmd(o: Opts) {
+    if !o.words.is_empty() {
+        die("inspect takes no positional arguments (use --key HEX to probe a key)");
+    }
+    let body = if o.local {
+        let body = inspect_body(nsc_sim::cache::shared(), o.key.as_deref())
+            .unwrap_or_else(|e| die(&e));
+        println!("{}", Response::Inspect { id: 0, body: body.clone() }.render());
+        body
+    } else {
+        let req = Request::Inspect { id: 1, key: o.key.clone() };
+        let resps = match roundtrip(&o.socket, &[req]) {
+            Ok(r) => r,
+            Err(e) => die(&format!("{}: {e}", o.socket.display())),
+        };
+        let Some(resp) = resps.first() else { die("daemon did not answer the inspect request") };
+        println!("{}", resp.render());
+        match Response::from_obj(resp) {
+            Some(Response::Inspect { body, .. }) => body,
+            Some(Response::Error { error, .. }) => die(&error),
+            _ => die("unexpected response to inspect"),
+        }
+    };
+    print_inspect_summary(&body);
+}
+
+fn print_inspect_summary(b: &InspectBody) {
+    let budget = |v: u64, unbounded: &str| {
+        if v == 0 { unbounded.to_string() } else { v.to_string() }
+    };
+    eprintln!(
+        "  cache {}, compression {}",
+        if b.enabled { "enabled" } else { "disabled" },
+        if b.compress { "on" } else { "off" },
+    );
+    eprintln!(
+        "  {:<5} {:>9} {:>9} {:>9} {:>10} {:>8} {:>11} {:>11}",
+        "tier", "hits", "misses", "stores", "evictions", "entries", "bytes", "budget",
+    );
+    for (name, t, budget_str) in [
+        ("hot", &b.hot, budget(b.mem_budget, "off")),
+        ("cold", &b.cold, budget(b.disk_budget, "unbounded")),
+    ] {
+        eprintln!(
+            "  {:<5} {:>9} {:>9} {:>9} {:>10} {:>8} {:>11} {:>11}",
+            name, t.hits, t.misses, t.stores, t.evictions, t.entries, t.bytes, budget_str,
+        );
+    }
+    if !b.hottest.is_empty() {
+        eprintln!("  hottest (key:hits): {}", b.hottest);
+    }
+    if let Some(k) = &b.key {
+        eprintln!(
+            "  key {}: hot={} cold={} bytes={} hot_hits={}",
+            k.key,
+            if k.in_hot { "yes" } else { "no" },
+            if k.in_cold { "yes" } else { "no" },
+            k.bytes,
+            k.hits,
+        );
+    }
 }
 
 /// `nsc-client trace REQUEST_ID`: print one request's span tree as

@@ -78,11 +78,26 @@ fn main() {
     let socket = socket.unwrap_or_else(nsc_serve::client::default_socket);
     let jobs = jobs.unwrap_or_else(nsc_sim::pool::jobs_from_env);
     let cfg = nsc_serve::server::ServeConfig::from_env(jobs);
+    let cache = if nsc_sim::cache::enabled() {
+        // Latches the tier config from the environment now, so the
+        // banner reflects exactly what the serving path will use.
+        let store = nsc_sim::cache::shared();
+        let budget = |b: u64, zero: &str| {
+            if b == 0 { zero.to_owned() } else { format!("{b}B") }
+        };
+        format!(
+            "on (hot {}, cold {}, compress {})",
+            budget(store.mem_budget(), "off"),
+            budget(store.disk_budget(), "unbounded"),
+            if store.compression() { "on" } else { "off" },
+        )
+    } else {
+        "off".to_owned()
+    };
     eprintln!(
-        "nscd: listening on {} ({jobs} worker{}, cache {}, max_conns {}, queue_cap {})",
+        "nscd: listening on {} ({jobs} worker{}, cache {cache}, max_conns {}, queue_cap {})",
         socket.display(),
         if jobs == 1 { "" } else { "s" },
-        if nsc_sim::cache::enabled() { "on" } else { "off" },
         cfg.max_conns,
         cfg.queue_cap,
     );

@@ -89,14 +89,18 @@
 //! a typed error, keeping the connection (and its ordering) alive.
 
 use crate::json::Obj;
-use crate::{error_obj, error_response, execute_spanned, run_response, shed_obj, Request};
+use crate::{
+    error_obj, error_response, execute_spanned, inspect_body, run_response, shed_obj, Request,
+    Response,
+};
 use near_stream::ExecMode;
+use nsc_sim::cache::{self, CacheStore};
 use nsc_sim::fault::{self, FaultPlan};
 use nsc_sim::log;
 use nsc_sim::metrics::{self, Gauge, Hist, Metric, Registry};
 use nsc_sim::span::{self, SpanTrace, SpanTree};
 use nsc_sim::trace::{self, RingRecorder, TraceEvent};
-use nsc_sim::{cache, pool::ThreadPool};
+use nsc_sim::pool::ThreadPool;
 use nsc_workloads::Size;
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::io::{self, BufRead, BufReader, Write};
@@ -737,9 +741,12 @@ fn handle_conn(st: &Arc<State>, mut stream: UnixStream) {
                         format!("duplicate request_id {rid:016x} rejected (id={id})")
                     });
                     metrics::count_global(Metric::ServeErrors, 1);
-                    let resp = error_obj(id, &format!("duplicate request_id: {rid:016x}"))
-                        .num("request_id", rid)
-                        .render();
+                    let resp = Response::Error {
+                        id,
+                        request_id: rid,
+                        error: format!("duplicate request_id: {rid:016x}"),
+                    }
+                    .render();
                     let _ = tx.send((seq, Box::new(move || resp) as Slot));
                     seq += 1;
                     continue;
@@ -875,22 +882,29 @@ fn handle_conn(st: &Arc<State>, mut stream: UnixStream) {
             Ok(Request::Status { id }) => {
                 let stc = Arc::clone(st);
                 let slot = Box::new(move || {
-                    let (hits, misses) = cache::counters();
-                    Obj::new()
-                        .num("id", id)
-                        .bool("ok", true)
-                        .num("served", stc.served.load(Ordering::SeqCst))
-                        .num("cache_hits", hits)
-                        .num("cache_misses", misses)
-                        .num("jobs", stc.pool.workers() as u64)
-                        .bool("cache_enabled", cache::enabled())
-                        .num("uptime_ms", stc.started.elapsed().as_millis() as u64)
-                        .num("in_flight", stc.in_flight.load(Ordering::SeqCst))
-                        .num("queue_depth", stc.queued.load(Ordering::SeqCst))
-                        .num("queue_cap", stc.cfg.queue_cap as u64)
-                        .num("conns", stc.conns.load(Ordering::SeqCst))
-                        .num("max_conns", stc.cfg.max_conns as u64)
-                        .render()
+                    // Only an armed cache pays for a stats snapshot (the
+                    // first one walks the cold tier's shard directories).
+                    let (hits, misses) = if cache::enabled() {
+                        let s = cache::shared().stats();
+                        (s.hits(), s.misses())
+                    } else {
+                        (0, 0)
+                    };
+                    Response::Status {
+                        id,
+                        served: stc.served.load(Ordering::SeqCst),
+                        cache_hits: hits,
+                        cache_misses: misses,
+                        jobs: stc.pool.workers() as u64,
+                        cache_enabled: cache::enabled(),
+                        uptime_ms: stc.started.elapsed().as_millis() as u64,
+                        in_flight: stc.in_flight.load(Ordering::SeqCst),
+                        queue_depth: stc.queued.load(Ordering::SeqCst),
+                        queue_cap: stc.cfg.queue_cap as u64,
+                        conns: stc.conns.load(Ordering::SeqCst),
+                        max_conns: stc.cfg.max_conns as u64,
+                    }
+                    .render()
                 }) as Slot;
                 let _ = tx.send((seq, slot));
             }
@@ -900,12 +914,12 @@ fn handle_conn(st: &Arc<State>, mut stream: UnixStream) {
                 // registry — so a submit-then-metrics batch always sees
                 // its own runs.
                 let slot = Box::new(move || {
-                    Obj::new()
-                        .num("id", id)
-                        .bool("ok", true)
-                        .str("schema", metrics::SCHEMA)
-                        .str("snapshot", &metrics::global_snapshot().to_json())
-                        .render()
+                    Response::Metrics {
+                        id,
+                        schema: metrics::SCHEMA.to_owned(),
+                        snapshot: metrics::global_snapshot().to_json(),
+                    }
+                    .render()
                 }) as Slot;
                 let _ = tx.send((seq, slot));
             }
@@ -919,13 +933,7 @@ fn handle_conn(st: &Arc<State>, mut stream: UnixStream) {
                         lines.push_str(&r.render());
                         lines.push('\n');
                     }
-                    Obj::new()
-                        .num("id", id)
-                        .bool("ok", true)
-                        .num("count", recs.len() as u64)
-                        .num("dropped", dropped)
-                        .str("lines", &lines)
-                        .render()
+                    Response::Logs { id, count: recs.len() as u64, dropped, lines }.render()
                 }) as Slot;
                 let _ = tx.send((seq, slot));
             }
@@ -937,26 +945,39 @@ fn handle_conn(st: &Arc<State>, mut stream: UnixStream) {
                 let slot = Box::new(move || {
                     let store = stc.traces.lock().unwrap_or_else(|e| e.into_inner());
                     match store.map.get(&request_id) {
-                        Some(t) => {
-                            let mut o = Obj::new()
-                                .num("id", id)
-                                .bool("ok", true)
-                                .num("request_id", request_id)
-                                .num("wall_us", t.tree.wall_us)
-                                .num("spans", t.tree.spans.len() as u64)
-                                .num("sim_events", t.events.len() as u64)
-                                .str("tree", &t.tree.to_json());
-                            if perfetto {
-                                o = o.str(
-                                    "perfetto",
-                                    &trace::chrome::render_with_spans(t.events.iter(), &t.tree),
-                                );
-                            }
-                            o.render()
+                        Some(t) => Response::Trace {
+                            id,
+                            request_id,
+                            wall_us: t.tree.wall_us,
+                            spans: t.tree.spans.len() as u64,
+                            sim_events: t.events.len() as u64,
+                            tree: t.tree.to_json(),
+                            perfetto: perfetto.then(|| {
+                                trace::chrome::render_with_spans(t.events.iter(), &t.tree)
+                            }),
                         }
-                        None => error_obj(id, &format!("unknown request_id: {request_id:016x}"))
-                            .num("request_id", request_id)
-                            .render(),
+                        .render(),
+                        None => Response::Error {
+                            id,
+                            request_id,
+                            error: format!("unknown request_id: {request_id:016x}"),
+                        }
+                        .render(),
+                    }
+                }) as Slot;
+                let _ = tx.send((seq, slot));
+            }
+            Ok(Request::Inspect { id, key }) => {
+                // Delivery-time snapshot: earlier runs on this connection
+                // have already stored/promoted their records, so a
+                // submit-then-inspect batch sees its own tier movement.
+                let slot = Box::new(move || {
+                    match inspect_body(cache::shared(), key.as_deref()) {
+                        Ok(body) => Response::Inspect { id, body }.render(),
+                        Err(msg) => {
+                            metrics::count_global(Metric::ServeErrors, 1);
+                            Response::Error { id, request_id: 0, error: msg }.render()
+                        }
                     }
                 }) as Slot;
                 let _ = tx.send((seq, slot));
@@ -964,9 +985,8 @@ fn handle_conn(st: &Arc<State>, mut stream: UnixStream) {
             Ok(Request::Flush { id }) => {
                 // Ordered delivery IS the barrier: this slot leaves the
                 // reorder buffer only after every earlier response.
-                let slot = Box::new(move || {
-                    Obj::new().num("id", id).bool("ok", true).num("flushed", seq).render()
-                }) as Slot;
+                let slot =
+                    Box::new(move || Response::Flush { id, flushed: seq }.render()) as Slot;
                 let _ = tx.send((seq, slot));
             }
             Ok(Request::Shutdown { id }) => {
@@ -976,8 +996,7 @@ fn handle_conn(st: &Arc<State>, mut stream: UnixStream) {
                 // drain through the ordered streams. (Racing accepts
                 // against the drain was the old, buggy behavior.)
                 st.shutdown.store(true, Ordering::SeqCst);
-                let slot =
-                    Box::new(move || Obj::new().num("id", id).bool("ok", true).render()) as Slot;
+                let slot = Box::new(move || Response::Shutdown { id }.render()) as Slot;
                 let _ = tx.send((seq, slot));
                 want_shutdown = true;
                 break;

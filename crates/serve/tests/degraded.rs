@@ -14,13 +14,20 @@ use std::path::{Path, PathBuf};
 use std::time::Duration;
 
 fn wait_for(socket: &Path) {
-    for _ in 0..200 {
-        if socket.exists() {
-            return;
+    // Wait for a live listener, not just the socket file: `exists()`
+    // can win the race against the daemon thread between its `bind`
+    // and the accept loop coming up, and a stale file would satisfy it
+    // with no listener behind it at all. The probe connection is
+    // dropped unused; the daemon sees it end at EOF.
+    let mut last = None;
+    for _ in 0..400 {
+        match UnixStream::connect(socket) {
+            Ok(_) => return,
+            Err(e) => last = Some(e),
         }
         std::thread::sleep(Duration::from_millis(5));
     }
-    panic!("daemon never bound {}", socket.display());
+    panic!("daemon never came up on {} (last error: {last:?})", socket.display());
 }
 
 fn run(id: u64, workload: &str) -> Request {

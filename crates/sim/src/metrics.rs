@@ -151,11 +151,26 @@ pub enum Metric {
     /// Resubmitted `request_id`s answered by replaying the stored
     /// response instead of re-simulating.
     ServeDedupReplays,
+    /// Result-cache lookups served by the in-memory hot tier.
+    CacheHotHits,
+    /// Hot-tier lookups that fell through to the cold tier (whether or
+    /// not disk then hit).
+    CacheHotMisses,
+    /// Hot-tier records expelled to stay within `NSC_CACHE_MEM_BYTES`.
+    CacheHotEvictions,
+    /// Result-cache lookups served by the on-disk cold tier.
+    CacheColdHits,
+    /// Lookups no tier could answer (the run had to simulate).
+    CacheColdMisses,
+    /// Records written durably into the cold tier.
+    CacheColdStores,
+    /// Cold-tier files expelled to stay within `NSC_CACHE_DISK_BYTES`.
+    CacheColdEvictions,
 }
 
 impl Metric {
     /// Every counter, in declaration (= index) order.
-    pub const ALL: [Metric; 45] = [
+    pub const ALL: [Metric; 52] = [
         Metric::EngineIterations,
         Metric::DispatchCoreAccess,
         Metric::DispatchCorePrefetch,
@@ -201,6 +216,13 @@ impl Metric {
         Metric::ServeDeadlineExceeded,
         Metric::ServeConnsRejected,
         Metric::ServeDedupReplays,
+        Metric::CacheHotHits,
+        Metric::CacheHotMisses,
+        Metric::CacheHotEvictions,
+        Metric::CacheColdHits,
+        Metric::CacheColdMisses,
+        Metric::CacheColdStores,
+        Metric::CacheColdEvictions,
     ];
 
     /// Dotted metric name, e.g. `"mem.l1.hits"`.
@@ -251,6 +273,13 @@ impl Metric {
             Metric::ServeDeadlineExceeded => "serve.deadline_exceeded",
             Metric::ServeConnsRejected => "serve.conns_rejected",
             Metric::ServeDedupReplays => "serve.dedup_replays",
+            Metric::CacheHotHits => "cache.hot.hits",
+            Metric::CacheHotMisses => "cache.hot.misses",
+            Metric::CacheHotEvictions => "cache.hot.evictions",
+            Metric::CacheColdHits => "cache.cold.hits",
+            Metric::CacheColdMisses => "cache.cold.misses",
+            Metric::CacheColdStores => "cache.cold.stores",
+            Metric::CacheColdEvictions => "cache.cold.evictions",
         }
     }
 

@@ -1,0 +1,220 @@
+//! Hand-rolled LZ-style byte compressor for cold-tier cache records.
+//!
+//! Cache records are line-oriented text full of repeated key prefixes and
+//! comma-separated u64 renderings of f64 bit patterns — highly
+//! compressible with even a small-window LZ. This module implements a
+//! dependency-free LZSS variant: greedy longest-match against a 64 KiB
+//! sliding window, found through a 4-byte rolling hash table.
+//!
+//! The format is a flat token stream:
+//!
+//! - control byte `c < 0x80`: a literal run of `c + 1` bytes follows
+//!   verbatim (runs of up to 128 bytes);
+//! - control byte `c >= 0x80`: a back-reference of length
+//!   `(c - 0x80) + MIN_MATCH` followed by a 2-byte little-endian
+//!   distance (`1..=65535`, may overlap the output for RLE-style runs).
+//!
+//! Compression is byte-exact and deterministic: `decompress(compress(x))
+//! == x` for every input, including arbitrary binary (the f64 bit
+//! patterns records rely on survive untouched). There is no header —
+//! framing (magic, raw length) belongs to the caller ([`crate::cache`]
+//! prefixes stored files so uncompressed legacy entries stay readable).
+
+/// Shortest back-reference worth encoding (a match token costs 3 bytes).
+const MIN_MATCH: usize = 4;
+/// Longest back-reference one token can encode.
+const MAX_MATCH: usize = (0x7f) + MIN_MATCH;
+/// Sliding-window reach of the 16-bit distance field.
+const MAX_DIST: usize = u16::MAX as usize;
+/// Hash-table size (power of two) for the 4-byte match finder.
+const HASH_BITS: u32 = 15;
+
+#[inline]
+fn hash4(bytes: &[u8]) -> usize {
+    let v = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+    (v.wrapping_mul(0x9e37_79b1) >> (32 - HASH_BITS)) as usize
+}
+
+/// Compresses `data` into the token stream described in the module docs.
+///
+/// Worst case (incompressible input) the output is `len + len/128 + 1`
+/// bytes; callers should keep the original when that happens.
+pub fn compress(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 2 + 16);
+    // head[h] = most recent position whose 4-byte prefix hashed to h.
+    let mut head = vec![usize::MAX; 1 << HASH_BITS];
+    let mut lit_start = 0usize;
+    let mut i = 0usize;
+
+    let flush_literals = |out: &mut Vec<u8>, from: usize, to: usize| {
+        let mut run = from;
+        while run < to {
+            let n = (to - run).min(128);
+            out.push((n - 1) as u8);
+            out.extend_from_slice(&data[run..run + n]);
+            run += n;
+        }
+    };
+
+    while i + MIN_MATCH <= data.len() {
+        let h = hash4(&data[i..]);
+        let cand = head[h];
+        head[h] = i;
+        let mut match_len = 0usize;
+        if cand != usize::MAX && i - cand <= MAX_DIST && data[cand..cand + MIN_MATCH] == data[i..i + MIN_MATCH] {
+            let limit = (data.len() - i).min(MAX_MATCH);
+            let mut l = MIN_MATCH;
+            while l < limit && data[cand + l] == data[i + l] {
+                l += 1;
+            }
+            match_len = l;
+        }
+        if match_len >= MIN_MATCH {
+            flush_literals(&mut out, lit_start, i);
+            let dist = (i - cand) as u16;
+            out.push(0x80 + (match_len - MIN_MATCH) as u8);
+            out.extend_from_slice(&dist.to_le_bytes());
+            // Seed the hash table through the matched region so later
+            // repeats of its interior still find a candidate.
+            let end = (i + match_len).min(data.len().saturating_sub(MIN_MATCH - 1));
+            let mut j = i + 1;
+            while j < end {
+                head[hash4(&data[j..])] = j;
+                j += 1;
+            }
+            i += match_len;
+            lit_start = i;
+        } else {
+            i += 1;
+        }
+    }
+    flush_literals(&mut out, lit_start, data.len());
+    out
+}
+
+/// Decompresses a [`compress`] token stream. Returns `None` for any
+/// malformed stream (truncated token, distance past the start of the
+/// output) rather than panicking — cold-tier files can be damaged.
+pub fn decompress(stream: &[u8]) -> Option<Vec<u8>> {
+    let mut out = Vec::with_capacity(stream.len() * 2);
+    let mut i = 0usize;
+    while i < stream.len() {
+        let c = stream[i];
+        i += 1;
+        if c < 0x80 {
+            let n = c as usize + 1;
+            if i + n > stream.len() {
+                return None;
+            }
+            out.extend_from_slice(&stream[i..i + n]);
+            i += n;
+        } else {
+            if i + 2 > stream.len() {
+                return None;
+            }
+            let dist = u16::from_le_bytes([stream[i], stream[i + 1]]) as usize;
+            i += 2;
+            let len = (c - 0x80) as usize + MIN_MATCH;
+            if dist == 0 || dist > out.len() {
+                return None;
+            }
+            // Byte-by-byte copy: matches may overlap their own output
+            // (dist < len encodes an RLE-style repeat).
+            let start = out.len() - dist;
+            for k in 0..len {
+                let b = out[start + k];
+                out.push(b);
+            }
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    fn roundtrip(data: &[u8]) {
+        let packed = compress(data);
+        let unpacked = decompress(&packed).expect("well-formed stream");
+        assert_eq!(unpacked, data, "round trip must be byte-exact");
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        roundtrip(b"");
+        roundtrip(b"a");
+        roundtrip(b"abc");
+        roundtrip(b"abcd");
+    }
+
+    #[test]
+    fn repetitive_record_text_shrinks() {
+        let mut rec = String::from("schema=nsc-run-v1\n");
+        for i in 0..200u64 {
+            rec.push_str(&format!("stats.row{}=4607182418800017408,{},42\n", i, i * 7));
+        }
+        let data = rec.as_bytes();
+        let packed = compress(data);
+        assert!(
+            packed.len() * 2 < data.len(),
+            "record-like text should compress >2x ({} -> {})",
+            data.len(),
+            packed.len()
+        );
+        roundtrip(data);
+    }
+
+    #[test]
+    fn rle_overlap_runs() {
+        roundtrip(&[0u8; 1000]);
+        roundtrip("ab".repeat(700).as_bytes());
+        roundtrip("xyz".repeat(500).as_bytes());
+    }
+
+    #[test]
+    fn random_binary_roundtrips() {
+        let mut rng = Rng::seed_from_u64(0x9ec4);
+        for len in [1usize, 7, 64, 255, 1024, 70_000] {
+            let data: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+            roundtrip(&data);
+        }
+    }
+
+    #[test]
+    fn f64_bit_patterns_survive() {
+        let mut rng = Rng::seed_from_u64(7);
+        let mut data = Vec::new();
+        for _ in 0..4096 {
+            data.extend_from_slice(&rng.next_u64().to_le_bytes());
+        }
+        // NaN payloads, signed zeros, subnormals: all just bytes here.
+        data.extend_from_slice(&f64::NAN.to_bits().to_le_bytes());
+        data.extend_from_slice(&(-0.0f64).to_bits().to_le_bytes());
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn structured_then_random_mix() {
+        let mut rng = Rng::seed_from_u64(99);
+        let mut data = b"header=1\nheader=1\nheader=1\n".to_vec();
+        for _ in 0..5000 {
+            data.push(rng.next_u64() as u8);
+        }
+        data.extend_from_slice(b"trailer,trailer,trailer,trailer");
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn malformed_streams_are_rejected() {
+        // Literal run promising more bytes than remain.
+        assert_eq!(decompress(&[10, b'a']), None);
+        // Match token with truncated distance.
+        assert_eq!(decompress(&[0x80, 1]), None);
+        // Distance pointing before the start of the output.
+        assert_eq!(decompress(&[0x00, b'a', 0x80, 5, 0]), None);
+        // Zero distance.
+        assert_eq!(decompress(&[0x00, b'a', 0x80, 0, 0]), None);
+    }
+}
