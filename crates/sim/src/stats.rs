@@ -252,6 +252,13 @@ impl Histogram {
         let p = p.clamp(0.0, 100.0);
         // Rank of the target sample, 1-based, in [1, total].
         let rank = ((p / 100.0) * total as f64).max(1.0);
+        // Small-sample tails: when the target rank is the last sample
+        // (e.g. p999 of ≤ 1000 samples, where ceil(0.999·n) = n), that
+        // order statistic *is* the observed maximum — return it exactly
+        // instead of interpolating within the top bucket.
+        if rank.ceil() >= total as f64 {
+            return self.summary.max().unwrap_or(0.0);
+        }
         let mut seen = 0u64;
         for (i, &c) in self.counts.iter().enumerate() {
             if c == 0 {
@@ -478,6 +485,41 @@ mod tests {
         assert!(p50 >= 1.0 && p99 <= 151.0);
         // p50 of 10 samples lands in the bucket holding samples 50..53.
         assert!((50.0..60.0).contains(&p50), "p50 {p50}");
+    }
+
+    #[test]
+    fn p999_small_samples_return_exact_max() {
+        // With n ≤ 1000 samples the p999 order statistic is the last
+        // sample: percentile(99.9) must be the observed max, never an
+        // interpolated value past (or below) it.
+        let mut h = Histogram::new(10.0, 16);
+        for v in [1.0, 2.0, 3.0, 50.0, 51.0, 52.0, 120.0, 121.0, 150.0, 151.0] {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(99.9), 151.0);
+        assert_eq!(h.percentile_opt(99.9), Some(151.0));
+        // Tail ordering still holds.
+        assert!(h.percentile(99.0) <= h.percentile(99.9));
+        // One sample: every tail percentile is that sample.
+        let mut one = Histogram::new(1.0, 4);
+        one.record(2.5);
+        assert_eq!(one.percentile(99.9), 2.5);
+        // Empty stays the documented null behavior.
+        assert_eq!(Histogram::new(1.0, 4).percentile_opt(99.9), None);
+    }
+
+    #[test]
+    fn p999_large_samples_interpolate_below_max() {
+        // Past 1000 samples the p999 rank falls short of the max, so
+        // interpolation resumes — and must stay bounded by the max.
+        let mut h = Histogram::new(10.0, 16);
+        for _ in 0..2000 {
+            h.record(5.0);
+        }
+        h.record(155.0); // one outlier at the top
+        let p999 = h.percentile(99.9);
+        assert!(p999 <= 155.0, "p999 {p999} must not pass the max");
+        assert!(p999 < 100.0, "p999 {p999} should sit in the body, not the outlier");
     }
 
     #[test]

@@ -1,0 +1,736 @@
+//! Telemetry timeline: a fixed-capacity ring of periodic registry
+//! samples, the time dimension the point-in-time `metrics` snapshot
+//! lacks.
+//!
+//! A sampler (the `nscd` daemon runs one thread; tests drive the ring
+//! directly) periodically feeds the process-global [`crate::metrics`]
+//! registry into [`Timeline::sample`]. Each call diffs the new snapshot
+//! against the previous one and appends a compact [`Frame`]: per-window
+//! counter deltas, derived rates (req/s, shed/s, cache hit-rate) and
+//! windowed latency quantiles (p50/p99/p999 of `serve.total_us`,
+//! computed from the bucket-count difference between consecutive
+//! cumulative histograms — the registry itself is never reset).
+//!
+//! The ring holds at most `cap` frames; older frames fall off the
+//! front. Every frame carries a monotone `seq`, so the `timeline` op's
+//! `since` cursor paginates exactly the unseen frames even across
+//! wraparound. Frames serialize one-per-line under schema [`SCHEMA`]
+//! (`nsc-timeline-v1`, DESIGN.md §6.15).
+//!
+//! Determinism: [`Timeline::sample`] takes the timestamp as a
+//! parameter (an injectable clock), performs no I/O and reads no host
+//! time, so identical snapshot/tick sequences render byte-identical
+//! frames — the basis of the `NSC_JOBS=1` vs `8` identity tests.
+//!
+//! Health: [`SloConfig`] (from `NSC_SLO_P99_US` / `NSC_SLO_SHED_RATE`
+//! / `NSC_SLO_HIT_RATE`) evaluates the most recent frames into a typed
+//! [`Verdict`] with per-rule evidence — `ok` when no rule is breached
+//! in the latest frame, `degraded` on a fresh breach, `failing` once a
+//! rule has been breached for [`FAILING_STREAK`] consecutive frames.
+//!
+//! # Examples
+//!
+//! ```
+//! use nsc_sim::metrics::Registry;
+//! use nsc_sim::timeline::Timeline;
+//!
+//! let mut tl = Timeline::new(4);
+//! tl.sample(1000, &Registry::new());
+//! tl.sample(2000, &Registry::new());
+//! assert_eq!(tl.latest().unwrap().seq, 2);
+//! assert_eq!(tl.since(1).count(), 1); // cursor: only the unseen frame
+//! assert!(tl.render_since(0).contains("\"schema\":\"nsc-timeline-v1\""));
+//! ```
+
+use crate::json::fmt_f64;
+use crate::metrics::{Gauge, Hist, Metric, Registry};
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+
+/// Schema identifier embedded in every serialized frame.
+pub const SCHEMA: &str = "nsc-timeline-v1";
+
+/// Default sampler interval (`NSC_SAMPLE_MS`), milliseconds.
+pub const DEFAULT_SAMPLE_MS: u64 = 1000;
+
+/// Default ring capacity (`NSC_TIMELINE_CAP`): 900 frames = 15 minutes
+/// at the default 1 s interval.
+pub const DEFAULT_CAP: usize = 900;
+
+/// Consecutive breached frames after which a rule escalates the
+/// verdict from `degraded` to `failing`.
+pub const FAILING_STREAK: u64 = 3;
+
+/// One sampled window: counter deltas, derived rates, gauge high-water
+/// marks and windowed latency quantiles.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Frame {
+    /// Monotone frame number, 1-based. The `timeline` op's `since`
+    /// cursor is "last seq I saw"; frames with `seq > since` are the
+    /// unseen ones.
+    pub seq: u64,
+    /// Sample timestamp, milliseconds on the sampler's clock (daemon:
+    /// ms since the sampler started; tests: injected ticks).
+    pub t_ms: u64,
+    /// Window covered by this frame's deltas, milliseconds.
+    pub window_ms: u64,
+    /// `serve.requests` delta over the window.
+    pub requests: u64,
+    /// `serve.runs` delta over the window.
+    pub runs: u64,
+    /// `serve.runs_cached` delta over the window.
+    pub cached: u64,
+    /// `serve.shed` + `serve.deadline_exceeded` delta over the window.
+    pub shed: u64,
+    /// `serve.errors` delta over the window.
+    pub errors: u64,
+    /// `result_cache.hits` delta over the window.
+    pub cache_hits: u64,
+    /// `result_cache.misses` delta over the window.
+    pub cache_misses: u64,
+    /// Requests per second over the window.
+    pub req_s: f64,
+    /// Sheds per second over the window.
+    pub shed_s: f64,
+    /// Sheds as a fraction of requests in the window (0 when idle).
+    pub shed_ratio: f64,
+    /// Result-cache hit fraction over the window, `None` when the
+    /// window saw no lookups (renders as `null`).
+    pub hit_rate: Option<f64>,
+    /// `serve.queue_depth_hwm` gauge at sample time (cumulative
+    /// high-water mark, not a per-window value).
+    pub queue_hwm: f64,
+    /// `serve.in_flight_hwm` gauge at sample time.
+    pub in_flight_hwm: f64,
+    /// Windowed p50 of `serve.total_us`, `None` when the window saw no
+    /// completed requests.
+    pub p50_us: Option<f64>,
+    /// Windowed p99 of `serve.total_us`.
+    pub p99_us: Option<f64>,
+    /// Windowed p999 of `serve.total_us`.
+    pub p999_us: Option<f64>,
+}
+
+impl Frame {
+    /// Renders the frame as one `nsc-timeline-v1` ndjson line (no
+    /// trailing newline). Key order is fixed, so equal frames render
+    /// byte-identically.
+    pub fn to_json(&self) -> String {
+        let opt = |v: Option<f64>| v.map_or_else(|| "null".to_owned(), fmt_f64);
+        let mut s = String::with_capacity(256);
+        let _ = write!(
+            s,
+            "{{\"schema\":\"{SCHEMA}\",\"seq\":{},\"t_ms\":{},\"window_ms\":{},\
+             \"requests\":{},\"runs\":{},\"cached\":{},\"shed\":{},\"errors\":{},\
+             \"cache_hits\":{},\"cache_misses\":{},\
+             \"req_s\":{},\"shed_s\":{},\"shed_ratio\":{},\"hit_rate\":{},\
+             \"queue_hwm\":{},\"in_flight_hwm\":{},\
+             \"p50_us\":{},\"p99_us\":{},\"p999_us\":{}}}",
+            self.seq,
+            self.t_ms,
+            self.window_ms,
+            self.requests,
+            self.runs,
+            self.cached,
+            self.shed,
+            self.errors,
+            self.cache_hits,
+            self.cache_misses,
+            fmt_f64(self.req_s),
+            fmt_f64(self.shed_s),
+            fmt_f64(self.shed_ratio),
+            opt(self.hit_rate),
+            fmt_f64(self.queue_hwm),
+            fmt_f64(self.in_flight_hwm),
+            opt(self.p50_us),
+            opt(self.p99_us),
+            opt(self.p999_us),
+        );
+        s
+    }
+}
+
+/// The p-th percentile (p in `[0,100]`) of a **windowed** bucket-count
+/// difference, by linear interpolation within the containing bucket.
+///
+/// The window has no exact min/max (those are not diffable between
+/// cumulative summaries), so estimates clamp to bucket edges instead.
+/// `None` when the window recorded no samples.
+pub fn delta_percentile(counts: &[u64], width: f64, p: f64) -> Option<f64> {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return None;
+    }
+    let p = p.clamp(0.0, 100.0);
+    let rank = ((p / 100.0) * total as f64).max(1.0);
+    let mut seen = 0u64;
+    for (i, &c) in counts.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        let next = seen + c;
+        if (next as f64) >= rank {
+            let within = (rank - seen as f64) / c as f64;
+            return Some((i as f64 + within) * width);
+        }
+        seen = next;
+    }
+    Some(counts.len() as f64 * width)
+}
+
+/// A fixed-capacity ring of [`Frame`]s plus the previous registry
+/// snapshot the next delta will diff against.
+///
+/// Allocation-bounded: one retained [`Registry`] clone and at most
+/// `cap` frames, regardless of uptime.
+#[derive(Clone, Debug)]
+pub struct Timeline {
+    cap: usize,
+    frames: VecDeque<Frame>,
+    next_seq: u64,
+    prev: Option<(u64, Registry)>,
+}
+
+impl Timeline {
+    /// Creates an empty timeline retaining at most `cap` frames
+    /// (`cap` is clamped to at least 1).
+    pub fn new(cap: usize) -> Timeline {
+        Timeline {
+            cap: cap.max(1),
+            frames: VecDeque::new(),
+            next_seq: 1,
+            prev: None,
+        }
+    }
+
+    /// The configured ring capacity.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Number of frames currently retained.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// True when no frame has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// The most recent frame, if any.
+    pub fn latest(&self) -> Option<&Frame> {
+        self.frames.back()
+    }
+
+    /// Diffs `reg` against the previous sample and appends one frame
+    /// stamped `now_ms` (the caller's clock — the daemon passes
+    /// milliseconds since the sampler started, tests pass synthetic
+    /// ticks). The first sample diffs against an all-zero registry over
+    /// the window `[0, now_ms]`.
+    pub fn sample(&mut self, now_ms: u64, reg: &Registry) -> &Frame {
+        let zero = Registry::new();
+        let (prev_ms, prev_reg) = match &self.prev {
+            Some((t, r)) => (*t, r),
+            None => (0, &zero),
+        };
+        let window_ms = now_ms.saturating_sub(prev_ms);
+        let d = |m: Metric| reg.count(m).saturating_sub(prev_reg.count(m));
+        let requests = d(Metric::ServeRequests);
+        let shed = d(Metric::ServeShed) + d(Metric::ServeDeadlineExceeded);
+        let cache_hits = d(Metric::ResultCacheHits);
+        let cache_misses = d(Metric::ResultCacheMisses);
+        let lookups = cache_hits + cache_misses;
+        let per_s = |n: u64| {
+            if window_ms == 0 {
+                0.0
+            } else {
+                n as f64 * 1000.0 / window_ms as f64
+            }
+        };
+        let cur = reg.hist(Hist::ServeTotalUs);
+        let prev_counts = prev_reg.hist(Hist::ServeTotalUs).bucket_counts();
+        let diff: Vec<u64> = cur
+            .bucket_counts()
+            .iter()
+            .zip(prev_counts.iter())
+            .map(|(c, p)| c.saturating_sub(*p))
+            .collect();
+        let width = cur.bucket_width();
+        let frame = Frame {
+            seq: self.next_seq,
+            t_ms: now_ms,
+            window_ms,
+            requests,
+            runs: d(Metric::ServeRuns),
+            cached: d(Metric::ServeRunsCached),
+            shed,
+            errors: d(Metric::ServeErrors),
+            cache_hits,
+            cache_misses,
+            req_s: per_s(requests),
+            shed_s: per_s(shed),
+            shed_ratio: if requests == 0 { 0.0 } else { shed as f64 / requests as f64 },
+            hit_rate: (lookups > 0).then(|| cache_hits as f64 / lookups as f64),
+            queue_hwm: reg.gauge(Gauge::ServeQueueDepth),
+            in_flight_hwm: reg.gauge(Gauge::ServeInFlight),
+            p50_us: delta_percentile(&diff, width, 50.0),
+            p99_us: delta_percentile(&diff, width, 99.0),
+            p999_us: delta_percentile(&diff, width, 99.9),
+        };
+        self.next_seq += 1;
+        if self.frames.len() == self.cap {
+            self.frames.pop_front();
+        }
+        self.frames.push_back(frame);
+        self.prev = Some((now_ms, reg.clone()));
+        self.frames.back().expect("frame just pushed")
+    }
+
+    /// Frames with `seq > since`, oldest first — exactly the frames a
+    /// cursor-carrying client has not seen (older frames may have
+    /// fallen off the ring; the caller detects that gap by comparing
+    /// the first returned `seq` against `since + 1`).
+    pub fn since(&self, since: u64) -> impl Iterator<Item = &Frame> {
+        self.frames.iter().filter(move |f| f.seq > since)
+    }
+
+    /// Renders every frame with `seq > since` as ndjson, one frame per
+    /// line (with a trailing newline when any frame rendered).
+    pub fn render_since(&self, since: u64) -> String {
+        let mut out = String::new();
+        for f in self.since(since) {
+            out.push_str(&f.to_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// SLO thresholds, read from the environment by the daemon. A
+/// threshold of zero disables its rule.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SloConfig {
+    /// Windowed p99 of `serve.total_us` must stay at or below this
+    /// (`NSC_SLO_P99_US`, default 50 000 µs; 0 disables).
+    pub p99_us: f64,
+    /// Per-window shed ratio (sheds / requests) must stay at or below
+    /// this (`NSC_SLO_SHED_RATE`, default 0.05; 0 disables).
+    pub shed_rate: f64,
+    /// Per-window result-cache hit rate must stay at or above this
+    /// (`NSC_SLO_HIT_RATE`, default 0 = disabled — a cold cache is not
+    /// an incident unless the operator says so).
+    pub hit_rate: f64,
+}
+
+impl Default for SloConfig {
+    fn default() -> Self {
+        SloConfig { p99_us: 50_000.0, shed_rate: 0.05, hit_rate: 0.0 }
+    }
+}
+
+impl SloConfig {
+    /// Reads `NSC_SLO_P99_US` / `NSC_SLO_SHED_RATE` / `NSC_SLO_HIT_RATE`,
+    /// keeping the defaults for unset or unparseable values.
+    pub fn from_env() -> SloConfig {
+        let read = |key: &str, dflt: f64| {
+            std::env::var(key)
+                .ok()
+                .and_then(|v| v.parse::<f64>().ok())
+                .filter(|v| v.is_finite() && *v >= 0.0)
+                .unwrap_or(dflt)
+        };
+        let d = SloConfig::default();
+        SloConfig {
+            p99_us: read("NSC_SLO_P99_US", d.p99_us),
+            shed_rate: read("NSC_SLO_SHED_RATE", d.shed_rate),
+            hit_rate: read("NSC_SLO_HIT_RATE", d.hit_rate),
+        }
+    }
+}
+
+/// Overall health verdict.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// No rule breached in the latest frame.
+    Ok,
+    /// At least one rule breached, none for `FAILING_STREAK`
+    /// consecutive frames yet.
+    Degraded,
+    /// Some rule has been breached for `FAILING_STREAK` or more
+    /// consecutive frames.
+    Failing,
+}
+
+impl Verdict {
+    /// Wire label (`ok` / `degraded` / `failing`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Verdict::Ok => "ok",
+            Verdict::Degraded => "degraded",
+            Verdict::Failing => "failing",
+        }
+    }
+}
+
+/// Evidence for one SLO rule.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RuleEval {
+    /// Rule name (`p99_us` / `shed_rate` / `hit_rate`).
+    pub name: &'static str,
+    /// Configured threshold.
+    pub threshold: f64,
+    /// Observed value in the latest frame, `None` when the frame had
+    /// no signal for this rule (no samples / no lookups).
+    pub value: Option<f64>,
+    /// Whether the latest frame breaches the rule.
+    pub breached: bool,
+    /// Consecutive breached frames, counting back from the latest.
+    pub streak: u64,
+}
+
+/// A health report: the verdict plus per-rule evidence.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HealthReport {
+    /// Overall verdict.
+    pub verdict: Verdict,
+    /// One entry per enabled rule, in fixed order.
+    pub rules: Vec<RuleEval>,
+    /// Number of frames the evaluation could see.
+    pub frames_seen: u64,
+}
+
+impl HealthReport {
+    /// Renders the report as ndjson: one line per rule, then one
+    /// verdict line — mirrors the `timeline` op's frame-per-line shape.
+    pub fn to_ndjson(&self) -> String {
+        let mut out = String::new();
+        for r in &self.rules {
+            let _ = writeln!(
+                out,
+                "{{\"rule\":\"{}\",\"threshold\":{},\"value\":{},\"breached\":{},\"streak\":{}}}",
+                r.name,
+                fmt_f64(r.threshold),
+                r.value.map_or_else(|| "null".to_owned(), fmt_f64),
+                r.breached,
+                r.streak,
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{{\"schema\":\"{SCHEMA}\",\"verdict\":\"{}\",\"rules\":{},\"frames_seen\":{}}}",
+            self.verdict.label(),
+            self.rules.len(),
+            self.frames_seen,
+        );
+        out
+    }
+}
+
+/// Evaluates `cfg` against the timeline's most recent frames.
+///
+/// Each enabled rule inspects the latest frame for its current value
+/// and walks backwards to count its breach streak. A rule with no
+/// signal in a frame (no completed requests for `p99_us`, no lookups
+/// for `hit_rate`) neither breaches nor extends a streak there. An
+/// empty timeline is `ok` with zero frames of evidence.
+pub fn evaluate(cfg: &SloConfig, tl: &Timeline) -> HealthReport {
+    // breach(frame) -> Some(true|false) when the frame carries signal.
+    type Probe<'a> = &'a dyn Fn(&Frame) -> Option<bool>;
+    let p99 = |f: &Frame| f.p99_us.map(|v| v > cfg.p99_us);
+    let shed = |f: &Frame| (f.requests > 0).then_some(f.shed_ratio > cfg.shed_rate);
+    let hit = |f: &Frame| f.hit_rate.map(|v| v < cfg.hit_rate);
+    let rules: [(&'static str, f64, bool, Probe); 3] = [
+        ("p99_us", cfg.p99_us, cfg.p99_us > 0.0, &p99),
+        ("shed_rate", cfg.shed_rate, cfg.shed_rate > 0.0, &shed),
+        ("hit_rate", cfg.hit_rate, cfg.hit_rate > 0.0, &hit),
+    ];
+    let mut evals = Vec::new();
+    for (name, threshold, enabled, probe) in rules {
+        if !enabled {
+            continue;
+        }
+        let latest = tl.latest();
+        let value = match name {
+            "p99_us" => latest.and_then(|f| f.p99_us),
+            "shed_rate" => latest.and_then(|f| (f.requests > 0).then_some(f.shed_ratio)),
+            _ => latest.and_then(|f| f.hit_rate),
+        };
+        let breached = latest.and_then(probe).unwrap_or(false);
+        let mut streak = 0u64;
+        for f in tl.frames.iter().rev() {
+            match probe(f) {
+                Some(true) => streak += 1,
+                Some(false) => break,
+                // No signal: skip the frame without breaking the
+                // streak (an idle window should not reset an incident).
+                None => continue,
+            }
+        }
+        if !breached {
+            streak = 0;
+        }
+        evals.push(RuleEval { name, threshold, value, breached, streak });
+    }
+    let worst = evals.iter().map(|r| r.streak).max().unwrap_or(0);
+    let verdict = if evals.iter().all(|r| !r.breached) {
+        Verdict::Ok
+    } else if worst >= FAILING_STREAK {
+        Verdict::Failing
+    } else {
+        Verdict::Degraded
+    };
+    HealthReport { verdict, rules: evals, frames_seen: tl.len() as u64 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{Gauge, Hist, Metric, Registry};
+
+    fn reg(requests: u64, shed: u64, hits: u64, misses: u64, lat_us: &[f64]) -> Registry {
+        let mut r = Registry::new();
+        for _ in 0..requests {
+            r_count(&mut r, Metric::ServeRequests);
+        }
+        for _ in 0..shed {
+            r_count(&mut r, Metric::ServeShed);
+        }
+        for _ in 0..hits {
+            r_count(&mut r, Metric::ResultCacheHits);
+        }
+        for _ in 0..misses {
+            r_count(&mut r, Metric::ResultCacheMisses);
+        }
+        for &v in lat_us {
+            r_observe(&mut r, v);
+        }
+        r
+    }
+
+    // Registry's mutating methods are crate-private by design; tests
+    // go through the thread-local install/absorb path instead.
+    fn r_count(r: &mut Registry, m: Metric) {
+        crate::metrics::install(Registry::new());
+        crate::metrics::count(m);
+        r.merge(&crate::metrics::uninstall().unwrap());
+    }
+
+    fn r_observe(r: &mut Registry, v: f64) {
+        crate::metrics::install(Registry::new());
+        crate::metrics::observe(Hist::ServeTotalUs, v);
+        r.merge(&crate::metrics::uninstall().unwrap());
+    }
+
+    #[test]
+    fn first_frame_diffs_against_zero() {
+        let mut tl = Timeline::new(8);
+        let r = reg(10, 2, 3, 1, &[1000.0, 2000.0]);
+        let f = tl.sample(1000, &r).clone();
+        assert_eq!(f.seq, 1);
+        assert_eq!(f.t_ms, 1000);
+        assert_eq!(f.window_ms, 1000);
+        assert_eq!(f.requests, 10);
+        assert_eq!(f.shed, 2);
+        assert_eq!(f.req_s, 10.0);
+        assert_eq!(f.shed_s, 2.0);
+        assert_eq!(f.shed_ratio, 0.2);
+        assert_eq!(f.hit_rate, Some(0.75));
+        assert!(f.p50_us.is_some() && f.p99_us.is_some() && f.p999_us.is_some());
+    }
+
+    #[test]
+    fn deltas_are_per_window_not_cumulative() {
+        let mut tl = Timeline::new(8);
+        let r1 = reg(10, 0, 0, 0, &[]);
+        tl.sample(1000, &r1);
+        let mut r2 = r1.clone();
+        for _ in 0..5 {
+            r_count(&mut r2, Metric::ServeRequests);
+        }
+        let f = tl.sample(3000, &r2).clone();
+        assert_eq!(f.requests, 5, "second frame sees only the delta");
+        assert_eq!(f.window_ms, 2000);
+        assert_eq!(f.req_s, 2.5);
+    }
+
+    #[test]
+    fn idle_window_has_null_quantiles_and_hit_rate() {
+        let mut tl = Timeline::new(8);
+        let r = reg(0, 0, 0, 0, &[]);
+        tl.sample(1000, &r);
+        let f = tl.sample(2000, &r).clone();
+        assert_eq!(f.requests, 0);
+        assert_eq!(f.hit_rate, None);
+        assert_eq!(f.p50_us, None);
+        assert_eq!(f.p99_us, None);
+        let line = f.to_json();
+        assert!(line.contains("\"hit_rate\":null"), "{line}");
+        assert!(line.contains("\"p999_us\":null"), "{line}");
+    }
+
+    #[test]
+    fn ring_wraps_at_cap_and_keeps_seq_monotone() {
+        let mut tl = Timeline::new(3);
+        let r = reg(0, 0, 0, 0, &[]);
+        for t in 1..=7u64 {
+            tl.sample(t * 1000, &r);
+        }
+        assert_eq!(tl.len(), 3);
+        let seqs: Vec<u64> = tl.since(0).map(|f| f.seq).collect();
+        assert_eq!(seqs, vec![5, 6, 7], "oldest frames fell off the ring");
+        assert_eq!(tl.latest().unwrap().seq, 7);
+    }
+
+    #[test]
+    fn since_cursor_returns_exactly_the_unseen_frames() {
+        let mut tl = Timeline::new(10);
+        let r = reg(0, 0, 0, 0, &[]);
+        for t in 1..=5u64 {
+            tl.sample(t * 1000, &r);
+        }
+        let unseen: Vec<u64> = tl.since(3).map(|f| f.seq).collect();
+        assert_eq!(unseen, vec![4, 5]);
+        assert_eq!(tl.since(5).count(), 0, "cursor at head sees nothing");
+        assert_eq!(tl.since(99).count(), 0, "future cursor sees nothing");
+        // Rendered form: one line per unseen frame.
+        let nd = tl.render_since(3);
+        assert_eq!(nd.lines().count(), 2);
+        for line in nd.lines() {
+            let doc = crate::json::parse(line).expect("frame parses");
+            assert_eq!(
+                doc.get("schema").and_then(crate::json::Json::as_str),
+                Some(SCHEMA)
+            );
+        }
+    }
+
+    #[test]
+    fn windowed_quantiles_come_from_bucket_diffs() {
+        let mut tl = Timeline::new(8);
+        // First window: fast requests (1 ms).
+        let r1 = reg(4, 0, 0, 0, &[1000.0, 1000.0, 1000.0, 1000.0]);
+        tl.sample(1000, &r1);
+        // Second window: slow requests (10 ms) on top of the same
+        // cumulative histogram.
+        let mut r2 = r1.clone();
+        for _ in 0..4 {
+            r_observe(&mut r2, 10_000.0);
+        }
+        let f = tl.sample(2000, &r2).clone();
+        let p50 = f.p50_us.unwrap();
+        assert!(p50 > 5000.0, "windowed p50 {p50} must reflect only the slow window");
+        // The cumulative histogram's median still sits at the fast mode.
+        let cum = r2.hist(Hist::ServeTotalUs).percentile(50.0);
+        assert!(cum < 5000.0, "cumulative p50 {cum} spans both windows");
+    }
+
+    #[test]
+    fn delta_percentile_bounds() {
+        assert_eq!(delta_percentile(&[0, 0], 10.0, 50.0), None);
+        let counts = [0, 4, 0, 0];
+        let p0 = delta_percentile(&counts, 10.0, 0.0).unwrap();
+        let p100 = delta_percentile(&counts, 10.0, 100.0).unwrap();
+        assert!(p0 >= 10.0 && p100 <= 20.0, "{p0} {p100} stay inside the bucket");
+        let p50 = delta_percentile(&counts, 10.0, 50.0).unwrap();
+        assert!((10.0..=20.0).contains(&p50));
+    }
+
+    #[test]
+    fn frames_render_byte_identically_for_equal_inputs() {
+        let run = || {
+            let mut tl = Timeline::new(8);
+            let r1 = reg(7, 1, 2, 2, &[1500.0, 2500.0, 900.0]);
+            tl.sample(1000, &r1);
+            let mut r2 = r1.clone();
+            r_count(&mut r2, Metric::ServeRequests);
+            r_observe(&mut r2, 3100.0);
+            tl.sample(2000, &r2);
+            tl.render_since(0)
+        };
+        assert_eq!(run(), run(), "same snapshots + ticks, same bytes");
+    }
+
+    #[test]
+    fn gauges_pass_through() {
+        let mut tl = Timeline::new(4);
+        let mut r = Registry::new();
+        crate::metrics::install(Registry::new());
+        crate::metrics::gauge_max(Gauge::ServeQueueDepth, 9.0);
+        crate::metrics::gauge_max(Gauge::ServeInFlight, 4.0);
+        r.merge(&crate::metrics::uninstall().unwrap());
+        let f = tl.sample(1000, &r).clone();
+        assert_eq!(f.queue_hwm, 9.0);
+        assert_eq!(f.in_flight_hwm, 4.0);
+    }
+
+    #[test]
+    fn slo_defaults_and_env_gating() {
+        let d = SloConfig::default();
+        assert_eq!(d.p99_us, 50_000.0);
+        assert_eq!(d.shed_rate, 0.05);
+        assert_eq!(d.hit_rate, 0.0);
+    }
+
+    #[test]
+    fn health_ok_on_empty_timeline() {
+        let tl = Timeline::new(4);
+        let rep = evaluate(&SloConfig::default(), &tl);
+        assert_eq!(rep.verdict, Verdict::Ok);
+        assert_eq!(rep.frames_seen, 0);
+        // hit_rate rule is disabled by default: two enabled rules.
+        assert_eq!(rep.rules.len(), 2);
+        assert!(rep.to_ndjson().contains("\"verdict\":\"ok\""));
+    }
+
+    #[test]
+    fn health_degrades_then_fails_on_sustained_breach() {
+        let cfg = SloConfig { p99_us: 0.0, shed_rate: 0.5, hit_rate: 0.0 };
+        let mut tl = Timeline::new(8);
+        let mut r = reg(10, 0, 0, 0, &[]);
+        tl.sample(1000, &r);
+        assert_eq!(evaluate(&cfg, &tl).verdict, Verdict::Ok);
+        // Three successive windows where every request sheds.
+        for t in 2..=4u64 {
+            let mut next = r.clone();
+            for _ in 0..10 {
+                r_count(&mut next, Metric::ServeRequests);
+                r_count(&mut next, Metric::ServeShed);
+            }
+            tl.sample(t * 1000, &next);
+            r = next;
+            let rep = evaluate(&cfg, &tl);
+            let shed_rule = rep.rules.iter().find(|x| x.name == "shed_rate").unwrap();
+            assert!(shed_rule.breached);
+            assert_eq!(shed_rule.streak, t - 1);
+            if t > FAILING_STREAK {
+                assert_eq!(rep.verdict, Verdict::Failing, "streak {}", t - 1);
+            } else {
+                assert_eq!(rep.verdict, Verdict::Degraded, "streak {}", t - 1);
+            }
+        }
+        // Recovery: a clean window resets the verdict.
+        let mut next = r.clone();
+        for _ in 0..10 {
+            r_count(&mut next, Metric::ServeRequests);
+        }
+        tl.sample(5000, &next);
+        assert_eq!(evaluate(&cfg, &tl).verdict, Verdict::Ok);
+    }
+
+    #[test]
+    fn health_report_ndjson_parses() {
+        let cfg = SloConfig { p99_us: 100.0, shed_rate: 0.05, hit_rate: 0.9 };
+        let mut tl = Timeline::new(4);
+        let r = reg(5, 0, 1, 9, &[50_000.0]);
+        tl.sample(1000, &r);
+        let rep = evaluate(&cfg, &tl);
+        assert_eq!(rep.rules.len(), 3);
+        let nd = rep.to_ndjson();
+        assert_eq!(nd.lines().count(), 4, "3 rules + verdict: {nd}");
+        for line in nd.lines() {
+            crate::json::parse(line).expect("health line parses");
+        }
+        assert_eq!(rep.verdict, Verdict::Degraded, "{nd}");
+    }
+}

@@ -51,6 +51,29 @@ done
 echo "=== nsc_perf $SCALE ==="
 NSC_RESULTS_DIR=results $BIN/nsc_perf "$SCALE" --label "${SCALE#--}" \
   || echo "nsc_perf FAILED"
+# Serving telemetry snapshot: a short-lived daemon under a small burst,
+# captured as the health verdict + self-contained dashboard HTML.
+echo "=== serving telemetry $SCALE ==="
+TL_SOCK="$(mktemp -u /tmp/nscd-exp-XXXXXX.sock)"
+NSC_SAMPLE_MS=200 NSC_CACHE_DIR=results/.cache \
+  $BIN/nscd --socket "$TL_SOCK" --jobs 2 2>/dev/null &
+TL_PID=$!
+for _ in $(seq 50); do [ -S "$TL_SOCK" ] && break; sleep 0.1; done
+if [ -S "$TL_SOCK" ]; then
+  $BIN/nsc_load --tiny --socket "$TL_SOCK" --secs 2 --rate 100 --conns 2 \
+    > results/serving_load.txt 2>&1 || echo "nsc_load FAILED"
+  sleep 0.5
+  $BIN/nsc-client health --socket "$TL_SOCK" \
+    > results/serving_health.json 2> results/serving_health.txt \
+    || echo "health FAILED"
+  $BIN/nsc-client dashboard --socket "$TL_SOCK" --out results/serving_dashboard.html \
+    2>/dev/null || echo "dashboard FAILED"
+  $BIN/nsc-client shutdown --socket "$TL_SOCK" > /dev/null 2>&1
+  wait "$TL_PID" 2>/dev/null
+else
+  echo "serving telemetry SKIPPED (daemon never bound its socket)"
+  kill "$TL_PID" 2>/dev/null
+fi
 total=$((SECONDS - total_start))
 printf '{"scale":"%s","jobs":"%s","harness_s":{%s},"total_s":%d}\n' \
   "$SCALE" "${NSC_JOBS:-auto}" "${WALL_ENTRIES%,}" "$total" > results/wall_clock.json

@@ -25,9 +25,15 @@
 #      daemon with fault injection armed — every request must get exactly
 #      one terminal response (typed sheds allowed, lost responses not)
 #      and the shed counters must surface in the Prometheus exporter;
-#      the soak also emits an nsc-perf-v1 serving summary that is gated
-#      against results/BENCH_serving_baseline.json (toleranced series),
-#  10. a compile smoke: fig09 at --tiny with NSC_COMPILE=0 (tree walker)
+#      the soak also runs a --sweep to find the saturation knee and
+#      emits an nsc-perf-v1 serving summary (aggregate + per-phase
+#      steady/burst series + knee_rps) that is gated against
+#      results/BENCH_serving_baseline.json (toleranced series),
+#  10. a timeline smoke: a one-worker daemon with a fast sampler under a
+#      short burst must accumulate >=3 monotone telemetry frames, answer
+#      `health` with a parseable verdict, and emit a dashboard HTML with
+#      zero external http(s) references,
+#  11. a compile smoke: fig09 at --tiny with NSC_COMPILE=0 (tree walker)
 #      vs NSC_COMPILE=1 (register bytecode) must be byte-identical
 #      (stdout and host-stripped JSON), and the expr_storm microbench
 #      must run — it asserts tree/bytecode checksum equality internally.
@@ -225,10 +231,18 @@ for _ in $(seq 50); do [ -S "$SOAK_SOCK" ] && break; sleep 0.1; done
 [ -S "$SOAK_SOCK" ] || { echo "nscd (soak) never bound its socket"; exit 1; }
 ./target/release/nsc_load --tiny --socket "$SOAK_SOCK" \
   --secs 10 --rate 300 --conns 4 --seed 7 --deadline-ms 2000 --burst 4 \
+  --sweep 25,100,400 --sweep-secs 2 \
   --bench-out "$PERF_TMP/BENCH_serving.json" \
   | tee "$PERF_TMP/soak.txt"
 grep -q ' lost=0 ' "$PERF_TMP/soak.txt" \
   || { echo "soak lost responses"; exit 1; }
+# The sweep must have found a knee and put it in the bench-out series.
+grep -q '^nsc_load: knee=' "$PERF_TMP/soak.txt" \
+  || { echo "sweep printed no knee"; exit 1; }
+grep -q '"knee_rps":' "$PERF_TMP/BENCH_serving.json" \
+  || { echo "knee_rps missing from bench-out"; cat "$PERF_TMP/BENCH_serving.json"; exit 1; }
+grep -q '"steady_p999_us":' "$PERF_TMP/BENCH_serving.json" \
+  || { echo "per-phase series missing from bench-out"; cat "$PERF_TMP/BENCH_serving.json"; exit 1; }
 # Serving perf rides the same regression gate as the simulator: the
 # soak's throughput/p99/shed-rate series vs the committed baseline,
 # with a generous factor band (CI hosts are noisy). Regenerate with:
@@ -243,6 +257,46 @@ grep -q '# TYPE nsc_serve_deadline_exceeded_total counter' "$PERF_TMP/soak-prom.
 ./target/release/nsc-client shutdown --socket "$SOAK_SOCK" > /dev/null
 wait "$SOAK_PID"
 echo "soak survived: one terminal response per request, typed sheds observable"
+
+echo "== timeline (sampler frames, health verdict, self-contained dashboard) =="
+# A one-worker daemon with a fast sampler under a short nsc_load burst:
+# the ring must accumulate frames with monotone timestamps, `health`
+# must produce a parseable verdict, and the dashboard artifact must be
+# fully self-contained (no external http(s) references).
+TL_SOCK="$PERF_TMP/nscd-tl.sock"
+NSC_CACHE_DIR="$PERF_TMP/nscd-tl-cache" NSC_SAMPLE_MS=100 NSC_QUEUE_CAP=16 \
+  ./target/release/nscd --socket "$TL_SOCK" --jobs 1 &
+TL_PID=$!
+for _ in $(seq 50); do [ -S "$TL_SOCK" ] && break; sleep 0.1; done
+[ -S "$TL_SOCK" ] || { echo "nscd (timeline) never bound its socket"; exit 1; }
+./target/release/nsc_load --tiny --socket "$TL_SOCK" \
+  --secs 2 --rate 100 --conns 2 --seed 3 > /dev/null
+sleep 0.3
+./target/release/nsc-client timeline --socket "$TL_SOCK" > "$PERF_TMP/tl-frames.txt"
+awk -F'"t_ms":' '
+  NF < 2            { print "frame missing t_ms: " $0; exit 1 }
+  { split($2, a, ","); t = a[1] + 0
+    if (t < prev) { printf "t_ms went backwards: %d after %d\n", t, prev; exit 1 }
+    prev = t; n++ }
+  END { if (n < 3) { printf "only %d frames, want >=3\n", n; exit 1 }
+        printf "%d frames, timestamps monotone\n", n }' "$PERF_TMP/tl-frames.txt" \
+  || { cat "$PERF_TMP/tl-frames.txt"; exit 1; }
+grep -q '"schema":"nsc-timeline-v1"' "$PERF_TMP/tl-frames.txt" \
+  || { echo "frames missing schema tag"; exit 1; }
+./target/release/nsc-client health --socket "$TL_SOCK" \
+  > "$PERF_TMP/tl-health.txt" 2> "$PERF_TMP/tl-verdict.txt"
+grep -Eq '"verdict":"(ok|degraded|failing)"' "$PERF_TMP/tl-health.txt" \
+  || { echo "health verdict unparseable"; cat "$PERF_TMP/tl-health.txt"; exit 1; }
+./target/release/nsc-client dashboard --socket "$TL_SOCK" --out "$PERF_TMP/tl-dash.html"
+grep -q '<html' "$PERF_TMP/tl-dash.html" \
+  || { echo "dashboard is not HTML"; exit 1; }
+if grep -Eq 'https?://' "$PERF_TMP/tl-dash.html"; then
+  echo "dashboard references external assets"; grep -E 'https?://' "$PERF_TMP/tl-dash.html"
+  exit 1
+fi
+./target/release/nsc-client shutdown --socket "$TL_SOCK" > /dev/null
+wait "$TL_PID"
+echo "timeline sampled live, health answered, dashboard self-contained"
 
 echo "== compile (bytecode-vs-tree bit-identity + expr_storm microbench) =="
 # The cost-guided plan pass lowers kernel expression trees to register
